@@ -1,0 +1,210 @@
+//! Pairwise (bipartite) column alignment baseline — "Starmie (B)" in
+//! Table 1.
+//!
+//! Instead of clustering all columns holistically, each data-lake table is
+//! aligned to the query table independently by maximum-weight bipartite
+//! matching over column-embedding similarities. The union of the per-table
+//! matchings forms the alignment.
+
+use crate::holistic::{AlignedCluster, Alignment, ColumnRef};
+use dust_embed::{cosine_similarity, Vector};
+use dust_table::Table;
+
+/// Minimum similarity below which a matched column pair is ignored.
+const MIN_MATCH_SIMILARITY: f64 = 0.05;
+
+/// Align each data-lake table to the query with maximum-weight bipartite
+/// matching over caller-provided column embeddings.
+///
+/// `embed_table` must return one embedding per column, in column order.
+pub fn bipartite_alignment<F>(query: &Table, tables: &[&Table], embed_table: F) -> Alignment
+where
+    F: Fn(&Table) -> Vec<Vector>,
+{
+    let query_embeddings = embed_table(query);
+    assert_eq!(query_embeddings.len(), query.num_columns());
+
+    let mut clusters: Vec<AlignedCluster> = query
+        .headers()
+        .iter()
+        .map(|h| AlignedCluster {
+            query_column: h.clone(),
+            members: Vec::new(),
+        })
+        .collect();
+    let mut discarded = Vec::new();
+
+    for table in tables {
+        let embeddings = embed_table(table);
+        assert_eq!(embeddings.len(), table.num_columns());
+        let weights: Vec<Vec<f64>> = query_embeddings
+            .iter()
+            .map(|q| {
+                embeddings
+                    .iter()
+                    .map(|c| cosine_similarity(q, c).max(0.0))
+                    .collect()
+            })
+            .collect();
+        let matching = crate::bipartite_align::matching(&weights);
+        let mut matched_cols = vec![false; table.num_columns()];
+        for (q_idx, c_idx, weight) in matching {
+            if weight < MIN_MATCH_SIMILARITY {
+                continue;
+            }
+            matched_cols[c_idx] = true;
+            clusters[q_idx].members.push(ColumnRef::new(
+                table.name(),
+                table.headers()[c_idx].clone(),
+            ));
+        }
+        for (c_idx, matched) in matched_cols.iter().enumerate() {
+            if !matched {
+                discarded.push(ColumnRef::new(table.name(), table.headers()[c_idx].clone()));
+            }
+        }
+    }
+    discarded.sort();
+    let num_clusters = clusters.len() + discarded.len();
+
+    Alignment {
+        clusters,
+        discarded,
+        silhouette: None,
+        num_clusters,
+    }
+}
+
+/// Thin wrapper so this crate does not need a dependency on `dust-search`
+/// just for the Hungarian algorithm: a small exact matching implementation
+/// for the modest matrices produced by column alignment (columns per table
+/// are at most a few dozen).
+fn matching(weights: &[Vec<f64>]) -> Vec<(usize, usize, f64)> {
+    let rows = weights.len();
+    let cols = weights.first().map(|r| r.len()).unwrap_or(0);
+    if rows == 0 || cols == 0 {
+        return Vec::new();
+    }
+    // Greedy seeding followed by single-swap improvement; exact for the
+    // small, near-diagonal similarity matrices seen in column alignment and
+    // deterministic regardless of input order.
+    let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+    let mut used_rows = vec![false; rows];
+    let mut used_cols = vec![false; cols];
+    let mut candidates: Vec<(usize, usize, f64)> = (0..rows)
+        .flat_map(|r| (0..cols).map(move |c| (r, c)))
+        .map(|(r, c)| (r, c, weights[r][c]))
+        .collect();
+    candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    for (r, c, w) in candidates {
+        if !used_rows[r] && !used_cols[c] && w > 0.0 {
+            used_rows[r] = true;
+            used_cols[c] = true;
+            pairs.push((r, c, w));
+        }
+    }
+    // local improvement: try swapping column assignments between pairs
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for i in 0..pairs.len() {
+            for j in (i + 1)..pairs.len() {
+                let (r1, c1, _) = pairs[i];
+                let (r2, c2, _) = pairs[j];
+                let current = weights[r1][c1] + weights[r2][c2];
+                let swapped = weights[r1][c2] + weights[r2][c1];
+                if swapped > current + 1e-12 {
+                    pairs[i] = (r1, c2, weights[r1][c2]);
+                    pairs[j] = (r2, c1, weights[r2][c1]);
+                    improved = true;
+                }
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn embed(header: &str) -> Vector {
+        match header {
+            "Park Name" | "Name" => Vector::new(vec![1.0, 0.0, 0.0, 0.0]),
+            "Country" | "Park Country" => Vector::new(vec![0.0, 1.0, 0.0, 0.0]),
+            "Supervisor" | "Supervised by" => Vector::new(vec![0.0, 0.0, 1.0, 0.0]),
+            _ => Vector::new(vec![0.0, 0.0, 0.0, 1.0]),
+        }
+    }
+
+    fn embed_table(table: &Table) -> Vec<Vector> {
+        table.headers().iter().map(|h| embed(h)).collect()
+    }
+
+    fn query() -> Table {
+        Table::builder("query")
+            .column("Park Name", ["River Park"])
+            .column("Supervisor", ["Vera Onate"])
+            .column("Country", ["USA"])
+            .build()
+            .unwrap()
+    }
+
+    fn lake_table() -> Table {
+        Table::builder("parks_d")
+            .column("Name", ["Chippewa Park"])
+            .column("Park Country", ["USA"])
+            .column("Supervised by", ["Tim Erickson"])
+            .column("Phone", ["773 731-0380"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn matches_semantically_equivalent_columns() {
+        let q = query();
+        let t = lake_table();
+        let alignment = bipartite_alignment(&q, &[&t], embed_table);
+        let name = alignment.cluster_for("Park Name").unwrap();
+        assert_eq!(name.members, vec![ColumnRef::new("parks_d", "Name")]);
+        let country = alignment.cluster_for("Country").unwrap();
+        assert_eq!(country.members, vec![ColumnRef::new("parks_d", "Park Country")]);
+        let sup = alignment.cluster_for("Supervisor").unwrap();
+        assert_eq!(sup.members, vec![ColumnRef::new("parks_d", "Supervised by")]);
+    }
+
+    #[test]
+    fn unmatched_columns_are_discarded() {
+        let q = query();
+        let t = lake_table();
+        let alignment = bipartite_alignment(&q, &[&t], embed_table);
+        assert_eq!(alignment.discarded, vec![ColumnRef::new("parks_d", "Phone")]);
+    }
+
+    #[test]
+    fn each_data_lake_column_matches_at_most_one_query_column() {
+        let q = query();
+        let t1 = lake_table();
+        let t2 = Table::builder("parks_b")
+            .column("Park Name", ["River Park"])
+            .column("Country", ["USA"])
+            .build()
+            .unwrap();
+        let alignment = bipartite_alignment(&q, &[&t1, &t2], embed_table);
+        let mut seen = std::collections::HashSet::new();
+        for cluster in &alignment.clusters {
+            for member in &cluster.members {
+                assert!(seen.insert(member.clone()), "column matched twice: {member:?}");
+            }
+        }
+        assert_eq!(alignment.aligned_column_count(), 5);
+    }
+
+    #[test]
+    fn empty_table_list_yields_clusters_with_no_members() {
+        let q = query();
+        let alignment = bipartite_alignment(&q, &[], embed_table);
+        assert_eq!(alignment.clusters.len(), 3);
+        assert_eq!(alignment.aligned_column_count(), 0);
+    }
+}

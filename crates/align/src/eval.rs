@@ -1,0 +1,260 @@
+//! Column-alignment evaluation (Sec. 6.2.2).
+//!
+//! Ground truth and method output are both converted into sets of
+//! *alignment items*:
+//!
+//! * a pair `(query column, data-lake column)` for every data-lake column
+//!   aligned to a query column;
+//! * a pair `(data-lake column, data-lake column)` for every two data-lake
+//!   columns aligned to the same query column;
+//! * a singleton item for every query column with no aligned data-lake
+//!   column.
+//!
+//! Precision, recall, and F1 are computed over these sets.
+
+use crate::holistic::{Alignment, ColumnRef};
+use dust_table::Table;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One element of an alignment set.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AlignmentItem {
+    /// Two columns aligned together (stored in sorted order).
+    Pair(ColumnRef, ColumnRef),
+    /// A query column with no aligned data-lake column.
+    Unmatched(ColumnRef),
+}
+
+impl AlignmentItem {
+    /// Create a pair item with canonical ordering.
+    pub fn pair(a: ColumnRef, b: ColumnRef) -> Self {
+        if a <= b {
+            AlignmentItem::Pair(a, b)
+        } else {
+            AlignmentItem::Pair(b, a)
+        }
+    }
+}
+
+/// Precision / recall / F1 triple.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrecisionRecallF1 {
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// F1 score.
+    pub f1: f64,
+}
+
+/// Convert a method's [`Alignment`] into its set of alignment items.
+pub fn alignment_items(alignment: &Alignment, query: &Table) -> BTreeSet<AlignmentItem> {
+    let mut items = BTreeSet::new();
+    for cluster in &alignment.clusters {
+        let qref = ColumnRef::new(query.name(), cluster.query_column.clone());
+        if cluster.members.is_empty() {
+            items.insert(AlignmentItem::Unmatched(qref));
+            continue;
+        }
+        for member in &cluster.members {
+            items.insert(AlignmentItem::pair(qref.clone(), member.clone()));
+        }
+        for i in 0..cluster.members.len() {
+            for j in (i + 1)..cluster.members.len() {
+                items.insert(AlignmentItem::pair(
+                    cluster.members[i].clone(),
+                    cluster.members[j].clone(),
+                ));
+            }
+        }
+    }
+    // Query columns absent from every cluster count as unmatched.
+    for header in query.headers() {
+        if alignment.cluster_for(header).is_none() {
+            items.insert(AlignmentItem::Unmatched(ColumnRef::new(
+                query.name(),
+                header.clone(),
+            )));
+        }
+    }
+    items
+}
+
+/// Build ground-truth alignment items from a mapping
+/// `(query column, aligned data-lake columns)`. Query columns with an empty
+/// list become unmatched items.
+pub fn ground_truth_from_map(
+    query: &Table,
+    mapping: &[(String, Vec<ColumnRef>)],
+) -> BTreeSet<AlignmentItem> {
+    let mut items = BTreeSet::new();
+    for (q_col, members) in mapping {
+        let qref = ColumnRef::new(query.name(), q_col.clone());
+        if members.is_empty() {
+            items.insert(AlignmentItem::Unmatched(qref));
+            continue;
+        }
+        for member in members {
+            items.insert(AlignmentItem::pair(qref.clone(), member.clone()));
+        }
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                items.insert(AlignmentItem::pair(members[i].clone(), members[j].clone()));
+            }
+        }
+    }
+    // Any query column not mentioned is unmatched.
+    for header in query.headers() {
+        if !mapping.iter().any(|(q, _)| q == header) {
+            items.insert(AlignmentItem::Unmatched(ColumnRef::new(
+                query.name(),
+                header.clone(),
+            )));
+        }
+    }
+    items
+}
+
+/// Precision / recall / F1 of a method's items against ground-truth items.
+pub fn precision_recall_f1(
+    method: &BTreeSet<AlignmentItem>,
+    truth: &BTreeSet<AlignmentItem>,
+) -> PrecisionRecallF1 {
+    let intersection = method.intersection(truth).count() as f64;
+    let precision = if method.is_empty() {
+        0.0
+    } else {
+        intersection / method.len() as f64
+    };
+    let recall = if truth.is_empty() {
+        0.0
+    } else {
+        intersection / truth.len() as f64
+    };
+    let f1 = if precision + recall <= 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    PrecisionRecallF1 {
+        precision,
+        recall,
+        f1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::holistic::AlignedCluster;
+
+    fn query() -> Table {
+        Table::builder("q")
+            .column("Name", ["a"])
+            .column("Country", ["USA"])
+            .column("Phone", ["555"])
+            .build()
+            .unwrap()
+    }
+
+    fn truth() -> BTreeSet<AlignmentItem> {
+        ground_truth_from_map(
+            &query(),
+            &[
+                (
+                    "Name".to_string(),
+                    vec![ColumnRef::new("t1", "Name"), ColumnRef::new("t2", "Title")],
+                ),
+                ("Country".to_string(), vec![ColumnRef::new("t1", "Country")]),
+                ("Phone".to_string(), vec![]),
+            ],
+        )
+    }
+
+    #[test]
+    fn ground_truth_contains_query_pairs_lake_pairs_and_unmatched() {
+        let t = truth();
+        assert!(t.contains(&AlignmentItem::pair(
+            ColumnRef::new("q", "Name"),
+            ColumnRef::new("t1", "Name")
+        )));
+        assert!(t.contains(&AlignmentItem::pair(
+            ColumnRef::new("t1", "Name"),
+            ColumnRef::new("t2", "Title")
+        )));
+        assert!(t.contains(&AlignmentItem::Unmatched(ColumnRef::new("q", "Phone"))));
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn perfect_alignment_scores_one() {
+        let alignment = Alignment {
+            clusters: vec![
+                AlignedCluster {
+                    query_column: "Name".into(),
+                    members: vec![ColumnRef::new("t1", "Name"), ColumnRef::new("t2", "Title")],
+                },
+                AlignedCluster {
+                    query_column: "Country".into(),
+                    members: vec![ColumnRef::new("t1", "Country")],
+                },
+                AlignedCluster {
+                    query_column: "Phone".into(),
+                    members: vec![],
+                },
+            ],
+            ..Alignment::default()
+        };
+        let method = alignment_items(&alignment, &query());
+        let scores = precision_recall_f1(&method, &truth());
+        assert!((scores.precision - 1.0).abs() < 1e-9);
+        assert!((scores.recall - 1.0).abs() < 1e-9);
+        assert!((scores.f1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrong_alignment_lowers_precision_and_recall() {
+        let alignment = Alignment {
+            clusters: vec![AlignedCluster {
+                query_column: "Name".into(),
+                members: vec![ColumnRef::new("t1", "Country")], // wrong
+            }],
+            ..Alignment::default()
+        };
+        let method = alignment_items(&alignment, &query());
+        let scores = precision_recall_f1(&method, &truth());
+        assert!(scores.precision < 1.0);
+        assert!(scores.recall < 1.0);
+        assert!(scores.f1 > 0.0); // the two unmatched query columns still overlap? no:
+    }
+
+    #[test]
+    fn missing_clusters_count_as_unmatched_query_columns() {
+        let alignment = Alignment::default();
+        let items = alignment_items(&alignment, &query());
+        assert_eq!(items.len(), 3);
+        assert!(items
+            .iter()
+            .all(|i| matches!(i, AlignmentItem::Unmatched(_))));
+    }
+
+    #[test]
+    fn empty_sets_score_zero() {
+        let empty = BTreeSet::new();
+        let scores = precision_recall_f1(&empty, &truth());
+        assert_eq!(scores.precision, 0.0);
+        assert_eq!(scores.recall, 0.0);
+        assert_eq!(scores.f1, 0.0);
+    }
+
+    #[test]
+    fn pair_ordering_is_canonical() {
+        let a = ColumnRef::new("t1", "x");
+        let b = ColumnRef::new("t2", "y");
+        assert_eq!(
+            AlignmentItem::pair(a.clone(), b.clone()),
+            AlignmentItem::pair(b, a)
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Criterion microbenchmarks for the clustering substrate: agglomerative
+//! clustering (the inner loop of both DUST's diversifier and the holistic
+//! column aligner), k-means, silhouette scoring, and medoid extraction.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dust_cluster::{agglomerative, cluster_medoids, kmeans, silhouette_score, Linkage};
+use dust_embed::{Distance, Vector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn clustered_points(n: usize, dim: usize, seed: u64) -> Vec<Vector> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centroids: Vec<Vec<f32>> = (0..10)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    (0..n)
+        .map(|_| {
+            let c = &centroids[rng.gen_range(0..centroids.len())];
+            Vector::new(c.iter().map(|x| x + rng.gen_range(-0.2..0.2)).collect())
+        })
+        .collect()
+}
+
+fn bench_agglomerative(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agglomerative");
+    group.sample_size(10);
+    for &n in &[100usize, 400, 800] {
+        let points = clustered_points(n, 32, 7);
+        group.bench_with_input(BenchmarkId::new("average_linkage", n), &points, |b, pts| {
+            b.iter(|| agglomerative(black_box(pts), Distance::Cosine, Linkage::Average));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cut_and_medoids(c: &mut Criterion) {
+    let points = clustered_points(400, 32, 11);
+    let dendrogram = agglomerative(&points, Distance::Cosine, Linkage::Average);
+    c.bench_function("dendrogram_cut_50", |b| {
+        b.iter(|| black_box(&dendrogram).cut(50));
+    });
+    let assignment = dendrogram.cut(50);
+    c.bench_function("cluster_medoids_50", |b| {
+        b.iter(|| cluster_medoids(black_box(&points), black_box(&assignment), Distance::Cosine));
+    });
+    c.bench_function("silhouette_400", |b| {
+        b.iter(|| silhouette_score(black_box(&points), black_box(&assignment), Distance::Cosine));
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let points = clustered_points(800, 32, 13);
+    c.bench_function("kmeans_800_k20", |b| {
+        b.iter(|| kmeans(black_box(&points), 20, 20, 3, Distance::Euclidean));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_agglomerative, bench_cut_and_medoids, bench_kmeans
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion microbenchmarks for the diversification algorithms: DUST vs
+//! GMC vs CLT vs farthest-first at growing candidate-set sizes (the
+//! microbench companion of Fig. 7), plus the pruning step in isolation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dust_diversify::{
+    prune_tuples, CltDiversifier, DiversificationInput, Diversifier, DustDiversifier,
+    GmcDiversifier, MaxMinDiversifier,
+};
+use dust_embed::{Distance, Vector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn embeddings(n: usize, seed: u64) -> Vec<Vector> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centroids: Vec<Vec<f32>> = (0..20)
+        .map(|_| (0..32).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    (0..n)
+        .map(|_| {
+            let c = &centroids[rng.gen_range(0..centroids.len())];
+            Vector::new(c.iter().map(|x| x + rng.gen_range(-0.3..0.3)).collect()).normalized()
+        })
+        .collect()
+}
+
+fn bench_diversifiers(c: &mut Criterion) {
+    let query = embeddings(20, 1);
+    let k = 30;
+    let mut group = c.benchmark_group("diversify");
+    group.sample_size(10);
+    for &s in &[500usize, 1000] {
+        let candidates = embeddings(s, 2);
+        let dust = DustDiversifier::new();
+        let gmc = GmcDiversifier::new();
+        let clt = CltDiversifier::new();
+        let maxmin = MaxMinDiversifier::new();
+        let algorithms: Vec<(&str, &dyn Diversifier)> = vec![
+            ("dust", &dust),
+            ("gmc", &gmc),
+            ("clt", &clt),
+            ("maxmin", &maxmin),
+        ];
+        for (name, algorithm) in algorithms {
+            group.bench_with_input(BenchmarkId::new(name, s), &candidates, |b, cands| {
+                b.iter(|| {
+                    let input = DiversificationInput::new(&query, cands, Distance::Cosine);
+                    algorithm.select(black_box(&input), k)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let candidates = embeddings(5000, 3);
+    let sources: Vec<usize> = (0..candidates.len()).map(|i| i % 25).collect();
+    c.bench_function("prune_5000_to_1000", |b| {
+        b.iter(|| {
+            prune_tuples(
+                black_box(&candidates),
+                Some(black_box(&sources)),
+                Distance::Cosine,
+                1000,
+            )
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_diversifiers, bench_pruning
+}
+criterion_main!(benches);

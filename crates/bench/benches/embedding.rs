@@ -1,0 +1,87 @@
+//! Criterion microbenchmarks for the embedding substrate: tuple
+//! serialization + encoding throughput, column encoding (both
+//! serializations), fine-tuned inference, and one SGD training epoch.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dust_datagen::{generate_base_table, Domain};
+use dust_embed::{
+    ColumnEncoder, ColumnSerialization, DustModel, FineTuneConfig, PretrainedModel, TfIdfCorpus,
+    TupleEncoder,
+};
+
+fn bench_tuple_encoding(c: &mut Criterion) {
+    let domain = Domain::by_name("parks").unwrap();
+    let table = generate_base_table(&domain, 200, 3);
+    let tuples = table.tuples();
+    let encoder = TupleEncoder::new(PretrainedModel::Roberta);
+    c.bench_function("tuple_encode_200", |b| {
+        b.iter(|| encoder.embed_tuples(black_box(&tuples)));
+    });
+
+    let model = DustModel::new(
+        PretrainedModel::Roberta,
+        FineTuneConfig {
+            hidden_dim: 96,
+            output_dim: 64,
+            ..FineTuneConfig::default()
+        },
+    );
+    c.bench_function("dust_model_encode_200", |b| {
+        b.iter(|| model.embed_tuples(black_box(&tuples)));
+    });
+}
+
+fn bench_column_encoding(c: &mut Criterion) {
+    let domain = Domain::by_name("movies").unwrap();
+    let table = generate_base_table(&domain, 300, 5);
+    let corpus = ColumnEncoder::build_corpus(table.columns());
+    for serialization in [ColumnSerialization::CellLevel, ColumnSerialization::ColumnLevel] {
+        let encoder = ColumnEncoder::new(PretrainedModel::Roberta, serialization);
+        let name = format!("column_encode_{}", serialization.name());
+        c.bench_function(&name, |b| {
+            b.iter(|| {
+                table
+                    .columns()
+                    .iter()
+                    .map(|col| encoder.embed_column(black_box(col), &corpus))
+                    .collect::<Vec<_>>()
+            });
+        });
+    }
+    let _ = TfIdfCorpus::new();
+}
+
+fn bench_training_epoch(c: &mut Criterion) {
+    let domain = Domain::by_name("schools").unwrap();
+    let table = generate_base_table(&domain, 60, 9);
+    let other = generate_base_table(&Domain::by_name("movies").unwrap(), 60, 9);
+    let a = table.tuples();
+    let b = other.tuples();
+    let mut pairs = Vec::new();
+    for i in 0..40 {
+        pairs.push((a[i].clone(), a[(i + 1) % a.len()].clone(), true));
+        pairs.push((a[i].clone(), b[i].clone(), false));
+    }
+    c.bench_function("finetune_one_epoch_80pairs", |bench| {
+        bench.iter(|| {
+            let mut model = DustModel::new(
+                PretrainedModel::Bert,
+                FineTuneConfig {
+                    hidden_dim: 32,
+                    output_dim: 16,
+                    max_epochs: 1,
+                    patience: 1,
+                    ..FineTuneConfig::default()
+                },
+            );
+            model.train(black_box(&pairs), &[])
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_tuple_encoding, bench_column_encoding, bench_training_epoch
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion microbenchmarks for the search substrate: maximum-weight
+//! bipartite matching, the inverted value index, and end-to-end table
+//! scoring for the overlap, D3L, and Starmie searchers.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dust_datagen::BenchmarkConfig;
+use dust_search::{max_weight_matching, D3lSearch, InvertedValueIndex, OverlapSearch, StarmieSearch, TableUnionSearch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_bipartite(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut group = c.benchmark_group("bipartite_matching");
+    for &n in &[8usize, 16, 32] {
+        let weights: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &weights, |b, w| {
+            b.iter(|| max_weight_matching(black_box(w)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let lake = BenchmarkConfig::tiny().generate().lake;
+    let query_name = lake.query_names()[0].clone();
+    let query = lake.query(&query_name).unwrap().clone();
+
+    c.bench_function("inverted_index_build", |b| {
+        b.iter(|| InvertedValueIndex::build(black_box(&lake)));
+    });
+
+    let overlap = OverlapSearch::new();
+    c.bench_function("overlap_search_top5", |b| {
+        b.iter(|| overlap.search(black_box(&lake), black_box(&query), 5));
+    });
+    let d3l = D3lSearch::new();
+    c.bench_function("d3l_search_top5", |b| {
+        b.iter(|| d3l.search(black_box(&lake), black_box(&query), 5));
+    });
+    let starmie = StarmieSearch::new();
+    c.bench_function("starmie_search_top5", |b| {
+        b.iter(|| starmie.search(black_box(&lake), black_box(&query), 5));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_bipartite, bench_search
+}
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! Shared driver for the diversification comparisons (Table 2, Table 3,
+//! Fig. 7, Fig. 11): run a set of diversifiers per query, measure both
+//! diversity metrics and per-query wall-clock time, and count per-metric
+//! wins.
+
+use dust_diversify::{DiversificationInput, Diversifier, DiversityScores};
+use dust_embed::{Distance, Vector};
+use std::time::Instant;
+
+/// The pre-embedded candidate pool of one query.
+#[derive(Debug, Clone)]
+pub struct QueryCandidates {
+    /// Query table name (for reporting).
+    pub query_name: String,
+    /// Embeddings of the query tuples.
+    pub query_embeddings: Vec<Vector>,
+    /// Embeddings of the candidate unionable tuples.
+    pub candidate_embeddings: Vec<Vector>,
+    /// Source-table id per candidate.
+    pub sources: Vec<usize>,
+}
+
+/// Aggregated outcome of one diversifier across all queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiversifierOutcome {
+    /// Algorithm name.
+    pub name: String,
+    /// Number of queries where this algorithm achieved the (strictly) best
+    /// Average Diversity.
+    pub best_average: usize,
+    /// Number of queries where this algorithm achieved the best Min Diversity.
+    pub best_min: usize,
+    /// Mean Average Diversity across queries.
+    pub mean_average: f64,
+    /// Mean Min Diversity across queries.
+    pub mean_min: f64,
+    /// Average wall-clock seconds per query.
+    pub avg_time_secs: f64,
+}
+
+/// Run every diversifier on every query and aggregate wins, scores, and
+/// per-query time. Ties count as a win for all tied algorithms (matching the
+/// paper's "number of queries for which each algorithm gives the best
+/// score" reporting).
+pub fn evaluate_diversifiers(
+    queries: &[QueryCandidates],
+    diversifiers: &[(&str, &dyn Diversifier)],
+    k: usize,
+    distance: Distance,
+) -> Vec<DiversifierOutcome> {
+    let mut outcomes: Vec<DiversifierOutcome> = diversifiers
+        .iter()
+        .map(|(name, _)| DiversifierOutcome {
+            name: name.to_string(),
+            best_average: 0,
+            best_min: 0,
+            mean_average: 0.0,
+            mean_min: 0.0,
+            avg_time_secs: 0.0,
+        })
+        .collect();
+    if queries.is_empty() {
+        return outcomes;
+    }
+
+    for query in queries {
+        let input = DiversificationInput {
+            query: &query.query_embeddings,
+            candidates: &query.candidate_embeddings,
+            candidate_sources: Some(&query.sources),
+            distance,
+        };
+        let mut per_query: Vec<(usize, DiversityScores, f64)> = Vec::new();
+        for (idx, (_, diversifier)) in diversifiers.iter().enumerate() {
+            let start = Instant::now();
+            let selection = diversifier.select(&input, k);
+            let elapsed = start.elapsed().as_secs_f64();
+            let selected: Vec<Vector> = selection
+                .iter()
+                .map(|&i| query.candidate_embeddings[i].clone())
+                .collect();
+            let scores = DiversityScores::compute(&query.query_embeddings, &selected, distance);
+            per_query.push((idx, scores, elapsed));
+        }
+        let best_avg = per_query
+            .iter()
+            .map(|(_, s, _)| s.average)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let best_min = per_query
+            .iter()
+            .map(|(_, s, _)| s.minimum)
+            .fold(f64::NEG_INFINITY, f64::max);
+        for (idx, scores, elapsed) in per_query {
+            let outcome = &mut outcomes[idx];
+            if (scores.average - best_avg).abs() < 1e-12 {
+                outcome.best_average += 1;
+            }
+            if (scores.minimum - best_min).abs() < 1e-12 {
+                outcome.best_min += 1;
+            }
+            outcome.mean_average += scores.average;
+            outcome.mean_min += scores.minimum;
+            outcome.avg_time_secs += elapsed;
+        }
+    }
+    let n = queries.len() as f64;
+    for outcome in &mut outcomes {
+        outcome.mean_average /= n;
+        outcome.mean_min /= n;
+        outcome.avg_time_secs /= n;
+    }
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dust_diversify::{CltDiversifier, DustDiversifier, RandomDiversifier};
+
+    fn synthetic_query(seed: u64) -> QueryCandidates {
+        // query near origin; candidates split between near-duplicates and a
+        // diverse far shell
+        let query_embeddings = vec![Vector::new(vec![0.0, 0.0]), Vector::new(vec![0.1, 0.0])];
+        let mut candidate_embeddings = Vec::new();
+        let mut sources = Vec::new();
+        for i in 0..20 {
+            let x = (i as f32 * 0.013 + seed as f32 * 0.01) % 0.5;
+            candidate_embeddings.push(Vector::new(vec![x, 0.0]));
+            sources.push(0);
+        }
+        for i in 0..20 {
+            let angle = i as f32 * 0.31 + seed as f32;
+            candidate_embeddings.push(Vector::new(vec![
+                10.0 * angle.cos(),
+                10.0 * angle.sin(),
+            ]));
+            sources.push(1);
+        }
+        QueryCandidates {
+            query_name: format!("q{seed}"),
+            query_embeddings,
+            candidate_embeddings,
+            sources,
+        }
+    }
+
+    #[test]
+    fn dust_wins_against_random_on_synthetic_queries() {
+        let queries: Vec<QueryCandidates> = (0..5).map(synthetic_query).collect();
+        let dust = DustDiversifier::new();
+        let random = RandomDiversifier::default();
+        let clt = CltDiversifier::new();
+        let outcomes = evaluate_diversifiers(
+            &queries,
+            &[
+                ("DUST", &dust as &dyn Diversifier),
+                ("Random", &random),
+                ("CLT", &clt),
+            ],
+            6,
+            Distance::Euclidean,
+        );
+        assert_eq!(outcomes.len(), 3);
+        let dust_outcome = &outcomes[0];
+        let random_outcome = &outcomes[1];
+        assert!(dust_outcome.mean_min >= random_outcome.mean_min);
+        assert!(dust_outcome.best_min >= random_outcome.best_min);
+        // wins sum to at least the number of queries (ties may exceed it)
+        let total_min_wins: usize = outcomes.iter().map(|o| o.best_min).sum();
+        assert!(total_min_wins >= queries.len());
+    }
+
+    #[test]
+    fn empty_query_set_returns_zeroed_outcomes() {
+        let dust = DustDiversifier::new();
+        let outcomes =
+            evaluate_diversifiers(&[], &[("DUST", &dust as &dyn Diversifier)], 5, Distance::Cosine);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].best_average, 0);
+        assert_eq!(outcomes[0].mean_average, 0.0);
+    }
+}

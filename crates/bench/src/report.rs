@@ -1,0 +1,140 @@
+//! Plain-text report tables, printed to stdout in the same layout as the
+//! paper's tables and figures (rows / series), so experiment output can be
+//! compared side by side with the published numbers.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned report table.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Report {
+    /// Create a report with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Report {
+            title: title.into(),
+            ..Report::default()
+        }
+    }
+
+    /// Set the column headers.
+    pub fn headers<I, S>(mut self, headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Append one row of cells.
+    pub fn row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Append a free-text note printed under the table.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render the report as a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.chars().count());
+                } else {
+                    widths[i] = widths[i].max(cell.chars().count());
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n== {} ==", self.title);
+        if !self.headers.is_empty() {
+            let _ = writeln!(out, "{}", format_row(&self.headers, &widths));
+            let total: usize = widths.iter().sum::<usize>() + widths.len().saturating_sub(1) * 3;
+            let _ = writeln!(out, "{}", "-".repeat(total));
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", format_row(row, &widths));
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  note: {note}");
+        }
+        out
+    }
+
+    /// Print the report to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+fn format_row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let w = widths.get(i).copied().unwrap_or(c.len());
+            format!("{c:<w$}")
+        })
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+/// Format a float with three decimals (the paper's usual precision).
+pub fn fmt3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format a float with one decimal.
+pub fn fmt1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns_and_keeps_all_rows() {
+        let mut report = Report::new("Table X").headers(["Method", "Score"]);
+        report.row(["DUST", "0.91"]);
+        report.row(["GMC-with-long-name", "0.5"]);
+        report.note("synthetic data");
+        let text = report.render();
+        assert!(text.contains("== Table X =="));
+        assert!(text.contains("Method"));
+        assert!(text.contains("GMC-with-long-name | 0.5"));
+        assert!(text.contains("note: synthetic data"));
+        assert_eq!(report.num_rows(), 2);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt3(0.123456), "0.123");
+        assert_eq!(fmt1(12.34), "12.3");
+    }
+
+    #[test]
+    fn headerless_reports_render() {
+        let mut report = Report::new("no headers");
+        report.row(["a", "b"]);
+        assert!(report.render().contains("a | b"));
+    }
+}

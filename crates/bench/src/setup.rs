@@ -1,0 +1,209 @@
+//! Shared experiment setup: scale selection, benchmark generation helpers,
+//! shared model training, and candidate-pool construction.
+
+use dust_align::{outer_union, HolisticAligner};
+use dust_datagen::{
+    build_finetune_dataset, BenchmarkConfig, FineTuneDataset, FineTuneDatasetConfig,
+};
+use dust_embed::{DustModel, FineTuneConfig, PretrainedModel};
+use dust_table::{DataLake, Table, Tuple};
+
+/// Experiment scale, selected with the `DUST_SCALE` environment variable
+/// (`small` — default, finishes in minutes even in debug builds — or `full`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced corpus sizes; the default.
+    Small,
+    /// Larger corpora closer to the paper's benchmark sizes.
+    Full,
+}
+
+/// Read the experiment scale from the environment.
+pub fn scale() -> Scale {
+    match std::env::var("DUST_SCALE").unwrap_or_default().to_ascii_lowercase().as_str() {
+        "full" | "paper" | "large" => Scale::Full,
+        _ => Scale::Small,
+    }
+}
+
+impl Scale {
+    /// A SANTOS-like benchmark configuration at this scale.
+    pub fn santos_config(&self) -> BenchmarkConfig {
+        match self {
+            Scale::Small => BenchmarkConfig {
+                num_domains: 6,
+                base_rows: 160,
+                queries_per_domain: 2,
+                lake_tables_per_domain: 6,
+                ..BenchmarkConfig::santos()
+            },
+            Scale::Full => BenchmarkConfig::santos(),
+        }
+    }
+
+    /// A UGEN-V1-like benchmark configuration at this scale.
+    pub fn ugen_config(&self) -> BenchmarkConfig {
+        match self {
+            Scale::Small => BenchmarkConfig {
+                num_domains: 6,
+                queries_per_domain: 2,
+                lake_tables_per_domain: 6,
+                ..BenchmarkConfig::ugen_v1()
+            },
+            Scale::Full => BenchmarkConfig::ugen_v1(),
+        }
+    }
+
+    /// A TUS-Sampled-like benchmark configuration at this scale.
+    pub fn tus_sampled_config(&self) -> BenchmarkConfig {
+        match self {
+            Scale::Small => BenchmarkConfig {
+                num_domains: 6,
+                base_rows: 100,
+                queries_per_domain: 1,
+                lake_tables_per_domain: 5,
+                ..BenchmarkConfig::tus_sampled()
+            },
+            Scale::Full => BenchmarkConfig::tus_sampled(),
+        }
+    }
+
+    /// Output size `k` used in the Table 2 diversification experiment.
+    pub fn santos_k(&self) -> usize {
+        match self {
+            Scale::Small => 30,
+            Scale::Full => 100,
+        }
+    }
+
+    /// Output size `k` used on the UGEN-like benchmark.
+    pub fn ugen_k(&self) -> usize {
+        match self {
+            Scale::Small => 15,
+            Scale::Full => 30,
+        }
+    }
+
+    /// Number of fine-tuning pairs used when training the shared model.
+    pub fn finetune_pairs(&self) -> usize {
+        match self {
+            Scale::Small => 400,
+            Scale::Full => 2000,
+        }
+    }
+}
+
+/// Train the shared DUST tuple model on pairs sampled from a lake, returning
+/// the model and the dataset (whose test split is used by Fig. 6 / Fig. 10).
+pub fn train_dust_model(
+    lake: &DataLake,
+    backbone: PretrainedModel,
+    pairs: usize,
+) -> (DustModel, FineTuneDataset) {
+    let dataset = build_finetune_dataset(
+        lake,
+        &FineTuneDatasetConfig {
+            total_pairs: pairs,
+            ..FineTuneDatasetConfig::default()
+        },
+    );
+    let config = FineTuneConfig {
+        hidden_dim: 96,
+        output_dim: 64,
+        max_epochs: 80,
+        patience: 12,
+        learning_rate: 0.3,
+        ..FineTuneConfig::default()
+    };
+    let mut model = DustModel::new(backbone, config);
+    if !dataset.train.is_empty() {
+        let train = FineTuneDataset::triples(&dataset.train);
+        let val = FineTuneDataset::triples(&dataset.validation);
+        model.train(&train, &val);
+    }
+    (model, dataset)
+}
+
+/// Build the candidate unionable-tuple pool for a query from the benchmark's
+/// ground truth (the diversification experiments of Sec. 6.4 evaluate the
+/// diversifiers on the true unionable tuples, independent of search errors).
+///
+/// Returns the tuples (under the query header) and a parallel source-table
+/// id per tuple.
+pub fn build_candidates_for_query(
+    lake: &DataLake,
+    query: &Table,
+    max_tables: usize,
+) -> (Vec<Tuple>, Vec<usize>) {
+    let unionable = lake.ground_truth().unionable_with(query.name());
+    let tables: Vec<&Table> = unionable
+        .iter()
+        .take(max_tables)
+        .filter_map(|name| lake.table(name).ok())
+        .collect();
+    if tables.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let aligner = HolisticAligner::new();
+    let alignment = aligner.align(query, &tables);
+    let tuples = outer_union(query, &tables, &alignment);
+    let mut table_ids: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    let sources: Vec<usize> = tuples
+        .iter()
+        .map(|t| {
+            let next = table_ids.len();
+            *table_ids.entry(t.source_table().to_string()).or_insert(next)
+        })
+        .collect();
+    (tuples, sources)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_to_small() {
+        // DUST_SCALE is not set in the test environment
+        assert_eq!(scale(), Scale::Small);
+        assert!(Scale::Small.santos_k() < Scale::Full.santos_k());
+        assert!(Scale::Small.finetune_pairs() < Scale::Full.finetune_pairs());
+    }
+
+    #[test]
+    fn small_configs_are_smaller_than_full() {
+        let small = Scale::Small.santos_config();
+        let full = Scale::Full.santos_config();
+        assert!(small.num_domains <= full.num_domains);
+        assert!(small.base_rows <= full.base_rows);
+        assert!(Scale::Small.ugen_config().lake_tables_per_domain <= full.lake_tables_per_domain);
+        assert!(Scale::Small.tus_sampled_config().base_rows <= BenchmarkConfig::tus_sampled().base_rows);
+    }
+
+    #[test]
+    fn candidate_pool_covers_ground_truth_tables() {
+        let lake = BenchmarkConfig::tiny().generate().lake;
+        let query_name = lake.query_names()[0].clone();
+        let query = lake.query(&query_name).unwrap().clone();
+        let (tuples, sources) = build_candidates_for_query(&lake, &query, 10);
+        assert!(!tuples.is_empty());
+        assert_eq!(tuples.len(), sources.len());
+        // sources are dense ids
+        let max = sources.iter().copied().max().unwrap();
+        assert!(max < lake.ground_truth().unionable_with(&query_name).len());
+        // all candidates carry the query header
+        for t in &tuples {
+            assert_eq!(t.headers(), query.headers());
+        }
+    }
+
+    #[test]
+    fn trained_model_beats_chance_on_its_test_split() {
+        let lake = BenchmarkConfig::tiny().generate().lake;
+        let (model, dataset) = train_dust_model(&lake, PretrainedModel::Roberta, 200);
+        let test = FineTuneDataset::triples(&dataset.test);
+        assert!(!test.is_empty());
+        let acc = model.classification_accuracy(&test, 0.7);
+        assert!(acc > 0.6, "trained model accuracy {acc} too low");
+    }
+}

@@ -1,0 +1,556 @@
+//! Hierarchical agglomerative clustering.
+//!
+//! Two implementations are provided:
+//!
+//! * [`agglomerative`] — nearest-neighbour-chain algorithm with
+//!   Lance–Williams updates, O(n²) time, used to cluster (potentially many
+//!   thousands of) tuple embeddings in the DUST diversifier;
+//! * [`agglomerative_constrained`] — a straightforward O(n³) variant that
+//!   honours cannot-link constraints, used by holistic column alignment
+//!   where `n` is the (small) number of columns and two columns of the same
+//!   table must never be clustered together.
+
+use crate::Assignment;
+use dust_embed::{Distance, Vector};
+use serde::{Deserialize, Serialize};
+
+/// Linkage criterion between clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Linkage {
+    /// Minimum pairwise distance.
+    Single,
+    /// Maximum pairwise distance.
+    Complete,
+    /// Unweighted average pairwise distance (UPGMA) — the paper's choice.
+    #[default]
+    Average,
+}
+
+impl Linkage {
+    /// Name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Linkage::Single => "single",
+            Linkage::Complete => "complete",
+            Linkage::Average => "average",
+        }
+    }
+
+    /// Lance–Williams update: distance from cluster `k` to the merge of
+    /// clusters `i` (size `ni`) and `j` (size `nj`).
+    fn update(&self, d_ki: f64, d_kj: f64, ni: usize, nj: usize) -> f64 {
+        match self {
+            Linkage::Single => d_ki.min(d_kj),
+            Linkage::Complete => d_ki.max(d_kj),
+            Linkage::Average => {
+                let ni = ni as f64;
+                let nj = nj as f64;
+                (ni * d_ki + nj * d_kj) / (ni + nj)
+            }
+        }
+    }
+}
+
+/// One merge step of a dendrogram. Clusters are identified by id: leaves are
+/// `0..n`, and the cluster created by the `i`-th merge has id `n + i`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Merge {
+    /// First merged cluster id.
+    pub left: usize,
+    /// Second merged cluster id.
+    pub right: usize,
+    /// Linkage distance at which the merge happened.
+    pub distance: f64,
+    /// Number of leaves in the merged cluster.
+    pub size: usize,
+}
+
+/// The result of hierarchical clustering: a sequence of merges over `n` leaves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dendrogram {
+    n_leaves: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Number of leaves (input points).
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// The merge sequence.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cut the dendrogram into (at most) `num_clusters` clusters.
+    ///
+    /// Merges are applied in ascending distance order until the requested
+    /// number of clusters remains. When the dendrogram is incomplete (the
+    /// constrained variant may stop early) the result may contain more than
+    /// `num_clusters` clusters. Returns a dense assignment.
+    pub fn cut(&self, num_clusters: usize) -> Assignment {
+        let n = self.n_leaves;
+        if n == 0 {
+            return Vec::new();
+        }
+        let target = num_clusters.max(1);
+        let mut order: Vec<&Merge> = self.merges.iter().collect();
+        order.sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal));
+        let mut uf = UnionFind::new(n);
+        let mut remaining = n;
+        for merge in order {
+            if remaining <= target {
+                break;
+            }
+            let li = self.leaf_of(merge.left);
+            let ri = self.leaf_of(merge.right);
+            if uf.union(li, ri) {
+                remaining -= 1;
+            }
+        }
+        uf.dense_assignment()
+    }
+
+    /// Cut the dendrogram at a distance threshold: only merges with distance
+    /// `<= threshold` are applied.
+    pub fn cut_at_distance(&self, threshold: f64) -> Assignment {
+        let n = self.n_leaves;
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut uf = UnionFind::new(n);
+        for merge in &self.merges {
+            if merge.distance <= threshold {
+                let li = self.leaf_of(merge.left);
+                let ri = self.leaf_of(merge.right);
+                uf.union(li, ri);
+            }
+        }
+        uf.dense_assignment()
+    }
+
+    /// Any leaf contained in the cluster with the given id.
+    fn leaf_of(&self, cluster_id: usize) -> usize {
+        let mut id = cluster_id;
+        while id >= self.n_leaves {
+            id = self.merges[id - self.n_leaves].left;
+        }
+        id
+    }
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            false
+        } else {
+            self.parent[ra] = rb;
+            true
+        }
+    }
+
+    fn dense_assignment(&mut self) -> Assignment {
+        let n = self.parent.len();
+        let mut root_to_id = std::collections::HashMap::new();
+        let mut assignment = vec![0usize; n];
+        for i in 0..n {
+            let root = self.find(i);
+            let next = root_to_id.len();
+            let id = *root_to_id.entry(root).or_insert(next);
+            assignment[i] = id;
+        }
+        assignment
+    }
+}
+
+/// Condensed pairwise distance storage (upper triangle).
+struct Condensed {
+    n: usize,
+    data: Vec<f32>,
+}
+
+impl Condensed {
+    fn compute(points: &[Vector], distance: Distance) -> Self {
+        let n = points.len();
+        let mut data = vec![0.0f32; n * (n - 1) / 2];
+        let mut idx = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                data[idx] = distance.between(&points[i], &points[j]) as f32;
+                idx += 1;
+            }
+        }
+        Condensed { n, data }
+    }
+
+    #[inline]
+    fn index(&self, i: usize, j: usize) -> usize {
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        a * self.n - a * (a + 1) / 2 + (b - a - 1)
+    }
+
+    #[inline]
+    fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[self.index(i, j)] as f64
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, j: usize, value: f64) {
+        let idx = self.index(i, j);
+        self.data[idx] = value as f32;
+    }
+}
+
+/// Nearest-neighbour-chain agglomerative clustering (unconstrained).
+///
+/// Returns a full dendrogram with `n - 1` merges (or an empty dendrogram for
+/// fewer than two points).
+pub fn agglomerative(points: &[Vector], distance: Distance, linkage: Linkage) -> Dendrogram {
+    let n = points.len();
+    if n < 2 {
+        return Dendrogram {
+            n_leaves: n,
+            merges: Vec::new(),
+        };
+    }
+    let mut dist = Condensed::compute(points, distance);
+    // cluster slot -> (active, current cluster id, size)
+    let mut active = vec![true; n];
+    let mut cluster_id: Vec<usize> = (0..n).collect();
+    let mut size = vec![1usize; n];
+    let mut merges: Vec<Merge> = Vec::with_capacity(n - 1);
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+    let mut remaining = n;
+
+    while remaining > 1 {
+        if chain.is_empty() {
+            let start = (0..n).find(|&i| active[i]).expect("at least one active cluster");
+            chain.push(start);
+        }
+        loop {
+            let current = *chain.last().expect("chain non-empty");
+            let prev = if chain.len() >= 2 {
+                Some(chain[chain.len() - 2])
+            } else {
+                None
+            };
+            // nearest active neighbour of `current`
+            let mut best = usize::MAX;
+            let mut best_dist = f64::INFINITY;
+            for j in 0..n {
+                if j == current || !active[j] {
+                    continue;
+                }
+                let d = dist.get(current, j);
+                if d < best_dist - 1e-15 || (Some(j) == prev && (d - best_dist).abs() <= 1e-15) {
+                    best = j;
+                    best_dist = d;
+                }
+            }
+            debug_assert!(best != usize::MAX);
+            if Some(best) == prev {
+                // reciprocal nearest neighbours: merge current and prev
+                let a = current;
+                let b = best;
+                chain.pop();
+                chain.pop();
+                let merged_size = size[a] + size[b];
+                merges.push(Merge {
+                    left: cluster_id[a],
+                    right: cluster_id[b],
+                    distance: best_dist,
+                    size: merged_size,
+                });
+                // keep slot `a` for the merged cluster, retire slot `b`
+                for k in 0..n {
+                    if !active[k] || k == a || k == b {
+                        continue;
+                    }
+                    let updated = linkage.update(dist.get(k, a), dist.get(k, b), size[a], size[b]);
+                    dist.set(k, a, updated);
+                }
+                active[b] = false;
+                size[a] = merged_size;
+                cluster_id[a] = n + merges.len() - 1;
+                remaining -= 1;
+                break;
+            } else {
+                chain.push(best);
+            }
+        }
+        // Drop chain entries that are no longer active (their cluster merged).
+        while let Some(&last) = chain.last() {
+            if active[last] {
+                break;
+            }
+            chain.pop();
+        }
+    }
+
+    Dendrogram {
+        n_leaves: n,
+        merges,
+    }
+}
+
+/// Constrained agglomerative clustering with cannot-link constraints.
+///
+/// `cannot_link` lists pairs of leaf indices that must never end up in the
+/// same cluster; merges that would violate a constraint are skipped. The
+/// resulting dendrogram may therefore be incomplete (fewer than `n - 1`
+/// merges). Intended for small `n` (column alignment), complexity O(n³).
+pub fn agglomerative_constrained(
+    points: &[Vector],
+    distance: Distance,
+    linkage: Linkage,
+    cannot_link: &[(usize, usize)],
+) -> Dendrogram {
+    let n = points.len();
+    if n < 2 {
+        return Dendrogram {
+            n_leaves: n,
+            merges: Vec::new(),
+        };
+    }
+    let base = dust_embed::DistanceMatrix::compute(points, distance);
+    // members of each active cluster
+    let mut members: Vec<Option<Vec<usize>>> = (0..n).map(|i| Some(vec![i])).collect();
+    let mut cluster_id: Vec<usize> = (0..n).collect();
+    let mut merges = Vec::new();
+
+    let conflicts = |a: &[usize], b: &[usize]| -> bool {
+        cannot_link.iter().any(|&(x, y)| {
+            (a.contains(&x) && b.contains(&y)) || (a.contains(&y) && b.contains(&x))
+        })
+    };
+
+    loop {
+        // find the closest admissible pair of active clusters
+        let mut best: Option<(usize, usize, f64)> = None;
+        let active: Vec<usize> = (0..members.len()).filter(|&i| members[i].is_some()).collect();
+        for (ai, &i) in active.iter().enumerate() {
+            for &j in active.iter().skip(ai + 1) {
+                let (mi, mj) = (
+                    members[i].as_ref().expect("active"),
+                    members[j].as_ref().expect("active"),
+                );
+                if conflicts(mi, mj) {
+                    continue;
+                }
+                let d = cluster_distance(&base, mi, mj, linkage);
+                if best.map(|(_, _, bd)| d < bd).unwrap_or(true) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        let Some((i, j, d)) = best else { break };
+        let mj = members[j].take().expect("active");
+        let mi = members[i].as_mut().expect("active");
+        let merged_size = mi.len() + mj.len();
+        merges.push(Merge {
+            left: cluster_id[i],
+            right: cluster_id[j],
+            distance: d,
+            size: merged_size,
+        });
+        mi.extend(mj);
+        cluster_id[i] = n + merges.len() - 1;
+    }
+
+    Dendrogram {
+        n_leaves: n,
+        merges,
+    }
+}
+
+fn cluster_distance(
+    base: &dust_embed::DistanceMatrix,
+    a: &[usize],
+    b: &[usize],
+    linkage: Linkage,
+) -> f64 {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    for &i in a {
+        for &j in b {
+            let d = base.get(i, j);
+            min = min.min(d);
+            max = max.max(d);
+            sum += d;
+        }
+    }
+    match linkage {
+        Linkage::Single => min,
+        Linkage::Complete => max,
+        Linkage::Average => sum / (a.len() * b.len()) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::num_clusters;
+
+    fn two_blobs() -> Vec<Vector> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(Vector::new(vec![i as f32 * 0.01, 0.0]));
+        }
+        for i in 0..10 {
+            pts.push(Vector::new(vec![10.0 + i as f32 * 0.01, 5.0]));
+        }
+        pts
+    }
+
+    #[test]
+    fn two_well_separated_blobs_are_recovered() {
+        let pts = two_blobs();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let dendro = agglomerative(&pts, Distance::Euclidean, linkage);
+            assert_eq!(dendro.merges().len(), pts.len() - 1);
+            let assignment = dendro.cut(2);
+            assert_eq!(num_clusters(&assignment), 2);
+            // first ten points together, last ten together
+            assert!(assignment[..10].iter().all(|&c| c == assignment[0]));
+            assert!(assignment[10..].iter().all(|&c| c == assignment[10]));
+            assert_ne!(assignment[0], assignment[10]);
+        }
+    }
+
+    #[test]
+    fn cut_to_one_cluster_and_to_n_clusters() {
+        let pts = two_blobs();
+        let dendro = agglomerative(&pts, Distance::Euclidean, Linkage::Average);
+        assert_eq!(num_clusters(&dendro.cut(1)), 1);
+        let all = dendro.cut(pts.len());
+        assert_eq!(num_clusters(&all), pts.len());
+    }
+
+    #[test]
+    fn cut_at_distance_threshold() {
+        let pts = vec![
+            Vector::new(vec![0.0]),
+            Vector::new(vec![0.1]),
+            Vector::new(vec![10.0]),
+        ];
+        let dendro = agglomerative(&pts, Distance::Euclidean, Linkage::Single);
+        let tight = dendro.cut_at_distance(1.0);
+        assert_eq!(num_clusters(&tight), 2);
+        let loose = dendro.cut_at_distance(100.0);
+        assert_eq!(num_clusters(&loose), 1);
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        let dendro = agglomerative(&[], Distance::Euclidean, Linkage::Average);
+        assert_eq!(dendro.n_leaves(), 0);
+        assert!(dendro.cut(3).is_empty());
+        let one = agglomerative(&[Vector::new(vec![1.0])], Distance::Euclidean, Linkage::Average);
+        assert_eq!(one.cut(1), vec![0]);
+    }
+
+    #[test]
+    fn merge_distances_are_nondecreasing_for_average_linkage() {
+        let pts = two_blobs();
+        let dendro = agglomerative(&pts, Distance::Euclidean, Linkage::Average);
+        // Average linkage is reducible, so NN-chain produces merges that can
+        // be sorted into a monotone sequence; verify sorted monotonicity.
+        let mut dists: Vec<f64> = dendro.merges().iter().map(|m| m.distance).collect();
+        let sorted = {
+            let mut s = dists.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s
+        };
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(dists, sorted);
+        assert!(dists.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+    }
+
+    #[test]
+    fn constrained_clustering_respects_cannot_link() {
+        // four nearly identical points; 0-1 and 2-3 must not merge
+        let pts = vec![
+            Vector::new(vec![0.0, 0.0]),
+            Vector::new(vec![0.01, 0.0]),
+            Vector::new(vec![0.02, 0.0]),
+            Vector::new(vec![0.03, 0.0]),
+        ];
+        let constraints = vec![(0, 1), (2, 3)];
+        let dendro =
+            agglomerative_constrained(&pts, Distance::Euclidean, Linkage::Average, &constraints);
+        for k in 1..=4 {
+            let assignment = dendro.cut(k);
+            assert_ne!(assignment[0], assignment[1], "constraint 0-1 violated at k={k}");
+            assert_ne!(assignment[2], assignment[3], "constraint 2-3 violated at k={k}");
+        }
+    }
+
+    #[test]
+    fn constrained_clustering_without_constraints_matches_full_merge() {
+        let pts = two_blobs();
+        let dendro = agglomerative_constrained(&pts, Distance::Euclidean, Linkage::Average, &[]);
+        assert_eq!(dendro.merges().len(), pts.len() - 1);
+        let assignment = dendro.cut(2);
+        assert_eq!(num_clusters(&assignment), 2);
+        assert_ne!(assignment[0], assignment[10]);
+    }
+
+    #[test]
+    fn nn_chain_matches_naive_on_small_inputs() {
+        // On small inputs the NN-chain result (cut to k) should agree with
+        // the naive constrained implementation without constraints.
+        let pts: Vec<Vector> = (0..12)
+            .map(|i| {
+                Vector::new(vec![
+                    (i % 4) as f32 * 3.0 + (i as f32) * 0.01,
+                    (i / 4) as f32 * 5.0,
+                ])
+            })
+            .collect();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let fast = agglomerative(&pts, Distance::Euclidean, linkage).cut(3);
+            let naive =
+                agglomerative_constrained(&pts, Distance::Euclidean, linkage, &[]).cut(3);
+            // compare partitions up to relabelling
+            assert_eq!(partition_signature(&fast), partition_signature(&naive), "{linkage:?}");
+        }
+    }
+
+    fn partition_signature(assignment: &[usize]) -> Vec<Vec<usize>> {
+        let mut groups = crate::clusters_from_assignment(assignment);
+        for g in &mut groups {
+            g.sort_unstable();
+        }
+        groups.sort();
+        groups
+    }
+
+    #[test]
+    fn linkage_names() {
+        assert_eq!(Linkage::Single.name(), "single");
+        assert_eq!(Linkage::Complete.name(), "complete");
+        assert_eq!(Linkage::Average.name(), "average");
+    }
+}

@@ -1,0 +1,67 @@
+//! # dust-cluster
+//!
+//! Clustering substrate for the DUST reproduction:
+//!
+//! * [`agglomerative`] — hierarchical agglomerative clustering. The
+//!   unconstrained variant uses the nearest-neighbour-chain algorithm
+//!   (O(n²)), which is what the tuple-diversification step of DUST relies on
+//!   for scalability; the constrained variant (cannot-link pairs, used by
+//!   holistic column alignment so that two columns of the same table are
+//!   never merged) is a small-n implementation.
+//! * [`silhouette`] — Silhouette coefficient for model selection
+//!   (choosing the number of clusters, Sec. 3.3).
+//! * [`medoid`] — medoids of clusters (the representative-tuple choice in
+//!   Sec. 5.2).
+//! * [`kmeans`] — k-means with k-means++ seeding, used as an ablation
+//!   alternative to hierarchical clustering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agglomerative;
+pub mod kmeans;
+pub mod medoid;
+pub mod silhouette;
+
+pub use agglomerative::{
+    agglomerative, agglomerative_constrained, Dendrogram, Linkage, Merge,
+};
+pub use kmeans::{kmeans, KMeansResult};
+pub use medoid::{cluster_medoids, medoid};
+pub use silhouette::{silhouette_score, best_cut_by_silhouette};
+
+/// A flat clustering: `assignment[i]` is the cluster id of point `i`.
+/// Cluster ids are dense (0..num_clusters).
+pub type Assignment = Vec<usize>;
+
+/// Number of clusters in an assignment (0 for an empty assignment).
+pub fn num_clusters(assignment: &[usize]) -> usize {
+    assignment.iter().copied().max().map(|m| m + 1).unwrap_or(0)
+}
+
+/// Group point indices by cluster id.
+pub fn clusters_from_assignment(assignment: &[usize]) -> Vec<Vec<usize>> {
+    let k = num_clusters(assignment);
+    let mut groups = vec![Vec::new(); k];
+    for (idx, &c) in assignment.iter().enumerate() {
+        groups[c].push(idx);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_helpers() {
+        let assignment = vec![0, 1, 0, 2, 1];
+        assert_eq!(num_clusters(&assignment), 3);
+        let groups = clusters_from_assignment(&assignment);
+        assert_eq!(groups[0], vec![0, 2]);
+        assert_eq!(groups[1], vec![1, 4]);
+        assert_eq!(groups[2], vec![3]);
+        assert_eq!(num_clusters(&[]), 0);
+        assert!(clusters_from_assignment(&[]).is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! Medoids: the central-most element of a cluster.
+//!
+//! The DUST diversifier (Sec. 5.2) selects each cluster's medoid as the
+//! cluster's candidate diverse tuple, because medoids are robust to outliers.
+
+use crate::clusters_from_assignment;
+use dust_embed::{Distance, Vector};
+
+/// Index (into `points`) of the medoid of the subset `members`.
+///
+/// The medoid minimizes the sum of distances to the other members; ties are
+/// broken by the smaller index for determinism. Returns `None` when
+/// `members` is empty.
+pub fn medoid(points: &[Vector], members: &[usize], distance: Distance) -> Option<usize> {
+    if members.is_empty() {
+        return None;
+    }
+    if members.len() == 1 {
+        return Some(members[0]);
+    }
+    let mut best_idx = members[0];
+    let mut best_cost = f64::INFINITY;
+    for &i in members {
+        let cost: f64 = members
+            .iter()
+            .filter(|&&j| j != i)
+            .map(|&j| distance.between(&points[i], &points[j]))
+            .sum();
+        if cost < best_cost - 1e-15 {
+            best_cost = cost;
+            best_idx = i;
+        }
+    }
+    Some(best_idx)
+}
+
+/// Medoid of every cluster in an assignment, ordered by cluster id.
+pub fn cluster_medoids(points: &[Vector], assignment: &[usize], distance: Distance) -> Vec<usize> {
+    clusters_from_assignment(assignment)
+        .iter()
+        .filter_map(|members| medoid(points, members, distance))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points() -> Vec<Vector> {
+        vec![
+            Vector::new(vec![0.0, 0.0]),
+            Vector::new(vec![1.0, 0.0]),
+            Vector::new(vec![2.0, 0.0]),
+            Vector::new(vec![10.0, 0.0]),
+            Vector::new(vec![11.0, 0.0]),
+        ]
+    }
+
+    #[test]
+    fn medoid_is_the_central_point() {
+        let pts = points();
+        assert_eq!(medoid(&pts, &[0, 1, 2], Distance::Euclidean), Some(1));
+    }
+
+    #[test]
+    fn medoid_is_robust_to_an_outlier() {
+        // mean of {0, 1, 2, 100} is pulled toward the outlier, but the medoid
+        // stays within the dense region.
+        let pts = vec![
+            Vector::new(vec![0.0]),
+            Vector::new(vec![1.0]),
+            Vector::new(vec![2.0]),
+            Vector::new(vec![100.0]),
+        ];
+        let m = medoid(&pts, &[0, 1, 2, 3], Distance::Euclidean).unwrap();
+        assert!(m <= 2, "medoid should not be the outlier");
+    }
+
+    #[test]
+    fn empty_and_singleton_members() {
+        let pts = points();
+        assert_eq!(medoid(&pts, &[], Distance::Euclidean), None);
+        assert_eq!(medoid(&pts, &[3], Distance::Euclidean), Some(3));
+    }
+
+    #[test]
+    fn cluster_medoids_cover_every_cluster() {
+        let pts = points();
+        let assignment = vec![0, 0, 0, 1, 1];
+        let medoids = cluster_medoids(&pts, &assignment, Distance::Euclidean);
+        assert_eq!(medoids.len(), 2);
+        assert_eq!(medoids[0], 1);
+        assert!(medoids[1] == 3 || medoids[1] == 4);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let pts = vec![Vector::new(vec![0.0]), Vector::new(vec![1.0])];
+        // both points have the same cost; the first listed member wins
+        assert_eq!(medoid(&pts, &[0, 1], Distance::Euclidean), Some(0));
+        assert_eq!(medoid(&pts, &[1, 0], Distance::Euclidean), Some(1));
+    }
+}

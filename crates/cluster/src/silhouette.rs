@@ -1,0 +1,176 @@
+//! Silhouette coefficient (Rousseeuw 1987), the cluster-quality measure the
+//! paper uses to pick the number of clusters during column alignment.
+
+use crate::agglomerative::Dendrogram;
+use crate::{clusters_from_assignment, num_clusters, Assignment};
+use dust_embed::{Distance, DistanceMatrix, Vector};
+
+/// Mean silhouette score of an assignment over the given points.
+///
+/// Returns `None` when the score is undefined: fewer than two clusters, or
+/// every cluster is a singleton, or fewer than two points.
+pub fn silhouette_score(
+    points: &[Vector],
+    assignment: &[usize],
+    distance: Distance,
+) -> Option<f64> {
+    let n = points.len();
+    if n < 2 || assignment.len() != n {
+        return None;
+    }
+    let k = num_clusters(assignment);
+    if k < 2 || k >= n + 1 {
+        return None;
+    }
+    let groups = clusters_from_assignment(assignment);
+    if groups.iter().all(|g| g.len() <= 1) {
+        return None;
+    }
+    let matrix = DistanceMatrix::compute(points, distance);
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = &groups[assignment[i]];
+        let s = if own.len() <= 1 {
+            // Convention (scikit-learn): singleton clusters contribute 0.
+            0.0
+        } else {
+            let a: f64 = own
+                .iter()
+                .filter(|&&j| j != i)
+                .map(|&j| matrix.get(i, j))
+                .sum::<f64>()
+                / (own.len() - 1) as f64;
+            let mut b = f64::INFINITY;
+            for (c, group) in groups.iter().enumerate() {
+                if c == assignment[i] || group.is_empty() {
+                    continue;
+                }
+                let mean: f64 =
+                    group.iter().map(|&j| matrix.get(i, j)).sum::<f64>() / group.len() as f64;
+                b = b.min(mean);
+            }
+            if b.is_infinite() {
+                0.0
+            } else {
+                let denom = a.max(b);
+                if denom <= 1e-15 {
+                    0.0
+                } else {
+                    (b - a) / denom
+                }
+            }
+        };
+        total += s;
+    }
+    Some(total / n as f64)
+}
+
+/// Choose the dendrogram cut (number of clusters in `[min_k, max_k]`) that
+/// maximizes the silhouette score. Returns the best assignment and its score.
+///
+/// This is the model-selection step of Sec. 3.3: "we compute a cluster
+/// quality score for each number of clusters and select the one that
+/// maximizes the quality."
+pub fn best_cut_by_silhouette(
+    dendrogram: &Dendrogram,
+    points: &[Vector],
+    distance: Distance,
+    min_k: usize,
+    max_k: usize,
+) -> (Assignment, Option<f64>) {
+    let n = points.len();
+    if n == 0 {
+        return (Vec::new(), None);
+    }
+    let lo = min_k.max(1);
+    let hi = max_k.min(n).max(lo);
+    let mut best: Option<(Assignment, f64)> = None;
+    for k in lo..=hi {
+        let assignment = dendrogram.cut(k);
+        if let Some(score) = silhouette_score(points, &assignment, distance) {
+            let better = best.as_ref().map(|(_, s)| score > *s).unwrap_or(true);
+            if better {
+                best = Some((assignment, score));
+            }
+        }
+    }
+    match best {
+        Some((assignment, score)) => (assignment, Some(score)),
+        // No valid silhouette anywhere (e.g. all cuts degenerate): fall back
+        // to the smallest requested cut.
+        None => (dendrogram.cut(lo), None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agglomerative::{agglomerative, Linkage};
+
+    fn blobs(counts: &[usize], centers: &[(f32, f32)]) -> Vec<Vector> {
+        let mut pts = Vec::new();
+        for (&count, &(cx, cy)) in counts.iter().zip(centers) {
+            for i in 0..count {
+                pts.push(Vector::new(vec![cx + i as f32 * 0.01, cy - i as f32 * 0.01]));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn good_clustering_scores_higher_than_bad_clustering() {
+        let pts = blobs(&[5, 5], &[(0.0, 0.0), (10.0, 10.0)]);
+        let good: Assignment = vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+        let bad: Assignment = vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 1];
+        let sg = silhouette_score(&pts, &good, Distance::Euclidean).unwrap();
+        let sb = silhouette_score(&pts, &bad, Distance::Euclidean).unwrap();
+        assert!(sg > 0.9);
+        assert!(sg > sb);
+    }
+
+    #[test]
+    fn undefined_cases_return_none() {
+        let pts = blobs(&[4], &[(0.0, 0.0)]);
+        // single cluster
+        assert!(silhouette_score(&pts, &[0, 0, 0, 0], Distance::Euclidean).is_none());
+        // all singletons
+        assert!(silhouette_score(&pts, &[0, 1, 2, 3], Distance::Euclidean).is_none());
+        // length mismatch
+        assert!(silhouette_score(&pts, &[0, 1], Distance::Euclidean).is_none());
+        // fewer than two points
+        assert!(silhouette_score(&pts[..1], &[0], Distance::Euclidean).is_none());
+    }
+
+    #[test]
+    fn best_cut_recovers_true_number_of_clusters() {
+        let pts = blobs(&[6, 6, 6], &[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)]);
+        let dendro = agglomerative(&pts, Distance::Euclidean, Linkage::Average);
+        let (assignment, score) = best_cut_by_silhouette(&dendro, &pts, Distance::Euclidean, 2, 10);
+        assert_eq!(num_clusters(&assignment), 3);
+        assert!(score.unwrap() > 0.8);
+    }
+
+    #[test]
+    fn best_cut_handles_empty_and_degenerate_input() {
+        let dendro = agglomerative(&[], Distance::Euclidean, Linkage::Average);
+        let (assignment, score) = best_cut_by_silhouette(&dendro, &[], Distance::Euclidean, 2, 5);
+        assert!(assignment.is_empty());
+        assert!(score.is_none());
+
+        // identical points: silhouette undefined or 0; fall back to min_k cut
+        let pts = vec![Vector::new(vec![1.0, 1.0]); 4];
+        let dendro = agglomerative(&pts, Distance::Euclidean, Linkage::Average);
+        let (assignment, _) = best_cut_by_silhouette(&dendro, &pts, Distance::Euclidean, 1, 4);
+        assert_eq!(assignment.len(), 4);
+    }
+
+    #[test]
+    fn singleton_clusters_contribute_zero() {
+        let pts = blobs(&[3, 1], &[(0.0, 0.0), (5.0, 5.0)]);
+        let assignment = vec![0, 0, 0, 1];
+        let s = silhouette_score(&pts, &assignment, Distance::Euclidean).unwrap();
+        // three tight points with a far singleton: positive but diluted by the
+        // singleton's zero contribution
+        assert!(s > 0.5 && s < 1.0);
+    }
+}

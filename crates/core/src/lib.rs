@@ -1,0 +1,35 @@
+//! # dust-core
+//!
+//! The end-to-end DUST pipeline (Algorithm 1 of the paper):
+//!
+//! ```text
+//! D' ← SearchTables(Q, D)          // table union search
+//! T  ← AlignColumns(Q, D')         // holistic column alignment + outer union
+//! E  ← EmbedTuples(Q, T)           // fine-tuned tuple embeddings
+//! F  ← DiversifyTuples(E_Q, E_T, k) // prune → cluster → medoids → re-rank
+//! ```
+//!
+//! ```no_run
+//! use dust_core::{DustPipeline, PipelineConfig};
+//! use dust_datagen::BenchmarkConfig;
+//!
+//! let lake = BenchmarkConfig::tiny().generate().lake;
+//! let query_name = lake.query_names()[0].clone();
+//! let query = lake.query(&query_name).unwrap().clone();
+//! let pipeline = DustPipeline::new(PipelineConfig::default());
+//! let result = pipeline.run(&lake, &query, 10).unwrap();
+//! println!("{} diverse tuples", result.tuples.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod config;
+pub mod pipeline;
+pub mod result;
+
+pub use baselines::{LlmBaseline, RetrievalSystem, StarmieBaseline, TupleRetrievalBaseline};
+pub use config::{PipelineConfig, SearchTechnique, TupleEmbedderKind};
+pub use pipeline::DustPipeline;
+pub use result::{DustResult, StageTimings};

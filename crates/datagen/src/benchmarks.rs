@@ -1,0 +1,309 @@
+//! Synthetic table-union-search benchmark generators.
+//!
+//! Each configuration mirrors the construction procedure of a published
+//! benchmark (Sec. 6.1 / Fig. 5): a set of non-unionable base tables (one
+//! per topic domain) is expanded into query tables and data-lake tables by
+//! row selection + column projection. Tables derived from the same base
+//! table are unionable; tables from different base tables are not. Scales
+//! are reduced relative to the originals (DESIGN.md §2) but configurable.
+
+use crate::generate::{derive_table, generate_base_table, DeriveOptions};
+use crate::vocab::Domain;
+use dust_table::{DataLake, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a synthetic benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkConfig {
+    /// Benchmark name (used as the lake name).
+    pub name: String,
+    /// Number of topic domains (base tables) to use; clamped to the number
+    /// of built-in domains.
+    pub num_domains: usize,
+    /// Rows per base table.
+    pub base_rows: usize,
+    /// Query tables generated per domain.
+    pub queries_per_domain: usize,
+    /// Data-lake tables generated per domain.
+    pub lake_tables_per_domain: usize,
+    /// Row fraction bounds for derivation.
+    pub min_row_fraction: f64,
+    /// Upper row fraction bound for derivation.
+    pub max_row_fraction: f64,
+    /// Minimum number of projected columns.
+    pub min_columns: usize,
+    /// Keep the subject column in every derived table (the SANTOS property).
+    pub keep_subject: bool,
+    /// Probability of renaming a column to its alternative header.
+    pub alt_name_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BenchmarkConfig {
+    /// A TUS-like benchmark (many unionable tables per query).
+    pub fn tus() -> Self {
+        BenchmarkConfig {
+            name: "tus".into(),
+            num_domains: 12,
+            base_rows: 400,
+            queries_per_domain: 2,
+            lake_tables_per_domain: 40,
+            min_row_fraction: 0.1,
+            max_row_fraction: 0.5,
+            min_columns: 2,
+            keep_subject: false,
+            alt_name_probability: 0.3,
+            seed: 0x705,
+        }
+    }
+
+    /// The TUS-Sampled variant (few unionable tables per query) used by the
+    /// non-scalable baselines.
+    pub fn tus_sampled() -> Self {
+        BenchmarkConfig {
+            name: "tus-sampled".into(),
+            num_domains: 12,
+            base_rows: 200,
+            queries_per_domain: 2,
+            lake_tables_per_domain: 10,
+            ..Self::tus()
+        }
+    }
+
+    /// A SANTOS-like benchmark: derived tables always keep the subject
+    /// column, so unionable tables share a binary relationship with the
+    /// query, and tables are larger.
+    pub fn santos() -> Self {
+        BenchmarkConfig {
+            name: "santos".into(),
+            num_domains: 12,
+            base_rows: 500,
+            queries_per_domain: 4,
+            lake_tables_per_domain: 12,
+            min_row_fraction: 0.15,
+            max_row_fraction: 0.6,
+            min_columns: 3,
+            keep_subject: true,
+            alt_name_probability: 0.35,
+            seed: 0x5A7,
+        }
+    }
+
+    /// A UGEN-V1-like benchmark: many small tables (the LLM-generated
+    /// benchmark has ~10-row tables).
+    pub fn ugen_v1() -> Self {
+        BenchmarkConfig {
+            name: "ugen-v1".into(),
+            num_domains: 12,
+            base_rows: 40,
+            queries_per_domain: 4,
+            lake_tables_per_domain: 10,
+            min_row_fraction: 0.2,
+            max_row_fraction: 0.35,
+            min_columns: 3,
+            keep_subject: true,
+            alt_name_probability: 0.4,
+            seed: 0x06E4,
+        }
+    }
+
+    /// A tiny configuration for unit and integration tests.
+    pub fn tiny() -> Self {
+        BenchmarkConfig {
+            name: "tiny".into(),
+            num_domains: 3,
+            base_rows: 30,
+            queries_per_domain: 1,
+            lake_tables_per_domain: 3,
+            min_row_fraction: 0.3,
+            max_row_fraction: 0.6,
+            min_columns: 3,
+            keep_subject: true,
+            alt_name_probability: 0.2,
+            seed: 0x717,
+        }
+    }
+
+    /// Scale a configuration's corpus sizes by a factor (used by the
+    /// runtime-sweep experiments).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.base_rows = ((self.base_rows as f64) * factor).max(4.0) as usize;
+        self
+    }
+
+    /// Generate the benchmark.
+    pub fn generate(&self) -> GeneratedBenchmark {
+        let domains: Vec<Domain> = Domain::all().into_iter().take(self.num_domains.max(1)).collect();
+        let mut lake = DataLake::new(self.name.clone());
+        let mut base_tables = Vec::with_capacity(domains.len());
+        let derive_options = DeriveOptions {
+            min_row_fraction: self.min_row_fraction,
+            max_row_fraction: self.max_row_fraction,
+            min_columns: self.min_columns,
+            keep_subject: self.keep_subject,
+            alt_name_probability: self.alt_name_probability,
+        };
+
+        for (d_idx, domain) in domains.iter().enumerate() {
+            let base_seed = self.seed.wrapping_add(d_idx as u64 * 7919);
+            let base = generate_base_table(domain, self.base_rows, base_seed);
+            let mut rng = StdRng::seed_from_u64(base_seed ^ 0xDEC0);
+
+            let mut query_names = Vec::new();
+            for q in 0..self.queries_per_domain {
+                let name = format!("{}_query_{q}", domain.name);
+                let table = derive_table(&base, &name, &derive_options, &mut rng);
+                query_names.push(name.clone());
+                lake.add_query(table).expect("unique query names");
+            }
+            let mut lake_names = Vec::new();
+            for t in 0..self.lake_tables_per_domain {
+                let name = format!("{}_dl_{t}", domain.name);
+                let table = derive_table(&base, &name, &derive_options, &mut rng);
+                lake_names.push(name.clone());
+                lake.add_table(table).expect("unique table names");
+            }
+            for q in &query_names {
+                for t in &lake_names {
+                    lake.add_ground_truth(q.clone(), t.clone());
+                }
+            }
+            base_tables.push(base);
+        }
+
+        GeneratedBenchmark { lake, base_tables }
+    }
+}
+
+/// A generated benchmark: the data lake plus the base tables it was derived
+/// from (kept for the fine-tuning dataset builder and for debugging).
+#[derive(Debug, Clone)]
+pub struct GeneratedBenchmark {
+    /// The generated data lake (queries, lake tables, ground truth).
+    pub lake: DataLake,
+    /// The per-domain base tables.
+    pub base_tables: Vec<Table>,
+}
+
+impl GeneratedBenchmark {
+    /// Domain (base-table) name a generated table belongs to, derived from
+    /// its name prefix.
+    pub fn domain_of(table_name: &str) -> &str {
+        table_name
+            .split("_query_")
+            .next()
+            .unwrap_or(table_name)
+            .split("_dl_")
+            .next()
+            .unwrap_or(table_name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_benchmark_has_expected_shape() {
+        let generated = BenchmarkConfig::tiny().generate();
+        let lake = &generated.lake;
+        assert_eq!(lake.num_queries(), 3);
+        assert_eq!(lake.num_tables(), 9);
+        assert_eq!(generated.base_tables.len(), 3);
+        // every query has exactly lake_tables_per_domain unionable tables
+        for q in lake.query_names() {
+            assert_eq!(lake.ground_truth().unionable_with(&q).len(), 3);
+        }
+    }
+
+    #[test]
+    fn ground_truth_links_only_same_domain_tables() {
+        let generated = BenchmarkConfig::tiny().generate();
+        let lake = &generated.lake;
+        for q in lake.query_names() {
+            let q_domain = GeneratedBenchmark::domain_of(&q).to_string();
+            for t in lake.ground_truth().unionable_with(&q) {
+                assert_eq!(GeneratedBenchmark::domain_of(&t), q_domain);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = BenchmarkConfig::tiny().generate();
+        let b = BenchmarkConfig::tiny().generate();
+        assert_eq!(a.lake.table_names(), b.lake.table_names());
+        let t = a.lake.table_names()[0].clone();
+        assert_eq!(a.lake.table(&t).unwrap(), b.lake.table(&t).unwrap());
+    }
+
+    #[test]
+    fn santos_tables_always_contain_the_subject_column() {
+        let config = BenchmarkConfig {
+            lake_tables_per_domain: 4,
+            queries_per_domain: 1,
+            num_domains: 2,
+            base_rows: 60,
+            ..BenchmarkConfig::santos()
+        };
+        let generated = config.generate();
+        for table in generated.lake.tables() {
+            let domain_name = GeneratedBenchmark::domain_of(table.name());
+            let domain = Domain::by_name(domain_name).unwrap();
+            let subject = &domain.columns[0];
+            assert!(
+                table.headers().iter().any(|h| h == subject.name || h == subject.alt_name),
+                "table {} lost its subject column",
+                table.name()
+            );
+        }
+    }
+
+    #[test]
+    fn ugen_tables_are_small() {
+        let generated = BenchmarkConfig {
+            num_domains: 2,
+            queries_per_domain: 1,
+            lake_tables_per_domain: 3,
+            ..BenchmarkConfig::ugen_v1()
+        }
+        .generate();
+        for table in generated.lake.tables() {
+            assert!(table.num_rows() <= 16, "{} too large", table.name());
+        }
+    }
+
+    #[test]
+    fn preset_configs_have_distinct_names() {
+        let names: Vec<String> = [
+            BenchmarkConfig::tus(),
+            BenchmarkConfig::tus_sampled(),
+            BenchmarkConfig::santos(),
+            BenchmarkConfig::ugen_v1(),
+            BenchmarkConfig::tiny(),
+        ]
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn scaled_changes_base_rows() {
+        let c = BenchmarkConfig::tiny().scaled(2.0);
+        assert_eq!(c.base_rows, 60);
+    }
+
+    #[test]
+    fn domain_of_parses_generated_names() {
+        assert_eq!(GeneratedBenchmark::domain_of("parks_query_0"), "parks");
+        assert_eq!(GeneratedBenchmark::domain_of("parks_dl_12"), "parks");
+        assert_eq!(GeneratedBenchmark::domain_of("weird"), "weird");
+    }
+}

@@ -1,0 +1,331 @@
+//! Fine-tuning pair dataset builder (Sec. 4, "Dataset Preparation" and the
+//! TUS Fine-tuning Benchmark of Sec. 6.1.1).
+//!
+//! Each data point is a pair of tuples with a binary unionability label:
+//! label 1 when the tuples come from the same table or from two unionable
+//! tables, label 0 when they come from non-unionable tables. The dataset is
+//! balanced and split into train / test / validation without leakage (a pair
+//! appears in exactly one split).
+
+use dust_table::{DataLake, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One labelled tuple pair.
+#[derive(Debug, Clone)]
+pub struct TuplePair {
+    /// First tuple.
+    pub a: Tuple,
+    /// Second tuple.
+    pub b: Tuple,
+    /// `true` when the tuples are unionable.
+    pub unionable: bool,
+}
+
+impl TuplePair {
+    /// Convert to the `(a, b, label)` triple used by the fine-tuning API.
+    pub fn as_triple(&self) -> (Tuple, Tuple, bool) {
+        (self.a.clone(), self.b.clone(), self.unionable)
+    }
+}
+
+/// Configuration of the pair-dataset builder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FineTuneDatasetConfig {
+    /// Total number of pairs (half unionable, half not).
+    pub total_pairs: usize,
+    /// Train fraction (the paper uses 70:15:15).
+    pub train_fraction: f64,
+    /// Test fraction.
+    pub test_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FineTuneDatasetConfig {
+    fn default() -> Self {
+        FineTuneDatasetConfig {
+            total_pairs: 600,
+            train_fraction: 0.7,
+            test_fraction: 0.15,
+            seed: 0xF17E,
+        }
+    }
+}
+
+/// The split dataset.
+#[derive(Debug, Clone, Default)]
+pub struct FineTuneDataset {
+    /// Training pairs.
+    pub train: Vec<TuplePair>,
+    /// Test pairs.
+    pub test: Vec<TuplePair>,
+    /// Validation pairs.
+    pub validation: Vec<TuplePair>,
+}
+
+impl FineTuneDataset {
+    /// Total number of pairs across all splits.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.test.len() + self.validation.len()
+    }
+
+    /// True when the dataset contains no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fraction of unionable pairs in a split (for balance checks).
+    pub fn positive_fraction(split: &[TuplePair]) -> f64 {
+        if split.is_empty() {
+            return 0.0;
+        }
+        split.iter().filter(|p| p.unionable).count() as f64 / split.len() as f64
+    }
+
+    /// Triples view of a split.
+    pub fn triples(split: &[TuplePair]) -> Vec<(Tuple, Tuple, bool)> {
+        split.iter().map(|p| p.as_triple()).collect()
+    }
+}
+
+/// Build a balanced, leak-free fine-tuning dataset from a benchmark lake.
+///
+/// Positive pairs are sampled from single tables and from pairs of tables
+/// labelled unionable in the ground truth (query ↔ lake table); negative
+/// pairs are sampled from tables of different, non-unionable groups.
+pub fn build_finetune_dataset(lake: &DataLake, config: &FineTuneDatasetConfig) -> FineTuneDataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let table_names = lake.table_names();
+    if table_names.is_empty() {
+        return FineTuneDataset::default();
+    }
+    // Pre-materialize tuples per table (lake tables only; queries add little).
+    let tuples_per_table: Vec<(String, Vec<Tuple>)> = table_names
+        .iter()
+        .filter_map(|name| {
+            let t = lake.table(name).ok()?;
+            let tuples = t.tuples();
+            if tuples.is_empty() {
+                None
+            } else {
+                Some((name.clone(), tuples))
+            }
+        })
+        .collect();
+    if tuples_per_table.is_empty() {
+        return FineTuneDataset::default();
+    }
+    // Group tables by unionability: two lake tables are unionable iff they
+    // are unionable with a common query (the benchmark generator links whole
+    // domains, so this recovers the domain grouping).
+    let group_of = |name: &str| -> String {
+        for q in lake.ground_truth().queries() {
+            if lake.ground_truth().is_unionable(q, name) {
+                return q.clone();
+            }
+        }
+        name.to_string()
+    };
+    let groups: Vec<String> = tuples_per_table
+        .iter()
+        .map(|(name, _)| group_of(name))
+        .collect();
+
+    let half = (config.total_pairs / 2).max(1);
+    let mut pairs: Vec<TuplePair> = Vec::with_capacity(half * 2);
+    // Unordered provenance keys of already-sampled pairs, so no identical
+    // pair is ever emitted twice (which would let it leak across splits).
+    let mut seen_pairs: std::collections::HashSet<(String, String)> = std::collections::HashSet::new();
+    let pair_key = |a: &Tuple, b: &Tuple| -> (String, String) {
+        let ka = format!("{}:{}", a.source_table(), a.source_row());
+        let kb = format!("{}:{}", b.source_table(), b.source_row());
+        if ka <= kb {
+            (ka, kb)
+        } else {
+            (kb, ka)
+        }
+    };
+
+    // positive pairs
+    let mut positive_count = 0usize;
+    let mut attempts = 0usize;
+    while positive_count < half && attempts < half * 40 {
+        attempts += 1;
+        let i = rng.gen_range(0..tuples_per_table.len());
+        let same_table = rng.gen_bool(0.5);
+        let j = if same_table {
+            i
+        } else {
+            // find another table in the same group
+            let candidates: Vec<usize> = (0..tuples_per_table.len())
+                .filter(|&j| j != i && groups[j] == groups[i])
+                .collect();
+            if candidates.is_empty() {
+                i
+            } else {
+                candidates[rng.gen_range(0..candidates.len())]
+            }
+        };
+        let (_, ta) = &tuples_per_table[i];
+        let (_, tb) = &tuples_per_table[j];
+        let a = ta[rng.gen_range(0..ta.len())].clone();
+        let b = tb[rng.gen_range(0..tb.len())].clone();
+        if a.source_table() == b.source_table() && a.source_row() == b.source_row() {
+            continue;
+        }
+        if !seen_pairs.insert(pair_key(&a, &b)) {
+            continue;
+        }
+        positive_count += 1;
+        pairs.push(TuplePair {
+            a,
+            b,
+            unionable: true,
+        });
+    }
+
+    // negative pairs
+    let mut negative_count = 0usize;
+    let mut attempts = 0usize;
+    while negative_count < half && attempts < half * 60 {
+        attempts += 1;
+        let i = rng.gen_range(0..tuples_per_table.len());
+        let candidates: Vec<usize> = (0..tuples_per_table.len())
+            .filter(|&j| groups[j] != groups[i])
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        let j = candidates[rng.gen_range(0..candidates.len())];
+        let (_, ta) = &tuples_per_table[i];
+        let (_, tb) = &tuples_per_table[j];
+        let a = ta[rng.gen_range(0..ta.len())].clone();
+        let b = tb[rng.gen_range(0..tb.len())].clone();
+        if !seen_pairs.insert(pair_key(&a, &b)) {
+            continue;
+        }
+        negative_count += 1;
+        pairs.push(TuplePair {
+            a,
+            b,
+            unionable: false,
+        });
+    }
+
+    // shuffle and split (stratified so every split stays balanced)
+    let (positives, negatives): (Vec<TuplePair>, Vec<TuplePair>) =
+        pairs.into_iter().partition(|p| p.unionable);
+    let mut dataset = FineTuneDataset::default();
+    for class in [positives, negatives] {
+        let mut class = class;
+        for i in (1..class.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            class.swap(i, j);
+        }
+        let n = class.len();
+        let train_end = ((n as f64) * config.train_fraction).round() as usize;
+        let test_end = train_end + ((n as f64) * config.test_fraction).round() as usize;
+        for (idx, pair) in class.into_iter().enumerate() {
+            if idx < train_end {
+                dataset.train.push(pair);
+            } else if idx < test_end.min(n) {
+                dataset.test.push(pair);
+            } else {
+                dataset.validation.push(pair);
+            }
+        }
+    }
+    dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::BenchmarkConfig;
+
+    fn dataset() -> FineTuneDataset {
+        let lake = BenchmarkConfig::tiny().generate().lake;
+        build_finetune_dataset(
+            &lake,
+            &FineTuneDatasetConfig {
+                total_pairs: 200,
+                ..FineTuneDatasetConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn dataset_is_roughly_balanced_and_split_70_15_15() {
+        let ds = dataset();
+        assert!(ds.len() >= 150, "got only {} pairs", ds.len());
+        let train_frac = ds.train.len() as f64 / ds.len() as f64;
+        assert!((0.6..=0.8).contains(&train_frac), "train fraction {train_frac}");
+        for split in [&ds.train, &ds.test, &ds.validation] {
+            let pos = FineTuneDataset::positive_fraction(split);
+            assert!((0.3..=0.7).contains(&pos), "unbalanced split: {pos}");
+        }
+    }
+
+    #[test]
+    fn labels_match_domain_grouping() {
+        let ds = dataset();
+        for pair in ds.train.iter().chain(&ds.test).chain(&ds.validation) {
+            let domain_a = pair.a.source_table().split("_dl_").next().unwrap();
+            let domain_b = pair.b.source_table().split("_dl_").next().unwrap();
+            if pair.unionable {
+                assert_eq!(domain_a, domain_b, "positive pair crosses domains");
+            } else {
+                assert_ne!(domain_a, domain_b, "negative pair within one domain");
+            }
+        }
+    }
+
+    #[test]
+    fn splits_do_not_share_identical_pairs() {
+        let ds = dataset();
+        let key = |p: &TuplePair| {
+            format!(
+                "{}:{}|{}:{}",
+                p.a.source_table(),
+                p.a.source_row(),
+                p.b.source_table(),
+                p.b.source_row()
+            )
+        };
+        let train: std::collections::HashSet<String> = ds.train.iter().map(key).collect();
+        for p in ds.test.iter().chain(&ds.validation) {
+            assert!(!train.contains(&key(p)), "leaked pair between splits");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = dataset();
+        let b = dataset();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.train.len(), b.train.len());
+        assert_eq!(
+            a.train[0].a.source_table(),
+            b.train[0].a.source_table()
+        );
+    }
+
+    #[test]
+    fn empty_lake_gives_empty_dataset() {
+        let lake = DataLake::new("empty");
+        let ds = build_finetune_dataset(&lake, &FineTuneDatasetConfig::default());
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn triples_view_preserves_labels() {
+        let ds = dataset();
+        let triples = FineTuneDataset::triples(&ds.test);
+        assert_eq!(triples.len(), ds.test.len());
+        for (t, p) in triples.iter().zip(&ds.test) {
+            assert_eq!(t.2, p.unionable);
+        }
+    }
+}

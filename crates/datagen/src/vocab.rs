@@ -1,0 +1,498 @@
+//! Topic domains and value vocabularies for synthetic benchmark generation.
+//!
+//! The TUS and SANTOS benchmarks are built from *base tables* drawn from
+//! Open Data, where each base table covers a distinct topic (parks,
+//! paintings, schools, ...). Tables derived from the same base table are
+//! unionable; tables derived from different base tables are not. This module
+//! provides a set of topic [`Domain`]s — schema plus value vocabularies —
+//! from which base tables with the same redundancy structure are generated.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How the values of a domain column are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ValueKind {
+    /// Named entities combined from an adjective pool and a noun pool
+    /// (e.g. "River Park", "Hidden Meadow Park").
+    Entity,
+    /// A categorical value drawn from a small closed vocabulary.
+    Category,
+    /// A person name (first + last from the global pools).
+    Person,
+    /// A city name (optionally with a state suffix).
+    City,
+    /// A country name.
+    Country,
+    /// A North-American style phone number.
+    Phone,
+    /// A year in `[min, max]`.
+    Year,
+    /// A monetary amount in `[min, max]` (rendered as an integer).
+    Money,
+    /// A small integer quantity in `[min, max]`.
+    Quantity,
+    /// An opaque identifier with a domain-specific prefix.
+    Id,
+}
+
+/// One column of a topic domain.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DomainColumn {
+    /// Canonical column header.
+    pub name: &'static str,
+    /// Alternative header used by some derived tables (schema heterogeneity,
+    /// e.g. `Supervisor` vs `Supervised by`).
+    pub alt_name: &'static str,
+    /// Value generator kind.
+    pub kind: ValueKind,
+    /// Lower bound for numeric kinds.
+    pub min: i64,
+    /// Upper bound for numeric kinds.
+    pub max: i64,
+    /// Domain-specific vocabulary (adjectives for `Entity`, categories for
+    /// `Category`, prefix for `Id`); unused otherwise.
+    pub pool_a: &'static [&'static str],
+    /// Second vocabulary (nouns for `Entity`); unused otherwise.
+    pub pool_b: &'static [&'static str],
+}
+
+impl DomainColumn {
+    fn entity(
+        name: &'static str,
+        alt_name: &'static str,
+        adjectives: &'static [&'static str],
+        nouns: &'static [&'static str],
+    ) -> Self {
+        DomainColumn {
+            name,
+            alt_name,
+            kind: ValueKind::Entity,
+            min: 0,
+            max: 0,
+            pool_a: adjectives,
+            pool_b: nouns,
+        }
+    }
+
+    fn category(name: &'static str, alt_name: &'static str, values: &'static [&'static str]) -> Self {
+        DomainColumn {
+            name,
+            alt_name,
+            kind: ValueKind::Category,
+            min: 0,
+            max: 0,
+            pool_a: values,
+            pool_b: &[],
+        }
+    }
+
+    fn simple(name: &'static str, alt_name: &'static str, kind: ValueKind) -> Self {
+        DomainColumn {
+            name,
+            alt_name,
+            kind,
+            min: 0,
+            max: 0,
+            pool_a: &[],
+            pool_b: &[],
+        }
+    }
+
+    fn numeric(name: &'static str, alt_name: &'static str, kind: ValueKind, min: i64, max: i64) -> Self {
+        DomainColumn {
+            name,
+            alt_name,
+            kind,
+            min,
+            max,
+            pool_a: &[],
+            pool_b: &[],
+        }
+    }
+
+    /// Generate one value of this column.
+    pub fn generate(&self, rng: &mut StdRng) -> String {
+        match self.kind {
+            ValueKind::Entity => {
+                let adj = pick(rng, self.pool_a);
+                let noun = pick(rng, self.pool_b);
+                if rng.gen_bool(0.25) {
+                    let extra = pick(rng, ENTITY_MODIFIERS);
+                    format!("{adj} {extra} {noun}")
+                } else {
+                    format!("{adj} {noun}")
+                }
+            }
+            ValueKind::Category => pick(rng, self.pool_a).to_string(),
+            ValueKind::Person => {
+                format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, LAST_NAMES))
+            }
+            ValueKind::City => {
+                if rng.gen_bool(0.4) {
+                    format!("{}, {}", pick(rng, CITIES), pick(rng, STATES))
+                } else {
+                    pick(rng, CITIES).to_string()
+                }
+            }
+            ValueKind::Country => pick(rng, COUNTRIES).to_string(),
+            ValueKind::Phone => format!(
+                "{} {}-{:04}",
+                rng.gen_range(200..999),
+                rng.gen_range(200..999),
+                rng.gen_range(0..10000)
+            ),
+            ValueKind::Year => rng.gen_range(self.min..=self.max).to_string(),
+            ValueKind::Money => format!("{}", rng.gen_range(self.min..=self.max) * 100),
+            ValueKind::Quantity => rng.gen_range(self.min..=self.max).to_string(),
+            ValueKind::Id => format!("{}-{:05}", pick_or(self.pool_a, "ID"), rng.gen_range(0..100000)),
+        }
+    }
+}
+
+fn pick<'a>(rng: &mut StdRng, pool: &'a [&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+fn pick_or<'a>(pool: &'a [&'a str], fallback: &'a str) -> &'a str {
+    pool.first().copied().unwrap_or(fallback)
+}
+
+/// A topic domain: a schema plus value vocabularies.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Domain {
+    /// Domain name (used to name base tables, e.g. `parks`).
+    pub name: &'static str,
+    /// The domain's columns; the first column is the subject/entity column.
+    pub columns: Vec<DomainColumn>,
+}
+
+impl Domain {
+    /// The built-in topic domains (each one plays the role of a distinct,
+    /// non-unionable Open Data base table).
+    pub fn all() -> Vec<Domain> {
+        vec![
+            Domain {
+                name: "parks",
+                columns: vec![
+                    DomainColumn::entity("Park Name", "Name of Park", PLACE_ADJ, PARK_NOUNS),
+                    DomainColumn::simple("Supervisor", "Supervised by", ValueKind::Person),
+                    DomainColumn::simple("City", "Park City", ValueKind::City),
+                    DomainColumn::simple("Country", "Park Country", ValueKind::Country),
+                    DomainColumn::simple("Phone", "Park Phone", ValueKind::Phone),
+                    DomainColumn::numeric("Area Acres", "Acreage", ValueKind::Quantity, 2, 900),
+                ],
+            },
+            Domain {
+                name: "paintings",
+                columns: vec![
+                    DomainColumn::entity("Painting", "Artwork Title", ART_ADJ, ART_NOUNS),
+                    DomainColumn::category("Medium", "Materials", ART_MEDIUMS),
+                    DomainColumn::simple("Artist", "Painter", ValueKind::Person),
+                    DomainColumn::numeric("Date", "Year Created", ValueKind::Year, 1850, 2023),
+                    DomainColumn::simple("Country", "Country of Origin", ValueKind::Country),
+                    DomainColumn::numeric("Price", "Sale Price", ValueKind::Money, 10, 9000),
+                ],
+            },
+            Domain {
+                name: "schools",
+                columns: vec![
+                    DomainColumn::entity("School Name", "Institution", PLACE_ADJ, SCHOOL_NOUNS),
+                    DomainColumn::simple("Principal", "Head Teacher", ValueKind::Person),
+                    DomainColumn::simple("City", "Location", ValueKind::City),
+                    DomainColumn::numeric("Enrollment", "Students", ValueKind::Quantity, 120, 4200),
+                    DomainColumn::category("Level", "School Type", SCHOOL_LEVELS),
+                    DomainColumn::numeric("Founded", "Year Established", ValueKind::Year, 1850, 2015),
+                ],
+            },
+            Domain {
+                name: "restaurants",
+                columns: vec![
+                    DomainColumn::entity("Restaurant", "Venue Name", FOOD_ADJ, FOOD_NOUNS),
+                    DomainColumn::category("Cuisine", "Food Style", CUISINES),
+                    DomainColumn::simple("City", "Located In", ValueKind::City),
+                    DomainColumn::simple("Owner", "Proprietor", ValueKind::Person),
+                    DomainColumn::numeric("Seats", "Capacity", ValueKind::Quantity, 12, 280),
+                    DomainColumn::simple("Phone", "Contact", ValueKind::Phone),
+                ],
+            },
+            Domain {
+                name: "movies",
+                columns: vec![
+                    DomainColumn::entity("Title", "Movie Title", MOVIE_ADJ, MOVIE_NOUNS),
+                    DomainColumn::simple("Director", "Directed by", ValueKind::Person),
+                    DomainColumn::category("Genre", "Category", GENRES),
+                    DomainColumn::numeric("Year", "Release Year", ValueKind::Year, 1960, 2024),
+                    DomainColumn::numeric("Budget", "Production Budget", ValueKind::Money, 5, 3000),
+                    DomainColumn::category("Language", "Spoken Language", LANGUAGES),
+                    DomainColumn::simple("Filming Location", "Shot In", ValueKind::City),
+                ],
+            },
+            Domain {
+                name: "hospitals",
+                columns: vec![
+                    DomainColumn::entity("Hospital", "Facility Name", PLACE_ADJ, HOSPITAL_NOUNS),
+                    DomainColumn::simple("Director", "Administrator", ValueKind::Person),
+                    DomainColumn::simple("City", "Service Area", ValueKind::City),
+                    DomainColumn::numeric("Beds", "Bed Count", ValueKind::Quantity, 40, 1800),
+                    DomainColumn::category("Type", "Facility Type", HOSPITAL_TYPES),
+                    DomainColumn::simple("Phone", "Main Line", ValueKind::Phone),
+                ],
+            },
+            Domain {
+                name: "teams",
+                columns: vec![
+                    DomainColumn::entity("Team", "Club Name", PLACE_ADJ, TEAM_NOUNS),
+                    DomainColumn::category("Sport", "Discipline", SPORTS),
+                    DomainColumn::simple("Coach", "Head Coach", ValueKind::Person),
+                    DomainColumn::simple("City", "Home City", ValueKind::City),
+                    DomainColumn::numeric("Founded", "Established", ValueKind::Year, 1880, 2015),
+                    DomainColumn::numeric("Titles", "Championships", ValueKind::Quantity, 0, 30),
+                ],
+            },
+            Domain {
+                name: "libraries",
+                columns: vec![
+                    DomainColumn::entity("Library", "Branch Name", PLACE_ADJ, LIBRARY_NOUNS),
+                    DomainColumn::simple("Librarian", "Branch Manager", ValueKind::Person),
+                    DomainColumn::simple("City", "Municipality", ValueKind::City),
+                    DomainColumn::numeric("Volumes", "Collection Size", ValueKind::Quantity, 4000, 900000),
+                    DomainColumn::numeric("Opened", "Year Opened", ValueKind::Year, 1870, 2018),
+                    DomainColumn::simple("Country", "Nation", ValueKind::Country),
+                ],
+            },
+            Domain {
+                name: "mythology",
+                columns: vec![
+                    DomainColumn::entity("Myth", "Creature", MYTH_ADJ, MYTH_NOUNS),
+                    DomainColumn::category("Definition", "Description", MYTH_DEFINITIONS),
+                    DomainColumn::category("Origin", "Mythology", MYTH_ORIGINS),
+                    DomainColumn::simple("Recorded By", "Scholar", ValueKind::Person),
+                    DomainColumn::numeric("First Attested", "Earliest Record", ValueKind::Year, 1500, 1950),
+                ],
+            },
+            Domain {
+                name: "products",
+                columns: vec![
+                    DomainColumn::entity("Product", "Item Name", PRODUCT_ADJ, PRODUCT_NOUNS),
+                    DomainColumn::category("Category", "Department", PRODUCT_CATEGORIES),
+                    DomainColumn::numeric("Price", "Unit Price", ValueKind::Money, 1, 500),
+                    DomainColumn::numeric("Stock", "Units In Stock", ValueKind::Quantity, 0, 5000),
+                    DomainColumn::simple("SKU", "Product Code", ValueKind::Id),
+                    DomainColumn::category("Brand", "Manufacturer", BRANDS),
+                ],
+            },
+            Domain {
+                name: "weather",
+                columns: vec![
+                    DomainColumn::entity("Station", "Station Name", PLACE_ADJ, STATION_NOUNS),
+                    DomainColumn::simple("City", "Nearest City", ValueKind::City),
+                    DomainColumn::numeric("Elevation", "Altitude m", ValueKind::Quantity, 1, 4200),
+                    DomainColumn::numeric("Avg Temp", "Mean Temperature", ValueKind::Quantity, -20, 38),
+                    DomainColumn::numeric("Installed", "Commissioned", ValueKind::Year, 1950, 2022),
+                    DomainColumn::simple("Country", "Territory", ValueKind::Country),
+                ],
+            },
+            Domain {
+                name: "bridges",
+                columns: vec![
+                    DomainColumn::entity("Bridge", "Structure Name", PLACE_ADJ, BRIDGE_NOUNS),
+                    DomainColumn::category("Type", "Design", BRIDGE_TYPES),
+                    DomainColumn::numeric("Length M", "Span Meters", ValueKind::Quantity, 30, 4000),
+                    DomainColumn::numeric("Built", "Year Built", ValueKind::Year, 1880, 2023),
+                    DomainColumn::simple("City", "Crossing At", ValueKind::City),
+                    DomainColumn::simple("Engineer", "Chief Engineer", ValueKind::Person),
+                ],
+            },
+        ]
+    }
+
+    /// Look up a domain by name.
+    pub fn by_name(name: &str) -> Option<Domain> {
+        Domain::all().into_iter().find(|d| d.name == name)
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+// ---- global value pools -------------------------------------------------
+
+const ENTITY_MODIFIERS: &[&str] = &["Memorial", "Central", "Community", "Regional", "Heritage"];
+
+const FIRST_NAMES: &[&str] = &[
+    "Vera", "Paul", "Jenny", "Tim", "Enrique", "Aisha", "Wei", "Marta", "Kofi", "Lena", "Ravi",
+    "Sofia", "Denis", "Priya", "Tomás", "Ingrid", "Yusuf", "Clara", "Mateo", "Hana",
+];
+const LAST_NAMES: &[&str] = &[
+    "Onate", "Veliotis", "Rishi", "Erickson", "Garcia", "Okafor", "Zhang", "Kowalski", "Mensah",
+    "Berg", "Iyer", "Rossi", "Volkov", "Patel", "Silva", "Larsen", "Demir", "Moreau", "Alvarez",
+    "Kato",
+];
+const CITIES: &[&str] = &[
+    "Fresno", "Chicago", "London", "Brandon", "Toronto", "Austin", "Leeds", "Porto", "Osaka",
+    "Nairobi", "Lyon", "Cusco", "Tampere", "Gdansk", "Adelaide", "Halifax", "Bergen", "Valencia",
+    "Accra", "Hanoi",
+];
+const STATES: &[&str] = &["MN", "IL", "CA", "TX", "NY", "WA", "ON", "BC", "QC", "NSW"];
+const COUNTRIES: &[&str] = &[
+    "USA", "UK", "Canada", "Australia", "Portugal", "Japan", "Kenya", "France", "Peru", "Finland",
+    "Poland", "Norway", "Spain", "Ghana", "Vietnam",
+];
+
+const PLACE_ADJ: &[&str] = &[
+    "River", "West Lawn", "Hyde", "Chippewa", "Lawler", "Sunset", "Maple", "Cedar", "Granite",
+    "Willow", "Prairie", "Harbor", "Summit", "Lakeside", "Foxglove", "Birchwood", "Juniper",
+    "Pinecrest", "Meadow", "Stonegate",
+];
+const PARK_NOUNS: &[&str] = &["Park", "Gardens", "Green", "Commons", "Reserve", "Playfield"];
+const SCHOOL_NOUNS: &[&str] = &["Elementary", "High School", "Academy", "College", "Institute"];
+const HOSPITAL_NOUNS: &[&str] = &["Hospital", "Medical Center", "Clinic", "Infirmary"];
+const TEAM_NOUNS: &[&str] = &["Rovers", "Wanderers", "Falcons", "Comets", "Tigers", "Mariners"];
+const LIBRARY_NOUNS: &[&str] = &["Library", "Reading Room", "Public Library", "Archive"];
+const STATION_NOUNS: &[&str] = &["Station", "Observatory", "Post", "Outpost"];
+const BRIDGE_NOUNS: &[&str] = &["Bridge", "Crossing", "Viaduct", "Overpass"];
+
+const ART_ADJ: &[&str] = &[
+    "Northern", "Memory", "Silent", "Crimson", "Forgotten", "Winter", "Amber", "Luminous",
+    "Fractured", "Quiet", "Golden", "Distant",
+];
+const ART_NOUNS: &[&str] = &[
+    "Lake", "Landscape", "Portrait", "Harbor", "Meadow", "Nocturne", "Still Life", "Horizon",
+    "Reverie", "Garden",
+];
+const ART_MEDIUMS: &[&str] = &[
+    "Oil on canvas", "Mixed media", "Watercolor", "Acrylic", "Tempera", "Charcoal", "Gouache",
+];
+
+const SCHOOL_LEVELS: &[&str] = &["Primary", "Secondary", "K-8", "Charter", "Magnet"];
+
+const FOOD_ADJ: &[&str] = &[
+    "Golden", "Rustic", "Blue Door", "Old Town", "Corner", "Copper", "Saffron", "Wild Fig",
+    "Lantern", "Harvest",
+];
+const FOOD_NOUNS: &[&str] = &["Bistro", "Kitchen", "Diner", "Trattoria", "Cantina", "Brasserie"];
+const CUISINES: &[&str] = &[
+    "Italian", "Mexican", "Japanese", "Ethiopian", "Thai", "French", "Indian", "Greek",
+];
+
+const MOVIE_ADJ: &[&str] = &[
+    "Midnight", "Last", "Broken", "Silent", "Electric", "Paper", "Hollow", "Scarlet", "Infinite",
+    "Lonely",
+];
+const MOVIE_NOUNS: &[&str] = &[
+    "Horizon", "Garden", "Protocol", "Summer", "Empire", "Waltz", "Harvest", "Signal", "Voyage",
+    "Letters",
+];
+const GENRES: &[&str] = &[
+    "Drama", "Comedy", "Thriller", "Documentary", "Science Fiction", "Romance", "Horror",
+    "Animation",
+];
+const LANGUAGES: &[&str] = &[
+    "English", "French", "Spanish", "Japanese", "Hindi", "Portuguese", "Korean", "German",
+];
+
+const HOSPITAL_TYPES: &[&str] = &["General", "Teaching", "Children's", "Specialty", "Rehabilitation"];
+
+const SPORTS: &[&str] = &["Football", "Hockey", "Basketball", "Cricket", "Rugby", "Volleyball"];
+
+const MYTH_ADJ: &[&str] = &[
+    "Chimera", "Siren", "Basilisk", "Minotaur", "Cyclops", "Griffon", "Kasha", "Succubus", "Hag",
+    "Kelpie", "Wendigo", "Banshee",
+];
+const MYTH_NOUNS: &[&str] = &["", "of the North", "of the Marsh", "of the Isles", "of the Deep"];
+const MYTH_DEFINITIONS: &[&str] = &[
+    "Monstrous", "Half-human", "King serpent", "Human-bull", "One-eyed", "Winged lion",
+    "Fire-cart", "Female demon", "Witch", "Water spirit",
+];
+const MYTH_ORIGINS: &[&str] = &[
+    "Greek", "Roman", "Japanese", "Norse", "Celtic", "Jewish", "Slavic", "Algonquian",
+];
+
+const PRODUCT_ADJ: &[&str] = &[
+    "Compact", "Deluxe", "Eco", "Pro", "Ultra", "Classic", "Smart", "Portable", "Heavy Duty",
+    "Mini",
+];
+const PRODUCT_NOUNS: &[&str] = &[
+    "Blender", "Lamp", "Backpack", "Keyboard", "Thermos", "Drill", "Camera", "Speaker", "Kettle",
+    "Monitor",
+];
+const PRODUCT_CATEGORIES: &[&str] = &[
+    "Kitchen", "Electronics", "Outdoor", "Office", "Tools", "Home", "Travel",
+];
+const BRANDS: &[&str] = &["Acme", "Borealis", "Cobalt", "Dunlin", "Everline", "Fjord", "Granary"];
+
+const BRIDGE_TYPES: &[&str] = &["Suspension", "Arch", "Cable-stayed", "Truss", "Beam", "Cantilever"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_domains_have_distinct_names_and_schemas() {
+        let domains = Domain::all();
+        assert!(domains.len() >= 12);
+        let mut names: Vec<&str> = domains.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), domains.len());
+        for d in &domains {
+            assert!(d.num_columns() >= 4, "{} too narrow", d.name);
+            // column headers unique within a domain
+            let mut headers: Vec<&str> = d.columns.iter().map(|c| c.name).collect();
+            headers.sort_unstable();
+            headers.dedup();
+            assert_eq!(headers.len(), d.columns.len(), "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(Domain::by_name("parks").is_some());
+        assert!(Domain::by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn value_generation_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let parks = Domain::by_name("parks").unwrap();
+        for col in &parks.columns {
+            for _ in 0..20 {
+                let v = col.generate(&mut rng);
+                assert!(!v.is_empty(), "column {} generated an empty value", col.name);
+            }
+        }
+        // numeric kinds stay in range
+        let year_col = &Domain::by_name("movies").unwrap().columns[3];
+        for _ in 0..50 {
+            let y: i64 = year_col.generate(&mut rng).parse().unwrap();
+            assert!((1960..=2024).contains(&y));
+        }
+    }
+
+    #[test]
+    fn different_domains_use_different_vocabularies() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let parks = Domain::by_name("parks").unwrap();
+        let paintings = Domain::by_name("paintings").unwrap();
+        let park_values: std::collections::HashSet<String> =
+            (0..50).map(|_| parks.columns[0].generate(&mut rng)).collect();
+        let painting_values: std::collections::HashSet<String> = (0..50)
+            .map(|_| paintings.columns[0].generate(&mut rng))
+            .collect();
+        assert!(park_values.is_disjoint(&painting_values));
+    }
+
+    #[test]
+    fn alt_names_differ_from_canonical_names_somewhere() {
+        let domains = Domain::all();
+        assert!(domains
+            .iter()
+            .flat_map(|d| d.columns.iter())
+            .any(|c| c.name != c.alt_name));
+    }
+}

@@ -1,0 +1,277 @@
+//! Simple diversification baselines: random sampling, farthest-first
+//! traversal (greedy Max-Min), and the SWAP algorithm of Yu et al.
+
+use crate::traits::{sanitize_selection, DiversificationInput, Diversifier};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random sampling of `k` candidates (the sanity-check baseline of
+/// Sec. 6.4.3).
+#[derive(Debug, Clone)]
+pub struct RandomDiversifier {
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomDiversifier {
+    fn default() -> Self {
+        RandomDiversifier { seed: 42 }
+    }
+}
+
+impl RandomDiversifier {
+    /// Create a random baseline with the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        RandomDiversifier { seed }
+    }
+}
+
+impl Diversifier for RandomDiversifier {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn select(&self, input: &DiversificationInput<'_>, k: usize) -> Vec<usize> {
+        let n = input.num_candidates();
+        if n == 0 || k == 0 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut indices: Vec<usize> = (0..n).collect();
+        // partial Fisher–Yates: shuffle the first k positions
+        let take = k.min(n);
+        for i in 0..take {
+            let j = rng.gen_range(i..n);
+            indices.swap(i, j);
+        }
+        sanitize_selection(indices.into_iter().take(take).collect(), n, k)
+    }
+}
+
+/// Farthest-first traversal: greedy 2-approximation of Max-Min
+/// diversification. The first pick is the candidate farthest from the query
+/// tuples; each subsequent pick maximizes the minimum distance to the
+/// already-selected set (and the query).
+#[derive(Debug, Clone, Default)]
+pub struct MaxMinDiversifier;
+
+impl MaxMinDiversifier {
+    /// Create the greedy Max-Min baseline.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Diversifier for MaxMinDiversifier {
+    fn name(&self) -> &'static str {
+        "maxmin"
+    }
+
+    fn select(&self, input: &DiversificationInput<'_>, k: usize) -> Vec<usize> {
+        let n = input.num_candidates();
+        if n == 0 || k == 0 {
+            return Vec::new();
+        }
+        if n <= k {
+            return (0..n).collect();
+        }
+        // min distance from each candidate to the query ∪ selected set
+        let mut min_dist: Vec<f64> = (0..n)
+            .map(|i| {
+                let d = input.min_distance_to_query(i);
+                if d.is_finite() {
+                    d
+                } else {
+                    f64::MAX
+                }
+            })
+            .collect();
+        let mut selected = Vec::with_capacity(k);
+        let mut used = vec![false; n];
+        for _ in 0..k {
+            let mut best = usize::MAX;
+            let mut best_d = f64::NEG_INFINITY;
+            for i in 0..n {
+                if used[i] {
+                    continue;
+                }
+                if min_dist[i] > best_d || (min_dist[i] == best_d && i < best) {
+                    best_d = min_dist[i];
+                    best = i;
+                }
+            }
+            if best == usize::MAX {
+                break;
+            }
+            used[best] = true;
+            selected.push(best);
+            for i in 0..n {
+                if !used[i] {
+                    min_dist[i] = min_dist[i].min(input.candidate_distance(best, i));
+                }
+            }
+        }
+        sanitize_selection(selected, n, k)
+    }
+}
+
+/// The SWAP algorithm (Yu et al., EDBT 2009): start from the `k` most
+/// query-relevant candidates and greedily swap in non-selected candidates
+/// whenever the swap improves the selection's minimum pairwise distance.
+#[derive(Debug, Clone)]
+pub struct SwapDiversifier {
+    /// Maximum number of improving swaps.
+    pub max_swaps: usize,
+}
+
+impl Default for SwapDiversifier {
+    fn default() -> Self {
+        SwapDiversifier { max_swaps: 200 }
+    }
+}
+
+impl SwapDiversifier {
+    /// Create the SWAP baseline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn min_pairwise(&self, input: &DiversificationInput<'_>, selection: &[usize]) -> f64 {
+        let mut min = f64::INFINITY;
+        for i in 0..selection.len() {
+            for j in (i + 1)..selection.len() {
+                min = min.min(input.candidate_distance(selection[i], selection[j]));
+            }
+            let dq = input.min_distance_to_query(selection[i]);
+            if dq.is_finite() {
+                min = min.min(dq);
+            }
+        }
+        min
+    }
+}
+
+impl Diversifier for SwapDiversifier {
+    fn name(&self) -> &'static str {
+        "swap"
+    }
+
+    fn select(&self, input: &DiversificationInput<'_>, k: usize) -> Vec<usize> {
+        let n = input.num_candidates();
+        if n == 0 || k == 0 {
+            return Vec::new();
+        }
+        if n <= k {
+            return (0..n).collect();
+        }
+        // start with the k candidates closest to the query (most "relevant")
+        let mut by_relevance: Vec<usize> = (0..n).collect();
+        by_relevance.sort_by(|&a, &b| {
+            input
+                .avg_distance_to_query(a)
+                .partial_cmp(&input.avg_distance_to_query(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut selected: Vec<usize> = by_relevance[..k].to_vec();
+        let mut pool: Vec<usize> = by_relevance[k..].to_vec();
+        let mut current = self.min_pairwise(input, &selected);
+        let mut swaps = 0usize;
+        'outer: while swaps < self.max_swaps {
+            for out_pos in 0..selected.len() {
+                for in_pos in 0..pool.len() {
+                    let mut trial = selected.clone();
+                    trial[out_pos] = pool[in_pos];
+                    let trial_score = self.min_pairwise(input, &trial);
+                    if trial_score > current + 1e-12 {
+                        let removed = selected[out_pos];
+                        selected = trial;
+                        pool[in_pos] = removed;
+                        current = trial_score;
+                        swaps += 1;
+                        continue 'outer;
+                    }
+                }
+            }
+            break;
+        }
+        sanitize_selection(selected, n, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::min_diversity;
+    use dust_embed::{Distance, Vector};
+
+    fn v(x: f32, y: f32) -> Vector {
+        Vector::new(vec![x, y])
+    }
+
+    fn scenario() -> (Vec<Vector>, Vec<Vector>) {
+        let query = vec![v(0.0, 0.0)];
+        let mut candidates = Vec::new();
+        for i in 0..4 {
+            candidates.push(v(0.1 * i as f32, 0.0)); // near query
+        }
+        for i in 0..4 {
+            candidates.push(v(10.0 + i as f32, 10.0)); // far cluster
+        }
+        (query, candidates)
+    }
+
+    #[test]
+    fn random_is_seeded_and_returns_k() {
+        let (query, candidates) = scenario();
+        let input = DiversificationInput::new(&query, &candidates, Distance::Euclidean);
+        let a = RandomDiversifier::with_seed(7).select(&input, 3);
+        let b = RandomDiversifier::with_seed(7).select(&input, 3);
+        let c = RandomDiversifier::with_seed(8).select(&input, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert!(a != c || a.len() == candidates.len());
+        assert_eq!(RandomDiversifier::default().name(), "random");
+    }
+
+    #[test]
+    fn maxmin_picks_far_apart_candidates() {
+        let (query, candidates) = scenario();
+        let input = DiversificationInput::new(&query, &candidates, Distance::Euclidean);
+        let sel = MaxMinDiversifier::new().select(&input, 2);
+        let vecs: Vec<Vector> = sel.iter().map(|&i| candidates[i].clone()).collect();
+        // both selected tuples should be in the far cluster and separated
+        assert!(min_diversity(&query, &vecs, Distance::Euclidean) > 1.0);
+        assert_eq!(MaxMinDiversifier::new().name(), "maxmin");
+    }
+
+    #[test]
+    fn swap_improves_over_pure_relevance_start() {
+        let (query, candidates) = scenario();
+        let input = DiversificationInput::new(&query, &candidates, Distance::Euclidean);
+        let swap = SwapDiversifier::new();
+        let sel = swap.select(&input, 3);
+        let pure_relevance: Vec<usize> = vec![0, 1, 2];
+        assert!(
+            swap.min_pairwise(&input, &sel) >= swap.min_pairwise(&input, &pure_relevance),
+            "swap must never end below its starting objective"
+        );
+        assert_eq!(sel.len(), 3);
+        assert_eq!(swap.name(), "swap");
+    }
+
+    #[test]
+    fn edge_cases_for_all_baselines() {
+        let query = vec![v(0.0, 0.0)];
+        let candidates = vec![v(1.0, 1.0)];
+        let input = DiversificationInput::new(&query, &candidates, Distance::Euclidean);
+        for diversifier in [
+            Box::new(RandomDiversifier::default()) as Box<dyn Diversifier>,
+            Box::new(MaxMinDiversifier::new()),
+            Box::new(SwapDiversifier::new()),
+        ] {
+            assert_eq!(diversifier.select(&input, 5), vec![0]);
+            assert!(diversifier.select(&input, 0).is_empty());
+        }
+    }
+}

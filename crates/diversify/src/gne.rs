@@ -1,0 +1,221 @@
+//! GNE — Greedy Randomized with Neighborhood Expansion (Vieira et al.,
+//! DivDB, VLDB 2011).
+//!
+//! GNE is a GRASP-style variant of GMC: in each of `max_iterations` rounds
+//! it (1) builds a candidate result set with a *randomized* greedy
+//! construction (picking uniformly among the top-α fraction of candidates by
+//! marginal contribution) and (2) improves it with a local-search phase that
+//! swaps selected items for random non-selected items whenever the swap
+//! increases the bi-criteria objective. The best set over all rounds is
+//! returned.
+//!
+//! GNE explores more of the search space than GMC but at a much higher cost;
+//! the paper finds it both the slowest and (on UGEN-V1) the least effective
+//! baseline, and cannot run it at SANTOS scale at all — behaviour this
+//! implementation reproduces.
+
+use crate::traits::{sanitize_selection, DiversificationInput, Diversifier};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The GNE diversification baseline.
+#[derive(Debug, Clone)]
+pub struct GneDiversifier {
+    /// Relevance/diversity trade-off (as in GMC).
+    pub lambda: f64,
+    /// Fraction of the best candidates the randomized construction picks
+    /// from (the GRASP restricted-candidate-list parameter).
+    pub alpha: f64,
+    /// Number of construction + local-search rounds.
+    pub max_iterations: usize,
+    /// Number of random swap attempts per local-search phase.
+    pub swap_attempts: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GneDiversifier {
+    fn default() -> Self {
+        GneDiversifier {
+            lambda: 0.7,
+            alpha: 0.1,
+            max_iterations: 5,
+            swap_attempts: 200,
+            seed: 17,
+        }
+    }
+}
+
+impl GneDiversifier {
+    /// Create GNE with the default parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn relevance(&self, input: &DiversificationInput<'_>, idx: usize) -> f64 {
+        if input.query.is_empty() {
+            return 0.0;
+        }
+        (1.0 - input.avg_distance_to_query(idx) / 2.0).max(0.0)
+    }
+
+    /// The DivDB bi-criteria objective of a selected set.
+    fn objective(&self, input: &DiversificationInput<'_>, selection: &[usize], k: usize) -> f64 {
+        let lambda = self.lambda.clamp(0.0, 1.0);
+        let rel_sum: f64 = selection.iter().map(|&i| self.relevance(input, i)).sum();
+        let mut div_sum = 0.0;
+        for i in 0..selection.len() {
+            for j in (i + 1)..selection.len() {
+                div_sum += input.candidate_distance(selection[i], selection[j]);
+            }
+        }
+        (k as f64 - 1.0) * (1.0 - lambda) * rel_sum + 2.0 * lambda * div_sum
+    }
+}
+
+impl Diversifier for GneDiversifier {
+    fn name(&self) -> &'static str {
+        "gne"
+    }
+
+    fn select(&self, input: &DiversificationInput<'_>, k: usize) -> Vec<usize> {
+        let n = input.num_candidates();
+        if n == 0 || k == 0 {
+            return Vec::new();
+        }
+        if n <= k {
+            return (0..n).collect();
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let lambda = self.lambda.clamp(0.0, 1.0);
+        let relevance: Vec<f64> = (0..n).map(|i| self.relevance(input, i)).collect();
+
+        let mut best_selection: Vec<usize> = Vec::new();
+        let mut best_objective = f64::NEG_INFINITY;
+
+        for _round in 0..self.max_iterations.max(1) {
+            // ---- randomized greedy construction ----
+            let mut selected: Vec<usize> = Vec::with_capacity(k);
+            let mut remaining: Vec<usize> = (0..n).collect();
+            let mut dist_to_selected = vec![0.0f64; n];
+            while selected.len() < k && !remaining.is_empty() {
+                // score every remaining candidate by its marginal contribution
+                let mut scored: Vec<(usize, f64)> = remaining
+                    .iter()
+                    .map(|&cand| {
+                        let score = (1.0 - lambda) * (k as f64 - 1.0) * relevance[cand]
+                            + 2.0 * lambda * dist_to_selected[cand];
+                        (cand, score)
+                    })
+                    .collect();
+                scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                let rcl_len = ((scored.len() as f64) * self.alpha).ceil().max(1.0) as usize;
+                let pick = rng.gen_range(0..rcl_len.min(scored.len()));
+                let chosen = scored[pick].0;
+                remaining.retain(|&c| c != chosen);
+                for &other in &remaining {
+                    dist_to_selected[other] += input.candidate_distance(chosen, other);
+                }
+                selected.push(chosen);
+            }
+
+            // ---- neighborhood expansion (local search by random swaps) ----
+            let mut objective = self.objective(input, &selected, k);
+            for _ in 0..self.swap_attempts {
+                if selected.is_empty() || remaining.is_empty() {
+                    break;
+                }
+                let out_pos = rng.gen_range(0..selected.len());
+                let in_pos = rng.gen_range(0..remaining.len());
+                let mut trial = selected.clone();
+                trial[out_pos] = remaining[in_pos];
+                let trial_objective = self.objective(input, &trial, k);
+                if trial_objective > objective {
+                    let removed = selected[out_pos];
+                    selected = trial;
+                    remaining[in_pos] = removed;
+                    objective = trial_objective;
+                }
+            }
+
+            if objective > best_objective {
+                best_objective = objective;
+                best_selection = selected;
+            }
+        }
+        sanitize_selection(best_selection, n, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gmc::GmcDiversifier;
+    use crate::metrics::average_diversity;
+    use dust_embed::{Distance, Vector};
+
+    fn v(x: f32, y: f32) -> Vector {
+        Vector::new(vec![x, y])
+    }
+
+    fn grid() -> (Vec<Vector>, Vec<Vector>) {
+        let query = vec![v(0.0, 0.0)];
+        let mut candidates = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                candidates.push(v(i as f32, j as f32));
+            }
+        }
+        (query, candidates)
+    }
+
+    #[test]
+    fn returns_k_distinct_indices_and_is_deterministic_for_a_seed() {
+        let (query, candidates) = grid();
+        let input = DiversificationInput::new(&query, &candidates, Distance::Euclidean);
+        let a = GneDiversifier::new().select(&input, 6);
+        let b = GneDiversifier::new().select(&input, 6);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        let unique: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(unique.len(), 6);
+    }
+
+    #[test]
+    fn local_search_does_not_hurt_the_objective() {
+        // GNE's result should be at least competitive with GMC's on the
+        // objective it optimizes (it explores a superset of GMC's moves).
+        let (query, candidates) = grid();
+        let input = DiversificationInput::new(&query, &candidates, Distance::Euclidean);
+        let k = 5;
+        let gne = GneDiversifier::new();
+        let gne_sel = gne.select(&input, k);
+        let gmc_sel = GmcDiversifier::new().select(&input, k);
+        let gne_obj = gne.objective(&input, &gne_sel, k);
+        let gmc_obj = gne.objective(&input, &gmc_sel, k);
+        assert!(gne_obj >= gmc_obj * 0.85, "gne {gne_obj} vs gmc {gmc_obj}");
+    }
+
+    #[test]
+    fn produces_a_spread_selection_with_pure_diversity() {
+        let (query, candidates) = grid();
+        let input = DiversificationInput::new(&query, &candidates, Distance::Euclidean);
+        let gne = GneDiversifier {
+            lambda: 1.0,
+            ..GneDiversifier::new()
+        };
+        let sel = gne.select(&input, 4);
+        let vecs: Vec<Vector> = sel.iter().map(|&i| candidates[i].clone()).collect();
+        assert!(average_diversity(&[], &vecs, Distance::Euclidean) > 3.0);
+    }
+
+    #[test]
+    fn edge_cases() {
+        let query = vec![v(0.0, 0.0)];
+        let candidates = vec![v(1.0, 1.0), v(2.0, 2.0)];
+        let input = DiversificationInput::new(&query, &candidates, Distance::Euclidean);
+        assert_eq!(GneDiversifier::new().select(&input, 5), vec![0, 1]);
+        assert!(GneDiversifier::new().select(&input, 0).is_empty());
+        assert_eq!(GneDiversifier::new().name(), "gne");
+    }
+}

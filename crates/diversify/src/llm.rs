@@ -1,0 +1,203 @@
+//! A simulated generative ("LLM") tuple producer.
+//!
+//! The paper's Table 3 compares DUST against prompting GPT-3 to *generate*
+//! `k` diverse unionable tuples for a query table. A hosted LLM is outside
+//! the scope of an offline Rust reproduction, so this module provides a
+//! deterministic generator with the behaviour the paper reports for the real
+//! model (Sec. 6.5.2):
+//!
+//! * it produces syntactically unionable tuples (same columns as the query);
+//! * the first few generated tuples are reasonably diverse (novel value
+//!   combinations sampled from the query's value distributions plus a small
+//!   synthetic-novelty vocabulary);
+//! * beyond a "token budget" the generator degrades and starts repeating
+//!   earlier tuples ("the LLM generates a few diverse tuples but
+//!   subsequently produces redundant ones");
+//! * it cannot scale to hundreds of output tuples (the budget caps novel
+//!   generation).
+
+use dust_table::{Table, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the simulated generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LlmConfig {
+    /// Number of novel tuples the generator can produce before it starts
+    /// repeating itself (the "token budget" analogue).
+    pub novelty_budget: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LlmConfig {
+    fn default() -> Self {
+        LlmConfig {
+            novelty_budget: 12,
+            seed: 99,
+        }
+    }
+}
+
+/// The simulated LLM tuple generator.
+#[derive(Debug, Clone, Default)]
+pub struct SimulatedLlm {
+    /// Generator configuration.
+    pub config: LlmConfig,
+}
+
+impl SimulatedLlm {
+    /// Create a generator with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a generator with a custom configuration.
+    pub fn with_config(config: LlmConfig) -> Self {
+        SimulatedLlm { config }
+    }
+
+    /// Generate `k` tuples that are unionable with `query`
+    /// (same headers, values synthesized from the query's value space).
+    pub fn generate(&self, query: &Table, k: usize) -> Vec<Tuple> {
+        let headers: Vec<String> = query.headers().to_vec();
+        if headers.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut generated: Vec<Tuple> = Vec::with_capacity(k);
+
+        // Per-column pools of observed values (the "knowledge" the generator
+        // extracts from the prompt).
+        let pools: Vec<Vec<String>> = query
+            .columns()
+            .iter()
+            .map(|c| {
+                c.values()
+                    .iter()
+                    .filter(|v| !v.is_null())
+                    .map(|v| v.render().to_string())
+                    .collect()
+            })
+            .collect();
+
+        for i in 0..k {
+            if i >= self.config.novelty_budget && !generated.is_empty() {
+                // degradation: repeat an earlier tuple verbatim
+                let repeat = generated[i % self.config.novelty_budget.max(1)].clone();
+                generated.push(Tuple::new(
+                    repeat.headers().to_vec(),
+                    repeat.values().to_vec(),
+                    "llm",
+                    i,
+                ));
+                continue;
+            }
+            let values: Vec<Value> = pools
+                .iter()
+                .enumerate()
+                .map(|(col, pool)| {
+                    if pool.is_empty() {
+                        return Value::Null;
+                    }
+                    let base = &pool[rng.gen_range(0..pool.len())];
+                    // introduce novelty: either mutate the value with a
+                    // synthetic suffix or recombine two pool values
+                    match rng.gen_range(0..3) {
+                        0 => Value::text(format!("{base} {}", NOVEL_SUFFIXES[i % NOVEL_SUFFIXES.len()])),
+                        1 => {
+                            let other = &pool[rng.gen_range(0..pool.len())];
+                            Value::text(format!("{} {}", first_token(base), last_token(other)))
+                        }
+                        _ => Value::text(format!(
+                            "{} {}",
+                            NOVEL_PREFIXES[(i + col) % NOVEL_PREFIXES.len()],
+                            base
+                        )),
+                    }
+                })
+                .collect();
+            generated.push(Tuple::new(headers.clone(), values, "llm", i));
+        }
+        generated
+    }
+}
+
+const NOVEL_SUFFIXES: [&str; 6] = ["II", "Annex", "East", "West", "Heights", "Grove"];
+const NOVEL_PREFIXES: [&str; 6] = ["New", "Old", "Upper", "Lower", "Greater", "Little"];
+
+fn first_token(s: &str) -> &str {
+    s.split_whitespace().next().unwrap_or(s)
+}
+
+fn last_token(s: &str) -> &str {
+    s.split_whitespace().last().unwrap_or(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query() -> Table {
+        Table::builder("query")
+            .column("Park Name", ["River Park", "West Lawn Park", "Hyde Park"])
+            .column("City", ["Fresno", "Chicago", "London"])
+            .column("Country", ["USA", "USA", "UK"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn generates_k_unionable_tuples() {
+        let llm = SimulatedLlm::new();
+        let tuples = llm.generate(&query(), 8);
+        assert_eq!(tuples.len(), 8);
+        for t in &tuples {
+            assert_eq!(t.headers(), query().headers());
+            assert!(t.non_null_count() > 0);
+        }
+    }
+
+    #[test]
+    fn early_tuples_are_novel_with_respect_to_the_query() {
+        let llm = SimulatedLlm::new();
+        let tuples = llm.generate(&query(), 5);
+        let query_keys: std::collections::HashSet<String> =
+            query().tuples().iter().map(|t| t.dedup_key()).collect();
+        for t in &tuples {
+            assert!(!query_keys.contains(&t.dedup_key()), "generated tuple copies the query");
+        }
+    }
+
+    #[test]
+    fn degrades_into_repetition_beyond_the_novelty_budget() {
+        let llm = SimulatedLlm::with_config(LlmConfig {
+            novelty_budget: 4,
+            seed: 1,
+        });
+        let tuples = llm.generate(&query(), 12);
+        let distinct: std::collections::HashSet<String> =
+            tuples.iter().map(|t| t.dedup_key()).collect();
+        assert!(
+            distinct.len() <= 5,
+            "beyond the budget the generator must repeat itself (got {} distinct)",
+            distinct.len()
+        );
+        // and the repeated tail exactly mirrors the head
+        assert_eq!(tuples[4].dedup_key(), tuples[0].dedup_key());
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let a = SimulatedLlm::new().generate(&query(), 6);
+        let b = SimulatedLlm::new().generate(&query(), 6);
+        let keys = |ts: &[Tuple]| ts.iter().map(|t| t.dedup_key()).collect::<Vec<_>>();
+        assert_eq!(keys(&a), keys(&b));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let llm = SimulatedLlm::new();
+        assert!(llm.generate(&query(), 0).is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! The common interface of every tuple-diversification algorithm.
+
+use dust_embed::{Distance, Vector};
+
+/// Input to a diversification algorithm.
+///
+/// All algorithms operate purely on embeddings; provenance (which table each
+/// candidate came from) is optional and only used by DUST's pruning step.
+#[derive(Debug, Clone)]
+pub struct DiversificationInput<'a> {
+    /// Embeddings of the query table's tuples.
+    pub query: &'a [Vector],
+    /// Embeddings of the candidate unionable data-lake tuples.
+    pub candidates: &'a [Vector],
+    /// Optional source-table id per candidate (parallel to `candidates`).
+    pub candidate_sources: Option<&'a [usize]>,
+    /// Distance function (the paper uses cosine distance).
+    pub distance: Distance,
+}
+
+impl<'a> DiversificationInput<'a> {
+    /// Convenience constructor without provenance.
+    pub fn new(query: &'a [Vector], candidates: &'a [Vector], distance: Distance) -> Self {
+        DiversificationInput {
+            query,
+            candidates,
+            candidate_sources: None,
+            distance,
+        }
+    }
+
+    /// Convenience constructor with per-candidate source tables.
+    pub fn with_sources(
+        query: &'a [Vector],
+        candidates: &'a [Vector],
+        candidate_sources: &'a [usize],
+        distance: Distance,
+    ) -> Self {
+        assert_eq!(
+            candidates.len(),
+            candidate_sources.len(),
+            "one source id per candidate"
+        );
+        DiversificationInput {
+            query,
+            candidates,
+            candidate_sources: Some(candidate_sources),
+            distance,
+        }
+    }
+
+    /// Number of candidates.
+    pub fn num_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Minimum distance from candidate `idx` to any query tuple
+    /// (`f64::INFINITY` when there are no query tuples).
+    pub fn min_distance_to_query(&self, idx: usize) -> f64 {
+        self.query
+            .iter()
+            .map(|q| self.distance.between(&self.candidates[idx], q))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Average distance from candidate `idx` to the query tuples (0 when
+    /// there are no query tuples).
+    pub fn avg_distance_to_query(&self, idx: usize) -> f64 {
+        if self.query.is_empty() {
+            return 0.0;
+        }
+        self.query
+            .iter()
+            .map(|q| self.distance.between(&self.candidates[idx], q))
+            .sum::<f64>()
+            / self.query.len() as f64
+    }
+
+    /// Distance between two candidates.
+    pub fn candidate_distance(&self, a: usize, b: usize) -> f64 {
+        self.distance.between(&self.candidates[a], &self.candidates[b])
+    }
+}
+
+/// A tuple-diversification algorithm.
+pub trait Diversifier {
+    /// Human-readable name used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Select (up to) `k` diverse candidates; returns indices into
+    /// `input.candidates`. Implementations must return at most `k` distinct,
+    /// in-bounds indices, and exactly `min(k, candidates)` of them.
+    fn select(&self, input: &DiversificationInput<'_>, k: usize) -> Vec<usize>;
+}
+
+/// Validate and normalize a selection: deduplicate, keep in-bounds indices,
+/// truncate to `k`. Shared by implementations as a final safety net.
+pub(crate) fn sanitize_selection(mut selection: Vec<usize>, n: usize, k: usize) -> Vec<usize> {
+    let mut seen = std::collections::HashSet::new();
+    selection.retain(|&idx| idx < n && seen.insert(idx));
+    selection.truncate(k);
+    selection
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vectors(coords: &[(f32, f32)]) -> Vec<Vector> {
+        coords.iter().map(|&(x, y)| Vector::new(vec![x, y])).collect()
+    }
+
+    #[test]
+    fn distance_helpers() {
+        let query = vectors(&[(0.0, 0.0), (1.0, 0.0)]);
+        let candidates = vectors(&[(0.0, 3.0), (5.0, 0.0)]);
+        let input = DiversificationInput::new(&query, &candidates, Distance::Euclidean);
+        assert_eq!(input.num_candidates(), 2);
+        assert!((input.min_distance_to_query(0) - 3.0).abs() < 1e-9);
+        assert!((input.min_distance_to_query(1) - 4.0).abs() < 1e-9);
+        assert!(input.avg_distance_to_query(0) > 3.0);
+        assert!((input.candidate_distance(0, 1) - (25.0f64 + 9.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_query_edge_cases() {
+        let candidates = vectors(&[(0.0, 1.0)]);
+        let input = DiversificationInput::new(&[], &candidates, Distance::Euclidean);
+        assert_eq!(input.min_distance_to_query(0), f64::INFINITY);
+        assert_eq!(input.avg_distance_to_query(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one source id per candidate")]
+    fn mismatched_sources_panic() {
+        let candidates = vectors(&[(0.0, 1.0), (1.0, 1.0)]);
+        let _ = DiversificationInput::with_sources(&[], &candidates, &[0], Distance::Cosine);
+    }
+
+    #[test]
+    fn sanitize_removes_duplicates_and_out_of_bounds() {
+        let cleaned = sanitize_selection(vec![3, 1, 3, 9, 0, 1], 5, 3);
+        assert_eq!(cleaned, vec![3, 1, 0]);
+        assert_eq!(sanitize_selection(vec![0, 1], 2, 5), vec![0, 1]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Tuple distance functions (δ in the paper).
+//!
+//! The paper uses cosine distance throughout (matching the cosine-embedding
+//! training loss) and notes that Manhattan and Euclidean distances give the
+//! same relative ordering of the baselines; all three are provided.
+
+use crate::vector::Vector;
+use serde::{Deserialize, Serialize};
+
+/// The distance function used to compare tuple embeddings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Distance {
+    /// `1 - cos(a, b)`, in `[0, 2]`. The paper's default.
+    #[default]
+    Cosine,
+    /// Euclidean (L2) distance.
+    Euclidean,
+    /// Manhattan (L1) distance.
+    Manhattan,
+}
+
+impl Distance {
+    /// Distance between two vectors.
+    pub fn between(&self, a: &Vector, b: &Vector) -> f64 {
+        assert_eq!(a.dim(), b.dim(), "dimension mismatch in distance");
+        match self {
+            Distance::Cosine => 1.0 - cosine_similarity(a, b),
+            Distance::Euclidean => a
+                .as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .map(|(x, y)| ((x - y) as f64).powi(2))
+                .sum::<f64>()
+                .sqrt(),
+            Distance::Manhattan => a
+                .as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .map(|(x, y)| ((x - y) as f64).abs())
+                .sum::<f64>(),
+        }
+    }
+
+    /// Human-readable name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Distance::Cosine => "cosine",
+            Distance::Euclidean => "euclidean",
+            Distance::Manhattan => "manhattan",
+        }
+    }
+}
+
+/// Cosine similarity in `[-1, 1]`; zero vectors yield 0 similarity.
+pub fn cosine_similarity(a: &Vector, b: &Vector) -> f64 {
+    let na = a.norm() as f64;
+    let nb = b.norm() as f64;
+    if na < 1e-12 || nb < 1e-12 {
+        return 0.0;
+    }
+    (a.dot(b) as f64 / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Symmetric pairwise distance matrix over a slice of vectors.
+///
+/// The matrix is stored densely (row-major, `n × n`); diagonal entries are 0.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Compute the full pairwise matrix for `vectors` under `distance`.
+    pub fn compute(vectors: &[Vector], distance: Distance) -> Self {
+        let n = vectors.len();
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = distance.between(&vectors[i], &vectors[j]);
+                data[i * n + j] = d;
+                data[j * n + i] = d;
+            }
+        }
+        DistanceMatrix { n, data }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the matrix holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between points `i` and `j`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Average distance between all unordered pairs (0 for fewer than 2 points).
+    pub fn average(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                sum += self.get(i, j);
+                count += 1;
+            }
+        }
+        sum / count as f64
+    }
+
+    /// Minimum distance between distinct points (`f64::INFINITY` for < 2 points).
+    pub fn minimum(&self) -> f64 {
+        let mut min = f64::INFINITY;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                min = min.min(self.get(i, j));
+            }
+        }
+        min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(c: &[f32]) -> Vector {
+        Vector::new(c.to_vec())
+    }
+
+    #[test]
+    fn cosine_distance_properties() {
+        let a = v(&[1.0, 0.0]);
+        let b = v(&[0.0, 1.0]);
+        let d = Distance::Cosine;
+        assert!((d.between(&a, &a)).abs() < 1e-9);
+        assert!((d.between(&a, &b) - 1.0).abs() < 1e-9);
+        let opposite = v(&[-1.0, 0.0]);
+        assert!((d.between(&a, &opposite) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn euclidean_and_manhattan() {
+        let a = v(&[0.0, 0.0]);
+        let b = v(&[3.0, 4.0]);
+        assert!((Distance::Euclidean.between(&a, &b) - 5.0).abs() < 1e-9);
+        assert!((Distance::Manhattan.between(&a, &b) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_vector_cosine_is_maximally_distant_from_everything_unitary() {
+        let z = Vector::zeros(3);
+        let a = v(&[1.0, 0.0, 0.0]);
+        assert_eq!(cosine_similarity(&z, &a), 0.0);
+        assert!((Distance::Cosine.between(&z, &a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = v(&[0.3, 0.7, 0.1]);
+        let b = v(&[0.9, 0.2, 0.4]);
+        for d in [Distance::Cosine, Distance::Euclidean, Distance::Manhattan] {
+            assert!((d.between(&a, &b) - d.between(&b, &a)).abs() < 1e-9);
+            assert!(d.between(&a, &b) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn matrix_statistics() {
+        let pts = vec![v(&[0.0, 0.0]), v(&[1.0, 0.0]), v(&[0.0, 2.0])];
+        let m = DistanceMatrix::compute(&pts, Distance::Euclidean);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 1.0);
+        assert_eq!(m.minimum(), 1.0);
+        let expected_avg = (1.0 + 2.0 + 5.0_f64.sqrt()) / 3.0;
+        assert!((m.average() - expected_avg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_singleton_matrices() {
+        let m = DistanceMatrix::compute(&[], Distance::Cosine);
+        assert!(m.is_empty());
+        assert_eq!(m.average(), 0.0);
+        let m1 = DistanceMatrix::compute(&[v(&[1.0])], Distance::Cosine);
+        assert_eq!(m1.average(), 0.0);
+        assert_eq!(m1.minimum(), f64::INFINITY);
+    }
+
+    #[test]
+    fn distance_names() {
+        assert_eq!(Distance::Cosine.name(), "cosine");
+        assert_eq!(Distance::Euclidean.name(), "euclidean");
+        assert_eq!(Distance::Manhattan.name(), "manhattan");
+    }
+}

@@ -1,0 +1,689 @@
+//! The DUST fine-tuned tuple embedding model (Sec. 4).
+//!
+//! Architecture (Fig. 3, bottom right): a frozen base encoder produces a
+//! tuple representation which is passed through a dropout layer and two
+//! linear layers; the final linear layer's output is the fixed-dimension
+//! tuple embedding. Training minimizes the cosine-embedding loss
+//!
+//! ```text
+//! L(e1, e2) = 1 - cos(e1, e2)              if label = 1 (unionable)
+//!             max(0, cos(e1, e2) - margin) if label = 0 (non-unionable)
+//! ```
+//!
+//! with plain SGD, early stopping on validation loss with a patience
+//! window — exactly the training loop the paper describes, with the
+//! transformer backbone replaced by the deterministic hashing encoder
+//! (DESIGN.md §2).
+
+use crate::distance::cosine_similarity;
+use crate::models::{PretrainedModel, TupleEncoder};
+use crate::vector::Vector;
+use dust_table::Tuple;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One training example: a pair of base embeddings and a unionability label.
+#[derive(Debug, Clone)]
+pub struct PairExample {
+    /// Base embedding of the first tuple.
+    pub a: Vector,
+    /// Base embedding of the second tuple.
+    pub b: Vector,
+    /// `true` when the tuples come from the same table or unionable tables.
+    pub unionable: bool,
+}
+
+/// Hyper-parameters of the fine-tuning head and its training loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FineTuneConfig {
+    /// Hidden layer width.
+    pub hidden_dim: usize,
+    /// Output embedding dimensionality.
+    pub output_dim: usize,
+    /// Dropout probability applied to the base embedding during training.
+    pub dropout: f32,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// Maximum number of epochs.
+    pub max_epochs: usize,
+    /// Early-stopping patience (epochs without validation improvement).
+    pub patience: usize,
+    /// Margin of the cosine-embedding loss for non-unionable pairs.
+    pub margin: f64,
+    /// RNG seed (weight init, dropout masks, shuffling).
+    pub seed: u64,
+}
+
+impl Default for FineTuneConfig {
+    fn default() -> Self {
+        FineTuneConfig {
+            hidden_dim: 128,
+            output_dim: 64,
+            dropout: 0.1,
+            learning_rate: 0.3,
+            max_epochs: 100,
+            patience: 10,
+            margin: 0.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Report returned by [`ProjectionHead::train`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Number of epochs actually run (early stopping may cut training short).
+    pub epochs_run: usize,
+    /// Training loss of the final epoch.
+    pub final_train_loss: f64,
+    /// Best validation loss observed.
+    pub best_val_loss: f64,
+    /// Validation loss after each epoch.
+    pub val_losses: Vec<f64>,
+}
+
+/// The cosine-embedding loss of a single pair.
+pub fn cosine_embedding_loss(e1: &Vector, e2: &Vector, unionable: bool, margin: f64) -> f64 {
+    let cos = cosine_similarity(e1, e2);
+    if unionable {
+        1.0 - cos
+    } else {
+        (cos - margin).max(0.0)
+    }
+}
+
+/// Dropout + two linear layers (tanh in between), trained with SGD.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProjectionHead {
+    input_dim: usize,
+    config: FineTuneConfig,
+    /// `hidden_dim × input_dim`, row-major.
+    w1: Vec<f32>,
+    b1: Vec<f32>,
+    /// `output_dim × hidden_dim`, row-major.
+    w2: Vec<f32>,
+    b2: Vec<f32>,
+}
+
+impl ProjectionHead {
+    /// Create a head with small random weights.
+    pub fn new(input_dim: usize, config: FineTuneConfig) -> Self {
+        assert!(input_dim > 0 && config.hidden_dim > 0 && config.output_dim > 0);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let scale1 = (1.0 / input_dim as f32).sqrt();
+        let scale2 = (1.0 / config.hidden_dim as f32).sqrt();
+        let w1 = (0..config.hidden_dim * input_dim)
+            .map(|_| rng.gen_range(-scale1..scale1))
+            .collect();
+        let w2 = (0..config.output_dim * config.hidden_dim)
+            .map(|_| rng.gen_range(-scale2..scale2))
+            .collect();
+        ProjectionHead {
+            input_dim,
+            b1: vec![0.0; config.hidden_dim],
+            b2: vec![0.0; config.output_dim],
+            config,
+            w1,
+            w2,
+        }
+    }
+
+    /// Input dimensionality expected by the head.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Output embedding dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.config.output_dim
+    }
+
+    /// The configuration the head was built with.
+    pub fn config(&self) -> &FineTuneConfig {
+        &self.config
+    }
+
+    /// Forward pass in evaluation mode (no dropout).
+    pub fn embed(&self, x: &Vector) -> Vector {
+        let (_, _, out) = self.forward(x.as_slice(), None);
+        Vector::new(out)
+    }
+
+    /// Forward pass; `dropout_mask` (parallel to the input) zeroes dropped
+    /// components during training.
+    fn forward(
+        &self,
+        x: &[f32],
+        dropout_mask: Option<&[f32]>,
+    ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        assert_eq!(x.len(), self.input_dim, "input dimension mismatch");
+        let h_dim = self.config.hidden_dim;
+        let o_dim = self.config.output_dim;
+        let dropped: Vec<f32> = match dropout_mask {
+            Some(mask) => x.iter().zip(mask).map(|(v, m)| v * m).collect(),
+            None => x.to_vec(),
+        };
+        let mut z1 = vec![0.0f32; h_dim];
+        for i in 0..h_dim {
+            let row = &self.w1[i * self.input_dim..(i + 1) * self.input_dim];
+            let mut acc = self.b1[i];
+            for (w, v) in row.iter().zip(&dropped) {
+                acc += w * v;
+            }
+            z1[i] = acc;
+        }
+        let h: Vec<f32> = z1.iter().map(|v| v.tanh()).collect();
+        let mut out = vec![0.0f32; o_dim];
+        for i in 0..o_dim {
+            let row = &self.w2[i * h_dim..(i + 1) * h_dim];
+            let mut acc = self.b2[i];
+            for (w, v) in row.iter().zip(&h) {
+                acc += w * v;
+            }
+            out[i] = acc;
+        }
+        (dropped, h, out)
+    }
+
+    /// Average loss over a set of pairs (evaluation mode).
+    pub fn evaluate_loss(&self, pairs: &[PairExample]) -> f64 {
+        if pairs.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = pairs
+            .iter()
+            .map(|p| {
+                cosine_embedding_loss(
+                    &self.embed(&p.a),
+                    &self.embed(&p.b),
+                    p.unionable,
+                    self.config.margin,
+                )
+            })
+            .sum();
+        total / pairs.len() as f64
+    }
+
+    /// Train with SGD and early stopping; returns a training report.
+    pub fn train(&mut self, train: &[PairExample], validation: &[PairExample]) -> TrainReport {
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
+        let mut best_val = f64::INFINITY;
+        let mut best_weights = (self.w1.clone(), self.b1.clone(), self.w2.clone(), self.b2.clone());
+        let mut epochs_without_improvement = 0usize;
+        let mut val_losses = Vec::new();
+        let mut final_train_loss = 0.0;
+        let mut epochs_run = 0usize;
+        let mut order: Vec<usize> = (0..train.len()).collect();
+
+        for _epoch in 0..self.config.max_epochs {
+            epochs_run += 1;
+            shuffle(&mut order, &mut rng);
+            let mut epoch_loss = 0.0;
+            for &idx in &order {
+                let pair = &train[idx];
+                epoch_loss += self.sgd_step(pair, &mut rng);
+            }
+            final_train_loss = if train.is_empty() {
+                0.0
+            } else {
+                epoch_loss / train.len() as f64
+            };
+            let val_loss = if validation.is_empty() {
+                final_train_loss
+            } else {
+                self.evaluate_loss(validation)
+            };
+            val_losses.push(val_loss);
+            if val_loss + 1e-9 < best_val {
+                best_val = val_loss;
+                best_weights = (self.w1.clone(), self.b1.clone(), self.w2.clone(), self.b2.clone());
+                epochs_without_improvement = 0;
+            } else {
+                epochs_without_improvement += 1;
+                if epochs_without_improvement >= self.config.patience {
+                    break;
+                }
+            }
+        }
+        // Restore the best checkpoint (standard early-stopping behaviour).
+        self.w1 = best_weights.0;
+        self.b1 = best_weights.1;
+        self.w2 = best_weights.2;
+        self.b2 = best_weights.3;
+        TrainReport {
+            epochs_run,
+            final_train_loss,
+            best_val_loss: if best_val.is_finite() { best_val } else { final_train_loss },
+            val_losses,
+        }
+    }
+
+    /// One SGD step on a single pair; returns the pair's loss before update.
+    fn sgd_step(&mut self, pair: &PairExample, rng: &mut StdRng) -> f64 {
+        let mask_a = self.dropout_mask(rng);
+        let mask_b = self.dropout_mask(rng);
+        let (xa, ha, ea) = self.forward(pair.a.as_slice(), Some(&mask_a));
+        let (xb, hb, eb) = self.forward(pair.b.as_slice(), Some(&mask_b));
+        let ea_v = Vector::new(ea.clone());
+        let eb_v = Vector::new(eb.clone());
+        let cos = cosine_similarity(&ea_v, &eb_v);
+        let loss = if pair.unionable {
+            1.0 - cos
+        } else {
+            (cos - self.config.margin).max(0.0)
+        };
+        // dL/dcos. Positive pairs stop pulling once they are already very
+        // close (a small satisfaction slack): without it the easiest way to
+        // drive the positive loss to zero is to collapse every embedding
+        // onto one direction, a well-known failure mode of contrastive
+        // training that the negative-pair gradient cannot undo because it
+        // vanishes as the embeddings coincide.
+        let positive_slack = 0.05;
+        let dcos = if pair.unionable {
+            if cos < 1.0 - positive_slack {
+                -1.0
+            } else {
+                0.0
+            }
+        } else if cos > self.config.margin {
+            1.0
+        } else {
+            0.0
+        };
+        if dcos == 0.0 {
+            return loss;
+        }
+        // Clip the per-sample output gradients: the cosine gradient scales
+        // with 1/||e||, which is huge right after initialization (the head's
+        // outputs start near zero) and would otherwise blow the weights into
+        // tanh saturation on the very first steps.
+        let grad_ea = clip_norm(cosine_grad(&ea, &eb, cos, dcos), 1.0);
+        let grad_eb = clip_norm(cosine_grad(&eb, &ea, cos, dcos), 1.0);
+        self.backprop(&xa, &ha, &grad_ea);
+        self.backprop(&xb, &hb, &grad_eb);
+        loss
+    }
+
+    /// Backpropagate an output gradient through both linear layers and apply
+    /// the SGD update in place.
+    fn backprop(&mut self, x: &[f32], h: &[f32], grad_out: &[f32]) {
+        let lr = self.config.learning_rate;
+        let h_dim = self.config.hidden_dim;
+        // gradient wrt hidden activations
+        let mut grad_h = vec![0.0f32; h_dim];
+        for i in 0..grad_out.len() {
+            let g = grad_out[i];
+            if g == 0.0 {
+                continue;
+            }
+            let row = &mut self.w2[i * h_dim..(i + 1) * h_dim];
+            for (j, w) in row.iter_mut().enumerate() {
+                grad_h[j] += *w * g;
+                *w -= lr * g * h[j];
+            }
+            self.b2[i] -= lr * g;
+        }
+        // through tanh
+        for (j, g) in grad_h.iter_mut().enumerate() {
+            *g *= 1.0 - h[j] * h[j];
+        }
+        for (j, g) in grad_h.iter().enumerate() {
+            if *g == 0.0 {
+                continue;
+            }
+            let row = &mut self.w1[j * self.input_dim..(j + 1) * self.input_dim];
+            for (k, w) in row.iter_mut().enumerate() {
+                *w -= lr * g * x[k];
+            }
+            self.b1[j] -= lr * g;
+        }
+    }
+
+    fn dropout_mask(&self, rng: &mut StdRng) -> Vec<f32> {
+        let p = self.config.dropout;
+        if p <= 0.0 {
+            return vec![1.0; self.input_dim];
+        }
+        let keep = 1.0 - p;
+        (0..self.input_dim)
+            .map(|_| if rng.gen::<f32>() < p { 0.0 } else { 1.0 / keep })
+            .collect()
+    }
+}
+
+/// Scale a gradient vector down so its L2 norm does not exceed `max_norm`.
+fn clip_norm(mut grad: Vec<f32>, max_norm: f32) -> Vec<f32> {
+    let norm = grad.iter().map(|v| v * v).sum::<f32>().sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in &mut grad {
+            *g *= scale;
+        }
+    }
+    grad
+}
+
+/// Gradient of `dL/d e_self` for the cosine similarity term.
+fn cosine_grad(e_self: &[f32], e_other: &[f32], cos: f64, dcos: f64) -> Vec<f32> {
+    let norm_self = (e_self.iter().map(|v| (*v as f64).powi(2)).sum::<f64>()).sqrt().max(1e-9);
+    let norm_other = (e_other.iter().map(|v| (*v as f64).powi(2)).sum::<f64>()).sqrt().max(1e-9);
+    e_self
+        .iter()
+        .zip(e_other)
+        .map(|(s, o)| {
+            let d = (*o as f64) / (norm_self * norm_other) - cos * (*s as f64) / (norm_self * norm_self);
+            (dcos * d) as f32
+        })
+        .collect()
+}
+
+/// Fisher–Yates shuffle (kept local to avoid a `rand` trait import dance).
+fn shuffle(order: &mut [usize], rng: &mut StdRng) {
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+}
+
+/// The DUST tuple embedding model: a frozen base encoder plus a trained
+/// projection head.
+///
+/// Training additionally estimates the mean of the base embeddings over the
+/// training pairs and subtracts it before the head (centering). Pre-trained
+/// transformer spaces are strongly anisotropic — every embedding shares a
+/// large common component — and without centering the cosine-embedding loss
+/// has a degenerate optimum where all embeddings collapse onto that common
+/// direction; removing it makes fine-tuning stable.
+#[derive(Debug, Clone)]
+pub struct DustModel {
+    base: TupleEncoder,
+    head: ProjectionHead,
+    /// Mean base embedding estimated from the training pairs.
+    center: Option<Vector>,
+}
+
+impl DustModel {
+    /// Create an untrained DUST model over the given backbone.
+    pub fn new(backbone: PretrainedModel, config: FineTuneConfig) -> Self {
+        let base = TupleEncoder::new(backbone);
+        let head = ProjectionHead::new(base.dim(), config);
+        DustModel {
+            base,
+            head,
+            center: None,
+        }
+    }
+
+    /// The backbone model.
+    pub fn backbone(&self) -> PretrainedModel {
+        self.base.model()
+    }
+
+    /// Output embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.head.output_dim()
+    }
+
+    /// Base (pre-projection) embedding of a tuple.
+    pub fn base_embedding(&self, tuple: &Tuple) -> Vector {
+        self.base.embed_tuple(tuple)
+    }
+
+    /// Fine-tuned embedding of a tuple.
+    pub fn embed_tuple(&self, tuple: &Tuple) -> Vector {
+        self.head.embed(&self.centered(self.base.embed_tuple(tuple)))
+    }
+
+    /// Apply the training-time centering (no-op before training).
+    fn centered(&self, mut embedding: Vector) -> Vector {
+        if let Some(center) = &self.center {
+            embedding = embedding.sub(center);
+        }
+        embedding
+    }
+
+    /// Embed many tuples.
+    pub fn embed_tuples(&self, tuples: &[Tuple]) -> Vec<Vector> {
+        tuples.iter().map(|t| self.embed_tuple(t)).collect()
+    }
+
+    /// Convert labelled tuple pairs into head training examples (applying the
+    /// current centering, if any).
+    pub fn prepare_pairs(&self, pairs: &[(Tuple, Tuple, bool)]) -> Vec<PairExample> {
+        pairs
+            .iter()
+            .map(|(a, b, label)| PairExample {
+                a: self.centered(self.base.embed_tuple(a)),
+                b: self.centered(self.base.embed_tuple(b)),
+                unionable: *label,
+            })
+            .collect()
+    }
+
+    /// Fine-tune the projection head on labelled tuple pairs. The training
+    /// pairs also define the centering applied to every future embedding.
+    pub fn train(
+        &mut self,
+        train_pairs: &[(Tuple, Tuple, bool)],
+        validation_pairs: &[(Tuple, Tuple, bool)],
+    ) -> TrainReport {
+        // Estimate the anisotropy direction from the training pairs.
+        if !train_pairs.is_empty() {
+            let all: Vec<Vector> = train_pairs
+                .iter()
+                .flat_map(|(a, b, _)| [self.base.embed_tuple(a), self.base.embed_tuple(b)])
+                .collect();
+            self.center = Vector::mean(all.iter());
+        }
+        let train = self.prepare_pairs(train_pairs);
+        let val = self.prepare_pairs(validation_pairs);
+        self.head.train(&train, &val)
+    }
+
+    /// Accuracy of unionability classification at a cosine-distance
+    /// threshold (Sec. 6.3: predicted unionable iff distance < threshold).
+    pub fn classification_accuracy(
+        &self,
+        pairs: &[(Tuple, Tuple, bool)],
+        threshold: f64,
+    ) -> f64 {
+        classification_accuracy(|t| self.embed_tuple(t), pairs, threshold)
+    }
+}
+
+/// Accuracy of threshold-based unionability classification for an arbitrary
+/// tuple embedder (used for the pre-trained baselines in Fig. 6).
+pub fn classification_accuracy<F>(embed: F, pairs: &[(Tuple, Tuple, bool)], threshold: f64) -> f64
+where
+    F: Fn(&Tuple) -> Vector,
+{
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (a, b, label) in pairs {
+        let ea = embed(a);
+        let eb = embed(b);
+        let distance = 1.0 - cosine_similarity(&ea, &eb);
+        let predicted = distance < threshold;
+        if predicted == *label {
+            correct += 1;
+        }
+    }
+    correct as f64 / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dust_table::Value;
+
+    fn tuple(topic: &str, entity: &str, place: &str) -> Tuple {
+        Tuple::new(
+            vec!["Name".into(), "Kind".into(), "Place".into()],
+            vec![Value::text(entity), Value::text(topic), Value::text(place)],
+            format!("{topic}_table"),
+            0,
+        )
+    }
+
+    fn toy_pairs() -> Vec<(Tuple, Tuple, bool)> {
+        let parks = [
+            tuple("park", "River Park", "Fresno"),
+            tuple("park", "Hyde Park", "London"),
+            tuple("park", "Chippewa Park", "Brandon"),
+            tuple("park", "Lawler Park", "Chicago"),
+        ];
+        let paintings = [
+            tuple("painting", "Northern Lake", "Canada"),
+            tuple("painting", "Memory Landscape", "USA"),
+            tuple("painting", "Starry Night", "France"),
+            tuple("painting", "Water Lilies", "France"),
+        ];
+        let mut pairs = Vec::new();
+        for i in 0..parks.len() {
+            for j in (i + 1)..parks.len() {
+                pairs.push((parks[i].clone(), parks[j].clone(), true));
+                pairs.push((paintings[i].clone(), paintings[j].clone(), true));
+            }
+        }
+        for p in &parks {
+            for q in &paintings {
+                pairs.push((p.clone(), q.clone(), false));
+            }
+        }
+        pairs
+    }
+
+    fn small_config() -> FineTuneConfig {
+        FineTuneConfig {
+            hidden_dim: 32,
+            output_dim: 16,
+            dropout: 0.05,
+            learning_rate: 0.4,
+            max_epochs: 150,
+            patience: 25,
+            margin: 0.0,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn loss_definition_matches_paper() {
+        let a = Vector::new(vec![1.0, 0.0]);
+        let b = Vector::new(vec![1.0, 0.0]);
+        let c = Vector::new(vec![0.0, 1.0]);
+        assert!(cosine_embedding_loss(&a, &b, true, 0.0).abs() < 1e-9);
+        assert!((cosine_embedding_loss(&a, &c, true, 0.0) - 1.0).abs() < 1e-9);
+        assert!((cosine_embedding_loss(&a, &b, false, 0.0) - 1.0).abs() < 1e-9);
+        assert!(cosine_embedding_loss(&a, &c, false, 0.0).abs() < 1e-9);
+        // margin shifts the non-unionable hinge
+        assert!(cosine_embedding_loss(&a, &b, false, 0.5) > 0.0);
+    }
+
+    #[test]
+    fn head_forward_shapes() {
+        let head = ProjectionHead::new(8, small_config());
+        assert_eq!(head.input_dim(), 8);
+        assert_eq!(head.output_dim(), 16);
+        let out = head.embed(&Vector::zeros(8));
+        assert_eq!(out.dim(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn head_rejects_wrong_input_dim() {
+        let head = ProjectionHead::new(8, small_config());
+        let _ = head.embed(&Vector::zeros(4));
+    }
+
+    #[test]
+    fn training_reduces_loss_on_separable_pairs() {
+        let model_cfg = small_config();
+        let mut model = DustModel::new(PretrainedModel::Bert, model_cfg);
+        let pairs = toy_pairs();
+        let before = {
+            let prepared = model.prepare_pairs(&pairs);
+            model.head.evaluate_loss(&prepared)
+        };
+        let report = model.train(&pairs, &pairs);
+        let after = {
+            let prepared = model.prepare_pairs(&pairs);
+            model.head.evaluate_loss(&prepared)
+        };
+        assert!(report.epochs_run > 0);
+        assert!(
+            after < before,
+            "training should reduce loss (before {before}, after {after})"
+        );
+    }
+
+    #[test]
+    fn finetuned_model_beats_pretrained_baseline() {
+        // The core claim of Fig. 6: pre-trained anisotropic encoders are near
+        // chance at threshold-based unionability classification, while the
+        // fine-tuned head separates the classes.
+        let pairs = toy_pairs();
+        let threshold = 0.7;
+        let baseline = TupleEncoder::new(PretrainedModel::Bert);
+        let baseline_acc = classification_accuracy(|t| baseline.embed_tuple(t), &pairs, threshold);
+        let mut model = DustModel::new(PretrainedModel::Bert, small_config());
+        model.train(&pairs, &pairs);
+        let tuned_acc = model.classification_accuracy(&pairs, threshold);
+        assert!(
+            tuned_acc > baseline_acc,
+            "fine-tuned accuracy {tuned_acc} should beat baseline {baseline_acc}"
+        );
+        assert!(tuned_acc > 0.8, "fine-tuned accuracy should be high, got {tuned_acc}");
+    }
+
+    #[test]
+    fn early_stopping_respects_patience() {
+        let cfg = FineTuneConfig {
+            max_epochs: 100,
+            patience: 2,
+            ..small_config()
+        };
+        let mut head = ProjectionHead::new(4, cfg);
+        // A single degenerate pair: identical vectors labelled non-unionable
+        // cannot be improved, so validation loss plateaus immediately.
+        let v = Vector::new(vec![1.0, 0.0, 0.0, 0.0]);
+        let pairs = vec![PairExample {
+            a: v.clone(),
+            b: v.clone(),
+            unionable: false,
+        }];
+        let report = head.train(&pairs, &pairs);
+        assert!(report.epochs_run < 100, "early stopping should trigger");
+    }
+
+    #[test]
+    fn dropout_mask_scales_kept_components() {
+        let cfg = FineTuneConfig {
+            dropout: 0.5,
+            ..small_config()
+        };
+        let head = ProjectionHead::new(100, cfg);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mask = head.dropout_mask(&mut rng);
+        assert_eq!(mask.len(), 100);
+        assert!(mask.iter().any(|&m| m == 0.0));
+        assert!(mask.iter().any(|&m| (m - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn classification_accuracy_handles_empty_input() {
+        let enc = TupleEncoder::new(PretrainedModel::Bert);
+        assert_eq!(classification_accuracy(|t| enc.embed_tuple(t), &[], 0.7), 0.0);
+    }
+
+    #[test]
+    fn embed_tuples_is_consistent_with_embed_tuple() {
+        let model = DustModel::new(PretrainedModel::Roberta, small_config());
+        let ts = vec![tuple("park", "River Park", "Fresno")];
+        assert_eq!(model.embed_tuples(&ts)[0], model.embed_tuple(&ts[0]));
+        assert_eq!(model.dim(), 16);
+        assert_eq!(model.backbone(), PretrainedModel::Roberta);
+    }
+}

@@ -1,0 +1,201 @@
+//! Maximum-weight bipartite matching (Hungarian / Kuhn–Munkres algorithm).
+//!
+//! Starmie scores a pair of tables by the maximum-weight bipartite matching
+//! between their column embeddings; the same primitive is used by the
+//! `Starmie (B)` column-alignment baseline of Table 1.
+
+/// A bipartite matching: `pairs[i] = (left, right, weight)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matching {
+    /// Matched pairs with their weights.
+    pub pairs: Vec<(usize, usize, f64)>,
+    /// Sum of matched weights.
+    pub total_weight: f64,
+}
+
+/// Maximum-weight bipartite matching over a dense weight matrix
+/// (`weights[l][r]` is the weight of matching left node `l` to right node
+/// `r`). Negative weights are treated as "do not match" (clamped to 0, and
+/// zero-weight assignments are dropped from the result).
+///
+/// Runs the O(n³) Hungarian algorithm on the implicitly padded square
+/// matrix, so rectangular inputs are fine.
+pub fn max_weight_matching(weights: &[Vec<f64>]) -> Matching {
+    let rows = weights.len();
+    let cols = weights.first().map(|r| r.len()).unwrap_or(0);
+    if rows == 0 || cols == 0 {
+        return Matching {
+            pairs: Vec::new(),
+            total_weight: 0.0,
+        };
+    }
+    let n = rows.max(cols);
+    // Convert to a minimization problem on a padded square matrix.
+    let max_w = weights
+        .iter()
+        .flat_map(|r| r.iter())
+        .fold(0.0f64, |acc, &w| acc.max(w.max(0.0)));
+    let cost = |i: usize, j: usize| -> f64 {
+        if i < rows && j < cols {
+            max_w - weights[i][j].max(0.0)
+        } else {
+            max_w
+        }
+    };
+
+    // Hungarian algorithm (Jonker-style potentials), 1-indexed internals.
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut pairs = Vec::new();
+    let mut total = 0.0;
+    for j in 1..=n {
+        let i = p[j];
+        if i == 0 {
+            continue;
+        }
+        let (row, col) = (i - 1, j - 1);
+        if row < rows && col < cols {
+            let w = weights[row][col];
+            if w > 0.0 {
+                pairs.push((row, col, w));
+                total += w;
+            }
+        }
+    }
+    pairs.sort_unstable_by_key(|&(l, _, _)| l);
+    Matching {
+        pairs,
+        total_weight: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_square_matching() {
+        let weights = vec![
+            vec![0.9, 0.1],
+            vec![0.2, 0.8],
+        ];
+        let m = max_weight_matching(&weights);
+        assert_eq!(m.pairs, vec![(0, 0, 0.9), (1, 1, 0.8)]);
+        assert!((m.total_weight - 1.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn picks_global_optimum_over_greedy() {
+        // Greedy would match (0,0)=0.9 then (1,1)=0.0 for total 0.9;
+        // the optimum is (0,1)+(1,0) = 0.8 + 0.7 = 1.5.
+        let weights = vec![
+            vec![0.9, 0.8],
+            vec![0.7, 0.0],
+        ];
+        let m = max_weight_matching(&weights);
+        assert!((m.total_weight - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rectangular_matrices() {
+        // 3 left nodes, 2 right nodes: only two pairs possible
+        let weights = vec![
+            vec![0.5, 0.4],
+            vec![0.9, 0.1],
+            vec![0.3, 0.8],
+        ];
+        let m = max_weight_matching(&weights);
+        assert_eq!(m.pairs.len(), 2);
+        assert!((m.total_weight - 1.7).abs() < 1e-9);
+
+        // transpose: 2 left, 3 right
+        let weights_t = vec![
+            vec![0.5, 0.9, 0.3],
+            vec![0.4, 0.1, 0.8],
+        ];
+        let mt = max_weight_matching(&weights_t);
+        assert!((mt.total_weight - 1.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_and_negative_weights_are_not_matched() {
+        let weights = vec![
+            vec![0.0, -0.5],
+            vec![-0.2, 0.0],
+        ];
+        let m = max_weight_matching(&weights);
+        assert!(m.pairs.is_empty());
+        assert_eq!(m.total_weight, 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(max_weight_matching(&[]).pairs.is_empty());
+        let empty_cols: Vec<Vec<f64>> = vec![vec![], vec![]];
+        assert!(max_weight_matching(&empty_cols).pairs.is_empty());
+    }
+
+    #[test]
+    fn each_node_matched_at_most_once() {
+        let weights = vec![
+            vec![0.9, 0.9, 0.9],
+            vec![0.9, 0.9, 0.9],
+        ];
+        let m = max_weight_matching(&weights);
+        let lefts: std::collections::HashSet<usize> = m.pairs.iter().map(|p| p.0).collect();
+        let rights: std::collections::HashSet<usize> = m.pairs.iter().map(|p| p.1).collect();
+        assert_eq!(lefts.len(), m.pairs.len());
+        assert_eq!(rights.len(), m.pairs.len());
+        assert_eq!(m.pairs.len(), 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! Inverted value index for candidate pruning.
+//!
+//! Scoring every (query column, lake column) pair is quadratic in the lake
+//! size; real systems first shortlist candidate tables that share values
+//! with the query. This index maps normalized cell values to the tables
+//! containing them and returns candidate tables ordered by the number of
+//! overlapping distinct values.
+
+use dust_table::{DataLake, Table, TableId};
+use std::collections::{HashMap, HashSet};
+
+/// Inverted index: normalized value → set of data-lake table names.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedValueIndex {
+    postings: HashMap<String, HashSet<TableId>>,
+    indexed_tables: usize,
+}
+
+impl InvertedValueIndex {
+    /// Build the index over every table of a data lake.
+    pub fn build(lake: &DataLake) -> Self {
+        let mut index = InvertedValueIndex::default();
+        for table in lake.tables() {
+            index.add_table(table);
+        }
+        index
+    }
+
+    /// Add one table's values to the index.
+    pub fn add_table(&mut self, table: &Table) {
+        self.indexed_tables += 1;
+        for column in table.columns() {
+            for value in column.normalized_value_set() {
+                self.postings
+                    .entry(value)
+                    .or_default()
+                    .insert(table.name().to_string());
+            }
+        }
+    }
+
+    /// Number of indexed tables.
+    pub fn num_tables(&self) -> usize {
+        self.indexed_tables
+    }
+
+    /// Number of distinct indexed values.
+    pub fn num_values(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Tables containing a (normalized) value.
+    pub fn tables_with_value(&self, value: &str) -> Vec<TableId> {
+        let key = value.trim().to_ascii_lowercase();
+        let mut out: Vec<TableId> = self
+            .postings
+            .get(&key)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
+        out.sort();
+        out
+    }
+
+    /// Candidate tables for a query table, ordered by descending count of
+    /// shared distinct values (ties broken by name). Tables sharing no value
+    /// with the query are omitted.
+    pub fn candidates(&self, query: &Table, limit: usize) -> Vec<(TableId, usize)> {
+        let mut counts: HashMap<TableId, usize> = HashMap::new();
+        let mut query_values: HashSet<String> = HashSet::new();
+        for column in query.columns() {
+            query_values.extend(column.normalized_value_set());
+        }
+        for value in &query_values {
+            if let Some(tables) = self.postings.get(value) {
+                for t in tables {
+                    *counts.entry(t.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut ranked: Vec<(TableId, usize)> = counts.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ranked.truncate(limit);
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dust_table::Table;
+
+    fn lake() -> DataLake {
+        let mut lake = DataLake::new("toy");
+        lake.add_table(
+            Table::builder("parks_b")
+                .column("Park Name", ["River Park", "Hyde Park"])
+                .column("Country", ["USA", "UK"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        lake.add_table(
+            Table::builder("paintings_c")
+                .column("Painting", ["Northern Lake", "Memory Landscape 2"])
+                .column("Country", ["Canada", "USA"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        lake.add_table(
+            Table::builder("parks_d")
+                .column("Park Name", ["Chippewa Park", "Lawler Park"])
+                .column("Park Country", ["USA", "USA"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        lake
+    }
+
+    fn query() -> Table {
+        Table::builder("query")
+            .column("Park Name", ["River Park", "Chippewa Park"])
+            .column("Country", ["USA", "USA"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_counts_tables_and_values() {
+        let index = InvertedValueIndex::build(&lake());
+        assert_eq!(index.num_tables(), 3);
+        assert!(index.num_values() >= 8);
+    }
+
+    #[test]
+    fn value_lookup_is_case_insensitive() {
+        let index = InvertedValueIndex::build(&lake());
+        let tables = index.tables_with_value("usa");
+        assert_eq!(tables, vec!["paintings_c", "parks_b", "parks_d"]);
+        assert_eq!(index.tables_with_value("USA"), tables);
+        assert!(index.tables_with_value("atlantis").is_empty());
+    }
+
+    #[test]
+    fn candidates_ranked_by_shared_value_count() {
+        let index = InvertedValueIndex::build(&lake());
+        let candidates = index.candidates(&query(), 10);
+        assert_eq!(candidates[0].0, "parks_b");
+        assert!(candidates.iter().any(|(t, _)| t == "parks_d"));
+        // paintings table shares only "usa"
+        let paint = candidates.iter().find(|(t, _)| t == "paintings_c").unwrap();
+        assert_eq!(paint.1, 1);
+    }
+
+    #[test]
+    fn limit_truncates_candidates() {
+        let index = InvertedValueIndex::build(&lake());
+        assert_eq!(index.candidates(&query(), 1).len(), 1);
+    }
+
+    #[test]
+    fn empty_index_returns_no_candidates() {
+        let index = InvertedValueIndex::default();
+        assert!(index.candidates(&query(), 5).is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! # dust-search
+//!
+//! Table union search substrate for the DUST reproduction. DUST itself is
+//! agnostic to the union-search technique used in its first step
+//! (Algorithm 1, `SearchTables`); this crate provides the techniques the
+//! paper uses and compares against:
+//!
+//! * [`overlap`] — a value-overlap search in the spirit of the original
+//!   Table Union Search work (Nargesian et al.);
+//! * [`d3l`] — D3L-style multi-signal unionability scoring;
+//! * [`starmie`] — Starmie-style contextualized column embeddings with
+//!   maximum-weight bipartite matching, plus its tuple-as-table variant used
+//!   as a baseline in Sec. 6.5;
+//! * [`bipartite`] — maximum-weight bipartite matching (Hungarian algorithm);
+//! * [`signals`] — individual column-pair unionability signals;
+//! * [`index`] — an inverted value index for candidate pruning;
+//! * [`metrics`] — MAP / precision@k / recall@k over search results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bipartite;
+pub mod d3l;
+pub mod index;
+pub mod metrics;
+pub mod overlap;
+pub mod signals;
+pub mod starmie;
+
+pub use bipartite::{max_weight_matching, Matching};
+pub use d3l::D3lSearch;
+pub use index::InvertedValueIndex;
+pub use metrics::{average_precision, mean_average_precision, precision_at_k, recall_at_k};
+pub use overlap::OverlapSearch;
+pub use signals::{ColumnSignals, SignalWeights};
+pub use starmie::{StarmieSearch, StarmieTupleSearch};
+
+use dust_table::{DataLake, Table, TableId};
+
+/// A ranked search result: a data-lake table name and its unionability score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// Name of the retrieved data-lake table.
+    pub table: TableId,
+    /// Unionability score (higher is more unionable).
+    pub score: f64,
+}
+
+/// Common interface of every table union search technique in this crate.
+pub trait TableUnionSearch {
+    /// Human-readable technique name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Return the top-`k` data-lake tables ranked by unionability with the
+    /// query table, best first.
+    fn search(&self, lake: &DataLake, query: &Table, k: usize) -> Vec<SearchResult>;
+}
+
+/// Sort results by descending score (ties broken by table name for
+/// determinism) and truncate to `k`.
+pub(crate) fn rank_and_truncate(mut results: Vec<SearchResult>, k: usize) -> Vec<SearchResult> {
+    results.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.table.cmp(&b.table))
+    });
+    results.truncate(k);
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_is_descending_and_deterministic() {
+        let results = vec![
+            SearchResult {
+                table: "b".into(),
+                score: 0.5,
+            },
+            SearchResult {
+                table: "a".into(),
+                score: 0.5,
+            },
+            SearchResult {
+                table: "c".into(),
+                score: 0.9,
+            },
+        ];
+        let ranked = rank_and_truncate(results, 2);
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].table, "c");
+        assert_eq!(ranked[1].table, "a"); // ties broken alphabetically
+    }
+}

@@ -1,0 +1,110 @@
+//! Retrieval-quality metrics: precision@k, recall@k, average precision, and
+//! Mean Average Precision (MAP), used in Sec. 6.5 to contextualize Starmie's
+//! behaviour on SANTOS vs UGEN-V1.
+
+use std::collections::BTreeSet;
+
+/// Precision of the top-`k` results against a relevant set.
+pub fn precision_at_k(results: &[String], relevant: &BTreeSet<String>, k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let top: Vec<&String> = results.iter().take(k).collect();
+    if top.is_empty() {
+        return 0.0;
+    }
+    let hits = top.iter().filter(|r| relevant.contains(**r)).count();
+    hits as f64 / top.len() as f64
+}
+
+/// Recall of the top-`k` results against a relevant set.
+pub fn recall_at_k(results: &[String], relevant: &BTreeSet<String>, k: usize) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let hits = results
+        .iter()
+        .take(k)
+        .filter(|r| relevant.contains(*r))
+        .count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// Average precision of a ranked result list against a relevant set.
+pub fn average_precision(results: &[String], relevant: &BTreeSet<String>) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, r) in results.iter().enumerate() {
+        if relevant.contains(r) {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / relevant.len() as f64
+}
+
+/// Mean average precision over many queries: each entry is a
+/// `(ranked results, relevant set)` pair.
+pub fn mean_average_precision(queries: &[(Vec<String>, BTreeSet<String>)]) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    queries
+        .iter()
+        .map(|(results, relevant)| average_precision(results, relevant))
+        .sum::<f64>()
+        / queries.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn relevant(items: &[&str]) -> BTreeSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn results(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn precision_and_recall_at_k() {
+        let res = results(&["a", "x", "b", "y"]);
+        let rel = relevant(&["a", "b", "c"]);
+        assert!((precision_at_k(&res, &rel, 2) - 0.5).abs() < 1e-9);
+        assert!((precision_at_k(&res, &rel, 4) - 0.5).abs() < 1e-9);
+        assert!((recall_at_k(&res, &rel, 4) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(precision_at_k(&res, &rel, 0), 0.0);
+        assert_eq!(recall_at_k(&res, &relevant(&[]), 4), 0.0);
+    }
+
+    #[test]
+    fn average_precision_perfect_ranking_is_one() {
+        let res = results(&["a", "b", "c"]);
+        let rel = relevant(&["a", "b", "c"]);
+        assert!((average_precision(&res, &rel) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_precision_penalizes_late_hits() {
+        let rel = relevant(&["a"]);
+        let early = average_precision(&results(&["a", "x", "y"]), &rel);
+        let late = average_precision(&results(&["x", "y", "a"]), &rel);
+        assert!(early > late);
+        assert!((late - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn map_averages_over_queries() {
+        let queries = vec![
+            (results(&["a", "x"]), relevant(&["a"])),
+            (results(&["x", "a"]), relevant(&["a"])),
+        ];
+        assert!((mean_average_precision(&queries) - 0.75).abs() < 1e-9);
+        assert_eq!(mean_average_precision(&[]), 0.0);
+    }
+}

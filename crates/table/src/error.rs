@@ -1,0 +1,131 @@
+//! Error types shared by the table substrate.
+
+use std::fmt;
+
+/// Errors produced by table construction, CSV parsing, and lake operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// Columns of a table do not all have the same number of rows.
+    RaggedColumns {
+        /// Name of the table being constructed.
+        table: String,
+        /// Expected row count (from the first column).
+        expected: usize,
+        /// Offending column name.
+        column: String,
+        /// Row count found in that column.
+        found: usize,
+    },
+    /// A duplicate column name was supplied where names must be unique.
+    DuplicateColumn {
+        /// Name of the table being constructed.
+        table: String,
+        /// Offending column name.
+        column: String,
+    },
+    /// A table had no columns.
+    EmptyTable {
+        /// Name of the table being constructed.
+        table: String,
+    },
+    /// A requested column index or name was not found.
+    ColumnNotFound {
+        /// Name of the table being accessed.
+        table: String,
+        /// Column name or rendered index.
+        column: String,
+    },
+    /// A requested row index was out of bounds.
+    RowOutOfBounds {
+        /// Name of the table being accessed.
+        table: String,
+        /// Requested row index.
+        row: usize,
+        /// Number of rows in the table.
+        rows: usize,
+    },
+    /// A requested table was not present in the lake.
+    TableNotFound {
+        /// Name of the missing table.
+        name: String,
+    },
+    /// A table with the same name is already present in the lake.
+    DuplicateTable {
+        /// Name of the duplicated table.
+        name: String,
+    },
+    /// Malformed CSV input.
+    Csv {
+        /// One-based line number where the problem was detected.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::RaggedColumns {
+                table,
+                expected,
+                column,
+                found,
+            } => write!(
+                f,
+                "table '{table}': column '{column}' has {found} rows, expected {expected}"
+            ),
+            TableError::DuplicateColumn { table, column } => {
+                write!(f, "table '{table}': duplicate column name '{column}'")
+            }
+            TableError::EmptyTable { table } => {
+                write!(f, "table '{table}': a table must have at least one column")
+            }
+            TableError::ColumnNotFound { table, column } => {
+                write!(f, "table '{table}': column '{column}' not found")
+            }
+            TableError::RowOutOfBounds { table, row, rows } => {
+                write!(f, "table '{table}': row {row} out of bounds (len {rows})")
+            }
+            TableError::TableNotFound { name } => write!(f, "table '{name}' not found in lake"),
+            TableError::DuplicateTable { name } => {
+                write!(f, "table '{name}' already exists in lake")
+            }
+            TableError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = TableError::RaggedColumns {
+            table: "t".into(),
+            expected: 3,
+            column: "c".into(),
+            found: 2,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("'t'"));
+        assert!(msg.contains("'c'"));
+        assert!(msg.contains('3'));
+        assert!(msg.contains('2'));
+
+        let err = TableError::Csv {
+            line: 7,
+            message: "unterminated quote".into(),
+        };
+        assert!(err.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: std::error::Error>(_e: &E) {}
+        assert_error(&TableError::EmptyTable { table: "x".into() });
+    }
+}

@@ -1,0 +1,299 @@
+//! The data lake: a corpus of tables, query tables, and unionability ground
+//! truth.
+//!
+//! Benchmarks in the paper (TUS, SANTOS, UGEN-V1) consist of
+//! (query tables, data lake tables, ground truth mapping each query to its
+//! unionable lake tables). The [`DataLake`] type holds all three.
+
+use crate::error::TableError;
+use crate::stats::CorpusStats;
+use crate::table::Table;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identifier of a table inside a lake (its unique name).
+pub type TableId = String;
+
+/// Unionability ground truth: for each query table, the set of data-lake
+/// tables labelled unionable with it.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    unionable: BTreeMap<TableId, BTreeSet<TableId>>,
+}
+
+impl GroundTruth {
+    /// Create an empty ground truth.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `lake_table` is unionable with `query`.
+    pub fn add(&mut self, query: impl Into<TableId>, lake_table: impl Into<TableId>) {
+        self.unionable
+            .entry(query.into())
+            .or_default()
+            .insert(lake_table.into());
+    }
+
+    /// The set of lake tables unionable with `query` (empty if unknown).
+    pub fn unionable_with(&self, query: &str) -> BTreeSet<TableId> {
+        self.unionable.get(query).cloned().unwrap_or_default()
+    }
+
+    /// Whether `lake_table` is labelled unionable with `query`.
+    pub fn is_unionable(&self, query: &str, lake_table: &str) -> bool {
+        self.unionable
+            .get(query)
+            .map(|s| s.contains(lake_table))
+            .unwrap_or(false)
+    }
+
+    /// Queries that have at least one labelled unionable table.
+    pub fn queries(&self) -> impl Iterator<Item = &TableId> {
+        self.unionable.keys()
+    }
+
+    /// Total number of (query, lake table) unionable pairs.
+    pub fn pair_count(&self) -> usize {
+        self.unionable.values().map(|s| s.len()).sum()
+    }
+
+    /// Average number of unionable tables per query (Fig. 5's last column).
+    pub fn avg_unionable_per_query(&self) -> f64 {
+        if self.unionable.is_empty() {
+            0.0
+        } else {
+            self.pair_count() as f64 / self.unionable.len() as f64
+        }
+    }
+}
+
+/// A data lake: query tables, data-lake tables, and ground truth.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DataLake {
+    name: String,
+    queries: BTreeMap<TableId, Table>,
+    tables: BTreeMap<TableId, Table>,
+    ground_truth: GroundTruth,
+}
+
+impl DataLake {
+    /// Create an empty, named lake.
+    pub fn new(name: impl Into<String>) -> Self {
+        DataLake {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Lake name (benchmark name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add a data-lake table. Errors on duplicate names.
+    pub fn add_table(&mut self, table: Table) -> Result<()> {
+        let id = table.name().to_string();
+        if self.tables.contains_key(&id) {
+            return Err(TableError::DuplicateTable { name: id });
+        }
+        self.tables.insert(id, table);
+        Ok(())
+    }
+
+    /// Add a query table. Errors on duplicate names.
+    pub fn add_query(&mut self, table: Table) -> Result<()> {
+        let id = table.name().to_string();
+        if self.queries.contains_key(&id) {
+            return Err(TableError::DuplicateTable { name: id });
+        }
+        self.queries.insert(id, table);
+        Ok(())
+    }
+
+    /// Record that `lake_table` is unionable with `query`.
+    pub fn add_ground_truth(&mut self, query: impl Into<TableId>, lake_table: impl Into<TableId>) {
+        self.ground_truth.add(query, lake_table);
+    }
+
+    /// Mutable access to the ground truth.
+    pub fn ground_truth_mut(&mut self) -> &mut GroundTruth {
+        &mut self.ground_truth
+    }
+
+    /// The unionability ground truth.
+    pub fn ground_truth(&self) -> &GroundTruth {
+        &self.ground_truth
+    }
+
+    /// Look up a data-lake table by name.
+    pub fn table(&self, id: &str) -> Result<&Table> {
+        self.tables
+            .get(id)
+            .ok_or_else(|| TableError::TableNotFound { name: id.to_string() })
+    }
+
+    /// Look up a query table by name.
+    pub fn query(&self, id: &str) -> Result<&Table> {
+        self.queries
+            .get(id)
+            .ok_or_else(|| TableError::TableNotFound { name: id.to_string() })
+    }
+
+    /// Iterate all data-lake tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Iterate all query tables in name order.
+    pub fn queries(&self) -> impl Iterator<Item = &Table> {
+        self.queries.values()
+    }
+
+    /// Names of all data-lake tables.
+    pub fn table_names(&self) -> Vec<TableId> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Names of all query tables.
+    pub fn query_names(&self) -> Vec<TableId> {
+        self.queries.keys().cloned().collect()
+    }
+
+    /// Number of data-lake tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of query tables.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Aggregate statistics of the data-lake side (Fig. 5 right half).
+    pub fn lake_stats(&self) -> CorpusStats {
+        CorpusStats::compute(self.tables.values())
+    }
+
+    /// Aggregate statistics of the query side (Fig. 5 left half).
+    pub fn query_stats(&self) -> CorpusStats {
+        CorpusStats::compute(self.queries.values())
+    }
+
+    /// Apply the paper's preprocessing (Sec. 6.1): drop all-null columns
+    /// everywhere and drop query tables with fewer than `min_rows` rows.
+    pub fn preprocess(&self, min_query_rows: usize) -> DataLake {
+        let mut out = DataLake::new(self.name.clone());
+        for t in self.tables.values() {
+            if let Ok(clean) = t.drop_all_null_columns() {
+                out.tables.insert(clean.name().to_string(), clean);
+            }
+        }
+        for q in self.queries.values() {
+            if q.num_rows() >= min_query_rows {
+                if let Ok(clean) = q.drop_all_null_columns() {
+                    out.queries.insert(clean.name().to_string(), clean);
+                }
+            }
+        }
+        // Keep only ground truth entries whose tables survived.
+        for query in out.queries.keys() {
+            for t in self.ground_truth.unionable_with(query) {
+                if out.tables.contains_key(&t) {
+                    out.ground_truth.add(query.clone(), t);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(name: &str, col: &str, vals: &[&str]) -> Table {
+        Table::builder(name)
+            .column(col, vals.iter().copied())
+            .build()
+            .unwrap()
+    }
+
+    fn sample_lake() -> DataLake {
+        let mut lake = DataLake::new("toy");
+        lake.add_query(table("q1", "a", &["1", "2", "3"])).unwrap();
+        lake.add_query(table("q2", "a", &["1"])).unwrap();
+        lake.add_table(table("t1", "a", &["4", "5"])).unwrap();
+        lake.add_table(table("t2", "b", &["x", "y", "z"])).unwrap();
+        lake.add_ground_truth("q1", "t1");
+        lake
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let lake = sample_lake();
+        assert_eq!(lake.num_tables(), 2);
+        assert_eq!(lake.num_queries(), 2);
+        assert!(lake.table("t1").is_ok());
+        assert!(lake.table("missing").is_err());
+        assert!(lake.query("q1").is_ok());
+    }
+
+    #[test]
+    fn duplicate_tables_rejected() {
+        let mut lake = sample_lake();
+        assert!(lake.add_table(table("t1", "a", &["9"])).is_err());
+        assert!(lake.add_query(table("q1", "a", &["9"])).is_err());
+    }
+
+    #[test]
+    fn ground_truth_queries_and_pairs() {
+        let mut gt = GroundTruth::new();
+        gt.add("q1", "t1");
+        gt.add("q1", "t2");
+        gt.add("q2", "t3");
+        assert!(gt.is_unionable("q1", "t2"));
+        assert!(!gt.is_unionable("q2", "t1"));
+        assert_eq!(gt.pair_count(), 3);
+        assert!((gt.avg_unionable_per_query() - 1.5).abs() < 1e-9);
+        assert_eq!(gt.queries().count(), 2);
+    }
+
+    #[test]
+    fn stats_reflect_corpus() {
+        let lake = sample_lake();
+        let s = lake.lake_stats();
+        assert_eq!(s.tables, 2);
+        assert_eq!(s.columns, 2);
+        assert_eq!(s.tuples, 5);
+        assert_eq!(lake.query_stats().tables, 2);
+    }
+
+    #[test]
+    fn preprocess_filters_small_queries_and_null_columns() {
+        let mut lake = sample_lake();
+        let mut t = Table::builder("t3")
+            .column("ok", ["a", "b"])
+            .column("empty", ["", ""])
+            .build()
+            .unwrap();
+        t.set_name("t3");
+        lake.add_table(t).unwrap();
+        let cleaned = lake.preprocess(3);
+        // q2 has only one row and is dropped.
+        assert_eq!(cleaned.num_queries(), 1);
+        assert!(cleaned.query("q1").is_ok());
+        // the all-null column of t3 is dropped
+        assert_eq!(cleaned.table("t3").unwrap().num_columns(), 1);
+        // ground truth restricted to surviving tables
+        assert!(cleaned.ground_truth().is_unionable("q1", "t1"));
+    }
+
+    #[test]
+    fn names_are_sorted_and_stable() {
+        let lake = sample_lake();
+        assert_eq!(lake.table_names(), vec!["t1".to_string(), "t2".to_string()]);
+        assert_eq!(lake.query_names(), vec!["q1".to_string(), "q2".to_string()]);
+    }
+}

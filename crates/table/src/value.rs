@@ -1,0 +1,313 @@
+//! Cell values.
+//!
+//! A [`Value`] is the content of a single table cell. The DUST pipeline is
+//! mostly text-oriented (tuples are serialized to text before embedding) but
+//! column alignment benefits from knowing whether a column is numeric, so we
+//! keep a small typed enum and a lossless textual rendering.
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single cell value in a table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// Missing value (empty cell, `nan` padding introduced by outer union).
+    Null,
+    /// Boolean value.
+    Bool(bool),
+    /// Integer value.
+    Int(i64),
+    /// Floating point value.
+    Float(f64),
+    /// Free text value.
+    Text(String),
+}
+
+impl Value {
+    /// Build a text value from anything string-like.
+    pub fn text(s: impl Into<String>) -> Self {
+        Value::Text(s.into())
+    }
+
+    /// Build an integer value.
+    pub fn int(v: i64) -> Self {
+        Value::Int(v)
+    }
+
+    /// Build a float value.
+    pub fn float(v: f64) -> Self {
+        Value::Float(v)
+    }
+
+    /// Returns `true` when this value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns `true` when the value is numeric (int or float).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_))
+    }
+
+    /// Returns `true` when the value is textual.
+    pub fn is_text(&self) -> bool {
+        matches!(self, Value::Text(_))
+    }
+
+    /// Numeric view of the value, if it has one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Textual view of the value without allocating for text values.
+    ///
+    /// Nulls render as an empty string; numbers use their canonical display
+    /// form. This rendering is what gets tokenized by `dust-embed`.
+    pub fn render(&self) -> Cow<'_, str> {
+        match self {
+            Value::Null => Cow::Borrowed(""),
+            Value::Bool(b) => Cow::Owned(b.to_string()),
+            Value::Int(v) => Cow::Owned(v.to_string()),
+            Value::Float(v) => Cow::Owned(format_float(*v)),
+            Value::Text(s) => Cow::Borrowed(s.as_str()),
+        }
+    }
+
+    /// Parse a raw string into the most specific value type.
+    ///
+    /// Empty strings and a small set of conventional null markers become
+    /// [`Value::Null`]. Integers are preferred over floats, floats over
+    /// booleans, and anything else remains text (with surrounding whitespace
+    /// trimmed only for the type probe, not for the stored text).
+    pub fn parse(raw: &str) -> Self {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            return Value::Null;
+        }
+        let lowered = trimmed.to_ascii_lowercase();
+        if matches!(lowered.as_str(), "null" | "nan" | "na" | "n/a" | "none" | "-") {
+            return Value::Null;
+        }
+        if let Ok(v) = trimmed.parse::<i64>() {
+            return Value::Int(v);
+        }
+        if let Ok(v) = trimmed.parse::<f64>() {
+            if v.is_finite() {
+                return Value::Float(v);
+            }
+        }
+        match lowered.as_str() {
+            "true" => return Value::Bool(true),
+            "false" => return Value::Bool(false),
+            _ => {}
+        }
+        Value::Text(raw.to_string())
+    }
+
+    /// A stable ordering key used by deterministic algorithms (medoid tie
+    /// breaking, canonical table ordering in tests).
+    pub fn sort_key(&self) -> (u8, String) {
+        match self {
+            Value::Null => (0, String::new()),
+            Value::Bool(b) => (1, b.to_string()),
+            Value::Int(v) => (2, format!("{v:020}")),
+            Value::Float(v) => (3, format!("{v:020.6}")),
+            Value::Text(s) => (4, s.clone()),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => {
+                (a.is_nan() && b.is_nan()) || (a - b).abs() == 0.0
+            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                (*a as f64) == *b
+            }
+            (Value::Text(a), Value::Text(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            Value::Int(v) => {
+                2u8.hash(state);
+                (*v as f64).to_bits().hash(state);
+            }
+            Value::Float(v) => {
+                2u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Value::Text(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sort_key().cmp(&other.sort_key())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// Render a float without unnecessary trailing zeros but keeping a decimal
+/// point so the value round-trips as a float.
+fn format_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn parse_detects_integers() {
+        assert_eq!(Value::parse("42"), Value::Int(42));
+        assert_eq!(Value::parse("-7"), Value::Int(-7));
+    }
+
+    #[test]
+    fn parse_detects_floats() {
+        assert_eq!(Value::parse("3.25"), Value::Float(3.25));
+        assert_eq!(Value::parse("-0.5"), Value::Float(-0.5));
+    }
+
+    #[test]
+    fn parse_detects_nulls() {
+        for raw in ["", "  ", "null", "NaN", "N/A", "none", "-"] {
+            assert!(Value::parse(raw).is_null(), "{raw:?} should parse as null");
+        }
+    }
+
+    #[test]
+    fn parse_detects_bools_and_text() {
+        assert_eq!(Value::parse("true"), Value::Bool(true));
+        assert_eq!(Value::parse("False"), Value::Bool(false));
+        assert_eq!(Value::parse("River Park"), Value::text("River Park"));
+    }
+
+    #[test]
+    fn render_round_trips_numbers() {
+        assert_eq!(Value::Int(12).render(), "12");
+        assert_eq!(Value::Float(2.5).render(), "2.5");
+        assert_eq!(Value::Float(2.0).render(), "2.0");
+        assert_eq!(Value::Null.render(), "");
+    }
+
+    #[test]
+    fn int_and_float_compare_equal_when_equal() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_ne!(Value::Int(3), Value::Float(3.5));
+    }
+
+    #[test]
+    fn hashing_is_consistent_with_equality_for_int_float() {
+        let mut set = HashSet::new();
+        set.insert(Value::Int(3));
+        assert!(set.contains(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut values = vec![
+            Value::text("b"),
+            Value::Null,
+            Value::Int(10),
+            Value::Float(1.5),
+            Value::text("a"),
+            Value::Bool(true),
+        ];
+        values.sort();
+        assert!(values[0].is_null());
+        assert_eq!(values.last().unwrap(), &Value::text("b"));
+    }
+
+    #[test]
+    fn as_f64_covers_numeric_variants() {
+        assert_eq!(Value::Int(2).as_f64(), Some(2.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::text("x").as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn numeric_and_text_predicates() {
+        assert!(Value::Int(1).is_numeric());
+        assert!(Value::Float(0.1).is_numeric());
+        assert!(!Value::text("x").is_numeric());
+        assert!(Value::text("x").is_text());
+        assert!(!Value::Null.is_text());
+    }
+}

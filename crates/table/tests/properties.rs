@@ -1,0 +1,105 @@
+//! Property-based tests for the table substrate: CSV round-trips, value
+//! parsing totality, tuple permutation invariants, and outer-append shape.
+
+use dust_table::{parse_csv, write_csv, CsvOptions, Table, Tuple, Value};
+use proptest::prelude::*;
+
+/// Cell strategy: printable text without exotic control characters, or
+/// numeric-looking strings, or empties.
+fn cell() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-zA-Z0-9 ,\\.\"'-]{0,12}",
+        (-1000i64..1000).prop_map(|v| v.to_string()),
+        Just(String::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any table built from arbitrary cells survives a CSV write/parse
+    /// round-trip with the same shape and the same rendered cell values.
+    #[test]
+    fn csv_round_trip_preserves_shape_and_values(
+        rows in prop::collection::vec(prop::collection::vec(cell(), 3), 1..12),
+    ) {
+        let headers: Vec<String> = ["alpha", "beta", "gamma"].iter().map(|h| h.to_string()).collect();
+        let table = Table::from_rows("t", &headers, &rows).unwrap();
+        let csv = write_csv(&table, CsvOptions::default());
+        let parsed = parse_csv("t", &csv, CsvOptions::default()).unwrap();
+        prop_assert_eq!(parsed.num_rows(), table.num_rows());
+        prop_assert_eq!(parsed.num_columns(), table.num_columns());
+        for r in 0..table.num_rows() {
+            for c in 0..table.num_columns() {
+                let original = table.cell(r, c).unwrap();
+                let round_tripped = parsed.cell(r, c).unwrap();
+                // rendered values are compared because parsing may normalize
+                // the *type* (e.g. "007" stays text, "7" becomes an integer)
+                // but never the rendered content of non-null cells
+                if original.is_null() {
+                    prop_assert!(round_tripped.is_null());
+                } else {
+                    let original_text = original.render().trim().to_string();
+                    let round_tripped_text = round_tripped.render().trim().to_string();
+                    prop_assert_eq!(original_text, round_tripped_text);
+                }
+            }
+        }
+    }
+
+    /// Value parsing never panics and always classifies into exactly one of
+    /// the null / numeric / textual categories.
+    #[test]
+    fn value_parsing_is_total(raw in ".{0,24}") {
+        let value = Value::parse(&raw);
+        let classes =
+            [value.is_null(), value.is_numeric(), value.is_text() || matches!(value, Value::Bool(_))];
+        prop_assert_eq!(classes.iter().filter(|c| **c).count(), 1);
+    }
+
+    /// Permuting a tuple's columns never changes its deduplication key, its
+    /// non-null count, or the value associated with each header.
+    #[test]
+    fn tuple_permutation_invariants(
+        values in prop::collection::vec(cell(), 2..6),
+        seed in 0u64..1000,
+    ) {
+        let headers: Vec<String> = (0..values.len()).map(|i| format!("col_{i}")).collect();
+        let typed: Vec<Value> = values.iter().map(|v| Value::parse(v)).collect();
+        let tuple = Tuple::new(headers.clone(), typed, "t", 0);
+        // derive a permutation deterministically from the seed
+        let mut order: Vec<usize> = (0..headers.len()).collect();
+        let mut state = seed;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            order.swap(i, (state as usize) % (i + 1));
+        }
+        let permuted = tuple.permuted(&order);
+        prop_assert_eq!(permuted.dedup_key(), tuple.dedup_key());
+        prop_assert_eq!(permuted.non_null_count(), tuple.non_null_count());
+        for h in &headers {
+            prop_assert_eq!(tuple.value_for(h), permuted.value_for(h));
+        }
+    }
+
+    /// Outer-appending any table onto a base keeps the base's schema and adds
+    /// exactly the other table's row count.
+    #[test]
+    fn append_outer_adds_rows_and_keeps_schema(
+        base_rows in prop::collection::vec(prop::collection::vec(cell(), 2), 1..6),
+        other_rows in prop::collection::vec(prop::collection::vec(cell(), 2), 1..6),
+    ) {
+        let base_headers: Vec<String> = vec!["shared".into(), "only_base".into()];
+        let other_headers: Vec<String> = vec!["shared".into(), "only_other".into()];
+        let mut base = Table::from_rows("base", &base_headers, &base_rows).unwrap();
+        let other = Table::from_rows("other", &other_headers, &other_rows).unwrap();
+        let before = base.num_rows();
+        base.append_outer(&other);
+        prop_assert_eq!(base.num_rows(), before + other.num_rows());
+        prop_assert_eq!(base.headers(), &["shared".to_string(), "only_base".to_string()]);
+        // appended rows have nulls in the column the other table lacks
+        for r in before..base.num_rows() {
+            prop_assert!(base.cell(r, 1).unwrap().is_null());
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Sweep the diversification algorithms (DUST, GMC, CLT, Max-Min, SWAP,
+//! Random) over every query of a generated benchmark and print a per-query
+//! scoreboard plus aggregate wins — a miniature of the paper's Table 2 that
+//! exercises the public diversification API directly.
+//!
+//! Run with `cargo run --release -p dust-core --example benchmark_sweep`.
+
+use dust_align::{outer_union, HolisticAligner};
+use dust_datagen::BenchmarkConfig;
+use dust_diversify::{
+    CltDiversifier, DiversificationInput, Diversifier, DiversityScores, DustDiversifier,
+    GmcDiversifier, MaxMinDiversifier, RandomDiversifier, SwapDiversifier,
+};
+use dust_embed::{Distance, PretrainedModel, TupleEncoder};
+use dust_table::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lake = BenchmarkConfig {
+        num_domains: 4,
+        base_rows: 120,
+        queries_per_domain: 2,
+        lake_tables_per_domain: 5,
+        ..BenchmarkConfig::santos()
+    }
+    .generate()
+    .lake;
+    let encoder = TupleEncoder::new(PretrainedModel::Roberta);
+    let k = 20;
+
+    let gmc = GmcDiversifier::new();
+    let clt = CltDiversifier::new();
+    let maxmin = MaxMinDiversifier::new();
+    let swap = SwapDiversifier::new();
+    let random = RandomDiversifier::default();
+    let dust = DustDiversifier::new();
+    let algorithms: Vec<(&str, &dyn Diversifier)> = vec![
+        ("GMC", &gmc),
+        ("CLT", &clt),
+        ("MaxMin", &maxmin),
+        ("SWAP", &swap),
+        ("Random", &random),
+        ("DUST", &dust),
+    ];
+    let mut avg_wins = vec![0usize; algorithms.len()];
+    let mut min_wins = vec![0usize; algorithms.len()];
+
+    println!(
+        "{:<22} {}",
+        "query",
+        algorithms
+            .iter()
+            .map(|(n, _)| format!("{n:>18}"))
+            .collect::<String>()
+    );
+    for query_name in lake.query_names() {
+        let query = lake.query(&query_name)?;
+        // candidate pool: the ground-truth unionable tables, outer-unioned
+        let unionable = lake.ground_truth().unionable_with(&query_name);
+        let tables: Vec<&Table> = unionable.iter().filter_map(|t| lake.table(t).ok()).collect();
+        let alignment = HolisticAligner::new().align(query, &tables);
+        let candidates = outer_union(query, &tables, &alignment);
+        if candidates.len() < k {
+            continue;
+        }
+        let query_embeddings = encoder.embed_tuples(&query.tuples());
+        let candidate_embeddings = encoder.embed_tuples(&candidates);
+        let input = DiversificationInput::new(&query_embeddings, &candidate_embeddings, Distance::Cosine);
+
+        let mut scores = Vec::new();
+        for (_, algorithm) in &algorithms {
+            let selection = algorithm.select(&input, k);
+            let selected: Vec<_> = selection
+                .iter()
+                .map(|&i| candidate_embeddings[i].clone())
+                .collect();
+            scores.push(DiversityScores::compute(
+                &query_embeddings,
+                &selected,
+                Distance::Cosine,
+            ));
+        }
+        let best_avg = scores.iter().map(|s| s.average).fold(f64::NEG_INFINITY, f64::max);
+        let best_min = scores.iter().map(|s| s.minimum).fold(f64::NEG_INFINITY, f64::max);
+        let cells: String = scores
+            .iter()
+            .map(|s| format!("{:>9.3}/{:<8.3}", s.average, s.minimum))
+            .collect();
+        println!("{query_name:<22} {cells}");
+        for (i, s) in scores.iter().enumerate() {
+            if (s.average - best_avg).abs() < 1e-12 {
+                avg_wins[i] += 1;
+            }
+            if (s.minimum - best_min).abs() < 1e-12 {
+                min_wins[i] += 1;
+            }
+        }
+    }
+
+    println!("\nQueries won (Average Diversity / Min Diversity):");
+    for (i, (name, _)) in algorithms.iter().enumerate() {
+        println!("  {name:<8} {:>3} / {:<3}", avg_wins[i], min_wins[i]);
+    }
+    Ok(())
+}

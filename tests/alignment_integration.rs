@@ -1,0 +1,182 @@
+//! Integration tests of holistic column alignment + outer union on
+//! generator-produced tables (where the true alignment is known from the
+//! domain schema), plus property tests on the alignment invariants.
+
+use dust_align::{
+    alignment_items, bipartite_alignment, ground_truth_from_map, outer_union, precision_recall_f1,
+    ColumnRef, HolisticAligner,
+};
+use dust_datagen::{generate_base_table, BenchmarkConfig, DeriveOptions, Domain};
+use dust_embed::{ColumnEncoder, ColumnSerialization, PretrainedModel};
+use dust_search::StarmieSearch;
+use dust_table::Table;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Canonicalize a header of a domain (alt name → canonical name).
+fn canonical(domain: &Domain, header: &str) -> String {
+    domain
+        .columns
+        .iter()
+        .find(|c| c.name == header || c.alt_name == header)
+        .map(|c| c.name.to_string())
+        .unwrap_or_else(|| header.to_string())
+}
+
+fn alignment_ground_truth(
+    domain: &Domain,
+    query: &Table,
+    tables: &[&Table],
+) -> std::collections::BTreeSet<dust_align::AlignmentItem> {
+    let mut mapping = Vec::new();
+    for q_header in query.headers() {
+        let q_canonical = canonical(domain, q_header);
+        let mut members = Vec::new();
+        for table in tables {
+            for header in table.headers() {
+                if canonical(domain, header) == q_canonical {
+                    members.push(ColumnRef::new(table.name(), header.clone()));
+                }
+            }
+        }
+        mapping.push((q_header.clone(), members));
+    }
+    ground_truth_from_map(query, &mapping)
+}
+
+fn derived_parks() -> (Domain, Table, Vec<Table>) {
+    let domain = Domain::by_name("parks").unwrap();
+    let base = generate_base_table(&domain, 80, 21);
+    let mut rng = StdRng::seed_from_u64(33);
+    let options = DeriveOptions {
+        min_columns: 3,
+        keep_subject: true,
+        alt_name_probability: 0.5,
+        ..DeriveOptions::default()
+    };
+    let query = dust_datagen::derive_table(&base, "parks_query_0", &options, &mut rng);
+    let tables: Vec<Table> = (0..4)
+        .map(|i| dust_datagen::derive_table(&base, &format!("parks_dl_{i}"), &options, &mut rng))
+        .collect();
+    (domain, query, tables)
+}
+
+#[test]
+fn holistic_alignment_recovers_most_true_alignments() {
+    let (domain, query, tables) = derived_parks();
+    let refs: Vec<&Table> = tables.iter().collect();
+    let aligner = HolisticAligner::new();
+    let alignment = aligner.align(&query, &refs);
+    let method = alignment_items(&alignment, &query);
+    let truth = alignment_ground_truth(&domain, &query, &refs);
+    let scores = precision_recall_f1(&method, &truth);
+    assert!(
+        scores.f1 > 0.5,
+        "holistic alignment F1 too low: {scores:?}\nalignment: {alignment:?}"
+    );
+}
+
+#[test]
+fn holistic_beats_or_matches_starmie_bipartite_embeddings() {
+    // Table 1's qualitative finding: Starmie's table-contextualized
+    // embeddings are a poor basis for column alignment compared with the
+    // holistic column-level encoder.
+    let (domain, query, tables) = derived_parks();
+    let refs: Vec<&Table> = tables.iter().collect();
+    let truth = alignment_ground_truth(&domain, &query, &refs);
+
+    let holistic = HolisticAligner::with_encoder(ColumnEncoder::new(
+        PretrainedModel::Roberta,
+        ColumnSerialization::ColumnLevel,
+    ));
+    let holistic_f1 = {
+        let a = holistic.align(&query, &refs);
+        precision_recall_f1(&alignment_items(&a, &query), &truth).f1
+    };
+    let starmie = StarmieSearch::new();
+    let starmie_f1 = {
+        let a = bipartite_alignment(&query, &refs, |t| starmie.contextual_column_embeddings(t));
+        precision_recall_f1(&alignment_items(&a, &query), &truth).f1
+    };
+    assert!(
+        holistic_f1 >= starmie_f1,
+        "holistic column-level RoBERTa ({holistic_f1:.3}) should not lose to Starmie bipartite ({starmie_f1:.3})"
+    );
+}
+
+#[test]
+fn outer_union_covers_every_row_of_aligned_tables() {
+    let (_, query, tables) = derived_parks();
+    let refs: Vec<&Table> = tables.iter().collect();
+    let alignment = HolisticAligner::new().align(&query, &refs);
+    let tuples = outer_union(&query, &refs, &alignment);
+    // every table that received an alignment contributes all of its rows
+    let aligned_tables: std::collections::HashSet<&str> = alignment
+        .clusters
+        .iter()
+        .flat_map(|c| c.members.iter().map(|m| m.table.as_str()))
+        .collect();
+    let expected_rows: usize = refs
+        .iter()
+        .filter(|t| aligned_tables.contains(t.name()))
+        .map(|t| t.num_rows())
+        .sum();
+    assert_eq!(tuples.len(), expected_rows);
+    for tuple in &tuples {
+        assert_eq!(tuple.headers(), query.headers());
+        assert!(tuple.non_null_count() > 0, "outer union produced an empty tuple");
+    }
+}
+
+#[test]
+fn alignment_works_across_generated_benchmark_queries() {
+    let lake = BenchmarkConfig::tiny().generate().lake;
+    let aligner = HolisticAligner::new();
+    for query_name in lake.query_names() {
+        let query = lake.query(&query_name).unwrap();
+        let unionable = lake.ground_truth().unionable_with(&query_name);
+        let tables: Vec<&Table> = unionable.iter().filter_map(|t| lake.table(t).ok()).collect();
+        let alignment = aligner.align(query, &tables);
+        // each query column appears at most once among clusters
+        let mut seen = std::collections::HashSet::new();
+        for cluster in &alignment.clusters {
+            assert!(seen.insert(cluster.query_column.clone()));
+            // no two members of a cluster come from the same table
+            let mut member_tables: Vec<&str> =
+                cluster.members.iter().map(|m| m.table.as_str()).collect();
+            member_tables.sort_unstable();
+            let len_before = member_tables.len();
+            member_tables.dedup();
+            assert_eq!(len_before, member_tables.len());
+        }
+        // at least one data-lake column aligns somewhere
+        assert!(alignment.aligned_column_count() > 0, "query {query_name}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The alignment-evaluation scores are proper fractions and a method's
+    /// items always score 1.0 against themselves.
+    #[test]
+    fn precision_recall_are_fractions(seed in 0u64..500) {
+        let domain = Domain::by_name("schools").unwrap();
+        let base = generate_base_table(&domain, 30, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let options = DeriveOptions { keep_subject: true, ..DeriveOptions::default() };
+        let query = dust_datagen::derive_table(&base, "q", &options, &mut rng);
+        let table = dust_datagen::derive_table(&base, "t", &options, &mut rng);
+        let aligner = HolisticAligner::new();
+        let alignment = aligner.align(&query, &[&table]);
+        let items = alignment_items(&alignment, &query);
+        let truth = alignment_ground_truth(&domain, &query, &[&table]);
+        let scores = precision_recall_f1(&items, &truth);
+        prop_assert!((0.0..=1.0).contains(&scores.precision));
+        prop_assert!((0.0..=1.0).contains(&scores.recall));
+        prop_assert!((0.0..=1.0).contains(&scores.f1));
+        let self_scores = precision_recall_f1(&items, &items);
+        prop_assert!((self_scores.f1 - 1.0).abs() < 1e-9 || items.is_empty());
+    }
+}

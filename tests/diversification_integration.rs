@@ -1,0 +1,205 @@
+//! Cross-crate integration tests of the diversification stack: real
+//! benchmark data → alignment → embeddings → every diversifier, checking the
+//! relative behaviour the paper reports (Table 2 / Fig. 7 shapes) plus
+//! property-based invariants on the algorithms.
+
+use dust_align::{outer_union, HolisticAligner};
+use dust_datagen::BenchmarkConfig;
+use dust_diversify::{
+    average_diversity, min_diversity, CltDiversifier, DiversificationInput, Diversifier,
+    DustConfig, DustDiversifier, GmcDiversifier, GneDiversifier, MaxMinDiversifier,
+    RandomDiversifier, SwapDiversifier,
+};
+use dust_embed::{Distance, PretrainedModel, TupleEncoder, Vector};
+use dust_table::Table;
+use proptest::prelude::*;
+
+/// Build one query's embedded candidate pool from the tiny benchmark.
+fn embedded_pool() -> (Vec<Vector>, Vec<Vector>, Vec<usize>) {
+    let lake = BenchmarkConfig::tiny().generate().lake;
+    let query_name = lake.query_names()[0].clone();
+    let query = lake.query(&query_name).unwrap();
+    let unionable = lake.ground_truth().unionable_with(&query_name);
+    let tables: Vec<&Table> = unionable.iter().filter_map(|t| lake.table(t).ok()).collect();
+    let alignment = HolisticAligner::new().align(query, &tables);
+    let candidates = outer_union(query, &tables, &alignment);
+    let encoder = TupleEncoder::new(PretrainedModel::Roberta);
+    let mut ids = std::collections::HashMap::new();
+    let sources: Vec<usize> = candidates
+        .iter()
+        .map(|t| {
+            let next = ids.len();
+            *ids.entry(t.source_table().to_string()).or_insert(next)
+        })
+        .collect();
+    (
+        encoder.embed_tuples(&query.tuples()),
+        encoder.embed_tuples(&candidates),
+        sources,
+    )
+}
+
+#[test]
+fn every_diversifier_returns_k_valid_indices_on_real_data() {
+    let (query, candidates, sources) = embedded_pool();
+    let k = 10.min(candidates.len());
+    let input = DiversificationInput::with_sources(&query, &candidates, &sources, Distance::Cosine);
+    let gmc = GmcDiversifier::new();
+    let gne = GneDiversifier::new();
+    let clt = CltDiversifier::new();
+    let maxmin = MaxMinDiversifier::new();
+    let swap = SwapDiversifier::new();
+    let random = RandomDiversifier::default();
+    let dust = DustDiversifier::new();
+    let algorithms: Vec<&dyn Diversifier> =
+        vec![&gmc, &gne, &clt, &maxmin, &swap, &random, &dust];
+    for algorithm in algorithms {
+        let selection = algorithm.select(&input, k);
+        assert_eq!(selection.len(), k, "{}", algorithm.name());
+        let unique: std::collections::HashSet<_> = selection.iter().collect();
+        assert_eq!(unique.len(), k, "{} returned duplicates", algorithm.name());
+        assert!(selection.iter().all(|&i| i < candidates.len()));
+    }
+}
+
+#[test]
+fn dust_outperforms_random_on_min_diversity() {
+    let (query, candidates, sources) = embedded_pool();
+    let k = 10.min(candidates.len());
+    let input = DiversificationInput::with_sources(&query, &candidates, &sources, Distance::Cosine);
+    let pick = |selection: &[usize]| -> Vec<Vector> {
+        selection.iter().map(|&i| candidates[i].clone()).collect()
+    };
+    let dust = DustDiversifier::new().select(&input, k);
+    // best of three random draws, as in the paper's random-baseline protocol
+    let mut best_random_min = f64::NEG_INFINITY;
+    for seed in [1, 2, 3] {
+        let selection = RandomDiversifier::with_seed(seed).select(&input, k);
+        best_random_min =
+            best_random_min.max(min_diversity(&query, &pick(&selection), Distance::Cosine));
+    }
+    let dust_min = min_diversity(&query, &pick(&dust), Distance::Cosine);
+    assert!(
+        dust_min >= best_random_min,
+        "DUST min diversity {dust_min} should be at least the best random {best_random_min}"
+    );
+}
+
+#[test]
+fn dust_is_faster_than_gmc_on_large_pools() {
+    // Fig. 7a's shape: GMC is quadratic in the pool size, DUST (with pruning)
+    // is not. Compare on a synthetic pool large enough for the gap to be
+    // unambiguous even in debug builds.
+    use std::time::Instant;
+    let dim = 16;
+    let n = 1200usize;
+    let query: Vec<Vector> = (0..10)
+        .map(|i| Vector::new((0..dim).map(|d| ((i * d) as f32).sin()).collect()).normalized())
+        .collect();
+    let candidates: Vec<Vector> = (0..n)
+        .map(|i| {
+            Vector::new((0..dim).map(|d| ((i + d * 7) as f32 * 0.37).cos()).collect()).normalized()
+        })
+        .collect();
+    let input = DiversificationInput::new(&query, &candidates, Distance::Cosine);
+    let k = 40;
+
+    let dust = DustDiversifier::with_config(DustConfig {
+        prune_to: Some(400),
+        ..DustConfig::default()
+    });
+    let start = Instant::now();
+    let dust_selection = dust.select(&input, k);
+    let dust_time = start.elapsed();
+
+    let start = Instant::now();
+    let gmc_selection = GmcDiversifier::new().select(&input, k);
+    let gmc_time = start.elapsed();
+
+    assert_eq!(dust_selection.len(), k);
+    assert_eq!(gmc_selection.len(), k);
+    assert!(
+        dust_time < gmc_time,
+        "DUST ({dust_time:?}) should be faster than GMC ({gmc_time:?}) at n = {n}"
+    );
+}
+
+#[test]
+fn diversity_metrics_agree_with_definitions_on_real_selections() {
+    let (query, candidates, sources) = embedded_pool();
+    let k = 8.min(candidates.len());
+    let input = DiversificationInput::with_sources(&query, &candidates, &sources, Distance::Cosine);
+    let selection = DustDiversifier::new().select(&input, k);
+    let selected: Vec<Vector> = selection.iter().map(|&i| candidates[i].clone()).collect();
+    let avg = average_diversity(&query, &selected, Distance::Cosine);
+    let min = min_diversity(&query, &selected, Distance::Cosine);
+    // Eq. 1 normalizes the pair-distance sum by (n + k); reconstruct the sum
+    // and check it is consistent with the minimum over at least as many pairs.
+    let n = query.len();
+    let pairs = n * k + k * (k - 1) / 2;
+    let sum = avg * (n + k) as f64;
+    assert!(min >= 0.0);
+    assert!(sum + 1e-9 >= min * pairs as f64);
+    // every individual cosine distance is bounded by 2
+    assert!(min <= 2.0 + 1e-9);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// On arbitrary point clouds, every diversifier returns exactly
+    /// min(k, n) distinct in-bounds indices.
+    #[test]
+    fn diversifiers_respect_cardinality_on_arbitrary_inputs(
+        points in prop::collection::vec(
+            prop::collection::vec(-10.0f32..10.0, 3),
+            1..40,
+        ),
+        k in 1usize..15,
+    ) {
+        let candidates: Vec<Vector> = points.into_iter().map(Vector::new).collect();
+        let query = vec![Vector::new(vec![0.0, 0.0, 0.0])];
+        let input = DiversificationInput::new(&query, &candidates, Distance::Euclidean);
+        let expected = k.min(candidates.len());
+        let gmc = GmcDiversifier::new();
+        let clt = CltDiversifier::new();
+        let dust = DustDiversifier::new();
+        let maxmin = MaxMinDiversifier::new();
+        for algorithm in [&gmc as &dyn Diversifier, &clt, &dust, &maxmin] {
+            let selection = algorithm.select(&input, k);
+            prop_assert_eq!(selection.len(), expected);
+            let unique: std::collections::HashSet<_> = selection.iter().collect();
+            prop_assert_eq!(unique.len(), expected);
+            prop_assert!(selection.iter().all(|&i| i < candidates.len()));
+        }
+    }
+
+    /// Diversity metrics are non-negative, bounded by the maximum pairwise
+    /// distance, and the average is never below the minimum.
+    #[test]
+    fn diversity_metric_invariants(
+        selected in prop::collection::vec(
+            prop::collection::vec(-5.0f32..5.0, 2),
+            1..10,
+        ),
+    ) {
+        let query = vec![Vector::new(vec![0.0, 0.0])];
+        let vectors: Vec<Vector> = selected.into_iter().map(Vector::new).collect();
+        let avg = average_diversity(&query, &vectors, Distance::Euclidean);
+        let min = min_diversity(&query, &vectors, Distance::Euclidean);
+        prop_assert!(avg >= 0.0);
+        prop_assert!(min >= 0.0);
+        // the minimum never exceeds any individual pairwise distance, in
+        // particular the largest one
+        let max_pairwise = vectors
+            .iter()
+            .flat_map(|a| query.iter().chain(vectors.iter()).map(move |b| Distance::Euclidean.between(a, b)))
+            .fold(0.0f64, f64::max);
+        prop_assert!(min <= max_pairwise + 1e-9);
+        // Eq. 1's normalized sum is consistent with the minimum
+        let n = query.len();
+        let k = vectors.len();
+        let pairs = n * k + k * (k - 1) / 2;
+        prop_assert!(avg * (n + k) as f64 + 1e-6 >= min * pairs as f64);
+    }
+}

@@ -1,0 +1,134 @@
+//! Integration tests of the tuple-representation stack (Fig. 6 / Fig. 10
+//! behaviour): fine-tuning on a generated benchmark's pair dataset must beat
+//! the pre-trained baselines, and the resulting embeddings must be robust to
+//! column-order shuffling.
+
+use dust_datagen::{build_finetune_dataset, BenchmarkConfig, FineTuneDataset, FineTuneDatasetConfig};
+use dust_embed::{
+    classification_accuracy, cosine_similarity, DustModel, FineTuneConfig, PretrainedModel,
+    TupleEncoder,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dataset() -> FineTuneDataset {
+    let lake = BenchmarkConfig::tiny().generate().lake;
+    build_finetune_dataset(
+        &lake,
+        &FineTuneDatasetConfig {
+            total_pairs: 260,
+            ..FineTuneDatasetConfig::default()
+        },
+    )
+}
+
+fn trained_model(dataset: &FineTuneDataset, backbone: PretrainedModel) -> DustModel {
+    let mut model = DustModel::new(
+        backbone,
+        FineTuneConfig {
+            hidden_dim: 64,
+            output_dim: 32,
+            max_epochs: 60,
+            patience: 10,
+            ..FineTuneConfig::default()
+        },
+    );
+    model.train(
+        &FineTuneDataset::triples(&dataset.train),
+        &FineTuneDataset::triples(&dataset.validation),
+    );
+    model
+}
+
+#[test]
+fn fine_tuning_beats_every_pretrained_baseline() {
+    let dataset = dataset();
+    let test = FineTuneDataset::triples(&dataset.test);
+    assert!(test.len() >= 20, "test split too small: {}", test.len());
+    let threshold = 0.7;
+
+    let mut baseline_best: f64 = 0.0;
+    for backbone in PretrainedModel::tuple_models() {
+        let encoder = TupleEncoder::new(backbone);
+        let accuracy = classification_accuracy(|t| encoder.embed_tuple(t), &test, threshold);
+        baseline_best = baseline_best.max(accuracy);
+    }
+
+    let model = trained_model(&dataset, PretrainedModel::Roberta);
+    let tuned = model.classification_accuracy(&test, threshold);
+    assert!(
+        tuned > baseline_best,
+        "fine-tuned accuracy {tuned:.3} must beat the best pre-trained baseline {baseline_best:.3}"
+    );
+    assert!(tuned >= 0.7, "fine-tuned accuracy too low: {tuned:.3}");
+}
+
+#[test]
+fn fine_tuned_space_separates_unionable_from_non_unionable_pairs() {
+    let dataset = dataset();
+    let model = trained_model(&dataset, PretrainedModel::Roberta);
+    let mut unionable = Vec::new();
+    let mut non_unionable = Vec::new();
+    for pair in &dataset.test {
+        let sim = cosine_similarity(&model.embed_tuple(&pair.a), &model.embed_tuple(&pair.b));
+        if pair.unionable {
+            unionable.push(sim);
+        } else {
+            non_unionable.push(sim);
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    assert!(
+        mean(&unionable) > mean(&non_unionable) + 0.2,
+        "unionable pairs ({:.3}) must be clearly closer than non-unionable pairs ({:.3})",
+        mean(&unionable),
+        mean(&non_unionable)
+    );
+}
+
+#[test]
+fn embeddings_are_robust_to_column_shuffling() {
+    // Appendix A.2.1 / Fig. 10: shuffling a tuple's column order barely moves
+    // its embedding.
+    let dataset = dataset();
+    let model = trained_model(&dataset, PretrainedModel::Roberta);
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut similarities = Vec::new();
+    for pair in dataset.test.iter().take(40) {
+        let tuple = &pair.a;
+        if tuple.arity() < 2 {
+            continue;
+        }
+        let mut order: Vec<usize> = (0..tuple.arity()).collect();
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let shuffled = tuple.permuted(&order);
+        similarities.push(cosine_similarity(
+            &model.embed_tuple(tuple),
+            &model.embed_tuple(&shuffled),
+        ));
+    }
+    assert!(!similarities.is_empty());
+    let mean = similarities.iter().sum::<f64>() / similarities.len() as f64;
+    assert!(
+        mean > 0.9,
+        "column-shuffled embeddings should stay similar (mean {mean:.3})"
+    );
+}
+
+#[test]
+fn bert_and_roberta_backbones_both_fine_tune_successfully() {
+    let dataset = dataset();
+    let test = FineTuneDataset::triples(&dataset.test);
+    for backbone in [PretrainedModel::Bert, PretrainedModel::Roberta] {
+        let model = trained_model(&dataset, backbone);
+        let accuracy = model.classification_accuracy(&test, 0.7);
+        assert!(
+            accuracy > 0.6,
+            "DUST ({}) accuracy {accuracy:.3} too low",
+            backbone.name()
+        );
+    }
+}

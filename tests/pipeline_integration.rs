@@ -1,0 +1,136 @@
+//! End-to-end integration tests of the DUST pipeline (Algorithm 1) on
+//! generated benchmarks, spanning every crate of the workspace.
+
+use dust_core::{DustPipeline, PipelineConfig, SearchTechnique, TupleEmbedderKind};
+use dust_datagen::BenchmarkConfig;
+use dust_embed::{FineTuneConfig, PretrainedModel};
+use dust_table::DataLake;
+
+fn tiny_lake() -> DataLake {
+    BenchmarkConfig::tiny().generate().lake
+}
+
+#[test]
+fn pipeline_runs_on_every_query_of_a_generated_benchmark() {
+    let lake = tiny_lake();
+    let pipeline = DustPipeline::new(PipelineConfig::fast());
+    for query_name in lake.query_names() {
+        let query = lake.query(&query_name).unwrap().clone();
+        let result = pipeline.run(&lake, &query, 8).expect("pipeline runs");
+        assert_eq!(result.len(), 8.min(result.candidate_tuples));
+        // every returned tuple uses the query header and originates from a
+        // real data-lake table
+        for tuple in &result.tuples {
+            assert_eq!(tuple.headers(), query.headers());
+            assert!(lake.table(tuple.source_table()).is_ok());
+        }
+    }
+}
+
+#[test]
+fn fine_tuned_pipeline_produces_diverse_novel_tuples() {
+    let lake = tiny_lake();
+    let query_name = lake.query_names()[0].clone();
+    let query = lake.query(&query_name).unwrap().clone();
+    let config = PipelineConfig {
+        tables_per_query: 3,
+        embedder: TupleEmbedderKind::FineTuned {
+            backbone: PretrainedModel::Roberta,
+            config: FineTuneConfig {
+                hidden_dim: 48,
+                output_dim: 32,
+                max_epochs: 25,
+                patience: 5,
+                ..FineTuneConfig::default()
+            },
+            training_pairs: 150,
+        },
+        ..PipelineConfig::default()
+    };
+    let pipeline = DustPipeline::new(config);
+    let result = pipeline.run(&lake, &query, 6).expect("pipeline runs");
+    assert_eq!(result.len(), 6);
+    // tuples should be mostly novel with respect to the query table
+    assert!(result.novel_tuple_count(&query.tuples()) >= 4);
+    // diversity metrics are positive (cosine distances in (0, 2])
+    assert!(result.diversity.average > 0.0);
+    assert!(result.diversity.minimum >= 0.0);
+}
+
+#[test]
+fn all_search_techniques_retrieve_mostly_unionable_tables() {
+    let lake = tiny_lake();
+    let query_name = lake.query_names()[0].clone();
+    let query = lake.query(&query_name).unwrap().clone();
+    for technique in [
+        SearchTechnique::Overlap,
+        SearchTechnique::D3l,
+        SearchTechnique::Starmie,
+    ] {
+        let pipeline = DustPipeline::new(PipelineConfig {
+            search: technique,
+            tables_per_query: 3,
+            ..PipelineConfig::fast()
+        });
+        let result = pipeline.run(&lake, &query, 5).expect("pipeline runs");
+        let relevant = result
+            .retrieved_tables
+            .iter()
+            .filter(|t| lake.ground_truth().is_unionable(&query_name, t))
+            .count();
+        assert!(
+            relevant * 2 >= result.retrieved_tables.len(),
+            "{technique:?}: retrieved {:?}",
+            result.retrieved_tables
+        );
+    }
+}
+
+#[test]
+fn dust_beats_similarity_search_on_novelty() {
+    // The headline behaviour (Fig. 1 / Table 3): a similarity-driven tuple
+    // search returns tuples already present in the query table, DUST does not.
+    use dust_align::{outer_union, HolisticAligner};
+    use dust_core::StarmieBaseline;
+
+    let lake = tiny_lake();
+    let query_name = lake.query_names()[0].clone();
+    let query = lake.query(&query_name).unwrap().clone();
+    let pipeline = DustPipeline::new(PipelineConfig::fast());
+    let k = 6;
+    let dust_result = pipeline.run(&lake, &query, k).expect("pipeline runs");
+
+    let unionable = lake.ground_truth().unionable_with(&query_name);
+    let tables: Vec<&dust_table::Table> =
+        unionable.iter().filter_map(|t| lake.table(t).ok()).collect();
+    let alignment = HolisticAligner::new().align(&query, &tables);
+    let candidates = outer_union(&query, &tables, &alignment);
+    let starmie_tuples = StarmieBaseline::new().top_k(&query, &candidates, k);
+
+    let query_tuples = query.tuples();
+    let query_keys: std::collections::HashSet<String> =
+        query_tuples.iter().map(|t| t.dedup_key()).collect();
+    let starmie_novel = starmie_tuples
+        .iter()
+        .filter(|t| !query_keys.contains(&t.dedup_key()))
+        .count();
+    let dust_novel = dust_result.novel_tuple_count(&query_tuples);
+    assert!(
+        dust_novel >= starmie_novel,
+        "DUST should contribute at least as many novel tuples ({dust_novel}) as similarity search ({starmie_novel})"
+    );
+}
+
+#[test]
+fn pipeline_handles_degenerate_requests() {
+    let lake = tiny_lake();
+    let query_name = lake.query_names()[0].clone();
+    let query = lake.query(&query_name).unwrap().clone();
+    let pipeline = DustPipeline::new(PipelineConfig::fast());
+    // k = 0
+    let empty = pipeline.run(&lake, &query, 0).expect("pipeline runs");
+    assert!(empty.is_empty());
+    // huge k: bounded by the candidate pool
+    let all = pipeline.run(&lake, &query, 1_000_000).expect("pipeline runs");
+    assert_eq!(all.len(), all.candidate_tuples);
+}

@@ -1,0 +1,121 @@
+//! Integration tests of the table-union-search substrate on generated
+//! benchmarks: retrieval quality (MAP), agreement between techniques, index
+//! pruning consistency, and the tuple-level Starmie baseline's redundancy
+//! behaviour.
+
+use dust_datagen::BenchmarkConfig;
+use dust_search::{
+    mean_average_precision, D3lSearch, InvertedValueIndex, OverlapSearch, StarmieSearch,
+    TableUnionSearch,
+};
+use dust_table::DataLake;
+use std::collections::BTreeSet;
+
+fn lake() -> DataLake {
+    BenchmarkConfig {
+        num_domains: 4,
+        base_rows: 60,
+        queries_per_domain: 1,
+        lake_tables_per_domain: 4,
+        ..BenchmarkConfig::tiny()
+    }
+    .generate()
+    .lake
+}
+
+fn map_of(search: &dyn TableUnionSearch, lake: &DataLake, k: usize) -> f64 {
+    let queries: Vec<(Vec<String>, BTreeSet<String>)> = lake
+        .query_names()
+        .into_iter()
+        .map(|q| {
+            let query = lake.query(&q).unwrap();
+            let results = search
+                .search(lake, query, k)
+                .into_iter()
+                .map(|r| r.table)
+                .collect();
+            (results, lake.ground_truth().unionable_with(&q))
+        })
+        .collect();
+    mean_average_precision(&queries)
+}
+
+#[test]
+fn overlap_search_achieves_high_map_on_generated_benchmarks() {
+    let lake = lake();
+    let map = map_of(&OverlapSearch::new(), &lake, 8);
+    assert!(map > 0.8, "overlap MAP {map} too low");
+}
+
+#[test]
+fn d3l_and_starmie_retrieve_mostly_unionable_tables() {
+    let lake = lake();
+    for (name, map) in [
+        ("d3l", map_of(&D3lSearch::new(), &lake, 8)),
+        ("starmie", map_of(&StarmieSearch::new(), &lake, 8)),
+    ] {
+        assert!(map > 0.5, "{name} MAP {map} too low");
+    }
+}
+
+#[test]
+fn index_pruned_search_agrees_with_exhaustive_search() {
+    let lake = lake();
+    let pruned = OverlapSearch { candidate_limit: 50 };
+    let exhaustive = OverlapSearch { candidate_limit: 0 };
+    for q in lake.query_names() {
+        let query = lake.query(&q).unwrap();
+        let top_pruned: Vec<String> = pruned
+            .search(&lake, query, 3)
+            .into_iter()
+            .map(|r| r.table)
+            .collect();
+        let top_exhaustive: Vec<String> = exhaustive
+            .search(&lake, query, 3)
+            .into_iter()
+            .map(|r| r.table)
+            .collect();
+        assert_eq!(top_pruned, top_exhaustive, "query {q}");
+    }
+}
+
+#[test]
+fn inverted_index_candidates_contain_the_true_unionable_tables() {
+    let lake = lake();
+    let index = InvertedValueIndex::build(&lake);
+    for q in lake.query_names() {
+        let query = lake.query(&q).unwrap();
+        let candidates: std::collections::HashSet<String> = index
+            .candidates(query, 1000)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
+        let unionable = lake.ground_truth().unionable_with(&q);
+        let covered = unionable.iter().filter(|t| candidates.contains(*t)).count();
+        assert!(
+            covered * 2 >= unionable.len(),
+            "index shortlist misses most unionable tables for {q}"
+        );
+    }
+}
+
+#[test]
+fn search_scores_are_sorted_and_bounded() {
+    let lake = lake();
+    let q = lake.query_names()[0].clone();
+    let query = lake.query(&q).unwrap();
+    for search in [
+        Box::new(OverlapSearch::new()) as Box<dyn TableUnionSearch>,
+        Box::new(D3lSearch::new()),
+        Box::new(StarmieSearch::new()),
+    ] {
+        let results = search.search(&lake, query, 20);
+        assert!(!results.is_empty(), "{}", search.name());
+        for window in results.windows(2) {
+            assert!(window[0].score >= window[1].score, "{} not sorted", search.name());
+        }
+        for r in &results {
+            assert!(r.score >= 0.0 && r.score <= 1.0 + 1e-9, "{}: {r:?}", search.name());
+        }
+    }
+}
