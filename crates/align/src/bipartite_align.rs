@@ -53,10 +53,9 @@ where
                 continue;
             }
             matched_cols[c_idx] = true;
-            clusters[q_idx].members.push(ColumnRef::new(
-                table.name(),
-                table.headers()[c_idx].clone(),
-            ));
+            clusters[q_idx]
+                .members
+                .push(ColumnRef::new(table.name(), table.headers()[c_idx].clone()));
         }
         for (c_idx, matched) in matched_cols.iter().enumerate() {
             if !matched {
@@ -168,9 +167,15 @@ mod tests {
         let name = alignment.cluster_for("Park Name").unwrap();
         assert_eq!(name.members, vec![ColumnRef::new("parks_d", "Name")]);
         let country = alignment.cluster_for("Country").unwrap();
-        assert_eq!(country.members, vec![ColumnRef::new("parks_d", "Park Country")]);
+        assert_eq!(
+            country.members,
+            vec![ColumnRef::new("parks_d", "Park Country")]
+        );
         let sup = alignment.cluster_for("Supervisor").unwrap();
-        assert_eq!(sup.members, vec![ColumnRef::new("parks_d", "Supervised by")]);
+        assert_eq!(
+            sup.members,
+            vec![ColumnRef::new("parks_d", "Supervised by")]
+        );
     }
 
     #[test]
@@ -178,7 +183,10 @@ mod tests {
         let q = query();
         let t = lake_table();
         let alignment = bipartite_alignment(&q, &[&t], embed_table);
-        assert_eq!(alignment.discarded, vec![ColumnRef::new("parks_d", "Phone")]);
+        assert_eq!(
+            alignment.discarded,
+            vec![ColumnRef::new("parks_d", "Phone")]
+        );
     }
 
     #[test]
@@ -194,7 +202,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for cluster in &alignment.clusters {
             for member in &cluster.members {
-                assert!(seen.insert(member.clone()), "column matched twice: {member:?}");
+                assert!(
+                    seen.insert(member.clone()),
+                    "column matched twice: {member:?}"
+                );
             }
         }
         assert_eq!(alignment.aligned_column_count(), 5);

@@ -1,6 +1,8 @@
 //! Holistic column alignment (Sec. 3.3, Appendix A.1.1).
 
-use dust_cluster::{agglomerative_constrained, clusters_from_assignment, silhouette_score, Linkage};
+use dust_cluster::{
+    agglomerative_constrained, clusters_from_assignment, silhouette_score, Linkage,
+};
 use dust_embed::{ColumnEncoder, ColumnSerialization, Distance, PretrainedModel, Vector};
 use dust_table::Table;
 use serde::{Deserialize, Serialize};
@@ -49,7 +51,9 @@ pub struct Alignment {
 impl Alignment {
     /// The cluster anchored at a given query column, if any.
     pub fn cluster_for(&self, query_column: &str) -> Option<&AlignedCluster> {
-        self.clusters.iter().find(|c| c.query_column == query_column)
+        self.clusters
+            .iter()
+            .find(|c| c.query_column == query_column)
     }
 
     /// Mapping from a data-lake table's column header to the query column it
@@ -298,7 +302,9 @@ mod tests {
         assert!(!alignment.clusters.is_empty());
 
         // the exact-copy columns of table (b) must align with their query twins
-        let name_cluster = alignment.cluster_for("Park Name").expect("Park Name cluster");
+        let name_cluster = alignment
+            .cluster_for("Park Name")
+            .expect("Park Name cluster");
         assert!(
             name_cluster
                 .members
@@ -325,7 +331,11 @@ mod tests {
             tables.sort_unstable();
             let before = tables.len();
             tables.dedup();
-            assert_eq!(before, tables.len(), "duplicate table in cluster {cluster:?}");
+            assert_eq!(
+                before,
+                tables.len(),
+                "duplicate table in cluster {cluster:?}"
+            );
         }
     }
 

@@ -141,8 +141,14 @@ mod tests {
         assert_eq!(tuples.len(), 2);
         let first = &tuples[0];
         assert_eq!(first.headers(), q.headers());
-        assert_eq!(first.value_for("Park Name"), Some(&Value::text("Chippewa Park")));
-        assert_eq!(first.value_for("Supervisor"), Some(&Value::text("Tim Erickson")));
+        assert_eq!(
+            first.value_for("Park Name"),
+            Some(&Value::text("Chippewa Park"))
+        );
+        assert_eq!(
+            first.value_for("Supervisor"),
+            Some(&Value::text("Tim Erickson"))
+        );
         assert_eq!(first.value_for("City"), Some(&Value::text("Brandon, MN")));
         // the dropped Park Phone column is simply absent
         assert_eq!(first.arity(), 4);

@@ -1,0 +1,85 @@
+//! Microbenchmarks of the shared distance-kernel subsystem: naive
+//! per-call `Distance::between` (recomputes two norms per cosine call)
+//! vs the store-backed cached-norm kernel vs the parallel condensed
+//! matrix build vs the pre-normalized `1 − dot` view, at n ∈ {500, 2000,
+//! 8000} and dim ∈ {32, 300}.
+//!
+//! The naive full-matrix build is skipped at n = 8000 (it takes tens of
+//! seconds per iteration); `naive/...` rows at 500 and 2000 anchor the
+//! comparison, and the scaling of the cached variants covers the rest.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dust_embed::{Distance, EmbeddingStore, PairwiseMatrix, Vector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn embeddings(n: usize, dim: usize, seed: u64) -> Vec<Vector> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centroids: Vec<Vec<f32>> = (0..20)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    (0..n)
+        .map(|_| {
+            let c = &centroids[rng.gen_range(0..centroids.len())];
+            Vector::new(c.iter().map(|x| x + rng.gen_range(-0.3f32..0.3)).collect())
+        })
+        .collect()
+}
+
+fn bench_distance_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_kernels");
+    group.sample_size(10);
+    for &dim in &[32usize, 300] {
+        for &n in &[500usize, 2000, 8000] {
+            let points = embeddings(n, dim, 42);
+            let store = EmbeddingStore::from_vectors(&points);
+            let param = format!("n={n}/dim={dim}");
+
+            if n <= 2000 {
+                group.bench_with_input(BenchmarkId::new("naive", &param), &points, |b, pts| {
+                    b.iter(|| {
+                        PairwiseMatrix::from_fn(pts.len(), |i, j| {
+                            Distance::Cosine.between(&pts[i], &pts[j])
+                        })
+                    });
+                });
+            }
+
+            group.bench_with_input(BenchmarkId::new("store_serial", &param), &store, |b, s| {
+                b.iter(|| {
+                    PairwiseMatrix::from_fn(s.len(), |i, j| s.distance(Distance::Cosine, i, j))
+                });
+            });
+
+            group.bench_with_input(
+                BenchmarkId::new("parallel_matrix", &param),
+                &store,
+                |b, s| {
+                    b.iter(|| PairwiseMatrix::from_store(black_box(s), Distance::Cosine));
+                },
+            );
+
+            group.bench_with_input(
+                BenchmarkId::new("normalized_dot", &param),
+                &store,
+                |b, s| {
+                    let view = s.normalized_view();
+                    b.iter(|| {
+                        PairwiseMatrix::from_fn(view.len(), |i, j| view.cosine_distance(i, j))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_distance_kernels
+}
+criterion_main!(benches);

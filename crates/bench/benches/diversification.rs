@@ -1,6 +1,14 @@
 //! Criterion microbenchmarks for the diversification algorithms: DUST vs
 //! GMC vs CLT vs farthest-first at growing candidate-set sizes (the
 //! microbench companion of Fig. 7), plus the pruning step in isolation.
+//!
+//! `gmc_naive` and `dust_naive` reproduce the pre-kernel implementations —
+//! every distance recomputed through `Distance::between` (two norms + one
+//! dot per cosine call), serially, with nothing shared between stages — so
+//! one run measures the speedup of the shared store / cached-norm /
+//! parallel-matrix path against the naive path on identical inputs. Both
+//! paths must (and do — see `assert_same_selection`) return identical
+//! selections; the caches change latency, never results.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dust_diversify::{
@@ -11,17 +19,347 @@ use dust_embed::{Distance, Vector};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Clustered unit-norm tuple embeddings at the paper's working
+/// dimensionality (fastText/DUST embeddings are 300-d; the distance kernels
+/// dominating Fig. 7 operate on vectors of this size).
 fn embeddings(n: usize, seed: u64) -> Vec<Vector> {
     let mut rng = StdRng::seed_from_u64(seed);
     let centroids: Vec<Vec<f32>> = (0..20)
-        .map(|_| (0..32).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .map(|_| (0..300).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
         .collect();
     (0..n)
         .map(|_| {
             let c = &centroids[rng.gen_range(0..centroids.len())];
-            Vector::new(c.iter().map(|x| x + rng.gen_range(-0.3..0.3)).collect()).normalized()
+            Vector::new(c.iter().map(|x| x + rng.gen_range(-0.3f32..0.3)).collect()).normalized()
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------
+// Naive-path reference implementations (the pre-kernel code shape).
+// ---------------------------------------------------------------------
+
+fn naive_relevance(query: &[Vector], candidate: &Vector, distance: Distance) -> f64 {
+    if query.is_empty() {
+        return 0.0;
+    }
+    let avg = query
+        .iter()
+        .map(|q| distance.between(candidate, q))
+        .sum::<f64>()
+        / query.len() as f64;
+    (1.0 - avg / 2.0).max(0.0)
+}
+
+/// GMC exactly as before the shared-kernel refactor: O(s²) max-distance
+/// scan and per-step updates all through `Distance::between`.
+fn naive_gmc(
+    query: &[Vector],
+    candidates: &[Vector],
+    distance: Distance,
+    lambda: f64,
+    k: usize,
+) -> Vec<usize> {
+    let n = candidates.len();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    if n <= k {
+        return (0..n).collect();
+    }
+    let relevance: Vec<f64> = candidates
+        .iter()
+        .map(|c| naive_relevance(query, c, distance))
+        .collect();
+    let mut max_dist = vec![0.0f64; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = distance.between(&candidates[i], &candidates[j]);
+            if d > max_dist[i] {
+                max_dist[i] = d;
+            }
+            if d > max_dist[j] {
+                max_dist[j] = d;
+            }
+        }
+    }
+    let mut selected: Vec<usize> = Vec::with_capacity(k);
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut dist_to_selected = vec![0.0f64; n];
+    while selected.len() < k && !remaining.is_empty() {
+        let slots_left = (k - selected.len()).saturating_sub(1) as f64;
+        let mut best_pos = 0usize;
+        let mut best_cand = usize::MAX;
+        let mut best_score = f64::NEG_INFINITY;
+        for (pos, &cand) in remaining.iter().enumerate() {
+            let future = slots_left * max_dist[cand];
+            let score = (1.0 - lambda) * (k as f64 - 1.0) * relevance[cand]
+                + 2.0 * lambda * (dist_to_selected[cand] + future);
+            if score > best_score + 1e-15 {
+                best_score = score;
+                best_pos = pos;
+                best_cand = cand;
+            } else if score > best_score - 1e-15 && cand < best_cand {
+                best_score = best_score.max(score);
+                best_pos = pos;
+                best_cand = cand;
+            }
+        }
+        let chosen = remaining.swap_remove(best_pos);
+        for &other in &remaining {
+            dist_to_selected[other] += distance.between(&candidates[chosen], &candidates[other]);
+        }
+        selected.push(chosen);
+    }
+    selected
+}
+
+// -- the pre-refactor clustering working state: condensed f32 storage with
+// per-element index arithmetic, filled by per-call `Distance::between` ----
+
+struct NaiveCondensed {
+    n: usize,
+    data: Vec<f32>,
+}
+
+impl NaiveCondensed {
+    fn fill(points: &[&Vector], distance: Distance) -> Self {
+        let n = points.len();
+        let mut data = vec![0.0f32; n * (n - 1) / 2];
+        let mut idx = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                data[idx] = distance.between(points[i], points[j]) as f32;
+                idx += 1;
+            }
+        }
+        NaiveCondensed { n, data }
+    }
+
+    #[inline]
+    fn index(&self, i: usize, j: usize) -> usize {
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        a * self.n - a * (a + 1) / 2 + (b - a - 1)
+    }
+
+    #[inline]
+    fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[self.index(i, j)] as f64
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, j: usize, value: f64) {
+        let idx = self.index(i, j);
+        self.data[idx] = value as f32;
+    }
+}
+
+/// The pre-refactor NN-chain: every distance read through `get`'s index
+/// arithmetic on the f32 condensed working copy.
+#[allow(clippy::needless_range_loop)] // deliberately preserves the old code shape
+fn naive_agglomerative_cut(
+    points: &[&Vector],
+    distance: Distance,
+    num_clusters: usize,
+) -> Vec<usize> {
+    let n = points.len();
+    let mut dist = NaiveCondensed::fill(points, distance);
+    let mut active = vec![true; n];
+    let mut size = vec![1usize; n];
+    // (merge distance, leaf-of-left, leaf-of-right) per merge, for the cut
+    let mut merges: Vec<(f64, usize, usize)> = Vec::with_capacity(n - 1);
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+    let mut remaining = n;
+    while remaining > 1 {
+        if chain.is_empty() {
+            let start = (0..n).find(|&i| active[i]).expect("active cluster");
+            chain.push(start);
+        }
+        loop {
+            let current = *chain.last().unwrap();
+            let prev = (chain.len() >= 2).then(|| chain[chain.len() - 2]);
+            let mut best = usize::MAX;
+            let mut best_dist = f64::INFINITY;
+            for j in 0..n {
+                if j == current || !active[j] {
+                    continue;
+                }
+                let d = dist.get(current, j);
+                if d < best_dist - 1e-15 || (Some(j) == prev && (d - best_dist).abs() <= 1e-15) {
+                    best = j;
+                    best_dist = d;
+                }
+            }
+            if Some(best) == prev {
+                let (a, b) = (current, best);
+                chain.pop();
+                chain.pop();
+                merges.push((best_dist, a, b));
+                for k in 0..n {
+                    if !active[k] || k == a || k == b {
+                        continue;
+                    }
+                    let (na, nb) = (size[a] as f64, size[b] as f64);
+                    let updated = (na * dist.get(k, a) + nb * dist.get(k, b)) / (na + nb);
+                    dist.set(k, a, updated);
+                }
+                active[b] = false;
+                size[a] += size[b];
+                remaining -= 1;
+                break;
+            } else {
+                chain.push(best);
+            }
+        }
+        while let Some(&last) = chain.last() {
+            if active[last] {
+                break;
+            }
+            chain.pop();
+        }
+    }
+    // cut: union in ascending merge-distance order until num_clusters remain
+    merges.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut clusters = n;
+    for (_, a, b) in merges {
+        if clusters <= num_clusters {
+            break;
+        }
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+            clusters -= 1;
+        }
+    }
+    let mut root_to_id = std::collections::HashMap::new();
+    (0..n)
+        .map(|i| {
+            let root = find(&mut parent, i);
+            let next = root_to_id.len();
+            *root_to_id.entry(root).or_insert(next)
+        })
+        .collect()
+}
+
+/// DUST with every stage on the naive path: per-call-norm pruning, the f32
+/// condensed matrix filled by per-call `Distance::between`, the index-
+/// arithmetic NN-chain, naive medoid sums, and a naive query-distance
+/// re-rank — the exact pre-refactor cost profile.
+fn naive_dust(
+    query: &[Vector],
+    candidates: &[Vector],
+    distance: Distance,
+    p: usize,
+    prune_to: Option<usize>,
+    k: usize,
+) -> Vec<usize> {
+    let n = candidates.len();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    if n <= k {
+        return (0..n).collect();
+    }
+    let kept: Vec<usize> = match prune_to {
+        Some(s) if n > s => naive_prune(candidates, distance, s),
+        _ => (0..n).collect(),
+    };
+    if kept.len() <= k {
+        return kept.into_iter().take(k).collect();
+    }
+    let num_clusters = (k.saturating_mul(p.max(1))).min(kept.len());
+    let candidate_medoids: Vec<usize> = if num_clusters >= kept.len() {
+        (0..kept.len()).collect()
+    } else {
+        let kept_points: Vec<&Vector> = kept.iter().map(|&i| &candidates[i]).collect();
+        let assignment = naive_agglomerative_cut(&kept_points, distance, num_clusters);
+        let num_found = assignment.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+        let mut groups = vec![Vec::new(); num_found];
+        for (idx, &c) in assignment.iter().enumerate() {
+            groups[c].push(idx);
+        }
+        groups
+            .iter()
+            .filter_map(|members| naive_medoid(&kept_points, members, distance))
+            .collect()
+    };
+    let mut ranked: Vec<(usize, f64, f64)> = candidate_medoids
+        .into_iter()
+        .map(|local| {
+            let global = kept[local];
+            let min_d = query
+                .iter()
+                .map(|q| distance.between(&candidates[global], q))
+                .fold(f64::INFINITY, f64::min);
+            let avg_d = if query.is_empty() {
+                0.0
+            } else {
+                query
+                    .iter()
+                    .map(|q| distance.between(&candidates[global], q))
+                    .sum::<f64>()
+                    / query.len() as f64
+            };
+            let min_d = if min_d.is_finite() { min_d } else { avg_d };
+            (global, min_d, avg_d)
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    ranked.into_iter().map(|(i, _, _)| i).take(k).collect()
+}
+
+/// The pre-refactor medoid scan: summed `Distance::between` per member.
+fn naive_medoid(points: &[&Vector], members: &[usize], distance: Distance) -> Option<usize> {
+    if members.is_empty() {
+        return None;
+    }
+    let mut best_idx = members[0];
+    let mut best_cost = f64::INFINITY;
+    for &i in members {
+        let cost: f64 = members
+            .iter()
+            .filter(|&&j| j != i)
+            .map(|&j| distance.between(points[i], points[j]))
+            .sum();
+        if cost < best_cost - 1e-15 {
+            best_cost = cost;
+            best_idx = i;
+        }
+    }
+    Some(best_idx)
+}
+
+/// The pre-refactor pruning step: group means + per-call-norm distances.
+fn naive_prune(candidates: &[Vector], distance: Distance, s: usize) -> Vec<usize> {
+    let mean = Vector::mean(candidates.iter()).expect("non-empty candidates");
+    let mut scored: Vec<(usize, f64)> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, distance.between(c, &mean)))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    scored.into_iter().take(s).map(|(i, _)| i).collect()
+}
+
+fn assert_same_selection(a: &[usize], b: &[usize], label: &str) {
+    assert_eq!(a, b, "{label}: cached and naive paths diverged");
 }
 
 fn bench_diversifiers(c: &mut Criterion) {
@@ -35,6 +373,31 @@ fn bench_diversifiers(c: &mut Criterion) {
         let gmc = GmcDiversifier::new();
         let clt = CltDiversifier::new();
         let maxmin = MaxMinDiversifier::new();
+
+        // Guard: the kernel-backed algorithms must select exactly what the
+        // naive path selects before we compare their timings.
+        {
+            let input = DiversificationInput::new(&query, &candidates, Distance::Cosine);
+            assert_same_selection(
+                &gmc.select(&input, k),
+                &naive_gmc(&query, &candidates, Distance::Cosine, gmc.lambda, k),
+                "gmc",
+            );
+            let cfg = &dust.config;
+            assert_same_selection(
+                &dust.select(&input, k),
+                &naive_dust(
+                    &query,
+                    &candidates,
+                    Distance::Cosine,
+                    cfg.p,
+                    cfg.prune_to,
+                    k,
+                ),
+                "dust",
+            );
+        }
+
         let algorithms: Vec<(&str, &dyn Diversifier)> = vec![
             ("dust", &dust),
             ("gmc", &gmc),
@@ -44,11 +407,34 @@ fn bench_diversifiers(c: &mut Criterion) {
         for (name, algorithm) in algorithms {
             group.bench_with_input(BenchmarkId::new(name, s), &candidates, |b, cands| {
                 b.iter(|| {
+                    // Input construction (store packing + norm caching) is
+                    // inside the timed region: it is part of the per-query
+                    // cost the cached path pays and the naive path does not.
                     let input = DiversificationInput::new(&query, cands, Distance::Cosine);
                     algorithm.select(black_box(&input), k)
                 });
             });
         }
+        group.bench_with_input(BenchmarkId::new("gmc_naive", s), &candidates, |b, cands| {
+            b.iter(|| naive_gmc(&query, black_box(cands), Distance::Cosine, gmc.lambda, k));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("dust_naive", s),
+            &candidates,
+            |b, cands| {
+                let cfg = &dust.config;
+                b.iter(|| {
+                    naive_dust(
+                        &query,
+                        black_box(cands),
+                        Distance::Cosine,
+                        cfg.p,
+                        cfg.prune_to,
+                        k,
+                    )
+                });
+            },
+        );
     }
     group.finish();
 }

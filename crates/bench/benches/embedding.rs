@@ -35,7 +35,10 @@ fn bench_column_encoding(c: &mut Criterion) {
     let domain = Domain::by_name("movies").unwrap();
     let table = generate_base_table(&domain, 300, 5);
     let corpus = ColumnEncoder::build_corpus(table.columns());
-    for serialization in [ColumnSerialization::CellLevel, ColumnSerialization::ColumnLevel] {
+    for serialization in [
+        ColumnSerialization::CellLevel,
+        ColumnSerialization::ColumnLevel,
+    ] {
         let encoder = ColumnEncoder::new(PretrainedModel::Roberta, serialization);
         let name = format!("column_encode_{}", serialization.name());
         c.bench_function(&name, |b| {

@@ -4,7 +4,10 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dust_datagen::BenchmarkConfig;
-use dust_search::{max_weight_matching, D3lSearch, InvertedValueIndex, OverlapSearch, StarmieSearch, TableUnionSearch};
+use dust_search::{
+    max_weight_matching, D3lSearch, InvertedValueIndex, OverlapSearch, StarmieSearch,
+    TableUnionSearch,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -18,7 +18,8 @@ use rand::{Rng, SeedableRng};
 fn main() {
     let scale = scale();
     let lake = scale.tus_sampled_config().generate().lake;
-    let (model, dataset) = train_dust_model(&lake, PretrainedModel::Roberta, scale.finetune_pairs());
+    let (model, dataset) =
+        train_dust_model(&lake, PretrainedModel::Roberta, scale.finetune_pairs());
 
     // Collect the distinct tuples appearing in the test split.
     let mut tuples: Vec<Tuple> = Vec::new();
@@ -74,6 +75,8 @@ fn main() {
             count.to_string(),
         ]);
     }
-    report.note("paper: mean 0.98, standard deviation 0.04 — embeddings are insensitive to column order");
+    report.note(
+        "paper: mean 0.98, standard deviation 0.04 — embeddings are insensitive to column order",
+    );
     report.print();
 }

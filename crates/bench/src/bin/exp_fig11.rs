@@ -49,18 +49,19 @@ fn main() {
             let mut avg_sum = 0.0;
             let mut min_sum = 0.0;
             for (query_embeddings, candidate_embeddings, sources) in &pools {
-                let input = DiversificationInput {
-                    query: query_embeddings,
-                    candidates: candidate_embeddings,
-                    candidate_sources: Some(sources),
-                    distance: Distance::Cosine,
-                };
+                let input = DiversificationInput::with_sources(
+                    query_embeddings,
+                    candidate_embeddings,
+                    sources,
+                    Distance::Cosine,
+                );
                 let selection = diversifier.select(&input, k);
                 let selected: Vec<_> = selection
                     .iter()
                     .map(|&i| candidate_embeddings[i].clone())
                     .collect();
-                let scores = DiversityScores::compute(query_embeddings, &selected, Distance::Cosine);
+                let scores =
+                    DiversityScores::compute(query_embeddings, &selected, Distance::Cosine);
                 avg_sum += scores.average;
                 min_sum += scores.minimum;
             }

@@ -12,7 +12,9 @@
 
 use dust_bench::report::{fmt3, Report};
 use dust_bench::setup::{scale, Scale};
-use dust_diversify::{CltDiversifier, DiversificationInput, Diversifier, DustConfig, DustDiversifier, GmcDiversifier};
+use dust_diversify::{
+    CltDiversifier, DiversificationInput, Diversifier, DustConfig, DustDiversifier, GmcDiversifier,
+};
 use dust_embed::{Distance, Vector};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -20,13 +22,9 @@ use std::time::Instant;
 
 fn main() {
     let scale = scale();
-    let (s_values, k_fixed, s_fixed, k_values): (Vec<usize>, usize, usize, Vec<usize>) = match scale {
-        Scale::Small => (
-            vec![250, 500, 1000, 1500],
-            50,
-            1500,
-            vec![25, 50, 100, 150],
-        ),
+    let (s_values, k_fixed, s_fixed, k_values): (Vec<usize>, usize, usize, Vec<usize>) = match scale
+    {
+        Scale::Small => (vec![250, 500, 1000, 1500], 50, 1500, vec![25, 50, 100, 150]),
         Scale::Full => (
             vec![1000, 2000, 3000, 4000, 5000, 6000],
             100,
@@ -56,8 +54,9 @@ fn main() {
         vec![("GMC", &gmc), ("CLT", &clt), ("DUST", &dust)];
 
     // ---- (a) runtime vs s ------------------------------------------------
-    let mut report_a = Report::new("Figure 7a: runtime (seconds) vs number of input unionable tuples (s)")
-        .headers(["s", "GMC", "CLT", "DUST"]);
+    let mut report_a =
+        Report::new("Figure 7a: runtime (seconds) vs number of input unionable tuples (s)")
+            .headers(["s", "GMC", "CLT", "DUST"]);
     for &s in &s_values {
         let slice = &candidates[..s];
         let mut cells = vec![s.to_string()];
@@ -98,7 +97,11 @@ fn main() {
 
 /// Synthetic, clustered tuple embeddings (unit-norm vectors around a few
 /// dozen topic centroids) standing in for the unionable tuples of one query.
-fn synthetic_embeddings(num_query: usize, num_candidates: usize, dim: usize) -> (Vec<Vector>, Vec<Vector>) {
+fn synthetic_embeddings(
+    num_query: usize,
+    num_candidates: usize,
+    dim: usize,
+) -> (Vec<Vector>, Vec<Vector>) {
     let mut rng = StdRng::seed_from_u64(0xF16);
     let num_centroids = 24;
     let centroids: Vec<Vec<f32>> = (0..num_centroids)

@@ -11,9 +11,7 @@
 
 use dust_bench::report::Report;
 use dust_bench::setup::{scale, Scale};
-use dust_core::{
-    DustPipeline, PipelineConfig, RetrievalSystem, TupleRetrievalBaseline,
-};
+use dust_core::{DustPipeline, PipelineConfig, RetrievalSystem, TupleRetrievalBaseline};
 use dust_datagen::{generate_imdb, ImdbConfig};
 use dust_table::{Table, Tuple, Value};
 use std::collections::HashSet;
@@ -31,7 +29,11 @@ fn main() {
         Scale::Full => ImdbConfig::default(),
     };
     let study = generate_imdb(&config);
-    let query = study.lake.query(&study.query_name).expect("query exists").clone();
+    let query = study
+        .lake
+        .query(&study.query_name)
+        .expect("query exists")
+        .clone();
     let k_values: Vec<usize> = match scale {
         Scale::Small => vec![10, 20, 30, 40],
         Scale::Full => vec![20, 40, 60, 80, 100],

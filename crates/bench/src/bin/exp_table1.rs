@@ -21,6 +21,9 @@ use dust_search::StarmieSearch;
 use dust_table::{DataLake, Table};
 use std::collections::BTreeSet;
 
+/// (technique, matcher, per-benchmark (precision, recall, f1)).
+type MethodRow = (String, String, Vec<(f64, f64, f64)>);
+
 fn main() {
     let scale = scale();
     let benchmarks: Vec<(&str, BenchmarkConfig)> = vec![
@@ -38,7 +41,7 @@ fn main() {
     ]);
 
     // method name -> per-benchmark (P, R, F1)
-    let mut method_rows: Vec<(String, String, Vec<(f64, f64, f64)>)> = Vec::new();
+    let mut method_rows: Vec<MethodRow> = Vec::new();
 
     for (_bench_name, config) in &benchmarks {
         let lake = config.generate().lake;
@@ -49,15 +52,31 @@ fn main() {
             push_scores(&mut method_rows, "Cell-level", model.name(), col, scores);
         }
         // column-level language models
-        for model in [PretrainedModel::Bert, PretrainedModel::Roberta, PretrainedModel::SBert] {
+        for model in [
+            PretrainedModel::Bert,
+            PretrainedModel::Roberta,
+            PretrainedModel::SBert,
+        ] {
             let scores = evaluate_encoder(&lake, model, ColumnSerialization::ColumnLevel);
             push_scores(&mut method_rows, "Column-level", model.name(), col, scores);
         }
         // Starmie embeddings: bipartite and holistic matching
         let starmie_b = evaluate_starmie(&lake, false);
-        push_scores(&mut method_rows, "Table context", "Starmie (B)", col, starmie_b);
+        push_scores(
+            &mut method_rows,
+            "Table context",
+            "Starmie (B)",
+            col,
+            starmie_b,
+        );
         let starmie_h = evaluate_starmie(&lake, true);
-        push_scores(&mut method_rows, "Table context", "Starmie (H)", col, starmie_h);
+        push_scores(
+            &mut method_rows,
+            "Table context",
+            "Starmie (H)",
+            col,
+            starmie_h,
+        );
         col += 1;
         let _ = col;
     }
@@ -78,7 +97,7 @@ fn main() {
 /// Accumulate scores into the per-method rows (methods appear once; each
 /// benchmark appends one (P, R, F1) triple).
 fn push_scores(
-    rows: &mut Vec<(String, String, Vec<(f64, f64, f64)>)>,
+    rows: &mut Vec<MethodRow>,
     serialization: &str,
     model: &str,
     _benchmark_idx: usize,

@@ -14,8 +14,7 @@ use dust_bench::diversity_eval::{evaluate_diversifiers, QueryCandidates};
 use dust_bench::report::{fmt3, Report};
 use dust_bench::setup::{build_candidates_for_query, scale, train_dust_model};
 use dust_diversify::{
-    CltDiversifier, Diversifier, DustDiversifier, GmcDiversifier, GneDiversifier,
-    RandomDiversifier,
+    CltDiversifier, Diversifier, DustDiversifier, GmcDiversifier, GneDiversifier, RandomDiversifier,
 };
 use dust_embed::{Distance, PretrainedModel};
 
@@ -46,7 +45,10 @@ fn main() {
         println!(
             "{bench_name}: {} queries, avg {} candidate tuples per query, k = {k}",
             queries.len(),
-            queries.iter().map(|q| q.candidate_embeddings.len()).sum::<usize>()
+            queries
+                .iter()
+                .map(|q| q.candidate_embeddings.len())
+                .sum::<usize>()
                 / queries.len().max(1)
         );
 

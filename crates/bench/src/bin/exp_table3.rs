@@ -57,12 +57,12 @@ fn main() {
                         model.embed_tuples(&generated)
                     }
                     "DUST" => {
-                        let input = DiversificationInput {
-                            query: &query_embeddings,
-                            candidates: &candidate_embeddings,
-                            candidate_sources: Some(&sources),
-                            distance: Distance::Cosine,
-                        };
+                        let input = DiversificationInput::with_sources(
+                            &query_embeddings,
+                            &candidate_embeddings,
+                            &sources,
+                            Distance::Cosine,
+                        );
                         dust.select(&input, k)
                             .into_iter()
                             .map(|i| candidate_embeddings[i].clone())
@@ -76,8 +76,14 @@ fn main() {
                     Distance::Cosine,
                 ));
             }
-            let max_avg = scores.iter().map(|s| s.average).fold(f64::NEG_INFINITY, f64::max);
-            let max_min = scores.iter().map(|s| s.minimum).fold(f64::NEG_INFINITY, f64::max);
+            let max_avg = scores
+                .iter()
+                .map(|s| s.average)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let max_min = scores
+                .iter()
+                .map(|s| s.minimum)
+                .fold(f64::NEG_INFINITY, f64::max);
             for (i, s) in scores.iter().enumerate() {
                 if (s.average - max_avg).abs() < 1e-12 {
                     best_average[i] += 1;

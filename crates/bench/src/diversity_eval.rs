@@ -64,14 +64,18 @@ pub fn evaluate_diversifiers(
     }
 
     for query in queries {
-        let input = DiversificationInput {
-            query: &query.query_embeddings,
-            candidates: &query.candidate_embeddings,
-            candidate_sources: Some(&query.sources),
-            distance,
-        };
         let mut per_query: Vec<(usize, DiversityScores, f64)> = Vec::new();
         for (idx, (_, diversifier)) in diversifiers.iter().enumerate() {
+            // Fresh input per diversifier so the timing below includes each
+            // algorithm's own share of the lazy caches (a shared input would
+            // bill the pairwise-matrix build to whichever algorithm ran
+            // first).
+            let input = DiversificationInput::with_sources(
+                &query.query_embeddings,
+                &query.candidate_embeddings,
+                &query.sources,
+                distance,
+            );
             let start = Instant::now();
             let selection = diversifier.select(&input, k);
             let elapsed = start.elapsed().as_secs_f64();
@@ -130,10 +134,7 @@ mod tests {
         }
         for i in 0..20 {
             let angle = i as f32 * 0.31 + seed as f32;
-            candidate_embeddings.push(Vector::new(vec![
-                10.0 * angle.cos(),
-                10.0 * angle.sin(),
-            ]));
+            candidate_embeddings.push(Vector::new(vec![10.0 * angle.cos(), 10.0 * angle.sin()]));
             sources.push(1);
         }
         QueryCandidates {
@@ -173,8 +174,12 @@ mod tests {
     #[test]
     fn empty_query_set_returns_zeroed_outcomes() {
         let dust = DustDiversifier::new();
-        let outcomes =
-            evaluate_diversifiers(&[], &[("DUST", &dust as &dyn Diversifier)], 5, Distance::Cosine);
+        let outcomes = evaluate_diversifiers(
+            &[],
+            &[("DUST", &dust as &dyn Diversifier)],
+            5,
+            Distance::Cosine,
+        );
         assert_eq!(outcomes.len(), 1);
         assert_eq!(outcomes[0].best_average, 0);
         assert_eq!(outcomes[0].mean_average, 0.0);

@@ -14,6 +14,4 @@ pub mod setup;
 
 pub use diversity_eval::{evaluate_diversifiers, DiversifierOutcome, QueryCandidates};
 pub use report::Report;
-pub use setup::{
-    build_candidates_for_query, scale, train_dust_model, Scale,
-};
+pub use setup::{build_candidates_for_query, scale, train_dust_model, Scale};

@@ -20,7 +20,11 @@ pub enum Scale {
 
 /// Read the experiment scale from the environment.
 pub fn scale() -> Scale {
-    match std::env::var("DUST_SCALE").unwrap_or_default().to_ascii_lowercase().as_str() {
+    match std::env::var("DUST_SCALE")
+        .unwrap_or_default()
+        .to_ascii_lowercase()
+        .as_str()
+    {
         "full" | "paper" | "large" => Scale::Full,
         _ => Scale::Small,
     }
@@ -152,7 +156,9 @@ pub fn build_candidates_for_query(
         .iter()
         .map(|t| {
             let next = table_ids.len();
-            *table_ids.entry(t.source_table().to_string()).or_insert(next)
+            *table_ids
+                .entry(t.source_table().to_string())
+                .or_insert(next)
         })
         .collect();
     (tuples, sources)
@@ -177,7 +183,9 @@ mod tests {
         assert!(small.num_domains <= full.num_domains);
         assert!(small.base_rows <= full.base_rows);
         assert!(Scale::Small.ugen_config().lake_tables_per_domain <= full.lake_tables_per_domain);
-        assert!(Scale::Small.tus_sampled_config().base_rows <= BenchmarkConfig::tus_sampled().base_rows);
+        assert!(
+            Scale::Small.tus_sampled_config().base_rows <= BenchmarkConfig::tus_sampled().base_rows
+        );
     }
 
     #[test]

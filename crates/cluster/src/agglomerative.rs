@@ -11,7 +11,7 @@
 //!   table must never be clustered together.
 
 use crate::Assignment;
-use dust_embed::{Distance, Vector};
+use dust_embed::{Distance, PairwiseMatrix, Vector};
 use serde::{Deserialize, Serialize};
 
 /// Linkage criterion between clusters.
@@ -96,7 +96,11 @@ impl Dendrogram {
         }
         let target = num_clusters.max(1);
         let mut order: Vec<&Merge> = self.merges.iter().collect();
-        order.sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let mut uf = UnionFind::new(n);
         let mut remaining = n;
         for merge in order {
@@ -173,35 +177,35 @@ impl UnionFind {
     fn dense_assignment(&mut self) -> Assignment {
         let n = self.parent.len();
         let mut root_to_id = std::collections::HashMap::new();
-        let mut assignment = vec![0usize; n];
+        let mut assignment = Vec::with_capacity(n);
         for i in 0..n {
             let root = self.find(i);
             let next = root_to_id.len();
-            let id = *root_to_id.entry(root).or_insert(next);
-            assignment[i] = id;
+            assignment.push(*root_to_id.entry(root).or_insert(next));
         }
         assignment
     }
 }
 
-/// Condensed pairwise distance storage (upper triangle).
-struct Condensed {
+/// The NN-chain's mutable working state: a condensed `f32` copy of the
+/// pairwise matrix, seeded with one memcpy from
+/// [`PairwiseMatrix::condensed_data`]. Retired cluster slots are *poisoned*
+/// with `f32::INFINITY`, so the nearest-neighbour scan needs no per-element
+/// activity test — the first pass is a pure min-reduction the compiler can
+/// vectorize over the contiguous half of each row. This is a copy of matrix
+/// data, not a second distance implementation — no distances are computed
+/// here.
+struct LinkageWorkspace {
     n: usize,
     data: Vec<f32>,
 }
 
-impl Condensed {
-    fn compute(points: &[Vector], distance: Distance) -> Self {
-        let n = points.len();
-        let mut data = vec![0.0f32; n * (n - 1) / 2];
-        let mut idx = 0usize;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                data[idx] = distance.between(&points[i], &points[j]) as f32;
-                idx += 1;
-            }
+impl LinkageWorkspace {
+    fn from_matrix(matrix: &PairwiseMatrix) -> Self {
+        LinkageWorkspace {
+            n: matrix.len(),
+            data: matrix.condensed_data().to_vec(),
         }
-        Condensed { n, data }
     }
 
     #[inline]
@@ -211,30 +215,123 @@ impl Condensed {
     }
 
     #[inline]
-    fn get(&self, i: usize, j: usize) -> f64 {
-        self.data[self.index(i, j)] as f64
+    fn row_start(&self, i: usize) -> usize {
+        i * self.n - i * (i + 1) / 2
     }
 
-    #[inline]
-    fn set(&mut self, i: usize, j: usize, value: f64) {
-        let idx = self.index(i, j);
-        self.data[idx] = value as f32;
+    /// Nearest neighbour of `i`: the smallest-index `j` attaining the row
+    /// minimum, except that `prev` wins whenever it ties the minimum (the
+    /// NN-chain's reciprocity rule). Retired slots hold `INFINITY` and can
+    /// never win. Two passes: a branch-free min-reduction, then a short
+    /// argmin lookup.
+    fn nearest(&self, i: usize, prev: Option<usize>) -> (usize, f64) {
+        let n = self.n;
+        let mut min = f32::INFINITY;
+        // strided column part (j < i), incremental condensed offsets
+        if i > 0 {
+            let mut idx = i - 1; // (0, i)
+            for j in 0..i {
+                min = min.min(self.data[idx]);
+                idx += n - j - 2;
+            }
+        }
+        // contiguous row part (j > i) — explicit 8-lane min-reduction so
+        // the compiler emits vector min instructions
+        if i + 1 < n {
+            let start = self.row_start(i);
+            let slice = &self.data[start..start + (n - 1 - i)];
+            let mut lanes = [f32::INFINITY; 8];
+            let mut chunks = slice.chunks_exact(8);
+            for chunk in chunks.by_ref() {
+                for l in 0..8 {
+                    lanes[l] = lanes[l].min(chunk[l]);
+                }
+            }
+            let lane_min = lanes.iter().fold(f32::INFINITY, |m, &d| m.min(d));
+            min = chunks
+                .remainder()
+                .iter()
+                .fold(min.min(lane_min), |m, &d| m.min(d));
+        }
+        debug_assert!(min.is_finite(), "no active neighbour for slot {i}");
+        if let Some(p) = prev {
+            if self.data[self.index(i, p)] <= min {
+                return (p, min as f64);
+            }
+        }
+        if i > 0 {
+            let mut idx = i - 1;
+            for j in 0..i {
+                if self.data[idx] <= min {
+                    return (j, min as f64);
+                }
+                idx += n - j - 2;
+            }
+        }
+        let start = self.row_start(i);
+        let offset = self.data[start..start + (n - 1 - i)]
+            .iter()
+            .position(|&d| d <= min)
+            .expect("row minimum must exist");
+        (i + 1 + offset, min as f64)
+    }
+
+    /// Lance–Williams merge update: rewrite `d(k, a)` for every `k` other
+    /// than `a`/`b`. Poisoned entries stay infinite through min/max/average
+    /// updates, so retired `k` need no special-casing.
+    fn update_merged(&mut self, a: usize, b: usize, mut f: impl FnMut(f64, f64) -> f64) {
+        for k in 0..self.n {
+            if k == a || k == b {
+                continue;
+            }
+            let ia = self.index(k, a);
+            let ib = self.index(k, b);
+            let v = f(self.data[ia] as f64, self.data[ib] as f64);
+            self.data[ia] = v as f32;
+        }
+    }
+
+    /// Retire slot `b`: poison its row and column with `INFINITY`.
+    fn retire(&mut self, b: usize) {
+        let n = self.n;
+        if b > 0 {
+            let mut idx = b - 1; // (0, b)
+            for j in 0..b {
+                self.data[idx] = f32::INFINITY;
+                idx += n - j - 2;
+            }
+        }
+        if b + 1 < n {
+            let start = self.row_start(b);
+            for d in &mut self.data[start..start + (n - 1 - b)] {
+                *d = f32::INFINITY;
+            }
+        }
     }
 }
 
 /// Nearest-neighbour-chain agglomerative clustering (unconstrained).
 ///
-/// Returns a full dendrogram with `n - 1` merges (or an empty dendrogram for
-/// fewer than two points).
+/// Builds the shared [`PairwiseMatrix`] (parallel for large inputs) and
+/// clusters it. Returns a full dendrogram with `n - 1` merges (or an empty
+/// dendrogram for fewer than two points).
 pub fn agglomerative(points: &[Vector], distance: Distance, linkage: Linkage) -> Dendrogram {
-    let n = points.len();
+    agglomerative_from_matrix(&PairwiseMatrix::compute(points, distance), linkage)
+}
+
+/// Nearest-neighbour-chain agglomerative clustering over a precomputed
+/// pairwise matrix. The matrix is only read (the Lance–Williams updates run
+/// on an internal `f32` working copy), so callers can keep using it — e.g.
+/// for medoid selection — afterwards.
+pub fn agglomerative_from_matrix(matrix: &PairwiseMatrix, linkage: Linkage) -> Dendrogram {
+    let n = matrix.len();
     if n < 2 {
         return Dendrogram {
             n_leaves: n,
             merges: Vec::new(),
         };
     }
-    let mut dist = Condensed::compute(points, distance);
+    let mut dist = LinkageWorkspace::from_matrix(matrix);
     // cluster slot -> (active, current cluster id, size)
     let mut active = vec![true; n];
     let mut cluster_id: Vec<usize> = (0..n).collect();
@@ -245,7 +342,9 @@ pub fn agglomerative(points: &[Vector], distance: Distance, linkage: Linkage) ->
 
     while remaining > 1 {
         if chain.is_empty() {
-            let start = (0..n).find(|&i| active[i]).expect("at least one active cluster");
+            let start = (0..n)
+                .find(|&i| active[i])
+                .expect("at least one active cluster");
             chain.push(start);
         }
         loop {
@@ -255,20 +354,9 @@ pub fn agglomerative(points: &[Vector], distance: Distance, linkage: Linkage) ->
             } else {
                 None
             };
-            // nearest active neighbour of `current`
-            let mut best = usize::MAX;
-            let mut best_dist = f64::INFINITY;
-            for j in 0..n {
-                if j == current || !active[j] {
-                    continue;
-                }
-                let d = dist.get(current, j);
-                if d < best_dist - 1e-15 || (Some(j) == prev && (d - best_dist).abs() <= 1e-15) {
-                    best = j;
-                    best_dist = d;
-                }
-            }
-            debug_assert!(best != usize::MAX);
+            // nearest active neighbour of `current` (retired slots are
+            // poisoned with INFINITY, so no activity test per element)
+            let (best, best_dist) = dist.nearest(current, prev);
             if Some(best) == prev {
                 // reciprocal nearest neighbours: merge current and prev
                 let a = current;
@@ -283,13 +371,11 @@ pub fn agglomerative(points: &[Vector], distance: Distance, linkage: Linkage) ->
                     size: merged_size,
                 });
                 // keep slot `a` for the merged cluster, retire slot `b`
-                for k in 0..n {
-                    if !active[k] || k == a || k == b {
-                        continue;
-                    }
-                    let updated = linkage.update(dist.get(k, a), dist.get(k, b), size[a], size[b]);
-                    dist.set(k, a, updated);
-                }
+                let (size_a, size_b) = (size[a], size[b]);
+                dist.update_merged(a, b, |d_ka, d_kb| {
+                    linkage.update(d_ka, d_kb, size_a, size_b)
+                });
+                dist.retire(b);
                 active[b] = false;
                 size[a] = merged_size;
                 cluster_id[a] = n + merges.len() - 1;
@@ -333,22 +419,24 @@ pub fn agglomerative_constrained(
             merges: Vec::new(),
         };
     }
-    let base = dust_embed::DistanceMatrix::compute(points, distance);
+    let base = PairwiseMatrix::compute(points, distance);
     // members of each active cluster
     let mut members: Vec<Option<Vec<usize>>> = (0..n).map(|i| Some(vec![i])).collect();
     let mut cluster_id: Vec<usize> = (0..n).collect();
     let mut merges = Vec::new();
 
     let conflicts = |a: &[usize], b: &[usize]| -> bool {
-        cannot_link.iter().any(|&(x, y)| {
-            (a.contains(&x) && b.contains(&y)) || (a.contains(&y) && b.contains(&x))
-        })
+        cannot_link
+            .iter()
+            .any(|&(x, y)| (a.contains(&x) && b.contains(&y)) || (a.contains(&y) && b.contains(&x)))
     };
 
     loop {
         // find the closest admissible pair of active clusters
         let mut best: Option<(usize, usize, f64)> = None;
-        let active: Vec<usize> = (0..members.len()).filter(|&i| members[i].is_some()).collect();
+        let active: Vec<usize> = (0..members.len())
+            .filter(|&i| members[i].is_some())
+            .collect();
         for (ai, &i) in active.iter().enumerate() {
             for &j in active.iter().skip(ai + 1) {
                 let (mi, mj) = (
@@ -384,12 +472,7 @@ pub fn agglomerative_constrained(
     }
 }
 
-fn cluster_distance(
-    base: &dust_embed::DistanceMatrix,
-    a: &[usize],
-    b: &[usize],
-    linkage: Linkage,
-) -> f64 {
+fn cluster_distance(base: &PairwiseMatrix, a: &[usize], b: &[usize], linkage: Linkage) -> f64 {
     let mut min = f64::INFINITY;
     let mut max = f64::NEG_INFINITY;
     let mut sum = 0.0;
@@ -467,7 +550,11 @@ mod tests {
         let dendro = agglomerative(&[], Distance::Euclidean, Linkage::Average);
         assert_eq!(dendro.n_leaves(), 0);
         assert!(dendro.cut(3).is_empty());
-        let one = agglomerative(&[Vector::new(vec![1.0])], Distance::Euclidean, Linkage::Average);
+        let one = agglomerative(
+            &[Vector::new(vec![1.0])],
+            Distance::Euclidean,
+            Linkage::Average,
+        );
         assert_eq!(one.cut(1), vec![0]);
     }
 
@@ -502,8 +589,14 @@ mod tests {
             agglomerative_constrained(&pts, Distance::Euclidean, Linkage::Average, &constraints);
         for k in 1..=4 {
             let assignment = dendro.cut(k);
-            assert_ne!(assignment[0], assignment[1], "constraint 0-1 violated at k={k}");
-            assert_ne!(assignment[2], assignment[3], "constraint 2-3 violated at k={k}");
+            assert_ne!(
+                assignment[0], assignment[1],
+                "constraint 0-1 violated at k={k}"
+            );
+            assert_ne!(
+                assignment[2], assignment[3],
+                "constraint 2-3 violated at k={k}"
+            );
         }
     }
 
@@ -531,10 +624,13 @@ mod tests {
             .collect();
         for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
             let fast = agglomerative(&pts, Distance::Euclidean, linkage).cut(3);
-            let naive =
-                agglomerative_constrained(&pts, Distance::Euclidean, linkage, &[]).cut(3);
+            let naive = agglomerative_constrained(&pts, Distance::Euclidean, linkage, &[]).cut(3);
             // compare partitions up to relabelling
-            assert_eq!(partition_signature(&fast), partition_signature(&naive), "{linkage:?}");
+            assert_eq!(
+                partition_signature(&fast),
+                partition_signature(&naive),
+                "{linkage:?}"
+            );
         }
     }
 

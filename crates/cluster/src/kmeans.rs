@@ -5,7 +5,7 @@
 //! reference.
 
 use crate::Assignment;
-use dust_embed::{Distance, Vector};
+use dust_embed::{Distance, EmbeddingStore, Vector};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -47,7 +47,10 @@ pub fn kmeans(
     }
     let k = k.min(n);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut centroids = plus_plus_init(points, k, &mut rng, distance);
+    // The store caches per-point norms, so the k-means++ seeding distances
+    // (cosine by default) skip the per-call norm of the point side.
+    let store = EmbeddingStore::from_vectors(points);
+    let mut centroids = plus_plus_init(points, &store, k, &mut rng, distance);
     let mut assignment = vec![0usize; n];
     let mut iterations = 0usize;
 
@@ -106,7 +109,10 @@ pub fn kmeans(
     let kept_centroids: Vec<Vector> = {
         let mut pairs: Vec<(usize, usize)> = remap.iter().map(|(&c, &d)| (d, c)).collect();
         pairs.sort_unstable();
-        pairs.into_iter().map(|(_, c)| centroids[c].clone()).collect()
+        pairs
+            .into_iter()
+            .map(|(_, c)| centroids[c].clone())
+            .collect()
     };
 
     KMeansResult {
@@ -127,6 +133,7 @@ fn squared_euclidean(a: &Vector, b: &Vector) -> f64 {
 
 fn plus_plus_init(
     points: &[Vector],
+    store: &EmbeddingStore,
     k: usize,
     rng: &mut StdRng,
     distance: Distance,
@@ -135,12 +142,11 @@ fn plus_plus_init(
     let mut centroids = Vec::with_capacity(k);
     centroids.push(points[rng.gen_range(0..n)].clone());
     while centroids.len() < k {
-        let weights: Vec<f64> = points
-            .iter()
-            .map(|p| {
+        let weights: Vec<f64> = (0..n)
+            .map(|i| {
                 centroids
                     .iter()
-                    .map(|c| distance.between(p, c).powi(2))
+                    .map(|c| store.distance_to_vector(distance, i, c).powi(2))
                     .fold(f64::INFINITY, f64::min)
             })
             .collect();
@@ -185,8 +191,12 @@ mod tests {
         let pts = blobs();
         let result = kmeans(&pts, 2, 50, 13, Distance::Euclidean);
         assert_eq!(num_clusters(&result.assignment), 2);
-        assert!(result.assignment[..15].iter().all(|&c| c == result.assignment[0]));
-        assert!(result.assignment[15..].iter().all(|&c| c == result.assignment[15]));
+        assert!(result.assignment[..15]
+            .iter()
+            .all(|&c| c == result.assignment[0]));
+        assert!(result.assignment[15..]
+            .iter()
+            .all(|&c| c == result.assignment[15]));
         assert!(result.inertia < 10.0);
         assert!(result.iterations >= 1);
     }

@@ -24,11 +24,13 @@ pub mod medoid;
 pub mod silhouette;
 
 pub use agglomerative::{
-    agglomerative, agglomerative_constrained, Dendrogram, Linkage, Merge,
+    agglomerative, agglomerative_constrained, agglomerative_from_matrix, Dendrogram, Linkage, Merge,
 };
 pub use kmeans::{kmeans, KMeansResult};
-pub use medoid::{cluster_medoids, medoid};
-pub use silhouette::{silhouette_score, best_cut_by_silhouette};
+pub use medoid::{
+    cluster_medoids, cluster_medoids_from_matrix, medoid, medoid_in_matrix, medoid_with_store,
+};
+pub use silhouette::{best_cut_by_silhouette, silhouette_score};
 
 /// A flat clustering: `assignment[i]` is the cluster id of point `i`.
 /// Cluster ids are dense (0..num_clusters).

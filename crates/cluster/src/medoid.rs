@@ -2,16 +2,44 @@
 //!
 //! The DUST diversifier (Sec. 5.2) selects each cluster's medoid as the
 //! cluster's candidate diverse tuple, because medoids are robust to outliers.
+//!
+//! Two paths are provided: the matrix-backed functions read a precomputed
+//! [`PairwiseMatrix`] (O(1) per pair — the DUST/CLT hot path, which reuses
+//! the matrix already built for clustering), while the slice-based functions
+//! keep the original convenience API and compute distances through a shared
+//! [`EmbeddingStore`] with cached norms.
 
 use crate::clusters_from_assignment;
-use dust_embed::{Distance, Vector};
+use dust_embed::{Distance, EmbeddingStore, PairwiseMatrix, Vector};
 
 /// Index (into `points`) of the medoid of the subset `members`.
 ///
 /// The medoid minimizes the sum of distances to the other members; ties are
-/// broken by the smaller index for determinism. Returns `None` when
-/// `members` is empty.
+/// broken by the first listed member for determinism. Returns `None` when
+/// `members` is empty. Touches only the member pairs (reference distance
+/// path) — batch callers should prefer [`medoid_with_store`] or
+/// [`medoid_in_matrix`].
 pub fn medoid(points: &[Vector], members: &[usize], distance: Distance) -> Option<usize> {
+    best_member(members, |i, j| distance.between(&points[i], &points[j]))
+}
+
+/// [`medoid`] over a prebuilt store (avoids re-deriving norms per call).
+pub fn medoid_with_store(
+    store: &EmbeddingStore,
+    members: &[usize],
+    distance: Distance,
+) -> Option<usize> {
+    best_member(members, |i, j| store.distance(distance, i, j))
+}
+
+/// Medoid of `members` (indices into `matrix`) read from a precomputed
+/// pairwise matrix.
+pub fn medoid_in_matrix(matrix: &PairwiseMatrix, members: &[usize]) -> Option<usize> {
+    best_member(members, |i, j| matrix.get(i, j))
+}
+
+/// Shared medoid scan: minimize the summed distance to the other members.
+fn best_member(members: &[usize], pair: impl Fn(usize, usize) -> f64) -> Option<usize> {
     if members.is_empty() {
         return None;
     }
@@ -24,7 +52,7 @@ pub fn medoid(points: &[Vector], members: &[usize], distance: Distance) -> Optio
         let cost: f64 = members
             .iter()
             .filter(|&&j| j != i)
-            .map(|&j| distance.between(&points[i], &points[j]))
+            .map(|&j| pair(i, j))
             .sum();
         if cost < best_cost - 1e-15 {
             best_cost = cost;
@@ -36,9 +64,19 @@ pub fn medoid(points: &[Vector], members: &[usize], distance: Distance) -> Optio
 
 /// Medoid of every cluster in an assignment, ordered by cluster id.
 pub fn cluster_medoids(points: &[Vector], assignment: &[usize], distance: Distance) -> Vec<usize> {
+    let store = EmbeddingStore::from_vectors(points);
     clusters_from_assignment(assignment)
         .iter()
-        .filter_map(|members| medoid(points, members, distance))
+        .filter_map(|members| medoid_with_store(&store, members, distance))
+        .collect()
+}
+
+/// Medoid of every cluster, read from a precomputed pairwise matrix (the
+/// DUST/CLT path: the same matrix already drove the clustering).
+pub fn cluster_medoids_from_matrix(matrix: &PairwiseMatrix, assignment: &[usize]) -> Vec<usize> {
+    clusters_from_assignment(assignment)
+        .iter()
+        .filter_map(|members| medoid_in_matrix(matrix, members))
         .collect()
 }
 
@@ -91,6 +129,22 @@ mod tests {
         assert_eq!(medoids.len(), 2);
         assert_eq!(medoids[0], 1);
         assert!(medoids[1] == 3 || medoids[1] == 4);
+    }
+
+    #[test]
+    fn matrix_path_agrees_with_store_path() {
+        let pts = points();
+        let matrix = PairwiseMatrix::compute(&pts, Distance::Euclidean);
+        let assignment = vec![0, 0, 0, 1, 1];
+        assert_eq!(
+            cluster_medoids_from_matrix(&matrix, &assignment),
+            cluster_medoids(&pts, &assignment, Distance::Euclidean)
+        );
+        assert_eq!(
+            medoid_in_matrix(&matrix, &[0, 1, 2]),
+            medoid(&pts, &[0, 1, 2], Distance::Euclidean)
+        );
+        assert_eq!(medoid_in_matrix(&matrix, &[]), None);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::agglomerative::Dendrogram;
 use crate::{clusters_from_assignment, num_clusters, Assignment};
-use dust_embed::{Distance, DistanceMatrix, Vector};
+use dust_embed::{Distance, PairwiseMatrix, Vector};
 
 /// Mean silhouette score of an assignment over the given points.
 ///
@@ -19,14 +19,14 @@ pub fn silhouette_score(
         return None;
     }
     let k = num_clusters(assignment);
-    if k < 2 || k >= n + 1 {
+    if k < 2 || k > n {
         return None;
     }
     let groups = clusters_from_assignment(assignment);
     if groups.iter().all(|g| g.len() <= 1) {
         return None;
     }
-    let matrix = DistanceMatrix::compute(points, distance);
+    let matrix = PairwiseMatrix::compute(points, distance);
     let mut total = 0.0;
     for i in 0..n {
         let own = &groups[assignment[i]];
@@ -111,7 +111,10 @@ mod tests {
         let mut pts = Vec::new();
         for (&count, &(cx, cy)) in counts.iter().zip(centers) {
             for i in 0..count {
-                pts.push(Vector::new(vec![cx + i as f32 * 0.01, cy - i as f32 * 0.01]));
+                pts.push(Vector::new(vec![
+                    cx + i as f32 * 0.01,
+                    cy - i as f32 * 0.01,
+                ]));
             }
         }
         pts

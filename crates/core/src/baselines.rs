@@ -188,10 +188,8 @@ mod tests {
         assert_eq!(top.len(), 5);
         // the baseline should retrieve at least one tuple that duplicates a
         // query tuple's subject (the redundancy the paper criticizes)
-        let query_subjects: std::collections::HashSet<String> = query
-            .column(0)
-            .unwrap()
-            .normalized_value_set();
+        let query_subjects: std::collections::HashSet<String> =
+            query.column(0).unwrap().normalized_value_set();
         let dup = top.iter().any(|t| {
             t.values()
                 .iter()

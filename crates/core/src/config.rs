@@ -149,7 +149,10 @@ mod tests {
         let config = PipelineConfig::default();
         assert_eq!(config.search, SearchTechnique::Overlap);
         assert_eq!(config.distance, Distance::Cosine);
-        assert!(matches!(config.embedder, TupleEmbedderKind::FineTuned { .. }));
+        assert!(matches!(
+            config.embedder,
+            TupleEmbedderKind::FineTuned { .. }
+        ));
         assert_eq!(config.diversifier.p, 2);
     }
 

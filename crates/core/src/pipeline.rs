@@ -89,16 +89,21 @@ impl DustPipeline {
                 .iter()
                 .map(|t| {
                     let next = table_ids.len();
-                    *table_ids.entry(t.source_table().to_string()).or_insert(next)
+                    *table_ids
+                        .entry(t.source_table().to_string())
+                        .or_insert(next)
                 })
                 .collect()
         };
-        let input = DiversificationInput {
-            query: &query_embeddings,
-            candidates: &candidate_embeddings,
-            candidate_sources: Some(&sources),
-            distance: self.config.distance,
-        };
+        // The constructor packs both embedding sets into shared stores, so
+        // every diversification stage reads cached norms and (lazily) the
+        // shared pairwise matrix instead of recomputing distances.
+        let input = DiversificationInput::with_sources(
+            &query_embeddings,
+            &candidate_embeddings,
+            &sources,
+            self.config.distance,
+        );
         let diversifier = DustDiversifier::with_config(DustConfig {
             linkage: Linkage::Average,
             ..self.config.diversifier.to_dust_config()
@@ -106,7 +111,8 @@ impl DustPipeline {
         let selection = diversifier.select(&input, k);
         StageTimings::record(&mut timings.diversify_secs, start.elapsed());
 
-        let selected_tuples: Vec<Tuple> = selection.iter().map(|&i| candidates[i].clone()).collect();
+        let selected_tuples: Vec<Tuple> =
+            selection.iter().map(|&i| candidates[i].clone()).collect();
         let selected_embeddings: Vec<Vector> = selection
             .iter()
             .map(|&i| candidate_embeddings[i].clone())

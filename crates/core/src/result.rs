@@ -79,12 +79,7 @@ mod tests {
     use dust_table::Value;
 
     fn tuple(name: &str) -> Tuple {
-        Tuple::new(
-            vec!["Park Name".into()],
-            vec![Value::text(name)],
-            "t",
-            0,
-        )
+        Tuple::new(vec!["Park Name".into()], vec![Value::text(name)], "t", 0)
     }
 
     #[test]

@@ -136,7 +136,10 @@ impl BenchmarkConfig {
 
     /// Generate the benchmark.
     pub fn generate(&self) -> GeneratedBenchmark {
-        let domains: Vec<Domain> = Domain::all().into_iter().take(self.num_domains.max(1)).collect();
+        let domains: Vec<Domain> = Domain::all()
+            .into_iter()
+            .take(self.num_domains.max(1))
+            .collect();
         let mut lake = DataLake::new(self.name.clone());
         let mut base_tables = Vec::with_capacity(domains.len());
         let derive_options = DeriveOptions {
@@ -255,7 +258,10 @@ mod tests {
             let domain = Domain::by_name(domain_name).unwrap();
             let subject = &domain.columns[0];
             assert!(
-                table.headers().iter().any(|h| h == subject.name || h == subject.alt_name),
+                table
+                    .headers()
+                    .iter()
+                    .any(|h| h == subject.name || h == subject.alt_name),
                 "table {} lost its subject column",
                 table.name()
             );

@@ -137,7 +137,8 @@ pub fn build_finetune_dataset(lake: &DataLake, config: &FineTuneDatasetConfig) -
     let mut pairs: Vec<TuplePair> = Vec::with_capacity(half * 2);
     // Unordered provenance keys of already-sampled pairs, so no identical
     // pair is ever emitted twice (which would let it leak across splits).
-    let mut seen_pairs: std::collections::HashSet<(String, String)> = std::collections::HashSet::new();
+    let mut seen_pairs: std::collections::HashSet<(String, String)> =
+        std::collections::HashSet::new();
     let pair_key = |a: &Tuple, b: &Tuple| -> (String, String) {
         let ka = format!("{}:{}", a.source_table(), a.source_row());
         let kb = format!("{}:{}", b.source_table(), b.source_row());
@@ -261,7 +262,10 @@ mod tests {
         let ds = dataset();
         assert!(ds.len() >= 150, "got only {} pairs", ds.len());
         let train_frac = ds.train.len() as f64 / ds.len() as f64;
-        assert!((0.6..=0.8).contains(&train_frac), "train fraction {train_frac}");
+        assert!(
+            (0.6..=0.8).contains(&train_frac),
+            "train fraction {train_frac}"
+        );
         for split in [&ds.train, &ds.test, &ds.validation] {
             let pos = FineTuneDataset::positive_fraction(split);
             assert!((0.3..=0.7).contains(&pos), "unbalanced split: {pos}");
@@ -306,10 +310,7 @@ mod tests {
         let b = dataset();
         assert_eq!(a.len(), b.len());
         assert_eq!(a.train.len(), b.train.len());
-        assert_eq!(
-            a.train[0].a.source_table(),
-            b.train[0].a.source_table()
-        );
+        assert_eq!(a.train[0].a.source_table(), b.train[0].a.source_table());
     }
 
     #[test]

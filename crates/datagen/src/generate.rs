@@ -142,7 +142,10 @@ mod tests {
         assert_eq!(base.num_rows(), 50);
         assert_eq!(base.num_columns(), domain.num_columns());
         let distinct = base.column(0).unwrap().distinct_count();
-        assert!(distinct as f64 >= 0.9 * 50.0, "subjects should be near-unique, got {distinct}");
+        assert!(
+            distinct as f64 >= 0.9 * 50.0,
+            "subjects should be near-unique, got {distinct}"
+        );
     }
 
     #[test]

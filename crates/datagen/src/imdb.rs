@@ -184,7 +184,11 @@ mod tests {
         assert_eq!(study.lake.num_queries(), 1);
         let query = study.lake.query(&study.query_name).unwrap();
         assert_eq!(query.num_columns(), 13);
-        assert!((25..=35).contains(&query.num_rows()), "{}", query.num_rows());
+        assert!(
+            (25..=35).contains(&query.num_rows()),
+            "{}",
+            query.num_rows()
+        );
         assert_eq!(study.base.num_rows(), 120);
     }
 
@@ -201,14 +205,17 @@ mod tests {
         // not in the query table.
         let study = generate_imdb(&small_config());
         let query = study.lake.query(&study.query_name).unwrap();
-        let query_titles = query.column_by_name("Title").unwrap().normalized_value_set();
+        let query_titles = query
+            .column_by_name("Title")
+            .unwrap()
+            .normalized_value_set();
         let mut novel = 0usize;
         for table in study.lake.tables() {
-            if let Some(col) = table.column_by_name("Title").or_else(|| table.column_by_name("Movie Title")) {
-                novel += col
-                    .normalized_value_set()
-                    .difference(&query_titles)
-                    .count();
+            if let Some(col) = table
+                .column_by_name("Title")
+                .or_else(|| table.column_by_name("Movie Title"))
+            {
+                novel += col.normalized_value_set().difference(&query_titles).count();
             }
         }
         assert!(novel > 0, "lake must contain titles absent from the query");

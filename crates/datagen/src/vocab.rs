@@ -76,7 +76,11 @@ impl DomainColumn {
         }
     }
 
-    fn category(name: &'static str, alt_name: &'static str, values: &'static [&'static str]) -> Self {
+    fn category(
+        name: &'static str,
+        alt_name: &'static str,
+        values: &'static [&'static str],
+    ) -> Self {
         DomainColumn {
             name,
             alt_name,
@@ -100,7 +104,13 @@ impl DomainColumn {
         }
     }
 
-    fn numeric(name: &'static str, alt_name: &'static str, kind: ValueKind, min: i64, max: i64) -> Self {
+    fn numeric(
+        name: &'static str,
+        alt_name: &'static str,
+        kind: ValueKind,
+        min: i64,
+        max: i64,
+    ) -> Self {
         DomainColumn {
             name,
             alt_name,
@@ -146,7 +156,11 @@ impl DomainColumn {
             ValueKind::Year => rng.gen_range(self.min..=self.max).to_string(),
             ValueKind::Money => format!("{}", rng.gen_range(self.min..=self.max) * 100),
             ValueKind::Quantity => rng.gen_range(self.min..=self.max).to_string(),
-            ValueKind::Id => format!("{}-{:05}", pick_or(self.pool_a, "ID"), rng.gen_range(0..100000)),
+            ValueKind::Id => format!(
+                "{}-{:05}",
+                pick_or(self.pool_a, "ID"),
+                rng.gen_range(0..100000)
+            ),
         }
     }
 }
@@ -203,7 +217,13 @@ impl Domain {
                     DomainColumn::simple("City", "Location", ValueKind::City),
                     DomainColumn::numeric("Enrollment", "Students", ValueKind::Quantity, 120, 4200),
                     DomainColumn::category("Level", "School Type", SCHOOL_LEVELS),
-                    DomainColumn::numeric("Founded", "Year Established", ValueKind::Year, 1850, 2015),
+                    DomainColumn::numeric(
+                        "Founded",
+                        "Year Established",
+                        ValueKind::Year,
+                        1850,
+                        2015,
+                    ),
                 ],
             },
             Domain {
@@ -257,7 +277,13 @@ impl Domain {
                     DomainColumn::entity("Library", "Branch Name", PLACE_ADJ, LIBRARY_NOUNS),
                     DomainColumn::simple("Librarian", "Branch Manager", ValueKind::Person),
                     DomainColumn::simple("City", "Municipality", ValueKind::City),
-                    DomainColumn::numeric("Volumes", "Collection Size", ValueKind::Quantity, 4000, 900000),
+                    DomainColumn::numeric(
+                        "Volumes",
+                        "Collection Size",
+                        ValueKind::Quantity,
+                        4000,
+                        900000,
+                    ),
                     DomainColumn::numeric("Opened", "Year Opened", ValueKind::Year, 1870, 2018),
                     DomainColumn::simple("Country", "Nation", ValueKind::Country),
                 ],
@@ -269,7 +295,13 @@ impl Domain {
                     DomainColumn::category("Definition", "Description", MYTH_DEFINITIONS),
                     DomainColumn::category("Origin", "Mythology", MYTH_ORIGINS),
                     DomainColumn::simple("Recorded By", "Scholar", ValueKind::Person),
-                    DomainColumn::numeric("First Attested", "Earliest Record", ValueKind::Year, 1500, 1950),
+                    DomainColumn::numeric(
+                        "First Attested",
+                        "Earliest Record",
+                        ValueKind::Year,
+                        1500,
+                        1950,
+                    ),
                 ],
             },
             Domain {
@@ -289,7 +321,13 @@ impl Domain {
                     DomainColumn::entity("Station", "Station Name", PLACE_ADJ, STATION_NOUNS),
                     DomainColumn::simple("City", "Nearest City", ValueKind::City),
                     DomainColumn::numeric("Elevation", "Altitude m", ValueKind::Quantity, 1, 4200),
-                    DomainColumn::numeric("Avg Temp", "Mean Temperature", ValueKind::Quantity, -20, 38),
+                    DomainColumn::numeric(
+                        "Avg Temp",
+                        "Mean Temperature",
+                        ValueKind::Quantity,
+                        -20,
+                        38,
+                    ),
                     DomainColumn::numeric("Installed", "Commissioned", ValueKind::Year, 1950, 2022),
                     DomainColumn::simple("Country", "Territory", ValueKind::Country),
                 ],
@@ -339,44 +377,140 @@ const CITIES: &[&str] = &[
 ];
 const STATES: &[&str] = &["MN", "IL", "CA", "TX", "NY", "WA", "ON", "BC", "QC", "NSW"];
 const COUNTRIES: &[&str] = &[
-    "USA", "UK", "Canada", "Australia", "Portugal", "Japan", "Kenya", "France", "Peru", "Finland",
-    "Poland", "Norway", "Spain", "Ghana", "Vietnam",
+    "USA",
+    "UK",
+    "Canada",
+    "Australia",
+    "Portugal",
+    "Japan",
+    "Kenya",
+    "France",
+    "Peru",
+    "Finland",
+    "Poland",
+    "Norway",
+    "Spain",
+    "Ghana",
+    "Vietnam",
 ];
 
 const PLACE_ADJ: &[&str] = &[
-    "River", "West Lawn", "Hyde", "Chippewa", "Lawler", "Sunset", "Maple", "Cedar", "Granite",
-    "Willow", "Prairie", "Harbor", "Summit", "Lakeside", "Foxglove", "Birchwood", "Juniper",
-    "Pinecrest", "Meadow", "Stonegate",
+    "River",
+    "West Lawn",
+    "Hyde",
+    "Chippewa",
+    "Lawler",
+    "Sunset",
+    "Maple",
+    "Cedar",
+    "Granite",
+    "Willow",
+    "Prairie",
+    "Harbor",
+    "Summit",
+    "Lakeside",
+    "Foxglove",
+    "Birchwood",
+    "Juniper",
+    "Pinecrest",
+    "Meadow",
+    "Stonegate",
 ];
-const PARK_NOUNS: &[&str] = &["Park", "Gardens", "Green", "Commons", "Reserve", "Playfield"];
-const SCHOOL_NOUNS: &[&str] = &["Elementary", "High School", "Academy", "College", "Institute"];
+const PARK_NOUNS: &[&str] = &[
+    "Park",
+    "Gardens",
+    "Green",
+    "Commons",
+    "Reserve",
+    "Playfield",
+];
+const SCHOOL_NOUNS: &[&str] = &[
+    "Elementary",
+    "High School",
+    "Academy",
+    "College",
+    "Institute",
+];
 const HOSPITAL_NOUNS: &[&str] = &["Hospital", "Medical Center", "Clinic", "Infirmary"];
-const TEAM_NOUNS: &[&str] = &["Rovers", "Wanderers", "Falcons", "Comets", "Tigers", "Mariners"];
+const TEAM_NOUNS: &[&str] = &[
+    "Rovers",
+    "Wanderers",
+    "Falcons",
+    "Comets",
+    "Tigers",
+    "Mariners",
+];
 const LIBRARY_NOUNS: &[&str] = &["Library", "Reading Room", "Public Library", "Archive"];
 const STATION_NOUNS: &[&str] = &["Station", "Observatory", "Post", "Outpost"];
 const BRIDGE_NOUNS: &[&str] = &["Bridge", "Crossing", "Viaduct", "Overpass"];
 
 const ART_ADJ: &[&str] = &[
-    "Northern", "Memory", "Silent", "Crimson", "Forgotten", "Winter", "Amber", "Luminous",
-    "Fractured", "Quiet", "Golden", "Distant",
+    "Northern",
+    "Memory",
+    "Silent",
+    "Crimson",
+    "Forgotten",
+    "Winter",
+    "Amber",
+    "Luminous",
+    "Fractured",
+    "Quiet",
+    "Golden",
+    "Distant",
 ];
 const ART_NOUNS: &[&str] = &[
-    "Lake", "Landscape", "Portrait", "Harbor", "Meadow", "Nocturne", "Still Life", "Horizon",
-    "Reverie", "Garden",
+    "Lake",
+    "Landscape",
+    "Portrait",
+    "Harbor",
+    "Meadow",
+    "Nocturne",
+    "Still Life",
+    "Horizon",
+    "Reverie",
+    "Garden",
 ];
 const ART_MEDIUMS: &[&str] = &[
-    "Oil on canvas", "Mixed media", "Watercolor", "Acrylic", "Tempera", "Charcoal", "Gouache",
+    "Oil on canvas",
+    "Mixed media",
+    "Watercolor",
+    "Acrylic",
+    "Tempera",
+    "Charcoal",
+    "Gouache",
 ];
 
 const SCHOOL_LEVELS: &[&str] = &["Primary", "Secondary", "K-8", "Charter", "Magnet"];
 
 const FOOD_ADJ: &[&str] = &[
-    "Golden", "Rustic", "Blue Door", "Old Town", "Corner", "Copper", "Saffron", "Wild Fig",
-    "Lantern", "Harvest",
+    "Golden",
+    "Rustic",
+    "Blue Door",
+    "Old Town",
+    "Corner",
+    "Copper",
+    "Saffron",
+    "Wild Fig",
+    "Lantern",
+    "Harvest",
 ];
-const FOOD_NOUNS: &[&str] = &["Bistro", "Kitchen", "Diner", "Trattoria", "Cantina", "Brasserie"];
+const FOOD_NOUNS: &[&str] = &[
+    "Bistro",
+    "Kitchen",
+    "Diner",
+    "Trattoria",
+    "Cantina",
+    "Brasserie",
+];
 const CUISINES: &[&str] = &[
-    "Italian", "Mexican", "Japanese", "Ethiopian", "Thai", "French", "Indian", "Greek",
+    "Italian",
+    "Mexican",
+    "Japanese",
+    "Ethiopian",
+    "Thai",
+    "French",
+    "Indian",
+    "Greek",
 ];
 
 const MOVIE_ADJ: &[&str] = &[
@@ -388,32 +522,87 @@ const MOVIE_NOUNS: &[&str] = &[
     "Letters",
 ];
 const GENRES: &[&str] = &[
-    "Drama", "Comedy", "Thriller", "Documentary", "Science Fiction", "Romance", "Horror",
+    "Drama",
+    "Comedy",
+    "Thriller",
+    "Documentary",
+    "Science Fiction",
+    "Romance",
+    "Horror",
     "Animation",
 ];
 const LANGUAGES: &[&str] = &[
-    "English", "French", "Spanish", "Japanese", "Hindi", "Portuguese", "Korean", "German",
+    "English",
+    "French",
+    "Spanish",
+    "Japanese",
+    "Hindi",
+    "Portuguese",
+    "Korean",
+    "German",
 ];
 
-const HOSPITAL_TYPES: &[&str] = &["General", "Teaching", "Children's", "Specialty", "Rehabilitation"];
+const HOSPITAL_TYPES: &[&str] = &[
+    "General",
+    "Teaching",
+    "Children's",
+    "Specialty",
+    "Rehabilitation",
+];
 
-const SPORTS: &[&str] = &["Football", "Hockey", "Basketball", "Cricket", "Rugby", "Volleyball"];
+const SPORTS: &[&str] = &[
+    "Football",
+    "Hockey",
+    "Basketball",
+    "Cricket",
+    "Rugby",
+    "Volleyball",
+];
 
 const MYTH_ADJ: &[&str] = &[
     "Chimera", "Siren", "Basilisk", "Minotaur", "Cyclops", "Griffon", "Kasha", "Succubus", "Hag",
     "Kelpie", "Wendigo", "Banshee",
 ];
-const MYTH_NOUNS: &[&str] = &["", "of the North", "of the Marsh", "of the Isles", "of the Deep"];
+const MYTH_NOUNS: &[&str] = &[
+    "",
+    "of the North",
+    "of the Marsh",
+    "of the Isles",
+    "of the Deep",
+];
 const MYTH_DEFINITIONS: &[&str] = &[
-    "Monstrous", "Half-human", "King serpent", "Human-bull", "One-eyed", "Winged lion",
-    "Fire-cart", "Female demon", "Witch", "Water spirit",
+    "Monstrous",
+    "Half-human",
+    "King serpent",
+    "Human-bull",
+    "One-eyed",
+    "Winged lion",
+    "Fire-cart",
+    "Female demon",
+    "Witch",
+    "Water spirit",
 ];
 const MYTH_ORIGINS: &[&str] = &[
-    "Greek", "Roman", "Japanese", "Norse", "Celtic", "Jewish", "Slavic", "Algonquian",
+    "Greek",
+    "Roman",
+    "Japanese",
+    "Norse",
+    "Celtic",
+    "Jewish",
+    "Slavic",
+    "Algonquian",
 ];
 
 const PRODUCT_ADJ: &[&str] = &[
-    "Compact", "Deluxe", "Eco", "Pro", "Ultra", "Classic", "Smart", "Portable", "Heavy Duty",
+    "Compact",
+    "Deluxe",
+    "Eco",
+    "Pro",
+    "Ultra",
+    "Classic",
+    "Smart",
+    "Portable",
+    "Heavy Duty",
     "Mini",
 ];
 const PRODUCT_NOUNS: &[&str] = &[
@@ -421,11 +610,26 @@ const PRODUCT_NOUNS: &[&str] = &[
     "Monitor",
 ];
 const PRODUCT_CATEGORIES: &[&str] = &[
-    "Kitchen", "Electronics", "Outdoor", "Office", "Tools", "Home", "Travel",
+    "Kitchen",
+    "Electronics",
+    "Outdoor",
+    "Office",
+    "Tools",
+    "Home",
+    "Travel",
 ];
-const BRANDS: &[&str] = &["Acme", "Borealis", "Cobalt", "Dunlin", "Everline", "Fjord", "Granary"];
+const BRANDS: &[&str] = &[
+    "Acme", "Borealis", "Cobalt", "Dunlin", "Everline", "Fjord", "Granary",
+];
 
-const BRIDGE_TYPES: &[&str] = &["Suspension", "Arch", "Cable-stayed", "Truss", "Beam", "Cantilever"];
+const BRIDGE_TYPES: &[&str] = &[
+    "Suspension",
+    "Arch",
+    "Cable-stayed",
+    "Truss",
+    "Beam",
+    "Cantilever",
+];
 
 #[cfg(test)]
 mod tests {
@@ -463,7 +667,11 @@ mod tests {
         for col in &parks.columns {
             for _ in 0..20 {
                 let v = col.generate(&mut rng);
-                assert!(!v.is_empty(), "column {} generated an empty value", col.name);
+                assert!(
+                    !v.is_empty(),
+                    "column {} generated an empty value",
+                    col.name
+                );
             }
         }
         // numeric kinds stay in range
@@ -479,8 +687,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let parks = Domain::by_name("parks").unwrap();
         let paintings = Domain::by_name("paintings").unwrap();
-        let park_values: std::collections::HashSet<String> =
-            (0..50).map(|_| parks.columns[0].generate(&mut rng)).collect();
+        let park_values: std::collections::HashSet<String> = (0..50)
+            .map(|_| parks.columns[0].generate(&mut rng))
+            .collect();
         let painting_values: std::collections::HashSet<String> = (0..50)
             .map(|_| paintings.columns[0].generate(&mut rng))
             .collect();

@@ -75,6 +75,10 @@ impl Diversifier for MaxMinDiversifier {
         if n <= k {
             return (0..n).collect();
         }
+        // MaxMin only touches O(k · n) pairs, so it deliberately does not
+        // force the full pairwise matrix: each distance below is one
+        // cached-norm kernel call (or a lookup if another stage already
+        // built the matrix).
         // min distance from each candidate to the query ∪ selected set
         let mut min_dist: Vec<f64> = (0..n)
             .map(|i| {
@@ -164,6 +168,9 @@ impl Diversifier for SwapDiversifier {
         if n <= k {
             return (0..n).collect();
         }
+        // SWAP re-reads candidate pairs across its trial swaps; force the
+        // shared pairwise matrix once so each read is a lookup.
+        let _ = input.pairwise();
         // start with the k candidates closest to the query (most "relevant")
         let mut by_relevance: Vec<usize> = (0..n).collect();
         by_relevance.sort_by(|&a, &b| {
@@ -179,6 +186,8 @@ impl Diversifier for SwapDiversifier {
         let mut swaps = 0usize;
         'outer: while swaps < self.max_swaps {
             for out_pos in 0..selected.len() {
+                // index loop: `pool[in_pos]` is overwritten on an accepted swap
+                #[allow(clippy::needless_range_loop)]
                 for in_pos in 0..pool.len() {
                     let mut trial = selected.clone();
                     trial[out_pos] = pool[in_pos];

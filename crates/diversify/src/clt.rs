@@ -8,7 +8,7 @@
 //! are redundant with the query table.
 
 use crate::traits::{sanitize_selection, DiversificationInput, Diversifier};
-use dust_cluster::{agglomerative, cluster_medoids, Linkage};
+use dust_cluster::{agglomerative_from_matrix, cluster_medoids_from_matrix, Linkage};
 
 /// The CLT clustering baseline.
 #[derive(Debug, Clone, Default)]
@@ -37,9 +37,13 @@ impl Diversifier for CltDiversifier {
         if n <= k {
             return (0..n).collect();
         }
-        let dendrogram = agglomerative(input.candidates, input.distance, self.linkage);
+        // One shared pairwise matrix drives both the clustering (which
+        // mutates an internal working copy) and the medoid selection (which
+        // reads the original).
+        let matrix = input.pairwise();
+        let dendrogram = agglomerative_from_matrix(matrix, self.linkage);
         let assignment = dendrogram.cut(k);
-        let medoids = cluster_medoids(input.candidates, &assignment, input.distance);
+        let medoids = cluster_medoids_from_matrix(matrix, &assignment);
         sanitize_selection(medoids, n, k)
     }
 }
@@ -86,7 +90,10 @@ mod tests {
         let candidates = vec![v(0.0, 0.0), v(0.05, 0.0), v(20.0, 0.0), v(20.05, 0.0)];
         let input = DiversificationInput::new(&query, &candidates, Distance::Euclidean);
         let selection = CltDiversifier::new().select(&input, 2);
-        assert!(selection.iter().any(|&i| i <= 1), "a near-query tuple is kept");
+        assert!(
+            selection.iter().any(|&i| i <= 1),
+            "a near-query tuple is kept"
+        );
     }
 
     #[test]

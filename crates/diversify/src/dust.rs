@@ -9,9 +9,10 @@
 //!    (descending), breaking ties by the average distance (Sec. 5.3), and
 //!    return the top-k — the selected tuples are also diverse from the query.
 
-use crate::prune::prune_tuples;
+use crate::prune::prune_tuples_with_store;
 use crate::traits::{sanitize_selection, DiversificationInput, Diversifier};
-use dust_cluster::{agglomerative, cluster_medoids, Linkage};
+use dust_cluster::{agglomerative_from_matrix, cluster_medoids_from_matrix, Linkage};
+use dust_embed::PairwiseMatrix;
 
 /// Configuration of the DUST diversifier.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,10 +71,11 @@ impl Diversifier for DustDiversifier {
             return (0..n).collect();
         }
 
-        // Step 1: prune.
+        // Step 1: prune, reusing the input's shared embedding store (cached
+        // norms — no per-call norm work).
         let kept: Vec<usize> = match self.config.prune_to {
             Some(s) if n > s => {
-                prune_tuples(input.candidates, input.candidate_sources, input.distance, s)
+                prune_tuples_with_store(input.store(), input.candidate_sources, input.distance, s)
             }
             _ => (0..n).collect(),
         };
@@ -82,18 +84,27 @@ impl Diversifier for DustDiversifier {
         }
 
         // Step 2: cluster the kept candidates into k·p clusters and take
-        // each cluster's medoid.
+        // each cluster's medoid. One condensed pairwise matrix over the kept
+        // subset (built in parallel from the shared store) drives both the
+        // clustering and the medoid selection.
         let num_clusters = (k.saturating_mul(self.config.p.max(1))).min(kept.len());
-        let kept_vectors: Vec<dust_embed::Vector> = kept
-            .iter()
-            .map(|&i| input.candidates[i].clone())
-            .collect();
         let candidate_medoids: Vec<usize> = if num_clusters >= kept.len() {
             (0..kept.len()).collect()
         } else {
-            let dendrogram = agglomerative(&kept_vectors, input.distance, self.config.linkage);
+            // When pruning kept everything, cluster off the input's shared
+            // full matrix (built once, reusable by other stages); otherwise
+            // build the condensed matrix over just the kept subset.
+            let subset_matrix;
+            let matrix: &PairwiseMatrix = if kept.len() == n {
+                input.pairwise()
+            } else {
+                subset_matrix =
+                    PairwiseMatrix::from_store_subset(input.store(), &kept, input.distance);
+                &subset_matrix
+            };
+            let dendrogram = agglomerative_from_matrix(matrix, self.config.linkage);
             let assignment = dendrogram.cut(num_clusters);
-            cluster_medoids(&kept_vectors, &assignment, input.distance)
+            cluster_medoids_from_matrix(matrix, &assignment)
         };
 
         // Step 3: re-rank medoids by min distance to the query (descending),
@@ -199,9 +210,8 @@ mod tests {
                 .unwrap()
         });
         let similar: Vec<usize> = by_similarity.into_iter().take(k).collect();
-        let to_vecs = |sel: &[usize]| -> Vec<Vector> {
-            sel.iter().map(|&i| candidates[i].clone()).collect()
-        };
+        let to_vecs =
+            |sel: &[usize]| -> Vec<Vector> { sel.iter().map(|&i| candidates[i].clone()).collect() };
         assert!(
             average_diversity(&query, &to_vecs(&dust), Distance::Euclidean)
                 > average_diversity(&query, &to_vecs(&similar), Distance::Euclidean)

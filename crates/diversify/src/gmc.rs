@@ -72,22 +72,23 @@ impl Diversifier for GmcDiversifier {
         }
         let lambda = self.lambda.clamp(0.0, 1.0);
         let relevance: Vec<f64> = (0..n).map(|i| self.relevance(input, i)).collect();
-        // Optimistic estimate of each candidate's future diversity
-        // contribution: its maximum distance to any other candidate. This is
+        // GMC touches every candidate pair, so force the shared pairwise
+        // matrix once (built in parallel) and read it from then on. This is
         // the O(s²) part of GMC and the reason its runtime grows
         // quadratically with the number of input tuples (Fig. 7a).
+        let matrix = input.pairwise();
+        // Optimistic estimate of each candidate's future diversity
+        // contribution: its maximum distance to any other candidate (one
+        // linear pass over the condensed buffer).
         let mut max_dist = vec![0.0f64; n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let d = input.candidate_distance(i, j);
-                if d > max_dist[i] {
-                    max_dist[i] = d;
-                }
-                if d > max_dist[j] {
-                    max_dist[j] = d;
-                }
+        matrix.for_each_pair(|i, j, d| {
+            if d > max_dist[i] {
+                max_dist[i] = d;
             }
-        }
+            if d > max_dist[j] {
+                max_dist[j] = d;
+            }
+        });
 
         let mut selected: Vec<usize> = Vec::with_capacity(k);
         let mut remaining: Vec<usize> = (0..n).collect();
@@ -98,6 +99,7 @@ impl Diversifier for GmcDiversifier {
         while selected.len() < k && !remaining.is_empty() {
             let slots_left = (k - selected.len()).saturating_sub(1) as f64;
             let mut best_pos = 0usize;
+            let mut best_cand = usize::MAX;
             let mut best_score = f64::NEG_INFINITY;
             for (pos, &cand) in remaining.iter().enumerate() {
                 // once per unfilled slot, assume the best case distance
@@ -105,16 +107,24 @@ impl Diversifier for GmcDiversifier {
                 let future = slots_left * max_dist[cand];
                 let score = (1.0 - lambda) * (k as f64 - 1.0) * relevance[cand]
                     + 2.0 * lambda * (dist_to_selected[cand] + future);
-                if score > best_score + 1e-15
-                    || (score > best_score - 1e-15 && cand < remaining[best_pos])
-                {
+                // Strict win, or near-tie broken by the smaller candidate
+                // index. `best_score` only ever increases (a tie win keeps
+                // the larger of the two scores), so the winner is the
+                // smallest-index candidate of the top near-tie band
+                // regardless of scan order.
+                if score > best_score + 1e-15 {
                     best_score = score;
                     best_pos = pos;
+                    best_cand = cand;
+                } else if score > best_score - 1e-15 && cand < best_cand {
+                    best_score = best_score.max(score);
+                    best_pos = pos;
+                    best_cand = cand;
                 }
             }
             let chosen = remaining.swap_remove(best_pos);
             for &other in &remaining {
-                dist_to_selected[other] += input.candidate_distance(chosen, other);
+                dist_to_selected[other] += matrix.get(chosen, other);
             }
             selected.push(chosen);
         }
@@ -162,7 +172,10 @@ mod tests {
         // the four grid corners maximize spread; average pairwise distance
         // of the selection must be large
         let avg = average_diversity(&[], &selected, Distance::Euclidean);
-        assert!(avg > 4.0, "selection not spread out: {diverse:?} (avg {avg})");
+        assert!(
+            avg > 4.0,
+            "selection not spread out: {diverse:?} (avg {avg})"
+        );
     }
 
     #[test]

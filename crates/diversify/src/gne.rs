@@ -88,6 +88,10 @@ impl Diversifier for GneDiversifier {
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
         let lambda = self.lambda.clamp(0.0, 1.0);
+        // GNE's construction and swap phases revisit candidate pairs many
+        // times; force the shared pairwise matrix once so every later
+        // `candidate_distance` call is a lookup.
+        let _ = input.pairwise();
         let relevance: Vec<f64> = (0..n).map(|i| self.relevance(input, i)).collect();
 
         let mut best_selection: Vec<usize> = Vec::new();

@@ -38,5 +38,5 @@ pub use gmc::GmcDiversifier;
 pub use gne::GneDiversifier;
 pub use llm::{LlmConfig, SimulatedLlm};
 pub use metrics::{average_diversity, min_diversity, DiversityScores};
-pub use prune::prune_tuples;
+pub use prune::{prune_tuples, prune_tuples_with_store};
 pub use traits::{DiversificationInput, Diversifier};

@@ -104,7 +104,10 @@ impl SimulatedLlm {
                     // introduce novelty: either mutate the value with a
                     // synthetic suffix or recombine two pool values
                     match rng.gen_range(0..3) {
-                        0 => Value::text(format!("{base} {}", NOVEL_SUFFIXES[i % NOVEL_SUFFIXES.len()])),
+                        0 => Value::text(format!(
+                            "{base} {}",
+                            NOVEL_SUFFIXES[i % NOVEL_SUFFIXES.len()]
+                        )),
                         1 => {
                             let other = &pool[rng.gen_range(0..pool.len())];
                             Value::text(format!("{} {}", first_token(base), last_token(other)))
@@ -165,7 +168,10 @@ mod tests {
         let query_keys: std::collections::HashSet<String> =
             query().tuples().iter().map(|t| t.dedup_key()).collect();
         for t in &tuples {
-            assert!(!query_keys.contains(&t.dedup_key()), "generated tuple copies the query");
+            assert!(
+                !query_keys.contains(&t.dedup_key()),
+                "generated tuple copies the query"
+            );
         }
     }
 

@@ -5,7 +5,7 @@
 //!   query tuples are excluded (they are constant across algorithms).
 //! * **Min Diversity** (Eq. 2): the minimum distance over the same pairs.
 
-use dust_embed::{Distance, Vector};
+use dust_embed::{Distance, EmbeddingStore, Vector};
 use serde::{Deserialize, Serialize};
 
 /// Both diversity scores of one selected set.
@@ -18,61 +18,54 @@ pub struct DiversityScores {
 }
 
 impl DiversityScores {
-    /// Compute both scores at once.
+    /// Compute both scores in a single pass over the pair distances (each
+    /// distance is evaluated once, through the cached-norm kernel).
     pub fn compute(query: &[Vector], selected: &[Vector], distance: Distance) -> Self {
+        let (sum, min) = pair_distance_stats(query, selected, distance);
+        let n = query.len();
+        let k = selected.len();
         DiversityScores {
-            average: average_diversity(query, selected, distance),
-            minimum: min_diversity(query, selected, distance),
+            average: if k == 0 { 0.0 } else { sum / (n + k) as f64 },
+            minimum: if min.is_finite() { min } else { 0.0 },
         }
     }
+}
+
+/// Sum and minimum over all query-to-selected and selected-to-selected pair
+/// distances, computed through shared [`EmbeddingStore`]s (cached norms).
+fn pair_distance_stats(query: &[Vector], selected: &[Vector], distance: Distance) -> (f64, f64) {
+    let qs = EmbeddingStore::from_vectors(query);
+    let ss = EmbeddingStore::from_vectors(selected);
+    let mut sum = 0.0;
+    let mut min = f64::INFINITY;
+    for q in 0..qs.len() {
+        for t in 0..ss.len() {
+            let d = qs.cross_distance(distance, q, &ss, t);
+            sum += d;
+            min = min.min(d);
+        }
+    }
+    for i in 0..ss.len() {
+        for j in (i + 1)..ss.len() {
+            let d = ss.distance(distance, i, j);
+            sum += d;
+            min = min.min(d);
+        }
+    }
+    (sum, min)
 }
 
 /// Average Diversity (Eq. 1):
 /// `(Σ_{i,j} δ(q_i, t_j) + Σ_{i<j} δ(t_i, t_j)) / (n + k)`.
 pub fn average_diversity(query: &[Vector], selected: &[Vector], distance: Distance) -> f64 {
-    let n = query.len();
-    let k = selected.len();
-    if k == 0 || n + k == 0 {
-        return 0.0;
-    }
-    let mut sum = 0.0;
-    for q in query {
-        for t in selected {
-            sum += distance.between(q, t);
-        }
-    }
-    for i in 0..k {
-        for j in (i + 1)..k {
-            sum += distance.between(&selected[i], &selected[j]);
-        }
-    }
-    sum / (n + k) as f64
+    DiversityScores::compute(query, selected, distance).average
 }
 
 /// Min Diversity (Eq. 2): the minimum over all query-to-selected and
 /// selected-to-selected distances. Returns 0 for an empty selection and the
 /// minimum query distance when only one tuple is selected.
 pub fn min_diversity(query: &[Vector], selected: &[Vector], distance: Distance) -> f64 {
-    let k = selected.len();
-    if k == 0 {
-        return 0.0;
-    }
-    let mut min = f64::INFINITY;
-    for q in query {
-        for t in selected {
-            min = min.min(distance.between(q, t));
-        }
-    }
-    for i in 0..k {
-        for j in (i + 1)..k {
-            min = min.min(distance.between(&selected[i], &selected[j]));
-        }
-    }
-    if min.is_finite() {
-        min
-    } else {
-        0.0
-    }
+    DiversityScores::compute(query, selected, distance).minimum
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! candidates while cutting the clustering cost (Appendix A.2.3 reports a
 //! 990 s → 85 s per-query improvement on SANTOS).
 
-use dust_embed::{Distance, Vector};
+use dust_embed::{Distance, EmbeddingStore, Vector};
 use std::collections::HashMap;
 
 /// Select up to `s` candidate indices by per-table distance-from-mean
@@ -19,7 +19,24 @@ pub fn prune_tuples(
     distance: Distance,
     s: usize,
 ) -> Vec<usize> {
-    let n = candidates.len();
+    prune_tuples_with_store(
+        &EmbeddingStore::from_vectors(candidates),
+        sources,
+        distance,
+        s,
+    )
+}
+
+/// [`prune_tuples`] over a prebuilt embedding store — the DUST path, which
+/// reuses the store already held by its [`crate::DiversificationInput`] so
+/// the candidate norms are computed exactly once per query.
+pub fn prune_tuples_with_store(
+    store: &EmbeddingStore,
+    sources: Option<&[usize]>,
+    distance: Distance,
+    s: usize,
+) -> Vec<usize> {
+    let n = store.len();
     if n == 0 || s == 0 {
         return Vec::new();
     }
@@ -35,10 +52,9 @@ pub fn prune_tuples(
     // Score every tuple by its distance from its table's mean embedding.
     let mut scored: Vec<(usize, f64)> = Vec::with_capacity(n);
     for members in groups.values() {
-        let mean = Vector::mean(members.iter().map(|&i| &candidates[i]))
-            .expect("non-empty group");
+        let mean = mean_of_rows(store, members);
         for &i in members {
-            scored.push((i, distance.between(&candidates[i], &mean)));
+            scored.push((i, store.distance_to_vector(distance, i, &mean)));
         }
     }
     scored.sort_by(|a, b| {
@@ -47,6 +63,22 @@ pub fn prune_tuples(
             .then_with(|| a.0.cmp(&b.0))
     });
     scored.into_iter().take(s).map(|(i, _)| i).collect()
+}
+
+/// Element-wise mean of the given store rows (same accumulation order as
+/// [`Vector::mean`], so scores match the naive path bit for bit).
+fn mean_of_rows(store: &EmbeddingStore, members: &[usize]) -> Vector {
+    let mut acc: Vec<f32> = store.row(members[0]).to_vec();
+    for &i in &members[1..] {
+        for (a, b) in acc.iter_mut().zip(store.row(i)) {
+            *a += b;
+        }
+    }
+    let scale = 1.0 / members.len() as f32;
+    for a in &mut acc {
+        *a *= scale;
+    }
+    Vector::new(acc)
 }
 
 #[cfg(test)]

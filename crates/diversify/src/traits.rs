@@ -1,6 +1,35 @@
 //! The common interface of every tuple-diversification algorithm.
+//!
+//! [`DiversificationInput`] is more than a bundle of borrowed slices: at
+//! construction it packs the candidate and query embeddings into
+//! [`EmbeddingStore`]s (contiguous rows + cached norms), and it lazily
+//! materializes two shared caches that every algorithm reads instead of
+//! recomputing distances —
+//!
+//! * **query-distance columns**: per-candidate min/avg distance to the query
+//!   tuples, computed in one pass on first use (GMC/GNE relevance, DUST
+//!   re-ranking, MaxMin seeding, SWAP ordering);
+//! * **candidate pairwise matrix**: the condensed [`PairwiseMatrix`] over
+//!   all candidates, built in parallel on first use (GMC's O(s²) max-dist
+//!   scan, GNE/SWAP objectives, CLT clustering + medoids).
+//!
+//! All cached values agree with the reference [`Distance::between`] path
+//! within 1e-6 (the store kernel differs only in summation order; the
+//! matrix additionally rounds to `f32` storage), and both cache paths are
+//! mutually consistent, so caching changes latency — not which tuples any
+//! algorithm considers close.
 
-use dust_embed::{Distance, Vector};
+use dust_embed::{Distance, EmbeddingStore, PairwiseMatrix, Vector};
+use std::sync::OnceLock;
+
+/// Per-candidate distance-to-query columns (see module docs).
+#[derive(Debug, Clone)]
+struct QueryColumns {
+    /// `min_j δ(candidate_i, query_j)`; `f64::INFINITY` with no query tuples.
+    min: Vec<f64>,
+    /// `avg_j δ(candidate_i, query_j)`; `0.0` with no query tuples.
+    avg: Vec<f64>,
+}
 
 /// Input to a diversification algorithm.
 ///
@@ -16,6 +45,14 @@ pub struct DiversificationInput<'a> {
     pub candidate_sources: Option<&'a [usize]>,
     /// Distance function (the paper uses cosine distance).
     pub distance: Distance,
+    /// Candidate embeddings in contiguous storage with cached norms.
+    store: EmbeddingStore,
+    /// Query embeddings in contiguous storage with cached norms.
+    query_store: EmbeddingStore,
+    /// Lazily-built per-candidate min/avg distance to the query.
+    query_columns: OnceLock<QueryColumns>,
+    /// Lazily-built condensed candidate×candidate distance matrix.
+    pairwise: OnceLock<PairwiseMatrix>,
 }
 
 impl<'a> DiversificationInput<'a> {
@@ -26,6 +63,10 @@ impl<'a> DiversificationInput<'a> {
             candidates,
             candidate_sources: None,
             distance,
+            store: EmbeddingStore::from_vectors(candidates),
+            query_store: EmbeddingStore::from_vectors(query),
+            query_columns: OnceLock::new(),
+            pairwise: OnceLock::new(),
         }
     }
 
@@ -41,12 +82,9 @@ impl<'a> DiversificationInput<'a> {
             candidate_sources.len(),
             "one source id per candidate"
         );
-        DiversificationInput {
-            query,
-            candidates,
-            candidate_sources: Some(candidate_sources),
-            distance,
-        }
+        let mut input = Self::new(query, candidates, distance);
+        input.candidate_sources = Some(candidate_sources);
+        input
     }
 
     /// Number of candidates.
@@ -54,31 +92,65 @@ impl<'a> DiversificationInput<'a> {
         self.candidates.len()
     }
 
+    /// The candidate embeddings as a shared store (cached norms).
+    pub fn store(&self) -> &EmbeddingStore {
+        &self.store
+    }
+
+    /// The condensed candidate×candidate distance matrix, built in parallel
+    /// on first call and shared by every subsequent reader. Algorithms that
+    /// touch all O(s²) pairs (GMC, GNE, SWAP, CLT) should force this once;
+    /// algorithms that only sample pairs (MaxMin, DUST after pruning) should
+    /// not, and instead go through [`Self::candidate_distance`].
+    pub fn pairwise(&self) -> &PairwiseMatrix {
+        self.pairwise
+            .get_or_init(|| PairwiseMatrix::from_store(&self.store, self.distance))
+    }
+
+    fn query_columns(&self) -> &QueryColumns {
+        self.query_columns.get_or_init(|| {
+            let n = self.candidates.len();
+            let q = self.query_store.len();
+            let mut min = vec![f64::INFINITY; n];
+            let mut avg = vec![0.0f64; n];
+            for i in 0..n {
+                let mut lo = f64::INFINITY;
+                let mut sum = 0.0f64;
+                for j in 0..q {
+                    let d = self
+                        .store
+                        .cross_distance(self.distance, i, &self.query_store, j);
+                    lo = lo.min(d);
+                    sum += d;
+                }
+                min[i] = lo;
+                if q > 0 {
+                    avg[i] = sum / q as f64;
+                }
+            }
+            QueryColumns { min, avg }
+        })
+    }
+
     /// Minimum distance from candidate `idx` to any query tuple
     /// (`f64::INFINITY` when there are no query tuples).
     pub fn min_distance_to_query(&self, idx: usize) -> f64 {
-        self.query
-            .iter()
-            .map(|q| self.distance.between(&self.candidates[idx], q))
-            .fold(f64::INFINITY, f64::min)
+        self.query_columns().min[idx]
     }
 
     /// Average distance from candidate `idx` to the query tuples (0 when
     /// there are no query tuples).
     pub fn avg_distance_to_query(&self, idx: usize) -> f64 {
-        if self.query.is_empty() {
-            return 0.0;
-        }
-        self.query
-            .iter()
-            .map(|q| self.distance.between(&self.candidates[idx], q))
-            .sum::<f64>()
-            / self.query.len() as f64
+        self.query_columns().avg[idx]
     }
 
-    /// Distance between two candidates.
+    /// Distance between two candidates: a matrix lookup when the pairwise
+    /// cache has been built, otherwise one cached-norm kernel evaluation.
     pub fn candidate_distance(&self, a: usize, b: usize) -> f64 {
-        self.distance.between(&self.candidates[a], &self.candidates[b])
+        match self.pairwise.get() {
+            Some(matrix) => matrix.get(a, b),
+            None => self.store.distance(self.distance, a, b),
+        }
     }
 }
 
@@ -107,7 +179,10 @@ mod tests {
     use super::*;
 
     fn vectors(coords: &[(f32, f32)]) -> Vec<Vector> {
-        coords.iter().map(|&(x, y)| Vector::new(vec![x, y])).collect()
+        coords
+            .iter()
+            .map(|&(x, y)| Vector::new(vec![x, y]))
+            .collect()
     }
 
     #[test]
@@ -120,6 +195,55 @@ mod tests {
         assert!((input.min_distance_to_query(1) - 4.0).abs() < 1e-9);
         assert!(input.avg_distance_to_query(0) > 3.0);
         assert!((input.candidate_distance(0, 1) - (25.0f64 + 9.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cached_helpers_agree_with_the_reference_path() {
+        let query = vectors(&[(0.3, -0.2), (1.4, 0.9), (-2.0, 0.4)]);
+        let candidates = vectors(&[(0.1, 3.3), (5.0, -1.0), (0.0, 0.0), (2.2, 2.2)]);
+        for metric in [Distance::Cosine, Distance::Euclidean, Distance::Manhattan] {
+            let input = DiversificationInput::new(&query, &candidates, metric);
+            for i in 0..candidates.len() {
+                let naive_min = query
+                    .iter()
+                    .map(|q| metric.between(&candidates[i], q))
+                    .fold(f64::INFINITY, f64::min);
+                let naive_avg = query
+                    .iter()
+                    .map(|q| metric.between(&candidates[i], q))
+                    .sum::<f64>()
+                    / query.len() as f64;
+                assert!((input.min_distance_to_query(i) - naive_min).abs() <= 1e-6);
+                assert!((input.avg_distance_to_query(i) - naive_avg).abs() <= 1e-6);
+                for j in 0..candidates.len() {
+                    let naive = metric.between(&candidates[i], &candidates[j]);
+                    assert!((input.candidate_distance(i, j) - naive).abs() <= 1e-6);
+                }
+            }
+            // Forcing the pairwise matrix keeps every off-diagonal value
+            // within the f32 rounding of the same kernel result (the matrix
+            // stores an exact 0 diagonal, which no algorithm queries).
+            let lazy: Vec<f64> = (0..candidates.len())
+                .flat_map(|i| {
+                    (0..candidates.len())
+                        .filter(move |&j| j != i)
+                        .map(move |j| (i, j))
+                })
+                .map(|(i, j)| input.candidate_distance(i, j))
+                .collect();
+            let _ = input.pairwise();
+            let forced: Vec<f64> = (0..candidates.len())
+                .flat_map(|i| {
+                    (0..candidates.len())
+                        .filter(move |&j| j != i)
+                        .map(move |j| (i, j))
+                })
+                .map(|(i, j)| input.candidate_distance(i, j))
+                .collect();
+            for (l, f) in lazy.iter().zip(&forced) {
+                assert_eq!(*f, (*l as f32) as f64);
+            }
+        }
     }
 
     #[test]

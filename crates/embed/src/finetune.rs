@@ -152,11 +152,7 @@ impl ProjectionHead {
 
     /// Forward pass; `dropout_mask` (parallel to the input) zeroes dropped
     /// components during training.
-    fn forward(
-        &self,
-        x: &[f32],
-        dropout_mask: Option<&[f32]>,
-    ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    fn forward(&self, x: &[f32], dropout_mask: Option<&[f32]>) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
         assert_eq!(x.len(), self.input_dim, "input dimension mismatch");
         let h_dim = self.config.hidden_dim;
         let o_dim = self.config.output_dim;
@@ -165,23 +161,23 @@ impl ProjectionHead {
             None => x.to_vec(),
         };
         let mut z1 = vec![0.0f32; h_dim];
-        for i in 0..h_dim {
+        for (i, slot) in z1.iter_mut().enumerate() {
             let row = &self.w1[i * self.input_dim..(i + 1) * self.input_dim];
             let mut acc = self.b1[i];
             for (w, v) in row.iter().zip(&dropped) {
                 acc += w * v;
             }
-            z1[i] = acc;
+            *slot = acc;
         }
         let h: Vec<f32> = z1.iter().map(|v| v.tanh()).collect();
         let mut out = vec![0.0f32; o_dim];
-        for i in 0..o_dim {
+        for (i, slot) in out.iter_mut().enumerate() {
             let row = &self.w2[i * h_dim..(i + 1) * h_dim];
             let mut acc = self.b2[i];
             for (w, v) in row.iter().zip(&h) {
                 acc += w * v;
             }
-            out[i] = acc;
+            *slot = acc;
         }
         (dropped, h, out)
     }
@@ -209,7 +205,12 @@ impl ProjectionHead {
     pub fn train(&mut self, train: &[PairExample], validation: &[PairExample]) -> TrainReport {
         let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
         let mut best_val = f64::INFINITY;
-        let mut best_weights = (self.w1.clone(), self.b1.clone(), self.w2.clone(), self.b2.clone());
+        let mut best_weights = (
+            self.w1.clone(),
+            self.b1.clone(),
+            self.w2.clone(),
+            self.b2.clone(),
+        );
         let mut epochs_without_improvement = 0usize;
         let mut val_losses = Vec::new();
         let mut final_train_loss = 0.0;
@@ -237,7 +238,12 @@ impl ProjectionHead {
             val_losses.push(val_loss);
             if val_loss + 1e-9 < best_val {
                 best_val = val_loss;
-                best_weights = (self.w1.clone(), self.b1.clone(), self.w2.clone(), self.b2.clone());
+                best_weights = (
+                    self.w1.clone(),
+                    self.b1.clone(),
+                    self.w2.clone(),
+                    self.b2.clone(),
+                );
                 epochs_without_improvement = 0;
             } else {
                 epochs_without_improvement += 1;
@@ -254,7 +260,11 @@ impl ProjectionHead {
         TrainReport {
             epochs_run,
             final_train_loss,
-            best_val_loss: if best_val.is_finite() { best_val } else { final_train_loss },
+            best_val_loss: if best_val.is_finite() {
+                best_val
+            } else {
+                final_train_loss
+            },
             val_losses,
         }
     }
@@ -312,8 +322,7 @@ impl ProjectionHead {
         let h_dim = self.config.hidden_dim;
         // gradient wrt hidden activations
         let mut grad_h = vec![0.0f32; h_dim];
-        for i in 0..grad_out.len() {
-            let g = grad_out[i];
+        for (i, &g) in grad_out.iter().enumerate() {
             if g == 0.0 {
                 continue;
             }
@@ -347,7 +356,13 @@ impl ProjectionHead {
         }
         let keep = 1.0 - p;
         (0..self.input_dim)
-            .map(|_| if rng.gen::<f32>() < p { 0.0 } else { 1.0 / keep })
+            .map(|_| {
+                if rng.gen::<f32>() < p {
+                    0.0
+                } else {
+                    1.0 / keep
+                }
+            })
             .collect()
     }
 }
@@ -366,13 +381,18 @@ fn clip_norm(mut grad: Vec<f32>, max_norm: f32) -> Vec<f32> {
 
 /// Gradient of `dL/d e_self` for the cosine similarity term.
 fn cosine_grad(e_self: &[f32], e_other: &[f32], cos: f64, dcos: f64) -> Vec<f32> {
-    let norm_self = (e_self.iter().map(|v| (*v as f64).powi(2)).sum::<f64>()).sqrt().max(1e-9);
-    let norm_other = (e_other.iter().map(|v| (*v as f64).powi(2)).sum::<f64>()).sqrt().max(1e-9);
+    let norm_self = (e_self.iter().map(|v| (*v as f64).powi(2)).sum::<f64>())
+        .sqrt()
+        .max(1e-9);
+    let norm_other = (e_other.iter().map(|v| (*v as f64).powi(2)).sum::<f64>())
+        .sqrt()
+        .max(1e-9);
     e_self
         .iter()
         .zip(e_other)
         .map(|(s, o)| {
-            let d = (*o as f64) / (norm_self * norm_other) - cos * (*s as f64) / (norm_self * norm_self);
+            let d = (*o as f64) / (norm_self * norm_other)
+                - cos * (*s as f64) / (norm_self * norm_self);
             (dcos * d) as f32
         })
         .collect()
@@ -432,7 +452,8 @@ impl DustModel {
 
     /// Fine-tuned embedding of a tuple.
     pub fn embed_tuple(&self, tuple: &Tuple) -> Vector {
-        self.head.embed(&self.centered(self.base.embed_tuple(tuple)))
+        self.head
+            .embed(&self.centered(self.base.embed_tuple(tuple)))
     }
 
     /// Apply the training-time centering (no-op before training).
@@ -483,11 +504,7 @@ impl DustModel {
 
     /// Accuracy of unionability classification at a cosine-distance
     /// threshold (Sec. 6.3: predicted unionable iff distance < threshold).
-    pub fn classification_accuracy(
-        &self,
-        pairs: &[(Tuple, Tuple, bool)],
-        threshold: f64,
-    ) -> f64 {
+    pub fn classification_accuracy(&self, pairs: &[(Tuple, Tuple, bool)], threshold: f64) -> f64 {
         classification_accuracy(|t| self.embed_tuple(t), pairs, threshold)
     }
 }
@@ -635,7 +652,10 @@ mod tests {
             tuned_acc > baseline_acc,
             "fine-tuned accuracy {tuned_acc} should beat baseline {baseline_acc}"
         );
-        assert!(tuned_acc > 0.8, "fine-tuned accuracy should be high, got {tuned_acc}");
+        assert!(
+            tuned_acc > 0.8,
+            "fine-tuned accuracy should be high, got {tuned_acc}"
+        );
     }
 
     #[test]
@@ -668,14 +688,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mask = head.dropout_mask(&mut rng);
         assert_eq!(mask.len(), 100);
-        assert!(mask.iter().any(|&m| m == 0.0));
+        assert!(mask.contains(&0.0));
         assert!(mask.iter().any(|&m| (m - 2.0).abs() < 1e-6));
     }
 
     #[test]
     fn classification_accuracy_handles_empty_input() {
         let enc = TupleEncoder::new(PretrainedModel::Bert);
-        assert_eq!(classification_accuracy(|t| enc.embed_tuple(t), &[], 0.7), 0.0);
+        assert_eq!(
+            classification_accuracy(|t| enc.embed_tuple(t), &[], 0.7),
+            0.0
+        );
     }
 
     #[test]

@@ -69,7 +69,10 @@ impl HashingEncoder {
     /// Build an encoder from a configuration.
     pub fn new(config: HashingEncoderConfig) -> Self {
         assert!(config.dim > 0, "encoder dimension must be positive");
-        assert!(config.hashes_per_token > 0, "need at least one hash per token");
+        assert!(
+            config.hashes_per_token > 0,
+            "need at least one hash per token"
+        );
         let bias = shared_bias(config.dim, config.seed);
         HashingEncoder { config, bias }
     }

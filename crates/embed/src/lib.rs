@@ -4,7 +4,9 @@
 //!
 //! * [`vector`] — dense vectors and elementary linear algebra;
 //! * [`distance`] — tuple distance functions (cosine / Euclidean / Manhattan)
-//!   and pairwise distance matrices;
+//!   and the workspace's single pairwise-distance implementation;
+//! * [`store`] — contiguous embedding storage with cached norms (the shared
+//!   distance-kernel substrate of the diversification pipeline);
 //! * [`tokenize`] — word tokenization, character n-grams, TF-IDF;
 //! * [`hashing`] — the deterministic feature-hashing text encoder standing in
 //!   for pre-trained language models (see DESIGN.md §2);
@@ -24,10 +26,11 @@ pub mod hashing;
 pub mod models;
 pub mod pca;
 pub mod serialize;
+pub mod store;
 pub mod tokenize;
 pub mod vector;
 
-pub use distance::{cosine_similarity, Distance, DistanceMatrix};
+pub use distance::{cosine_similarity, Distance, PairwiseMatrix};
 pub use finetune::{
     classification_accuracy, cosine_embedding_loss, DustModel, FineTuneConfig, PairExample,
     ProjectionHead, TrainReport,
@@ -36,5 +39,6 @@ pub use hashing::{HashingEncoder, HashingEncoderConfig};
 pub use models::{ColumnEncoder, ColumnSerialization, PretrainedModel, TupleEncoder};
 pub use pca::Pca;
 pub use serialize::{serialize_default, serialize_tuple, SerializeOptions, CLS, SEP};
+pub use store::{EmbeddingStore, NormalizedView};
 pub use tokenize::{char_ngrams, term_frequencies, word_tokens, TfIdfCorpus};
 pub use vector::Vector;

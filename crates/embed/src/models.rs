@@ -359,15 +359,20 @@ mod tests {
 
     #[test]
     fn column_encoder_separates_topics() {
-        for serialization in [ColumnSerialization::CellLevel, ColumnSerialization::ColumnLevel] {
+        for serialization in [
+            ColumnSerialization::CellLevel,
+            ColumnSerialization::ColumnLevel,
+        ] {
             let enc = ColumnEncoder::new(PretrainedModel::Roberta, serialization);
             let parks = parks_table();
             let paints = paintings_table();
-            let corpus = ColumnEncoder::build_corpus(parks.columns().iter().chain(paints.columns()));
+            let corpus =
+                ColumnEncoder::build_corpus(parks.columns().iter().chain(paints.columns()));
             let park_names = enc.embed_column(parks.column_by_name("Park Name").unwrap(), &corpus);
             let park_names_again =
                 enc.embed_column(parks.column_by_name("Park Name").unwrap(), &corpus);
-            let painting_names = enc.embed_column(paints.column_by_name("Painting").unwrap(), &corpus);
+            let painting_names =
+                enc.embed_column(paints.column_by_name("Painting").unwrap(), &corpus);
             assert_eq!(park_names, park_names_again, "deterministic");
             assert!(
                 cosine_similarity(&park_names, &park_names_again)
@@ -420,7 +425,10 @@ mod tests {
         let parks = parks_table().tuples();
         let paints = paintings_table().tuples();
         let sim = cosine_similarity(&enc.embed_tuple(&parks[0]), &enc.embed_tuple(&paints[0]));
-        assert!(sim > 0.5, "unrelated tuples should still look similar, got {sim}");
+        assert!(
+            sim > 0.5,
+            "unrelated tuples should still look similar, got {sim}"
+        );
     }
 
     #[test]

@@ -1,0 +1,418 @@
+//! Contiguous embedding storage with cached norms — the shared substrate of
+//! every distance computation in the workspace.
+//!
+//! [`EmbeddingStore`] packs a set of equal-dimension vectors into one
+//! row-major `f32` buffer and caches each row's L2 norm at construction.
+//! The cosine hot path then needs **no per-call norm work**: a distance is
+//! one dot product plus one division by the cached norm product. The inner
+//! loops accumulate in unrolled lanes (letting the compiler vectorize),
+//! which reorders the floating-point sums relative to the reference
+//! [`Distance::between`] path — kernel results are guaranteed within 1e-6
+//! of the reference (property-tested), and identical across every cached
+//! entry point, so all cache paths always agree with each other exactly.
+//!
+//! [`NormalizedView`] additionally pre-normalizes every row so cosine
+//! distance degenerates to `1 − dot`. Batch/ANN-style serving can take the
+//! extra speed; the diversification pipeline uses the cached-norm kernel,
+//! whose zero-vector convention matches the reference path exactly.
+
+use crate::distance::Distance;
+use crate::vector::Vector;
+
+/// A set of equal-dimension vectors in one contiguous row-major buffer,
+/// with per-row L2 norms cached at construction.
+#[derive(Debug, Clone, Default)]
+pub struct EmbeddingStore {
+    n: usize,
+    dim: usize,
+    data: Vec<f32>,
+    norms: Vec<f32>,
+    /// `1 / norm` per row in `f64` (0.0 encodes a zero/sub-threshold norm,
+    /// which makes the cosine kernel's zero-vector convention branch-free).
+    inv_norms: Vec<f64>,
+}
+
+impl EmbeddingStore {
+    /// Pack `vectors` into a store. Panics if dimensions disagree.
+    pub fn from_vectors(vectors: &[Vector]) -> Self {
+        let n = vectors.len();
+        let dim = vectors.first().map(Vector::dim).unwrap_or(0);
+        let mut data = Vec::with_capacity(n * dim);
+        let mut norms = Vec::with_capacity(n);
+        let mut inv_norms = Vec::with_capacity(n);
+        for v in vectors {
+            assert_eq!(v.dim(), dim, "dimension mismatch in embedding store");
+            data.extend_from_slice(v.as_slice());
+            // Same accumulation as `Vector::norm` so cached values match
+            // what the reference path computes per call.
+            let norm = v.as_slice().iter().map(|c| c * c).sum::<f32>().sqrt();
+            norms.push(norm);
+            inv_norms.push(inverse_norm(norm));
+        }
+        EmbeddingStore {
+            n,
+            dim,
+            data,
+            norms,
+            inv_norms,
+        }
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the store holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Dimensionality of the stored vectors.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Iterate rows `start..n` as contiguous slices (one pointer bump per
+    /// row, no per-row index arithmetic — the matrix build's inner stream).
+    pub fn rows_from(&self, start: usize) -> impl Iterator<Item = &[f32]> {
+        let dim = self.dim.max(1);
+        self.data[(start * self.dim).min(self.data.len())..].chunks_exact(dim)
+    }
+
+    /// Cached L2 norm of row `i`.
+    pub fn norm(&self, i: usize) -> f32 {
+        self.norms[i]
+    }
+
+    /// Cached inverse L2 norm of row `i` (0.0 for zero/sub-threshold rows).
+    pub fn inv_norm(&self, i: usize) -> f64 {
+        self.inv_norms[i]
+    }
+
+    /// Distance between rows `i` and `j` under `metric`, using the cached
+    /// (inverse) norms — no per-call norm work. Within 1e-6 of
+    /// [`Distance::between`] on the same vectors.
+    pub fn distance(&self, metric: Distance, i: usize, j: usize) -> f64 {
+        kernel(
+            metric,
+            self.row(i),
+            self.inv_norms[i],
+            self.row(j),
+            self.inv_norms[j],
+        )
+    }
+
+    /// Distance between row `i` of `self` and row `j` of `other`.
+    pub fn cross_distance(
+        &self,
+        metric: Distance,
+        i: usize,
+        other: &EmbeddingStore,
+        j: usize,
+    ) -> f64 {
+        assert_eq!(self.dim, other.dim, "dimension mismatch in distance");
+        kernel(
+            metric,
+            self.row(i),
+            self.inv_norms[i],
+            other.row(j),
+            other.inv_norms[j],
+        )
+    }
+
+    /// Distance between row `i` and an external vector (the vector's norm is
+    /// computed once per call; the row's norm comes from the cache).
+    pub fn distance_to_vector(&self, metric: Distance, i: usize, v: &Vector) -> f64 {
+        assert_eq!(self.dim, v.dim(), "dimension mismatch in distance");
+        kernel(
+            metric,
+            self.row(i),
+            self.inv_norms[i],
+            v.as_slice(),
+            inverse_norm(v.norm()),
+        )
+    }
+
+    /// Maximum cosine similarity between any row and `v` (the re-ranking
+    /// kernel of tuple search). `f64::NEG_INFINITY` for an empty store.
+    pub fn max_cosine_similarity(&self, v: &Vector) -> f64 {
+        let inv_nv = inverse_norm(v.norm());
+        (0..self.n)
+            .map(|i| cosine_similarity_slices(self.row(i), self.inv_norms[i], v.as_slice(), inv_nv))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Pre-normalized copy of the store (see [`NormalizedView`]).
+    pub fn normalized_view(&self) -> NormalizedView {
+        let mut data = self.data.clone();
+        for i in 0..self.n {
+            let norm = self.norms[i];
+            if norm > 1e-12 {
+                for c in &mut data[i * self.dim..(i + 1) * self.dim] {
+                    *c /= norm;
+                }
+            }
+        }
+        NormalizedView {
+            n: self.n,
+            dim: self.dim,
+            data,
+            zero: self.norms.iter().map(|&n| n <= 1e-12).collect(),
+        }
+    }
+}
+
+/// A store view whose rows are L2-normalized, making cosine distance a bare
+/// `1 − dot`. Within ~1e-6 of the exact path (unit rounding in `f32`).
+#[derive(Debug, Clone)]
+pub struct NormalizedView {
+    n: usize,
+    dim: usize,
+    data: Vec<f32>,
+    /// Rows that were zero vectors (cosine convention: similarity 0).
+    zero: Vec<bool>,
+}
+
+impl NormalizedView {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the view holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Unit row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Cosine distance `1 − dot(unit_i, unit_j)`, clamped to `[0, 2]`.
+    pub fn cosine_distance(&self, i: usize, j: usize) -> f64 {
+        if self.zero[i] || self.zero[j] {
+            return 1.0;
+        }
+        let dot = dot_slices(self.row(i), self.row(j));
+        (1.0 - (dot as f64)).clamp(0.0, 2.0)
+    }
+}
+
+/// Unrolled dot product: eight parallel `f32` accumulators so the compiler
+/// can vectorize (the reference path's strictly sequential sum cannot be).
+#[inline]
+fn dot_slices(a: &[f32], b: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    let mut chunks_a = a.chunks_exact(8);
+    let mut chunks_b = b.chunks_exact(8);
+    for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+        for l in 0..8 {
+            lanes[l] += ca[l] * cb[l];
+        }
+    }
+    let tail: f32 = chunks_a
+        .remainder()
+        .iter()
+        .zip(chunks_b.remainder())
+        .map(|(x, y)| x * y)
+        .sum();
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
+        + tail
+}
+
+/// Unrolled squared-Euclidean accumulation (`f64`, four lanes).
+#[inline]
+fn squared_diff_slices(a: &[f32], b: &[f32]) -> f64 {
+    let mut lanes = [0.0f64; 4];
+    let mut chunks_a = a.chunks_exact(4);
+    let mut chunks_b = b.chunks_exact(4);
+    for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+        for l in 0..4 {
+            let d = (ca[l] - cb[l]) as f64;
+            lanes[l] += d * d;
+        }
+    }
+    let tail: f64 = chunks_a
+        .remainder()
+        .iter()
+        .zip(chunks_b.remainder())
+        .map(|(x, y)| ((x - y) as f64).powi(2))
+        .sum();
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+}
+
+/// Unrolled absolute-difference accumulation (`f64`, four lanes).
+#[inline]
+fn abs_diff_slices(a: &[f32], b: &[f32]) -> f64 {
+    let mut lanes = [0.0f64; 4];
+    let mut chunks_a = a.chunks_exact(4);
+    let mut chunks_b = b.chunks_exact(4);
+    for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+        for l in 0..4 {
+            lanes[l] += ((ca[l] - cb[l]) as f64).abs();
+        }
+    }
+    let tail: f64 = chunks_a
+        .remainder()
+        .iter()
+        .zip(chunks_b.remainder())
+        .map(|(x, y)| ((x - y) as f64).abs())
+        .sum();
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+}
+
+/// `1 / norm`, with the reference path's `< 1e-12` zero-norm convention
+/// encoded as 0.0 (so `dot · inv_a · inv_b` is 0 — similarity 0 — without
+/// a branch in the kernel).
+#[inline]
+pub(crate) fn inverse_norm(norm: f32) -> f64 {
+    let norm = norm as f64;
+    if norm < 1e-12 {
+        0.0
+    } else {
+        1.0 / norm
+    }
+}
+
+#[inline]
+fn cosine_similarity_slices(a: &[f32], inv_na: f64, b: &[f32], inv_nb: f64) -> f64 {
+    (dot_slices(a, b) as f64 * (inv_na * inv_nb)).clamp(-1.0, 1.0)
+}
+
+/// The shared distance kernel over raw rows with cached inverse norms (the
+/// cosine hot path is one dot product and two multiplies — zero per-call
+/// norm work and no division). Within 1e-6 of the reference
+/// [`Distance::between`] path (see module docs).
+#[inline]
+pub(crate) fn kernel(metric: Distance, a: &[f32], inv_na: f64, b: &[f32], inv_nb: f64) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dimension mismatch in distance kernel");
+    match metric {
+        Distance::Cosine => 1.0 - cosine_similarity_slices(a, inv_na, b, inv_nb),
+        Distance::Euclidean => squared_diff_slices(a, b).sqrt(),
+        Distance::Manhattan => abs_diff_slices(a, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vectors() -> Vec<Vector> {
+        vec![
+            Vector::new(vec![1.0, 2.0, 2.0]),
+            Vector::new(vec![-3.0, 0.5, 0.25]),
+            Vector::new(vec![0.0, 0.0, 0.0]),
+            Vector::new(vec![4.0, -4.0, 1.0]),
+        ]
+    }
+
+    #[test]
+    fn rows_and_norms_match_the_vectors() {
+        let vs = vectors();
+        let store = EmbeddingStore::from_vectors(&vs);
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.dim(), 3);
+        assert!(!store.is_empty());
+        for (i, v) in vs.iter().enumerate() {
+            assert_eq!(store.row(i), v.as_slice());
+            assert_eq!(store.norm(i), v.norm());
+        }
+    }
+
+    #[test]
+    fn cached_distance_matches_the_reference_path() {
+        let vs = vectors();
+        let store = EmbeddingStore::from_vectors(&vs);
+        for metric in [Distance::Cosine, Distance::Euclidean, Distance::Manhattan] {
+            for i in 0..vs.len() {
+                for j in 0..vs.len() {
+                    let cached = store.distance(metric, i, j);
+                    let reference = metric.between(&vs[i], &vs[j]);
+                    assert!(
+                        (cached - reference).abs() <= 1e-6,
+                        "{metric:?} {i},{j}: {cached} vs {reference}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_store_and_external_vector_distances_agree() {
+        let vs = vectors();
+        let (left, right) = vs.split_at(2);
+        let ls = EmbeddingStore::from_vectors(left);
+        let rs = EmbeddingStore::from_vectors(right);
+        for metric in [Distance::Cosine, Distance::Euclidean, Distance::Manhattan] {
+            for (i, lv) in left.iter().enumerate() {
+                for (j, rv) in right.iter().enumerate() {
+                    let reference = metric.between(lv, rv);
+                    let cross = ls.cross_distance(metric, i, &rs, j);
+                    // Every kernel entry point computes the identical value;
+                    // all are within 1e-6 of the reference path.
+                    assert_eq!(
+                        cross.to_bits(),
+                        ls.distance_to_vector(metric, i, rv).to_bits()
+                    );
+                    assert!((cross - reference).abs() <= 1e-6, "{metric:?} {i},{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_view_is_close_and_handles_zero_rows() {
+        let vs = vectors();
+        let store = EmbeddingStore::from_vectors(&vs);
+        let view = store.normalized_view();
+        assert_eq!(view.len(), 4);
+        for i in 0..vs.len() {
+            for j in 0..vs.len() {
+                let exact = Distance::Cosine.between(&vs[i], &vs[j]);
+                let fast = view.cosine_distance(i, j);
+                assert!((exact - fast).abs() < 1e-6, "{i},{j}: {exact} vs {fast}");
+            }
+        }
+        // zero row: similarity convention 0 => distance 1
+        assert_eq!(view.cosine_distance(2, 0), 1.0);
+    }
+
+    #[test]
+    fn max_cosine_similarity_matches_a_scan() {
+        let vs = vectors();
+        let store = EmbeddingStore::from_vectors(&vs);
+        let probe = Vector::new(vec![1.0, 1.0, 0.0]);
+        let expected = vs
+            .iter()
+            .map(|v| crate::distance::cosine_similarity(v, &probe))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((store.max_cosine_similarity(&probe) - expected).abs() <= 1e-6);
+        assert_eq!(
+            EmbeddingStore::from_vectors(&[]).max_cosine_similarity(&probe),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mixed_dimensions_panic() {
+        let _ =
+            EmbeddingStore::from_vectors(&[Vector::new(vec![1.0]), Vector::new(vec![1.0, 2.0])]);
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = EmbeddingStore::from_vectors(&[]);
+        assert!(store.is_empty());
+        assert_eq!(store.dim(), 0);
+        assert!(store.normalized_view().is_empty());
+    }
+}

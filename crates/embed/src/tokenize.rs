@@ -114,8 +114,11 @@ impl TfIdfCorpus {
             .map(|(i, t)| (i, t, *weights.get(t).unwrap_or(&0.0)))
             .collect();
         scored.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
-        let mut keep: Vec<(usize, &String)> =
-            scored.into_iter().take(limit).map(|(i, t, _)| (i, t)).collect();
+        let mut keep: Vec<(usize, &String)> = scored
+            .into_iter()
+            .take(limit)
+            .map(|(i, t, _)| (i, t))
+            .collect();
         keep.sort_by_key(|(i, _)| *i);
         keep.into_iter().map(|(_, t)| t.clone()).collect()
     }

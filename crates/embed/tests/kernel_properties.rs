@@ -1,0 +1,142 @@
+//! Property tests: every cached distance path (store kernel, condensed
+//! pairwise matrix, normalized view) agrees with the naive
+//! `Distance::between` path within 1e-6 for all three metrics, across
+//! arbitrary dimensions (including dimension 1) and degenerate inputs
+//! (including zero vectors).
+
+use dust_embed::{Distance, EmbeddingStore, PairwiseMatrix, Vector};
+use proptest::prelude::*;
+
+const METRICS: [Distance; 3] = [Distance::Cosine, Distance::Euclidean, Distance::Manhattan];
+
+/// Pad/truncate generated rows to a shared dimension and append a zero
+/// vector so the cosine zero-norm convention is always exercised.
+fn points_of_dim(dim: usize, rows: Vec<Vec<f32>>) -> Vec<Vector> {
+    let mut pts: Vec<Vector> = rows
+        .into_iter()
+        .map(|mut row| {
+            row.truncate(dim);
+            while row.len() < dim {
+                row.push(0.0);
+            }
+            Vector::new(row)
+        })
+        .collect();
+    // Always include an all-zero vector: the cosine kernel's zero-norm
+    // convention must match the naive path exactly.
+    pts.push(Vector::zeros(dim));
+    pts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Store-kernel distances match the naive path within 1e-6 (the kernel
+    /// differs only in floating-point summation order).
+    #[test]
+    fn store_distances_match_naive(
+        dim in 1usize..8,
+        rows in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 8), 1..24),
+    ) {
+        let pts = points_of_dim(dim, rows);
+        let store = EmbeddingStore::from_vectors(&pts);
+        for metric in METRICS {
+            for i in 0..pts.len() {
+                for j in 0..pts.len() {
+                    let naive = metric.between(&pts[i], &pts[j]);
+                    let cached = store.distance(metric, i, j);
+                    prop_assert!(
+                        (naive - cached).abs() <= 1e-6,
+                        "{metric:?} ({i},{j}): naive {naive} vs cached {cached}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Pairwise-matrix entries (the single pairwise implementation, built
+    /// in parallel for large inputs) match the naive path within 1e-6,
+    /// scaled by magnitude for the `f32`-stored entries.
+    #[test]
+    fn pairwise_matrix_matches_naive(
+        dim in 1usize..6,
+        rows in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 6), 2..32),
+    ) {
+        let pts = points_of_dim(dim, rows);
+        for metric in METRICS {
+            let matrix = PairwiseMatrix::compute(&pts, metric);
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    let naive = metric.between(&pts[i], &pts[j]);
+                    let tolerance = 1e-6 * naive.abs().max(1.0);
+                    prop_assert!(
+                        (naive - matrix.get(i, j)).abs() <= tolerance,
+                        "{metric:?} ({i},{j}): naive {naive} vs matrix {}",
+                        matrix.get(i, j)
+                    );
+                    prop_assert!((matrix.get(i, j) - matrix.get(j, i)).abs() == 0.0);
+                }
+            }
+        }
+    }
+
+    /// The pre-normalized view's `1 − dot` cosine distance stays within
+    /// 1e-6 of the naive cosine path (unit rounding is its only error).
+    #[test]
+    fn normalized_view_cosine_matches_naive(
+        dim in 1usize..8,
+        rows in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 8), 1..24),
+    ) {
+        let pts = points_of_dim(dim, rows);
+        let view = EmbeddingStore::from_vectors(&pts).normalized_view();
+        for i in 0..pts.len() {
+            for j in 0..pts.len() {
+                if i == j {
+                    continue;
+                }
+                let naive = Distance::Cosine.between(&pts[i], &pts[j]);
+                let fast = view.cosine_distance(i, j);
+                prop_assert!(
+                    (naive - fast).abs() <= 1e-6,
+                    "({i},{j}): naive {naive} vs normalized {fast}"
+                );
+            }
+        }
+    }
+
+    /// Dimension-1 vectors, including zeros and negatives, agree on every
+    /// path (regression guard for the degenerate shapes).
+    #[test]
+    fn dimension_one_agrees_everywhere(
+        values in prop::collection::vec(-100.0f32..100.0, 2..16),
+    ) {
+        let mut pts: Vec<Vector> = values.into_iter().map(|v| Vector::new(vec![v])).collect();
+        pts.push(Vector::zeros(1));
+        let store = EmbeddingStore::from_vectors(&pts);
+        for metric in METRICS {
+            let matrix = PairwiseMatrix::from_store(&store, metric);
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    let naive = metric.between(&pts[i], &pts[j]);
+                    let tolerance = 1e-6 * naive.abs().max(1.0);
+                    prop_assert!((store.distance(metric, i, j) - naive).abs() <= 1e-6);
+                    prop_assert!((matrix.get(i, j) - naive).abs() <= tolerance);
+                }
+            }
+        }
+    }
+}
+
+/// The zero-vector cosine convention is identical across all paths: the
+/// naive path, the store kernel, and the normalized view all report
+/// similarity 0 (distance 1) against a zero vector.
+#[test]
+fn zero_vector_convention_is_shared() {
+    let pts = vec![Vector::zeros(3), Vector::new(vec![1.0, 2.0, -1.0])];
+    let store = EmbeddingStore::from_vectors(&pts);
+    let view = store.normalized_view();
+    let naive = Distance::Cosine.between(&pts[0], &pts[1]);
+    assert_eq!(naive, 1.0);
+    assert_eq!(store.distance(Distance::Cosine, 0, 1), 1.0);
+    assert_eq!(view.cosine_distance(0, 1), 1.0);
+}

@@ -98,6 +98,7 @@ pub fn max_weight_matching(weights: &[Vec<f64>]) -> Matching {
 
     let mut pairs = Vec::new();
     let mut total = 0.0;
+    #[allow(clippy::needless_range_loop)]
     for j in 1..=n {
         let i = p[j];
         if i == 0 {
@@ -125,10 +126,7 @@ mod tests {
 
     #[test]
     fn simple_square_matching() {
-        let weights = vec![
-            vec![0.9, 0.1],
-            vec![0.2, 0.8],
-        ];
+        let weights = vec![vec![0.9, 0.1], vec![0.2, 0.8]];
         let m = max_weight_matching(&weights);
         assert_eq!(m.pairs, vec![(0, 0, 0.9), (1, 1, 0.8)]);
         assert!((m.total_weight - 1.7).abs() < 1e-9);
@@ -138,10 +136,7 @@ mod tests {
     fn picks_global_optimum_over_greedy() {
         // Greedy would match (0,0)=0.9 then (1,1)=0.0 for total 0.9;
         // the optimum is (0,1)+(1,0) = 0.8 + 0.7 = 1.5.
-        let weights = vec![
-            vec![0.9, 0.8],
-            vec![0.7, 0.0],
-        ];
+        let weights = vec![vec![0.9, 0.8], vec![0.7, 0.0]];
         let m = max_weight_matching(&weights);
         assert!((m.total_weight - 1.5).abs() < 1e-9);
     }
@@ -149,30 +144,20 @@ mod tests {
     #[test]
     fn rectangular_matrices() {
         // 3 left nodes, 2 right nodes: only two pairs possible
-        let weights = vec![
-            vec![0.5, 0.4],
-            vec![0.9, 0.1],
-            vec![0.3, 0.8],
-        ];
+        let weights = vec![vec![0.5, 0.4], vec![0.9, 0.1], vec![0.3, 0.8]];
         let m = max_weight_matching(&weights);
         assert_eq!(m.pairs.len(), 2);
         assert!((m.total_weight - 1.7).abs() < 1e-9);
 
         // transpose: 2 left, 3 right
-        let weights_t = vec![
-            vec![0.5, 0.9, 0.3],
-            vec![0.4, 0.1, 0.8],
-        ];
+        let weights_t = vec![vec![0.5, 0.9, 0.3], vec![0.4, 0.1, 0.8]];
         let mt = max_weight_matching(&weights_t);
         assert!((mt.total_weight - 1.7).abs() < 1e-9);
     }
 
     #[test]
     fn zero_and_negative_weights_are_not_matched() {
-        let weights = vec![
-            vec![0.0, -0.5],
-            vec![-0.2, 0.0],
-        ];
+        let weights = vec![vec![0.0, -0.5], vec![-0.2, 0.0]];
         let m = max_weight_matching(&weights);
         assert!(m.pairs.is_empty());
         assert_eq!(m.total_weight, 0.0);
@@ -187,10 +172,7 @@ mod tests {
 
     #[test]
     fn each_node_matched_at_most_once() {
-        let weights = vec![
-            vec![0.9, 0.9, 0.9],
-            vec![0.9, 0.9, 0.9],
-        ];
+        let weights = vec![vec![0.9, 0.9, 0.9], vec![0.9, 0.9, 0.9]];
         let m = max_weight_matching(&weights);
         let lefts: std::collections::HashSet<usize> = m.pairs.iter().map(|p| p.0).collect();
         let rights: std::collections::HashSet<usize> = m.pairs.iter().map(|p| p.1).collect();

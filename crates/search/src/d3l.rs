@@ -141,7 +141,10 @@ mod tests {
         let results = search.search(&lake, &query, 3);
         assert_eq!(results.len(), 3);
         let molecule_rank = results.iter().position(|r| r.table == "molecules").unwrap();
-        assert_eq!(molecule_rank, 2, "molecule table must rank last: {results:?}");
+        assert_eq!(
+            molecule_rank, 2,
+            "molecule table must rank last: {results:?}"
+        );
         assert_eq!(search.name(), "d3l");
     }
 

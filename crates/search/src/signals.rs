@@ -5,7 +5,9 @@
 //! distribution similarity); the overlap searcher uses the value-overlap
 //! signal alone. Each signal is normalized to `[0, 1]`.
 
-use dust_embed::{cosine_similarity, ColumnEncoder, ColumnSerialization, PretrainedModel, TfIdfCorpus};
+use dust_embed::{
+    cosine_similarity, ColumnEncoder, ColumnSerialization, PretrainedModel, TfIdfCorpus,
+};
 use dust_table::{Column, ColumnStats, ColumnType};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -206,7 +208,9 @@ mod tests {
     fn name_similarity_cases() {
         assert_eq!(name_similarity("Country", "country"), 1.0);
         assert!(name_similarity("Park Name", "Name") > 0.0);
-        assert!(name_similarity("Park Country", "Country") > name_similarity("Park Country", "Phone"));
+        assert!(
+            name_similarity("Park Country", "Country") > name_similarity("Park Country", "Phone")
+        );
         assert_eq!(name_similarity("", "x"), 0.0);
     }
 

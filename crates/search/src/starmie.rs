@@ -20,7 +20,7 @@
 use crate::bipartite::max_weight_matching;
 use crate::{rank_and_truncate, SearchResult, TableUnionSearch};
 use dust_embed::{
-    cosine_similarity, ColumnEncoder, ColumnSerialization, PretrainedModel,
+    cosine_similarity, ColumnEncoder, ColumnSerialization, EmbeddingStore, PretrainedModel,
     TupleEncoder, Vector,
 };
 use dust_table::{DataLake, Table, Tuple};
@@ -67,7 +67,8 @@ impl StarmieSearch {
             .iter()
             .map(|c| self.encoder.embed_column(c, &corpus))
             .collect();
-        let centroid = Vector::mean(raw.iter()).unwrap_or_else(|| Vector::zeros(self.encoder.dim()));
+        let centroid =
+            Vector::mean(raw.iter()).unwrap_or_else(|| Vector::zeros(self.encoder.dim()));
         raw.into_iter()
             .map(|col| {
                 let mut blended = col.scaled(1.0 - self.context_blend);
@@ -86,7 +87,11 @@ impl StarmieSearch {
         let ce = self.contextual_column_embeddings(candidate);
         let weights: Vec<Vec<f64>> = qe
             .iter()
-            .map(|q| ce.iter().map(|c| cosine_similarity(q, c).max(0.0)).collect())
+            .map(|q| {
+                ce.iter()
+                    .map(|c| cosine_similarity(q, c).max(0.0))
+                    .collect()
+            })
             .collect();
         let matching = max_weight_matching(&weights);
         matching.total_weight / query.num_columns().max(1) as f64
@@ -141,21 +146,21 @@ impl StarmieTupleSearch {
     }
 
     /// Rank candidate tuples by their maximum similarity to any query tuple
-    /// and return the top-k (most similar first).
+    /// and return the top-k (most similar first). The query embeddings are
+    /// packed into a shared [`EmbeddingStore`] once, so re-ranking performs
+    /// no per-candidate query-norm work.
     pub fn search_tuples(&self, query: &Table, candidates: &[Tuple], k: usize) -> Vec<TupleResult> {
         let query_embeddings: Vec<Vector> = query
             .tuples()
             .iter()
             .map(|t| self.encoder.embed_tuple(t))
             .collect();
+        let query_store = EmbeddingStore::from_vectors(&query_embeddings);
         let mut results: Vec<TupleResult> = candidates
             .iter()
             .map(|t| {
                 let e = self.encoder.embed_tuple(t);
-                let score = query_embeddings
-                    .iter()
-                    .map(|q| cosine_similarity(q, &e))
-                    .fold(f64::NEG_INFINITY, f64::max);
+                let score = query_store.max_cosine_similarity(&e);
                 TupleResult {
                     tuple: t.clone(),
                     score: if score.is_finite() { score } else { 0.0 },
@@ -249,7 +254,10 @@ mod tests {
         let search = StarmieSearch::new();
         let q = query();
         let self_score = search.score_pair(&q, &q);
-        assert!(self_score > 0.9, "a table should be maximally unionable with itself");
+        assert!(
+            self_score > 0.9,
+            "a table should be maximally unionable with itself"
+        );
         assert!(self_score <= 1.0 + 1e-9);
     }
 
@@ -265,7 +273,10 @@ mod tests {
         // (River Park / West Lawn Park), illustrating the redundancy problem.
         let first = &top[0].tuple;
         let name = first.value_for("Park Name").unwrap().render().to_string();
-        assert!(name == "River Park" || name == "West Lawn Park", "got {name}");
+        assert!(
+            name == "River Park" || name == "West Lawn Park",
+            "got {name}"
+        );
         assert!(top[0].score >= top[1].score);
     }
 

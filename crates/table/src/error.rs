@@ -91,7 +91,9 @@ impl fmt::Display for TableError {
             TableError::DuplicateTable { name } => {
                 write!(f, "table '{name}' already exists in lake")
             }
-            TableError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            TableError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
         }
     }
 }

@@ -131,14 +131,18 @@ impl DataLake {
     pub fn table(&self, id: &str) -> Result<&Table> {
         self.tables
             .get(id)
-            .ok_or_else(|| TableError::TableNotFound { name: id.to_string() })
+            .ok_or_else(|| TableError::TableNotFound {
+                name: id.to_string(),
+            })
     }
 
     /// Look up a query table by name.
     pub fn query(&self, id: &str) -> Result<&Table> {
         self.queries
             .get(id)
-            .ok_or_else(|| TableError::TableNotFound { name: id.to_string() })
+            .ok_or_else(|| TableError::TableNotFound {
+                name: id.to_string(),
+            })
     }
 
     /// Iterate all data-lake tables in name order.

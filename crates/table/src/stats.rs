@@ -52,7 +52,10 @@ impl ColumnStats {
         let avg_text_len = if non_null.is_empty() {
             0.0
         } else {
-            non_null.iter().map(|v| v.render().chars().count()).sum::<usize>() as f64
+            non_null
+                .iter()
+                .map(|v| v.render().chars().count())
+                .sum::<usize>() as f64
                 / non_null.len() as f64
         };
         ColumnStats {

@@ -218,7 +218,7 @@ impl Table {
                 None => {
                     self.columns[idx]
                         .values_mut()
-                        .extend(std::iter::repeat(Value::Null).take(rows));
+                        .extend(std::iter::repeat_n(Value::Null, rows));
                 }
             }
         }
@@ -354,7 +354,10 @@ mod tests {
     fn project_and_select() {
         let t = parks();
         let p = t.project(&[0, 3], "proj").unwrap();
-        assert_eq!(p.headers(), &["Park Name".to_string(), "Country".to_string()]);
+        assert_eq!(
+            p.headers(),
+            &["Park Name".to_string(), "Country".to_string()]
+        );
         let s = t.select(&[2, 0], "sel").unwrap();
         assert_eq!(s.num_rows(), 2);
         assert_eq!(s.cell(0, 0), Some(&Value::text("Hyde Park")));

@@ -115,7 +115,11 @@ impl Tuple {
     /// of indices. Used by the column-shuffle robustness experiment
     /// (Appendix A.2.1 / Fig. 10).
     pub fn permuted(&self, order: &[usize]) -> Tuple {
-        assert_eq!(order.len(), self.arity(), "permutation must cover all columns");
+        assert_eq!(
+            order.len(),
+            self.arity(),
+            "permutation must cover all columns"
+        );
         let headers = order.iter().map(|&i| self.headers[i].clone()).collect();
         let values = order.iter().map(|&i| self.values[i].clone()).collect();
         Tuple {
@@ -140,7 +144,13 @@ impl Tuple {
     pub fn dedup_key(&self) -> String {
         let mut pairs: Vec<String> = self
             .non_null_pairs()
-            .map(|(h, v)| format!("{}={}", h.to_ascii_lowercase(), v.render().to_ascii_lowercase()))
+            .map(|(h, v)| {
+                format!(
+                    "{}={}",
+                    h.to_ascii_lowercase(),
+                    v.render().to_ascii_lowercase()
+                )
+            })
             .collect();
         pairs.sort();
         pairs.join("|")
@@ -238,7 +248,10 @@ mod tests {
         let p = t.permuted(&[3, 2, 1, 0]);
         assert_eq!(p.headers()[0], "Country");
         assert_eq!(p.values()[0], Value::text("USA"));
-        assert_eq!(p.value_for("Park Name"), Some(&Value::text("Chippewa Park")));
+        assert_eq!(
+            p.value_for("Park Name"),
+            Some(&Value::text("Chippewa Park"))
+        );
     }
 
     #[test]

@@ -92,7 +92,10 @@ impl Value {
             return Value::Null;
         }
         let lowered = trimmed.to_ascii_lowercase();
-        if matches!(lowered.as_str(), "null" | "nan" | "na" | "n/a" | "none" | "-") {
+        if matches!(
+            lowered.as_str(),
+            "null" | "nan" | "na" | "n/a" | "none" | "-"
+        ) {
             return Value::Null;
         }
         if let Ok(v) = trimmed.parse::<i64>() {
@@ -280,7 +283,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_stable() {
-        let mut values = vec![
+        let mut values = [
             Value::text("b"),
             Value::Null,
             Value::Int(10),

@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let query = lake.query(&query_name)?;
         // candidate pool: the ground-truth unionable tables, outer-unioned
         let unionable = lake.ground_truth().unionable_with(&query_name);
-        let tables: Vec<&Table> = unionable.iter().filter_map(|t| lake.table(t).ok()).collect();
+        let tables: Vec<&Table> = unionable
+            .iter()
+            .filter_map(|t| lake.table(t).ok())
+            .collect();
         let alignment = HolisticAligner::new().align(query, &tables);
         let candidates = outer_union(query, &tables, &alignment);
         if candidates.len() < k {
@@ -64,7 +67,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let query_embeddings = encoder.embed_tuples(&query.tuples());
         let candidate_embeddings = encoder.embed_tuples(&candidates);
-        let input = DiversificationInput::new(&query_embeddings, &candidate_embeddings, Distance::Cosine);
+        let input =
+            DiversificationInput::new(&query_embeddings, &candidate_embeddings, Distance::Cosine);
 
         let mut scores = Vec::new();
         for (_, algorithm) in &algorithms {
@@ -79,8 +83,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Distance::Cosine,
             ));
         }
-        let best_avg = scores.iter().map(|s| s.average).fold(f64::NEG_INFINITY, f64::max);
-        let best_min = scores.iter().map(|s| s.minimum).fold(f64::NEG_INFINITY, f64::max);
+        let best_avg = scores
+            .iter()
+            .map(|s| s.average)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let best_min = scores
+            .iter()
+            .map(|s| s.minimum)
+            .fold(f64::NEG_INFINITY, f64::max);
         let cells: String = scores
             .iter()
             .map(|s| format!("{:>9.3}/{:<8.3}", s.average, s.minimum))

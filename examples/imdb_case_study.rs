@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dust_tuples = pipeline.run(&study.lake, &query, k)?.tuples;
 
     println!("\nNew distinct values added to the query table (k = {k}):");
-    println!("{:<18} {:>8} {:>10} {:>18}", "method", "Title", "Director", "Filming Location");
+    println!(
+        "{:<18} {:>8} {:>10} {:>18}",
+        "method", "Title", "Director", "Filming Location"
+    );
     for baseline in &baselines {
         let tuples = baseline.top_k(&study.lake, &query, k);
         print_row(&baseline.name(), &tuples, &query, &columns);
@@ -54,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nSample of DUST's suggestions:");
     for tuple in dust_tuples.iter().take(5) {
-        let title = tuple.value_for("Title").map(|v| v.render().to_string()).unwrap_or_default();
+        let title = tuple
+            .value_for("Title")
+            .map(|v| v.render().to_string())
+            .unwrap_or_default();
         let location = tuple
             .value_for("Filming Location")
             .map(|v| v.render().to_string())

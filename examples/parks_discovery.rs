@@ -6,7 +6,9 @@
 //! Run with `cargo run --release -p dust-core --example parks_discovery`.
 
 use dust_core::{DustPipeline, PipelineConfig};
-use dust_datagen::{build_finetune_dataset, BenchmarkConfig, FineTuneDataset, FineTuneDatasetConfig};
+use dust_datagen::{
+    build_finetune_dataset, BenchmarkConfig, FineTuneDataset, FineTuneDatasetConfig,
+};
 use dust_embed::{DustModel, FineTuneConfig, PretrainedModel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -76,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = pipeline.run(&lake, &query, 10)?;
 
     println!("\nRetrieved tables: {:?}", result.retrieved_tables);
-    println!("Column alignment (silhouette {:?}):", result.alignment.silhouette);
+    println!(
+        "Column alignment (silhouette {:?}):",
+        result.alignment.silhouette
+    );
     for cluster in &result.alignment.clusters {
         let members: Vec<String> = cluster
             .members
@@ -101,7 +106,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .take(3)
             .map(|(h, v)| format!("{h}={v}"))
             .collect();
-        println!("  [{}#{}] {}", tuple.source_table(), tuple.source_row(), rendered.join(", "));
+        println!(
+            "  [{}#{}] {}",
+            tuple.source_table(),
+            tuple.source_row(),
+            rendered.join(", ")
+        );
     }
     println!(
         "\nNovel tuples (not already in the query table): {}/{}",

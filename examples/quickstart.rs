@@ -42,8 +42,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .column("Park Name", ["Chippewa Park", "Lawler Park", "Hyde Park"])
             .column("Park City", ["Brandon, MN", "Chicago, IL", "London"])
             .column("Park Country", ["USA", "USA", "UK"])
-            .column("Park Phone", ["773 731-0380", "773 284-7328", "020 7298 2000"])
-            .column("Supervised by", ["Tim Erickson", "Enrique Garcia", "Jenny Rishi"])
+            .column(
+                "Park Phone",
+                ["773 731-0380", "773 284-7328", "020 7298 2000"],
+            )
+            .column(
+                "Supervised by",
+                ["Tim Erickson", "Enrique Garcia", "Jenny Rishi"],
+            )
             .build()?,
     )?;
     lake.add_query(query.clone())?;

@@ -1,0 +1,3 @@
+//! Workspace umbrella crate: hosts the cross-crate integration tests under
+//! `tests/` and the runnable examples under `examples/`. The actual library
+//! code lives in the `crates/` members.

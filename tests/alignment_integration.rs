@@ -125,7 +125,10 @@ fn outer_union_covers_every_row_of_aligned_tables() {
     assert_eq!(tuples.len(), expected_rows);
     for tuple in &tuples {
         assert_eq!(tuple.headers(), query.headers());
-        assert!(tuple.non_null_count() > 0, "outer union produced an empty tuple");
+        assert!(
+            tuple.non_null_count() > 0,
+            "outer union produced an empty tuple"
+        );
     }
 }
 
@@ -136,7 +139,10 @@ fn alignment_works_across_generated_benchmark_queries() {
     for query_name in lake.query_names() {
         let query = lake.query(&query_name).unwrap();
         let unionable = lake.ground_truth().unionable_with(&query_name);
-        let tables: Vec<&Table> = unionable.iter().filter_map(|t| lake.table(t).ok()).collect();
+        let tables: Vec<&Table> = unionable
+            .iter()
+            .filter_map(|t| lake.table(t).ok())
+            .collect();
         let alignment = aligner.align(query, &tables);
         // each query column appears at most once among clusters
         let mut seen = std::collections::HashSet::new();

@@ -20,7 +20,10 @@ fn embedded_pool() -> (Vec<Vector>, Vec<Vector>, Vec<usize>) {
     let query_name = lake.query_names()[0].clone();
     let query = lake.query(&query_name).unwrap();
     let unionable = lake.ground_truth().unionable_with(&query_name);
-    let tables: Vec<&Table> = unionable.iter().filter_map(|t| lake.table(t).ok()).collect();
+    let tables: Vec<&Table> = unionable
+        .iter()
+        .filter_map(|t| lake.table(t).ok())
+        .collect();
     let alignment = HolisticAligner::new().align(query, &tables);
     let candidates = outer_union(query, &tables, &alignment);
     let encoder = TupleEncoder::new(PretrainedModel::Roberta);
@@ -51,8 +54,7 @@ fn every_diversifier_returns_k_valid_indices_on_real_data() {
     let swap = SwapDiversifier::new();
     let random = RandomDiversifier::default();
     let dust = DustDiversifier::new();
-    let algorithms: Vec<&dyn Diversifier> =
-        vec![&gmc, &gne, &clt, &maxmin, &swap, &random, &dust];
+    let algorithms: Vec<&dyn Diversifier> = vec![&gmc, &gne, &clt, &maxmin, &swap, &random, &dust];
     for algorithm in algorithms {
         let selection = algorithm.select(&input, k);
         assert_eq!(selection.len(), k, "{}", algorithm.name());
@@ -98,7 +100,12 @@ fn dust_is_faster_than_gmc_on_large_pools() {
         .collect();
     let candidates: Vec<Vector> = (0..n)
         .map(|i| {
-            Vector::new((0..dim).map(|d| ((i + d * 7) as f32 * 0.37).cos()).collect()).normalized()
+            Vector::new(
+                (0..dim)
+                    .map(|d| ((i + d * 7) as f32 * 0.37).cos())
+                    .collect(),
+            )
+            .normalized()
         })
         .collect();
     let input = DiversificationInput::new(&query, &candidates, Distance::Cosine);

@@ -3,7 +3,9 @@
 //! the pre-trained baselines, and the resulting embeddings must be robust to
 //! column-order shuffling.
 
-use dust_datagen::{build_finetune_dataset, BenchmarkConfig, FineTuneDataset, FineTuneDatasetConfig};
+use dust_datagen::{
+    build_finetune_dataset, BenchmarkConfig, FineTuneDataset, FineTuneDatasetConfig,
+};
 use dust_embed::{
     classification_accuracy, cosine_similarity, DustModel, FineTuneConfig, PretrainedModel,
     TupleEncoder,

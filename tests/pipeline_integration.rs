@@ -101,8 +101,10 @@ fn dust_beats_similarity_search_on_novelty() {
     let dust_result = pipeline.run(&lake, &query, k).expect("pipeline runs");
 
     let unionable = lake.ground_truth().unionable_with(&query_name);
-    let tables: Vec<&dust_table::Table> =
-        unionable.iter().filter_map(|t| lake.table(t).ok()).collect();
+    let tables: Vec<&dust_table::Table> = unionable
+        .iter()
+        .filter_map(|t| lake.table(t).ok())
+        .collect();
     let alignment = HolisticAligner::new().align(&query, &tables);
     let candidates = outer_union(&query, &tables, &alignment);
     let starmie_tuples = StarmieBaseline::new().top_k(&query, &candidates, k);
@@ -131,6 +133,8 @@ fn pipeline_handles_degenerate_requests() {
     let empty = pipeline.run(&lake, &query, 0).expect("pipeline runs");
     assert!(empty.is_empty());
     // huge k: bounded by the candidate pool
-    let all = pipeline.run(&lake, &query, 1_000_000).expect("pipeline runs");
+    let all = pipeline
+        .run(&lake, &query, 1_000_000)
+        .expect("pipeline runs");
     assert_eq!(all.len(), all.candidate_tuples);
 }

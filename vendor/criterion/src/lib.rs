@@ -1,0 +1,328 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion 0.5 API used by this workspace's
+//! benches (`criterion_group!` / `criterion_main!`, `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, `black_box`) as a plain
+//! wall-clock harness: warm-up, then `sample_size` samples of a batch of
+//! iterations sized to fill `measurement_time`. Reports min/median/mean per
+//! benchmark on stdout and appends one JSON line per benchmark to
+//! `target/criterion-lite/results.jsonl` (override the directory with
+//! `CRITERION_LITE_DIR`) so baselines can be recorded offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness configuration (builder style, like `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the timed samples of one benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up time before sampling begins.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            config: self.clone(),
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&self.clone(), &name.to_string(), &mut routine);
+    }
+}
+
+/// A named collection of benchmarks sharing configuration overrides.
+pub struct BenchmarkGroup<'a> {
+    config: Criterion,
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Override the measurement time for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.config.measurement_time = t;
+        self
+    }
+
+    /// Override the warm-up time for this group.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.config.warm_up_time = t;
+        self
+    }
+
+    /// Record the input size (accepted for API compatibility; unused).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a routine against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut routine: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_benchmark(&self.config, &full, &mut |b| routine(b, input));
+    }
+
+    /// Benchmark a routine without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&self.config, &full, &mut routine);
+    }
+
+    /// Close the group (stdout separator only).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to benchmark routines; `iter` times the workload.
+pub struct Bencher<'a> {
+    config: &'a Criterion,
+    /// Mean nanoseconds per iteration of each sample, filled by `iter`.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, criterion-style: warm up, size a batch so that
+    /// `sample_size` batches fill the measurement time, then time each batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up, also yielding a first per-iteration estimate.
+        let warmup_budget = self.config.warm_up_time;
+        let start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warmup_iters += 1;
+            if start.elapsed() >= warmup_budget {
+                break;
+            }
+        }
+        let est_ns = (start.elapsed().as_nanos() as f64 / warmup_iters as f64).max(1.0);
+        let sample_budget_ns =
+            self.config.measurement_time.as_nanos() as f64 / self.config.sample_size as f64;
+        let iters_per_sample = ((sample_budget_ns / est_ns).round() as u64).max(1);
+
+        self.samples_ns.clear();
+        for _ in 0..self.config.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+}
+
+fn run_benchmark(config: &Criterion, name: &str, routine: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        config,
+        samples_ns: Vec::new(),
+    };
+    routine(&mut bencher);
+    if bencher.samples_ns.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let mut sorted = bencher.samples_ns.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    println!(
+        "{name:<50} time: [{} {} {}]",
+        format_ns(min),
+        format_ns(median),
+        format_ns(mean)
+    );
+    write_json_line(name, min, median, mean, &bencher.samples_ns);
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn write_json_line(name: &str, min: f64, median: f64, mean: f64, samples: &[f64]) {
+    let dir =
+        std::env::var("CRITERION_LITE_DIR").unwrap_or_else(|_| "target/criterion-lite".into());
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = std::path::Path::new(&dir).join("results.jsonl");
+    let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
+        return;
+    };
+    let samples_str = samples
+        .iter()
+        .map(|s| format!("{s:.1}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let _ = writeln!(
+        file,
+        "{{\"name\":\"{name}\",\"min_ns\":{min:.1},\"median_ns\":{median:.1},\"mean_ns\":{mean:.1},\"samples_ns\":[{samples_str}]}}"
+    );
+}
+
+/// Declare a group of benchmark functions, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the bench entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Input-size annotation (accepted for API compatibility; unused).
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_records() {
+        std::env::set_var(
+            "CRITERION_LITE_DIR",
+            std::env::temp_dir().join("clite-test"),
+        );
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_api_works() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(4));
+        group.bench_with_input(BenchmarkId::new("f", 10), &10usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn format_ns_scales() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with(" s"));
+    }
+}

@@ -1,0 +1,394 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest 1.x API this workspace's property
+//! tests use: the `proptest!` macro, `prop_assert*!`, `prop_oneof!`, `Just`,
+//! numeric range strategies, a character-class string strategy (the only
+//! regex form the tests use), `prop::collection::vec`, `prop_map`, and
+//! `ProptestConfig::with_cases`. Cases are generated from a deterministic
+//! per-test RNG; there is **no shrinking** — a failing case panics with the
+//! generated inputs left to the assertion message. Swap in upstream proptest
+//! unchanged once a crates.io mirror is reachable.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-test RNG (FNV-1a of the test name as the seed).
+pub fn test_rng(test_name: &str) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// A value generator (subset of `proptest::strategy::Strategy`; no shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.as_ref().generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value (like `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy_impls {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy_impls!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8, f32, f64);
+
+/// Character-class string strategy: parses the `[class]{lo,hi}` regex form
+/// (the only one this workspace's tests use). Any other pattern generates
+/// itself literally.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        match parse_char_class_pattern(self) {
+            Some((chars, lo, hi)) if !chars.is_empty() => {
+                let len = rng.gen_range(lo..=hi);
+                (0..len)
+                    .map(|_| chars[rng.gen_range(0..chars.len())])
+                    .collect()
+            }
+            _ => (*self).to_string(),
+        }
+    }
+}
+
+/// Parse `[chars]{lo,hi}` / `[chars]{n}` / `[chars]` (with `a-z` ranges and
+/// backslash escapes inside the class) into (alphabet, min_len, max_len).
+fn parse_char_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = {
+        let mut idx = None;
+        let mut escaped = false;
+        for (i, c) in rest.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == ']' {
+                idx = Some(i);
+                break;
+            }
+        }
+        idx?
+    };
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        let c = class[i];
+        if c == '\\' && i + 1 < class.len() {
+            chars.push(class[i + 1]);
+            i += 2;
+        } else if i + 2 < class.len() && class[i + 1] == '-' && class[i + 2] != ']' {
+            let (start, end) = (c as u32, class[i + 2] as u32);
+            for code in start..=end {
+                chars.push(char::from_u32(code)?);
+            }
+            i += 3;
+        } else {
+            chars.push(c);
+            i += 1;
+        }
+    }
+    let suffix = &rest[close + 1..];
+    let (lo, hi) = if suffix.is_empty() {
+        (1, 1)
+    } else if suffix == "*" {
+        (0, 8)
+    } else if suffix == "+" {
+        (1, 8)
+    } else {
+        let body = suffix.strip_prefix('{')?.strip_suffix('}')?;
+        match body.split_once(',') {
+            Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+            None => {
+                let n = body.trim().parse().ok()?;
+                (n, n)
+            }
+        }
+    };
+    Some((chars, lo, hi))
+}
+
+/// One-of-N union strategy backing [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Union over the given arms (picked uniformly). Panics if empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let arm = rng.gen_range(0..self.arms.len());
+        self.arms[arm].generate(rng)
+    }
+}
+
+/// Namespaced strategy constructors (subset of `proptest::prop`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeBounds, Strategy};
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Strategy producing `Vec`s of values from `element`, with a length
+        /// drawn from `size` (`usize` for exact, `a..b` for a range).
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeBounds>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// Strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: super::super::SizeBounds,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = if self.size.lo >= self.size.hi {
+                    self.size.lo
+                } else {
+                    rng.gen_range(self.size.lo..self.size.hi)
+                };
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Length bounds for collection strategies (`lo..hi`, half-open).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeBounds {
+    /// Inclusive lower bound.
+    pub lo: usize,
+    /// Exclusive upper bound.
+    pub hi: usize,
+}
+
+impl From<usize> for SizeBounds {
+    fn from(n: usize) -> Self {
+        SizeBounds { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeBounds {
+    fn from(r: Range<usize>) -> Self {
+        SizeBounds {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Everything the tests import (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Assert a condition inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Property-test harness macro (subset of `proptest::proptest!`): runs each
+/// body `config.cases` times with freshly generated arguments.
+#[macro_export]
+macro_rules! proptest {
+    (@impl $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_rng(stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn char_class_parsing_covers_ranges_and_escapes() {
+        let (chars, lo, hi) = super::parse_char_class_pattern("[a-cXYZ\\.\"'-]{0,12}").unwrap();
+        for c in ['a', 'b', 'c', 'X', 'Y', 'Z', '.', '"', '\'', '-'] {
+            assert!(chars.contains(&c), "missing {c}");
+        }
+        assert_eq!((lo, hi), (0, 12));
+        assert!(super::parse_char_class_pattern("plain").is_none());
+    }
+
+    #[test]
+    fn string_strategy_respects_class_and_length() {
+        let mut rng = super::test_rng("string_strategy");
+        let strategy = "[a-z]{2,5}";
+        for _ in 0..200 {
+            let s = Strategy::generate(&strategy, &mut rng);
+            assert!((2..=5).contains(&s.chars().count()), "bad length: {s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro wires strategies, config, and assertions together.
+        #[test]
+        fn macro_generates_in_bounds_values(
+            xs in prop::collection::vec(-5i64..5, 1..8),
+            k in 1usize..4,
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 8);
+            prop_assert!(xs.iter().all(|x| (-5..5).contains(x)));
+            prop_assert_ne!(k, 0);
+            prop_assert_eq!(k.min(3).max(1), k.clamp(1, 3));
+        }
+
+        #[test]
+        fn oneof_and_just_produce_strings(s in prop_oneof![
+            "[0-9]{1,3}",
+            Just(String::from("fixed")),
+        ]) {
+            prop_assert!(s == "fixed" || s.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Offline vendored stand-in for `rayon`.
+//!
+//! Implements the tiny subset of the rayon API the workspace uses —
+//! `Vec::into_par_iter().for_each(..)` and `current_num_threads()` — on top
+//! of `std::thread::scope` with dynamic work stealing via a shared atomic
+//! cursor. API-compatible with the real rayon for these entry points, so the
+//! workspace can swap in upstream rayon unchanged once a registry is
+//! reachable.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel iterator will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Conversion into a parallel iterator (subset of `rayon::iter`).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert self into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A parallel iterator (subset: `for_each` only).
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Run `op` on every element, distributing elements over
+    /// `current_num_threads()` OS threads with a shared work queue.
+    fn for_each<F>(self, op: F)
+    where
+        F: Fn(Self::Item) + Send + Sync;
+}
+
+/// Parallel iterator over an owned `Vec`.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn for_each<F>(self, op: F)
+    where
+        F: Fn(T) + Send + Sync,
+    {
+        let threads = current_num_threads().min(self.items.len().max(1));
+        if threads <= 1 {
+            for item in self.items {
+                op(item);
+            }
+            return;
+        }
+        // Wrap each item so workers can claim them through a shared slot
+        // table: `cursor` hands out slot indices, the mutexes transfer
+        // ownership of each item exactly once.
+        let slots: Vec<Mutex<Option<T>>> = self
+            .items
+            .into_iter()
+            .map(|i| Mutex::new(Some(i)))
+            .collect();
+        let cursor = AtomicUsize::new(0);
+        let op = &op;
+        let slots = &slots;
+        let cursor = &cursor;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(move || loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= slots.len() {
+                        break;
+                    }
+                    let item = slots[idx]
+                        .lock()
+                        .expect("worker panicked while holding a work slot")
+                        .take();
+                    if let Some(item) = item {
+                        op(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Prelude mirroring `rayon::prelude` for the supported subset.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn visits_every_item_exactly_once() {
+        let total = AtomicU64::new(0);
+        let items: Vec<u64> = (1..=1000).collect();
+        items.into_par_iter().for_each(|v| {
+            total.fetch_add(v, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 500_500);
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        Vec::<u32>::new()
+            .into_par_iter()
+            .for_each(|_| panic!("no items"));
+        let count = AtomicU64::new(0);
+        vec![1u32].into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn mutable_borrows_can_be_distributed() {
+        let mut data = vec![0u64; 64];
+        let chunks: Vec<(usize, &mut [u64])> = data.chunks_mut(8).enumerate().collect();
+        chunks.into_par_iter().for_each(|(i, chunk)| {
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                *slot = (i * 8 + j) as u64;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u64);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names the workspace imports.
+//! The derive macros expand to nothing (no code in the workspace performs
+//! serialization yet), so the traits here are inert markers. Replace this
+//! vendored crate with the real serde once a crates.io mirror is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait SerializeMarker {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait DeserializeMarker {}

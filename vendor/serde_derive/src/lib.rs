@@ -1,0 +1,21 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! The build container has no access to crates.io, and nothing in this
+//! workspace actually serializes data yet — the `#[derive(Serialize,
+//! Deserialize)]` attributes only mark types as serializable for future use.
+//! These derives therefore expand to nothing. Swapping in the real serde is a
+//! one-line change in the workspace manifest once a registry is reachable.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (see crate docs).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (see crate docs).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
