@@ -1,25 +1,15 @@
 //! Criterion microbenchmarks for the clustering substrate: agglomerative
 //! clustering (the inner loop of both DUST's diversifier and the holistic
-//! column aligner), k-means, silhouette scoring, and medoid extraction.
+//! column aligner) with its two engines head to head, k-means, silhouette
+//! scoring, and medoid extraction.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use dust_cluster::{agglomerative, cluster_medoids, kmeans, silhouette_score, Linkage};
-use dust_embed::{Distance, Vector};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-fn clustered_points(n: usize, dim: usize, seed: u64) -> Vec<Vector> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let centroids: Vec<Vec<f32>> = (0..10)
-        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
-        .collect();
-    (0..n)
-        .map(|_| {
-            let c = &centroids[rng.gen_range(0..centroids.len())];
-            Vector::new(c.iter().map(|x| x + rng.gen_range(-0.2..0.2)).collect())
-        })
-        .collect()
-}
+use dust_bench::setup::clustered_points;
+use dust_cluster::{
+    agglomerative, agglomerative_with, cluster_medoids, kmeans, silhouette_score,
+    AgglomerativeAlgorithm, Linkage,
+};
+use dust_embed::{Distance, PairwiseMatrix};
 
 fn bench_agglomerative(c: &mut Criterion) {
     let mut group = c.benchmark_group("agglomerative");
@@ -29,6 +19,27 @@ fn bench_agglomerative(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("average_linkage", n), &points, |b, pts| {
             b.iter(|| agglomerative(black_box(pts), Distance::Cosine, Linkage::Average));
         });
+    }
+    group.finish();
+}
+
+/// NN-chain vs cached-NN generic engine over a prebuilt pairwise matrix
+/// (the matrix build is shared by both in the pipeline, so it is excluded
+/// here). This is the `BENCH_cluster.json` source.
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering");
+    group.sample_size(10);
+    for &n in &[100usize, 200, 1000, 2000] {
+        let points = clustered_points(n, 32, 7);
+        let matrix = PairwiseMatrix::compute(&points, Distance::Cosine);
+        for (name, algorithm) in [
+            ("nn_chain", AgglomerativeAlgorithm::NnChain),
+            ("generic", AgglomerativeAlgorithm::Generic),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, n), &matrix, |b, m| {
+                b.iter(|| agglomerative_with(black_box(m), Linkage::Average, algorithm));
+            });
+        }
     }
     group.finish();
 }
@@ -58,6 +69,6 @@ fn bench_kmeans(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_agglomerative, bench_cut_and_medoids, bench_kmeans
+    targets = bench_agglomerative, bench_engines, bench_cut_and_medoids, bench_kmeans
 }
 criterion_main!(benches);

@@ -5,8 +5,10 @@ use dust_align::{outer_union, HolisticAligner};
 use dust_datagen::{
     build_finetune_dataset, BenchmarkConfig, FineTuneDataset, FineTuneDatasetConfig,
 };
-use dust_embed::{DustModel, FineTuneConfig, PretrainedModel};
+use dust_embed::{DustModel, FineTuneConfig, PretrainedModel, Vector};
 use dust_table::{DataLake, Table, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Experiment scale, selected with the `DUST_SCALE` environment variable
 /// (`small` — default, finishes in minutes even in debug builds — or `full`).
@@ -95,6 +97,23 @@ impl Scale {
             Scale::Full => 2000,
         }
     }
+}
+
+/// Seeded synthetic embedding cloud for the clustering benches: `n` points
+/// of dimension `dim` scattered around 10 random centroids (shared by the
+/// Criterion `clustering` group and the `exp_clustering` binary so both
+/// measure the same input distribution).
+pub fn clustered_points(n: usize, dim: usize, seed: u64) -> Vec<Vector> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centroids: Vec<Vec<f32>> = (0..10)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    (0..n)
+        .map(|_| {
+            let c = &centroids[rng.gen_range(0..centroids.len())];
+            Vector::new(c.iter().map(|x| x + rng.gen_range(-0.2..0.2)).collect())
+        })
+        .collect()
 }
 
 /// Train the shared DUST tuple model on pairs sampled from a lake, returning

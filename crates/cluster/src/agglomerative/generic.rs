@@ -1,0 +1,126 @@
+//! The cached-nearest-neighbour ("generic") agglomerative engine,
+//! fastcluster-style.
+//!
+//! Maintains, for every active row `i`, a cached candidate `(nghbr[i],
+//! mindist[i])` — the nearest higher-index slot the row has seen — plus a
+//! lazy min-heap of `(mindist, row)` entries. Each iteration pops the
+//! globally closest candidate, **validates it lazily** (the row may have
+//! been retired, the entry superseded by a smaller push, or the cached
+//! neighbour retired/drifted by a Lance–Williams update), merges, and then
+//! repairs only what the merge actually touched: the merged row is
+//! rescanned, and lower rows adopt their new distance to the merged slot
+//! only when it undercuts their cache. Rows whose cached neighbour was
+//! retired are *not* rescanned eagerly — their stale entry surfaces at the
+//! top of the heap eventually and is repaired then. This avoids the
+//! NN-chain's repeated full-row rescans over retired-slot-poisoned rows and
+//! is the only valid engine for the non-reducible centroid/median linkages.
+//!
+//! The cache invariant that makes lazy validation sound: `mindist[i]` never
+//! exceeds row `i`'s true current minimum (decreases are adopted eagerly,
+//! increases only ever make the cache stale-*low*), and the heap always
+//! holds an entry keyed at the current `mindist[i]` for every active row
+//! with a live higher-index neighbour. A popped entry that passes
+//! validation is therefore the true global minimum.
+//!
+//! Tie-breaking (see [`Dendrogram`](super::Dendrogram)): the heap orders
+//! candidates by `(distance, row)`, per-row scans return the lowest tying
+//! index, equal-distance updates adopt the lower neighbour index, and the
+//! merged cluster keeps the higher slot — i.e. the lexicographically
+//! smallest `(distance, i, j)` pair always merges first.
+
+use super::workspace::LinkageWorkspace;
+use super::{Linkage, Merge};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Heap entry: `(distance bits, row)`. Working distances are non-negative
+/// and finite, so the IEEE-754 bit pattern of an `f32` orders exactly like
+/// the value — no float-ordering wrapper needed.
+type Entry = Reverse<(u32, usize)>;
+
+pub(super) fn cluster(ws: &mut LinkageWorkspace, linkage: Linkage) -> Vec<Merge> {
+    let n = ws.len();
+    let mut merges: Vec<Merge> = Vec::with_capacity(n.saturating_sub(1));
+    if n < 2 {
+        return merges;
+    }
+    // Per-row cached candidate: nearest higher-index slot seen so far.
+    let mut nghbr: Vec<usize> = vec![usize::MAX; n];
+    let mut mindist: Vec<f32> = vec![f32::INFINITY; n];
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(2 * n);
+    for i in 0..n - 1 {
+        refresh(ws, &mut nghbr, &mut mindist, &mut heap, i);
+    }
+
+    while merges.len() + 1 < n {
+        // Pop candidates until one survives lazy validation.
+        let (i, j) = loop {
+            let Reverse((bits, i)) = heap.pop().expect("an active pair must remain");
+            if !ws.is_active(i) || bits != mindist[i].to_bits() {
+                // Slot retired, or entry superseded by a fresher push for
+                // this row — the current cache still has a live entry.
+                continue;
+            }
+            let j = nghbr[i];
+            if ws.is_active(j) && ws.get32(i, j) == mindist[i] {
+                break (i, j);
+            }
+            // Cached neighbour retired, or its distance drifted upward
+            // under a Lance–Williams update: rescan the row now (lazy
+            // invalidation — this is the only place stale caches are paid
+            // for) and keep popping.
+            refresh(ws, &mut nghbr, &mut mindist, &mut heap, i);
+        };
+
+        // `i < j` by construction; the merged cluster keeps slot `j` (the
+        // higher one — its condensed row tail is short, so the mandatory
+        // rescan below is cheap). Lower rows see a new distance to the
+        // merged slot: adopt it in the update pass itself (no second read
+        // of the matrix) whenever it undercuts the cache — this keeps
+        // `mindist` a lower bound on the true row minimum, the invariant
+        // lazy validation relies on; on an exact tie prefer the lower
+        // neighbour index. Retired rows see `INFINITY` and never qualify.
+        // Pairs `(j, k)` with `k > j` live in row `j`, which is rescanned
+        // wholesale below; row `i` is retired along with its cache.
+        let (nghbr_ref, mindist_ref, heap_ref) = (&mut nghbr, &mut mindist, &mut heap);
+        merges.push(ws.merge(i, j, linkage, |k, d| {
+            if k < j {
+                if d < mindist_ref[k] {
+                    nghbr_ref[k] = j;
+                    mindist_ref[k] = d;
+                    heap_ref.push(Reverse((d.to_bits(), k)));
+                } else if d == mindist_ref[k] && j < nghbr_ref[k] {
+                    // Same key, so the row's existing heap entry stays valid.
+                    nghbr_ref[k] = j;
+                }
+            }
+        }));
+
+        // Row `j` was rewritten wholesale by the Lance–Williams update.
+        refresh(ws, &mut nghbr, &mut mindist, &mut heap, j);
+    }
+    merges
+}
+
+/// Rescan row `i`'s higher-index tail and push the fresh candidate (rows
+/// with no live higher-index neighbour park at `INFINITY`; their remaining
+/// pairs belong to lower rows).
+fn refresh(
+    ws: &LinkageWorkspace,
+    nghbr: &mut [usize],
+    mindist: &mut [f32],
+    heap: &mut BinaryHeap<Entry>,
+    i: usize,
+) {
+    match ws.nearest_in_tail(i) {
+        Some((j, d)) => {
+            nghbr[i] = j;
+            mindist[i] = d;
+            heap.push(Reverse((d.to_bits(), i)));
+        }
+        None => {
+            nghbr[i] = usize::MAX;
+            mindist[i] = f32::INFINITY;
+        }
+    }
+}

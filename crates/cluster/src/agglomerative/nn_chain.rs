@@ -1,0 +1,58 @@
+//! The nearest-neighbour-chain agglomerative engine.
+//!
+//! Grows a chain of successive nearest neighbours until it finds a
+//! *reciprocal* nearest-neighbour pair, merges it, and continues from the
+//! surviving chain — O(n²) time with no priority queue. Valid only for
+//! **reducible** linkages (single/complete/average/Ward), where merging a
+//! reciprocal pair cannot invalidate the rest of the chain; centroid and
+//! median linkage break that property and are routed to the
+//! [generic](super::generic) engine instead.
+//!
+//! Tie-breaking (see [`Dendrogram`](super::Dendrogram)): chains restart at
+//! the lowest active slot, nearest-neighbour scans return the lowest tying
+//! index, the chain predecessor wins ties (reciprocity), and the merged
+//! cluster keeps the higher slot.
+
+use super::workspace::LinkageWorkspace;
+use super::{Linkage, Merge};
+
+pub(super) fn cluster(ws: &mut LinkageWorkspace, linkage: Linkage) -> Vec<Merge> {
+    debug_assert!(
+        linkage.is_reducible(),
+        "NN-chain is invalid for {linkage:?}; use the generic engine"
+    );
+    let n = ws.len();
+    let mut merges: Vec<Merge> = Vec::with_capacity(n.saturating_sub(1));
+    if n < 2 {
+        return merges;
+    }
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+    while merges.len() + 1 < n {
+        if chain.is_empty() {
+            chain.push(ws.first_active().expect("at least one active cluster"));
+        }
+        loop {
+            let current = *chain.last().expect("chain non-empty");
+            let prev = chain.len().checked_sub(2).map(|i| chain[i]);
+            // nearest active neighbour of `current` (retired slots are
+            // poisoned with INFINITY, so no activity test per element)
+            let (best, _) = ws.nearest(current, prev);
+            if Some(best) == prev {
+                // reciprocal nearest neighbours: merge current and prev
+                chain.pop();
+                chain.pop();
+                merges.push(ws.merge(current, best, linkage, |_, _| {}));
+                break;
+            }
+            chain.push(best);
+        }
+        // Drop chain entries that are no longer active (their cluster merged).
+        while let Some(&last) = chain.last() {
+            if ws.is_active(last) {
+                break;
+            }
+            chain.pop();
+        }
+    }
+    merges
+}

@@ -2,12 +2,15 @@
 //!
 //! Clustering substrate for the DUST reproduction:
 //!
-//! * [`agglomerative`] — hierarchical agglomerative clustering. The
-//!   unconstrained variant uses the nearest-neighbour-chain algorithm
-//!   (O(n²)), which is what the tuple-diversification step of DUST relies on
-//!   for scalability; the constrained variant (cannot-link pairs, used by
-//!   holistic column alignment so that two columns of the same table are
-//!   never merged) is a small-n implementation.
+//! * [`agglomerative`] — hierarchical agglomerative clustering with two
+//!   interchangeable engines over one shared workspace: the
+//!   nearest-neighbour-chain algorithm (O(n²), reducible linkages) and a
+//!   fastcluster-style cached-nearest-neighbour "generic" algorithm (lazy
+//!   min-heap, all linkages, faster from ~1000 points), selected by
+//!   [`AgglomerativeAlgorithm`]. The tuple-diversification step of DUST
+//!   relies on these for scalability; the constrained variant (cannot-link
+//!   pairs, used by holistic column alignment so that two columns of the
+//!   same table are never merged) is a small-n implementation.
 //! * [`silhouette`] — Silhouette coefficient for model selection
 //!   (choosing the number of clusters, Sec. 3.3).
 //! * [`medoid`] — medoids of clusters (the representative-tuple choice in
@@ -24,7 +27,8 @@ pub mod medoid;
 pub mod silhouette;
 
 pub use agglomerative::{
-    agglomerative, agglomerative_constrained, agglomerative_from_matrix, Dendrogram, Linkage, Merge,
+    agglomerative, agglomerative_constrained, agglomerative_from_matrix, agglomerative_with,
+    AgglomerativeAlgorithm, Dendrogram, Linkage, Merge,
 };
 pub use kmeans::{kmeans, KMeansResult};
 pub use medoid::{

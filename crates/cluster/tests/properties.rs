@@ -3,10 +3,11 @@
 //! belong to their clusters, and silhouette scores stay in range.
 
 use dust_cluster::{
-    agglomerative, agglomerative_constrained, cluster_medoids, clusters_from_assignment, kmeans,
-    num_clusters, silhouette_score, Linkage,
+    agglomerative, agglomerative_constrained, agglomerative_with, cluster_medoids,
+    clusters_from_assignment, kmeans, num_clusters, silhouette_score, AgglomerativeAlgorithm,
+    Linkage,
 };
-use dust_embed::{Distance, Vector};
+use dust_embed::{Distance, PairwiseMatrix, Vector};
 use proptest::prelude::*;
 
 fn points_strategy() -> impl Strategy<Value = Vec<Vector>> {
@@ -18,19 +19,26 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// Every cut of an unconstrained dendrogram is a partition with exactly
-    /// the requested number of clusters (when feasible) and dense ids.
+    /// the requested number of clusters (when feasible) and dense ids —
+    /// for every linkage, on either engine.
     #[test]
     fn dendrogram_cuts_are_valid_partitions(points in points_strategy(), k in 1usize..10) {
-        let dendrogram = agglomerative(&points, Distance::Euclidean, Linkage::Average);
-        let assignment = dendrogram.cut(k);
-        prop_assert_eq!(assignment.len(), points.len());
-        let clusters = num_clusters(&assignment);
-        prop_assert_eq!(clusters, k.min(points.len()));
-        // dense ids: every id below `clusters` occurs
-        let groups = clusters_from_assignment(&assignment);
-        prop_assert_eq!(groups.len(), clusters);
-        prop_assert!(groups.iter().all(|g| !g.is_empty()));
-        prop_assert_eq!(groups.iter().map(|g| g.len()).sum::<usize>(), points.len());
+        let matrix = PairwiseMatrix::compute(&points, Distance::Euclidean);
+        for linkage in Linkage::ALL {
+            for algorithm in [AgglomerativeAlgorithm::NnChain, AgglomerativeAlgorithm::Generic] {
+                let dendrogram = agglomerative_with(&matrix, linkage, algorithm);
+                prop_assert_eq!(dendrogram.merges().len(), points.len() - 1);
+                let assignment = dendrogram.cut(k);
+                prop_assert_eq!(assignment.len(), points.len());
+                let clusters = num_clusters(&assignment);
+                prop_assert_eq!(clusters, k.min(points.len()));
+                // dense ids: every id below `clusters` occurs
+                let groups = clusters_from_assignment(&assignment);
+                prop_assert_eq!(groups.len(), clusters);
+                prop_assert!(groups.iter().all(|g| !g.is_empty()));
+                prop_assert_eq!(groups.iter().map(|g| g.len()).sum::<usize>(), points.len());
+            }
+        }
     }
 
     /// Cannot-link constraints are honoured at every cut level.

@@ -1,6 +1,6 @@
 //! Pipeline configuration.
 
-use dust_cluster::Linkage;
+use dust_cluster::{AgglomerativeAlgorithm, Linkage};
 use dust_diversify::DustConfig;
 use dust_embed::{ColumnSerialization, Distance, FineTuneConfig, PretrainedModel};
 use serde::{Deserialize, Serialize};
@@ -91,6 +91,12 @@ pub struct DustConfigSerde {
     pub p: usize,
     /// Pruning budget `s` (`None` disables pruning).
     pub prune_to: Option<usize>,
+    /// Agglomerative clustering engine for the diversifier's clustering
+    /// step (`Auto` picks the expected-fastest valid engine for the
+    /// linkage and candidate count). Defaults on deserialization so
+    /// configs persisted before this field existed keep loading.
+    #[serde(default)]
+    pub algorithm: AgglomerativeAlgorithm,
 }
 
 impl Default for DustConfigSerde {
@@ -98,6 +104,7 @@ impl Default for DustConfigSerde {
         DustConfigSerde {
             p: 2,
             prune_to: Some(2500),
+            algorithm: AgglomerativeAlgorithm::Auto,
         }
     }
 }
@@ -109,6 +116,7 @@ impl DustConfigSerde {
             p: self.p,
             prune_to: self.prune_to,
             linkage: Linkage::Average,
+            algorithm: self.algorithm,
         }
     }
 }
@@ -175,9 +183,11 @@ mod tests {
         let serde_config = DustConfigSerde {
             p: 3,
             prune_to: None,
+            algorithm: AgglomerativeAlgorithm::Generic,
         };
         let config = serde_config.to_dust_config();
         assert_eq!(config.p, 3);
         assert_eq!(config.prune_to, None);
+        assert_eq!(config.algorithm, AgglomerativeAlgorithm::Generic);
     }
 }

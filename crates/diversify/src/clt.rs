@@ -8,17 +8,22 @@
 //! are redundant with the query table.
 
 use crate::traits::{sanitize_selection, DiversificationInput, Diversifier};
-use dust_cluster::{agglomerative_from_matrix, cluster_medoids_from_matrix, Linkage};
+use dust_cluster::{
+    agglomerative_with, cluster_medoids_from_matrix, AgglomerativeAlgorithm, Linkage,
+};
 
 /// The CLT clustering baseline.
 #[derive(Debug, Clone, Default)]
 pub struct CltDiversifier {
     /// Linkage criterion (kept identical to DUST's for a fair comparison).
     pub linkage: Linkage,
+    /// Agglomerative engine (kept identical to DUST's for a fair
+    /// comparison; `Auto` picks the expected-fastest valid engine).
+    pub algorithm: AgglomerativeAlgorithm,
 }
 
 impl CltDiversifier {
-    /// Create CLT with average linkage.
+    /// Create CLT with average linkage and automatic engine selection.
     pub fn new() -> Self {
         Self::default()
     }
@@ -41,7 +46,7 @@ impl Diversifier for CltDiversifier {
         // mutates an internal working copy) and the medoid selection (which
         // reads the original).
         let matrix = input.pairwise();
-        let dendrogram = agglomerative_from_matrix(matrix, self.linkage);
+        let dendrogram = agglomerative_with(matrix, self.linkage, self.algorithm);
         let assignment = dendrogram.cut(k);
         let medoids = cluster_medoids_from_matrix(matrix, &assignment);
         sanitize_selection(medoids, n, k)

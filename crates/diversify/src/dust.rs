@@ -11,7 +11,9 @@
 
 use crate::prune::prune_tuples_with_store;
 use crate::traits::{sanitize_selection, DiversificationInput, Diversifier};
-use dust_cluster::{agglomerative_from_matrix, cluster_medoids_from_matrix, Linkage};
+use dust_cluster::{
+    agglomerative_with, cluster_medoids_from_matrix, AgglomerativeAlgorithm, Linkage,
+};
 use dust_embed::PairwiseMatrix;
 
 /// Configuration of the DUST diversifier.
@@ -25,6 +27,9 @@ pub struct DustConfig {
     pub prune_to: Option<usize>,
     /// Linkage criterion for the clustering step.
     pub linkage: Linkage,
+    /// Agglomerative engine for the clustering step (`Auto` picks the
+    /// expected-fastest valid engine for the linkage and input size).
+    pub algorithm: AgglomerativeAlgorithm,
 }
 
 impl Default for DustConfig {
@@ -33,6 +38,7 @@ impl Default for DustConfig {
             p: 2,
             prune_to: Some(2500),
             linkage: Linkage::Average,
+            algorithm: AgglomerativeAlgorithm::Auto,
         }
     }
 }
@@ -102,7 +108,7 @@ impl Diversifier for DustDiversifier {
                     PairwiseMatrix::from_store_subset(input.store(), &kept, input.distance);
                 &subset_matrix
             };
-            let dendrogram = agglomerative_from_matrix(matrix, self.config.linkage);
+            let dendrogram = agglomerative_with(matrix, self.config.linkage, self.config.algorithm);
             let assignment = dendrogram.cut(num_clusters);
             cluster_medoids_from_matrix(matrix, &assignment)
         };
