@@ -94,7 +94,10 @@ fn matching(weights: &[Vec<f64>]) -> Vec<(usize, usize, f64)> {
         .flat_map(|r| (0..cols).map(move |c| (r, c)))
         .map(|(r, c)| (r, c, weights[r][c]))
         .collect();
-    candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    // total_cmp keeps the sort total even if a weight is NaN (poisoned
+    // similarity); NaN-weight pairs are filtered by the `w > 0.0` guard
+    // below regardless of where they land.
+    candidates.sort_by(|a, b| b.2.total_cmp(&a.2));
     for (r, c, w) in candidates {
         if !used_rows[r] && !used_cols[c] && w > 0.0 {
             used_rows[r] = true;

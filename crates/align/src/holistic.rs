@@ -1,9 +1,12 @@
 //! Holistic column alignment (Sec. 3.3, Appendix A.1.1).
 
 use dust_cluster::{
-    agglomerative_constrained, clusters_from_assignment, silhouette_score, Linkage,
+    agglomerative_constrained_from_matrix, best_cut_by_silhouette_from_matrix,
+    clusters_from_assignment, Linkage,
 };
-use dust_embed::{ColumnEncoder, ColumnSerialization, Distance, PretrainedModel, Vector};
+use dust_embed::{
+    ColumnEncoder, ColumnSerialization, Distance, PairwiseMatrix, PretrainedModel, Vector,
+};
 use dust_table::Table;
 use serde::{Deserialize, Serialize};
 
@@ -185,30 +188,22 @@ impl HolisticAligner {
             }
         }
 
-        let dendrogram =
-            agglomerative_constrained(&embeddings, self.distance, self.linkage, &cannot_link);
-
-        // Model selection: the number of clusters can never be smaller than
-        // the widest table (cannot-link keeps its columns apart).
+        // Model selection can never pick fewer clusters than the widest
+        // table has columns (cannot-link keeps its columns apart), so the
+        // clustering is k-capped at that bound — and one pairwise matrix,
+        // built here, drives both the constrained clustering and the whole
+        // silhouette sweep (the sweep used to rebuild an O(n²·d) matrix
+        // per candidate k).
         let widest = std::iter::once(query.num_columns())
             .chain(tables.iter().map(|t| t.num_columns()))
             .max()
             .unwrap_or(1);
         let min_k = widest.max(2).min(n);
-        let max_k = n;
-        let mut best: Option<(Vec<usize>, f64)> = None;
-        for k in min_k..=max_k {
-            let assignment = dendrogram.cut(k);
-            if let Some(score) = silhouette_score(&embeddings, &assignment, self.distance) {
-                if best.as_ref().map(|(_, s)| score > *s).unwrap_or(true) {
-                    best = Some((assignment, score));
-                }
-            }
-        }
-        let (assignment, silhouette) = match best {
-            Some((a, s)) => (a, Some(s)),
-            None => (dendrogram.cut(min_k), None),
-        };
+        let matrix = PairwiseMatrix::compute(&embeddings, self.distance);
+        let dendrogram =
+            agglomerative_constrained_from_matrix(&matrix, self.linkage, &cannot_link, min_k);
+        let (assignment, silhouette) =
+            best_cut_by_silhouette_from_matrix(&dendrogram, &matrix, min_k, n);
 
         let groups = clusters_from_assignment(&assignment);
         let num_clusters = groups.len();

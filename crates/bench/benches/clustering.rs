@@ -6,8 +6,9 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dust_bench::setup::clustered_points;
 use dust_cluster::{
-    agglomerative, agglomerative_with, cluster_medoids, kmeans, silhouette_score,
-    AgglomerativeAlgorithm, Linkage,
+    agglomerative, agglomerative_params, agglomerative_with, best_cut_by_silhouette,
+    best_cut_by_silhouette_from_matrix, cluster_medoids, kmeans, silhouette_score,
+    AgglomerativeAlgorithm, ClusterParams, Compaction, Linkage,
 };
 use dust_embed::{Distance, PairwiseMatrix};
 
@@ -37,11 +38,65 @@ fn bench_engines(c: &mut Criterion) {
             ("generic", AgglomerativeAlgorithm::Generic),
         ] {
             group.bench_with_input(BenchmarkId::new(name, n), &matrix, |b, m| {
-                b.iter(|| agglomerative_with(black_box(m), Linkage::Average, algorithm));
+                b.iter(|| agglomerative_with(black_box(m), Linkage::Average, algorithm, 1));
             });
         }
     }
     group.finish();
+}
+
+/// Full non-compacting build vs the k-capped (`k·p = 100`) + compacting
+/// configuration DUST actually consumes, at the scales where the full
+/// build's O(n²) INF-poisoned scans dominate. `BENCH_cluster.json`'s
+/// `clustering_capped` section comes from this group.
+fn bench_capped_compacting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering_capped");
+    group.sample_size(10);
+    for &n in &[2000usize, 5000, 10000] {
+        let points = clustered_points(n, 32, 7);
+        let matrix = PairwiseMatrix::compute(&points, Distance::Cosine);
+        for (name, min_clusters, compaction) in [
+            ("full", 1usize, Compaction::Never),
+            ("capped_compacting", 100, Compaction::Always),
+        ] {
+            let params = ClusterParams {
+                linkage: Linkage::Average,
+                algorithm: AgglomerativeAlgorithm::Generic,
+                min_clusters,
+                compaction,
+            };
+            group.bench_with_input(BenchmarkId::new(name, n), &matrix, |b, m| {
+                b.iter(|| agglomerative_params(black_box(m), &params));
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Silhouette model selection (the alignment path): one matrix per sweep
+/// vs the historical one-matrix-per-candidate-k behaviour, approximated by
+/// the points-taking entry (which at least builds only one). The
+/// from-matrix entry is what `HolisticAligner::align_with` now calls.
+fn bench_silhouette_model_selection(c: &mut Criterion) {
+    let points = clustered_points(120, 32, 11);
+    let matrix = PairwiseMatrix::compute(&points, Distance::Cosine);
+    let dendrogram = agglomerative(&points, Distance::Cosine, Linkage::Average);
+    c.bench_function("silhouette_sweep_120_k2_30_from_matrix", |b| {
+        b.iter(|| {
+            best_cut_by_silhouette_from_matrix(black_box(&dendrogram), black_box(&matrix), 2, 30)
+        });
+    });
+    c.bench_function("silhouette_sweep_120_k2_30_build_matrix", |b| {
+        b.iter(|| {
+            best_cut_by_silhouette(
+                black_box(&dendrogram),
+                black_box(&points),
+                Distance::Cosine,
+                2,
+                30,
+            )
+        });
+    });
 }
 
 fn bench_cut_and_medoids(c: &mut Criterion) {
@@ -69,6 +124,6 @@ fn bench_kmeans(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_agglomerative, bench_engines, bench_cut_and_medoids, bench_kmeans
+    targets = bench_agglomerative, bench_engines, bench_capped_compacting, bench_silhouette_model_selection, bench_cut_and_medoids, bench_kmeans
 }
 criterion_main!(benches);

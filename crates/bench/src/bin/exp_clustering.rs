@@ -1,22 +1,30 @@
 //! Clustering-engine experiment: NN-chain vs the cached-NN "generic"
-//! agglomerative algorithm on the diversification hot path.
+//! agglomerative algorithm, and the k-capped + compacting build vs the
+//! full build, on the diversification hot path.
 //!
-//! Two views:
+//! Three views:
 //!
-//! * **raw engines** — dendrogram construction time over a prebuilt
+//! * **raw engines** — full-dendrogram construction time over a prebuilt
 //!   [`PairwiseMatrix`] at n ∈ {200, 1000, 2000} (the `BENCH_cluster.json`
 //!   numbers come from the Criterion `clustering` group; this table is the
 //!   quick release-build sanity check), asserting both engines produce the
 //!   same `cut(k)` partition;
-//! * **end to end** — the DUST diversifier with the engine threaded through
-//!   [`DustConfig::algorithm`], asserting the selection is
-//!   engine-independent.
+//! * **capped + compacting** — the production configuration DUST actually
+//!   consumes (stop at `k·p = 100` clusters, workspace compaction on)
+//!   against the full non-compacting build at n ∈ {2000, 5000, 10000},
+//!   asserting the capped `cut(100)` is *identical* to the full build's;
+//! * **end to end** — the DUST diversifier with the engine and
+//!   full-dendrogram toggle threaded through [`DustConfig`], asserting the
+//!   selection is engine- and cap-independent.
 //!
 //! Run with `cargo run --release -p dust-bench --bin exp_clustering`.
 
 use dust_bench::report::{fmt3, Report};
 use dust_bench::setup::clustered_points;
-use dust_cluster::{agglomerative_with, clusters_from_assignment, AgglomerativeAlgorithm, Linkage};
+use dust_cluster::{
+    agglomerative_params, agglomerative_with, clusters_from_assignment, AgglomerativeAlgorithm,
+    ClusterParams, Compaction, Linkage,
+};
 use dust_diversify::{DiversificationInput, Diversifier, DustConfig, DustDiversifier};
 use dust_embed::{Distance, PairwiseMatrix, Vector};
 use rand::rngs::StdRng;
@@ -28,10 +36,13 @@ const ENGINES: [(&str, AgglomerativeAlgorithm); 2] = [
     ("generic", AgglomerativeAlgorithm::Generic),
 ];
 
+/// DUST's cut: k = 50 diverse tuples at the paper's p = 2.
+const K_CAP: usize = 100;
+
 fn main() {
     let dim = 32;
 
-    // ---- raw engine comparison ------------------------------------------
+    // ---- raw engine comparison (full builds) -----------------------------
     let mut raw = Report::new("Agglomerative engines: dendrogram build seconds (average linkage)")
         .headers(["n", "nn_chain", "generic", "speedup"]);
     for &n in &[200usize, 1000, 2000] {
@@ -41,7 +52,7 @@ fn main() {
         let mut cuts = Vec::new();
         for (_, algorithm) in ENGINES {
             let start = Instant::now();
-            let dendro = agglomerative_with(&matrix, Linkage::Average, algorithm);
+            let dendro = agglomerative_with(&matrix, Linkage::Average, algorithm, 1);
             secs.push(start.elapsed().as_secs_f64());
             cuts.push(dendro.cut(n / 20));
         }
@@ -60,30 +71,89 @@ fn main() {
     raw.note("identical cut(n/20) partitions verified per row");
     raw.print();
 
+    // ---- capped + compacting vs the full build ---------------------------
+    let mut capped_report = Report::new(format!(
+        "Generic engine, k-capped at {K_CAP} + compacting vs full build (average linkage)"
+    ))
+    .headers(["n", "full", "capped+compact", "speedup", "merges"]);
+    for &n in &[2000usize, 5000, 10000] {
+        let points = clustered_points(n, dim, 7);
+        let matrix = PairwiseMatrix::compute(&points, Distance::Cosine);
+        let start = Instant::now();
+        let full = agglomerative_params(
+            &matrix,
+            &ClusterParams {
+                linkage: Linkage::Average,
+                algorithm: AgglomerativeAlgorithm::Generic,
+                min_clusters: 1,
+                compaction: Compaction::Never,
+            },
+        );
+        let full_secs = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let capped = agglomerative_params(
+            &matrix,
+            &ClusterParams {
+                linkage: Linkage::Average,
+                algorithm: AgglomerativeAlgorithm::Generic,
+                min_clusters: K_CAP,
+                compaction: Compaction::Always,
+            },
+        );
+        let capped_secs = start.elapsed().as_secs_f64();
+        assert_eq!(
+            capped.cut(K_CAP),
+            full.cut(K_CAP),
+            "capped cut({K_CAP}) diverged from the full build at n = {n}"
+        );
+        capped_report.row([
+            n.to_string(),
+            fmt3(full_secs),
+            fmt3(capped_secs),
+            format!("{:.2}x", full_secs / capped_secs),
+            format!("{}/{}", capped.merges().len(), full.merges().len()),
+        ]);
+    }
+    capped_report.note(format!(
+        "identical cut({K_CAP}) assignments verified per row (bit-for-bit, not just up to relabelling)"
+    ));
+    capped_report.print();
+
     // ---- threaded through the DUST diversifier --------------------------
     let s = 2000;
     let (query, candidates) = synthetic_embeddings(20, s, dim);
     let mut e2e = Report::new(format!(
-        "DUST diversifier (s = {s}, k = 50, pruning off): engine threaded via DustConfig"
+        "DUST diversifier (s = {s}, k = 50, pruning off): engine and cap via DustConfig"
     ))
-    .headers(["engine", "seconds"]);
+    .headers(["engine", "dendrogram", "seconds"]);
     let mut selections = Vec::new();
     for (name, algorithm) in ENGINES {
-        let input = DiversificationInput::new(&query, &candidates, Distance::Cosine);
-        let diversifier = DustDiversifier::with_config(DustConfig {
-            prune_to: None,
-            algorithm,
-            ..DustConfig::default()
-        });
-        let start = Instant::now();
-        selections.push(diversifier.select(&input, 50));
-        e2e.row([name.to_string(), fmt3(start.elapsed().as_secs_f64())]);
+        for full_dendrogram in [false, true] {
+            let input = DiversificationInput::new(&query, &candidates, Distance::Cosine);
+            let diversifier = DustDiversifier::with_config(DustConfig {
+                prune_to: None,
+                algorithm,
+                full_dendrogram,
+                ..DustConfig::default()
+            });
+            let start = Instant::now();
+            selections.push(diversifier.select(&input, 50));
+            e2e.row([
+                name.to_string(),
+                if full_dendrogram {
+                    "full".to_string()
+                } else {
+                    "capped".to_string()
+                },
+                fmt3(start.elapsed().as_secs_f64()),
+            ]);
+        }
     }
-    assert_eq!(
-        selections[0], selections[1],
-        "selection is engine-dependent"
+    assert!(
+        selections.windows(2).all(|w| w[0] == w[1]),
+        "selection depends on the engine or the dendrogram cap"
     );
-    e2e.note("identical k = 50 selections verified across engines");
+    e2e.note("identical k = 50 selections verified across engines and caps");
     e2e.print();
 }
 

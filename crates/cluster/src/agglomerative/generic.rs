@@ -22,6 +22,29 @@
 //! with a live higher-index neighbour. A popped entry that passes
 //! validation is therefore the true global minimum.
 //!
+//! # Capped (partial) runs
+//!
+//! This engine merges in exactly the greedy ascending `(distance, i, j)`
+//! order, so with `min_clusters > 1` it can simply stop once `n −
+//! min_clusters` merges are done **and** the next validated candidate is
+//! strictly farther than every merge performed: the performed merges are
+//! then precisely the strictly-lowest part of the full merge tree, making
+//! every `cut(k)` with `k ≥ n − merges` identical to the full
+//! dendrogram's. Boundary ties keep the engine merging (degenerate
+//! all-tied inputs fall back to a full build) so the guarantee is exact —
+//! for *reducible* linkages; the caller skips capping for centroid/median,
+//! whose height inversions can dip below the boundary later.
+//!
+//! # Compaction
+//!
+//! After a workspace compaction (see
+//! [`LinkageWorkspace::maybe_compact`]) the per-row caches are renumbered
+//! through the returned remap and the heap is rebuilt with one entry per
+//! live row at its current cached key. Stale-low caches stay stale-low
+//! (they surface and repair exactly as before), and since compaction
+//! preserves relative slot order and moves values verbatim, the merge
+//! sequence is bit-for-bit that of a non-compacting run.
+//!
 //! Tie-breaking (see [`Dendrogram`](super::Dendrogram)): the heap orders
 //! candidates by `(distance, row)`, per-row scans return the lowest tying
 //! index, equal-distance updates adopt the lower neighbour index, and the
@@ -38,9 +61,14 @@ use std::collections::BinaryHeap;
 /// the value — no float-ordering wrapper needed.
 type Entry = Reverse<(u32, usize)>;
 
-pub(super) fn cluster(ws: &mut LinkageWorkspace, linkage: Linkage) -> Vec<Merge> {
+pub(super) fn cluster(
+    ws: &mut LinkageWorkspace,
+    linkage: Linkage,
+    min_clusters: usize,
+) -> Vec<Merge> {
     let n = ws.len();
-    let mut merges: Vec<Merge> = Vec::with_capacity(n.saturating_sub(1));
+    let cap = min_clusters.max(1);
+    let mut merges: Vec<Merge> = Vec::with_capacity(n.saturating_sub(cap));
     if n < 2 {
         return merges;
     }
@@ -51,6 +79,7 @@ pub(super) fn cluster(ws: &mut LinkageWorkspace, linkage: Linkage) -> Vec<Merge>
     for i in 0..n - 1 {
         refresh(ws, &mut nghbr, &mut mindist, &mut heap, i);
     }
+    let mut max_height = f64::NEG_INFINITY;
 
     while merges.len() + 1 < n {
         // Pop candidates until one survives lazy validation.
@@ -62,15 +91,23 @@ pub(super) fn cluster(ws: &mut LinkageWorkspace, linkage: Linkage) -> Vec<Merge>
                 continue;
             }
             let j = nghbr[i];
-            if ws.is_active(j) && ws.get32(i, j) == mindist[i] {
+            if j != usize::MAX && ws.is_active(j) && ws.get32(i, j) == mindist[i] {
                 break (i, j);
             }
-            // Cached neighbour retired, or its distance drifted upward
-            // under a Lance–Williams update: rescan the row now (lazy
-            // invalidation — this is the only place stale caches are paid
-            // for) and keep popping.
+            // Cached neighbour retired (possibly compacted away), or its
+            // distance drifted upward under a Lance–Williams update:
+            // rescan the row now (lazy invalidation — this is the only
+            // place stale caches are paid for) and keep popping.
             refresh(ws, &mut nghbr, &mut mindist, &mut heap, i);
         };
+
+        // Capped stop: merges happen in greedy ascending order, so once
+        // enough are done and the next pair is strictly farther than every
+        // performed merge, the remaining tree can never be consulted by an
+        // in-range cut. Boundary ties keep merging.
+        if cap > 1 && merges.len() + cap >= n && ws.get32(i, j) as f64 > max_height {
+            break;
+        }
 
         // `i < j` by construction; the merged cluster keeps slot `j` (the
         // higher one — its condensed row tail is short, so the mandatory
@@ -83,7 +120,7 @@ pub(super) fn cluster(ws: &mut LinkageWorkspace, linkage: Linkage) -> Vec<Merge>
         // Pairs `(j, k)` with `k > j` live in row `j`, which is rescanned
         // wholesale below; row `i` is retired along with its cache.
         let (nghbr_ref, mindist_ref, heap_ref) = (&mut nghbr, &mut mindist, &mut heap);
-        merges.push(ws.merge(i, j, linkage, |k, d| {
+        let merge = ws.merge(i, j, linkage, |k, d| {
             if k < j {
                 if d < mindist_ref[k] {
                     nghbr_ref[k] = j;
@@ -94,10 +131,39 @@ pub(super) fn cluster(ws: &mut LinkageWorkspace, linkage: Linkage) -> Vec<Merge>
                     nghbr_ref[k] = j;
                 }
             }
-        }));
+        });
+        max_height = max_height.max(merge.distance);
+        merges.push(merge);
 
         // Row `j` was rewritten wholesale by the Lance–Williams update.
         refresh(ws, &mut nghbr, &mut mindist, &mut heap, j);
+
+        // On compaction, renumber the caches and rebuild the heap: one
+        // entry per live row at its current (possibly stale-low) key — the
+        // exact lazy-validation state, minus already-dead entries.
+        if let Some(remap) = ws.maybe_compact() {
+            let m = remap.iter().filter(|&&p| p != usize::MAX).count();
+            let mut new_nghbr = vec![usize::MAX; m];
+            let mut new_mindist = vec![f32::INFINITY; m];
+            heap.clear();
+            for (old, &new_i) in remap.iter().enumerate() {
+                if new_i == usize::MAX {
+                    continue;
+                }
+                let nb = nghbr[old];
+                new_nghbr[new_i] = if nb == usize::MAX {
+                    usize::MAX
+                } else {
+                    remap[nb]
+                };
+                new_mindist[new_i] = mindist[old];
+                if mindist[old].is_finite() {
+                    heap.push(Reverse((mindist[old].to_bits(), new_i)));
+                }
+            }
+            nghbr = new_nghbr;
+            mindist = new_mindist;
+        }
     }
     merges
 }

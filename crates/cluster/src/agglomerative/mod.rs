@@ -20,11 +20,34 @@
 //! by the cross-algorithm equivalence suite in
 //! `tests/cluster_equivalence.rs`.
 //!
+//! # Capped dendrograms and compaction
+//!
+//! Consumers of these dendrograms only ever cut them *coarsely*: DUST cuts
+//! at `k·p` clusters, alignment model-selects over `k ∈ [min_k, n]`. A full
+//! n-merge build therefore does work nobody consumes. [`ClusterParams`]
+//! exposes two knobs that remove it without changing any answer:
+//!
+//! * **`min_clusters`** (the *k-cap*) stops the engines once the merges
+//!   performed are provably exactly the lowest part of the full merge tree
+//!   (both engines keep merging across boundary *ties*, so the guarantee
+//!   is exact): the returned partial [`Dendrogram`] yields bit-identical
+//!   `cut(k)` partitions to the full build for every `k ≥ min_clusters`.
+//!   The cap applies to reducible linkages; for the non-reducible
+//!   centroid/median pair (whose height inversions can dip below any
+//!   stopping boundary) it is ignored and a full dendrogram is built.
+//! * **`compaction`** lets the workspace physically shrink as clusters
+//!   retire (rebuilt over the live slots at every halving), so late merges
+//!   and scans walk a dense live prefix instead of INF-poisoned full rows
+//!   — bit-for-bit identical output, much smaller resident working set at
+//!   n ≫ 2000.
+//!
 //! [`agglomerative_constrained`] is a straightforward O(n³) greedy variant
 //! that honours cannot-link constraints, used by holistic column alignment
 //! where `n` is the (small) number of columns and two columns of the same
 //! table must never be clustered together. It doubles as the naive
-//! reference implementation the engine equivalence tests compare against.
+//! reference implementation the engine equivalence tests compare against;
+//! [`agglomerative_constrained_from_matrix`] additionally reuses a
+//! caller-held matrix and accepts the same `min_clusters` cap.
 
 mod generic;
 mod nn_chain;
@@ -90,7 +113,8 @@ impl Linkage {
     /// Whether the linkage is *reducible*: merging a reciprocal
     /// nearest-neighbour pair can never bring a third cluster closer than
     /// the closer of the two it replaced. Reducibility is what makes the
-    /// NN-chain algorithm valid and merge heights inversion-free.
+    /// NN-chain algorithm valid, merge heights inversion-free — and the
+    /// `min_clusters` cap exact.
     pub fn is_reducible(&self) -> bool {
         !matches!(self, Linkage::Centroid | Linkage::Median)
     }
@@ -149,6 +173,12 @@ pub enum AgglomerativeAlgorithm {
 /// avoids the heap allocation.
 const GENERIC_AUTO_THRESHOLD: usize = 64;
 
+/// Input size from which [`Compaction::Auto`] enables workspace compaction.
+/// Below it the whole condensed matrix is cache-resident anyway and the
+/// copies would be churn; above it the shrinking working set wins (see
+/// `BENCH_cluster.json`, capped/compacting rows).
+const COMPACTION_AUTO_THRESHOLD: usize = 256;
+
 impl AgglomerativeAlgorithm {
     /// Name used in experiment output.
     pub fn name(&self) -> &'static str {
@@ -177,6 +207,54 @@ impl AgglomerativeAlgorithm {
     }
 }
 
+/// Whether the linkage workspace physically compacts as clusters retire
+/// (see the module docs). Compaction never changes the output — compacting
+/// and non-compacting runs are bit-for-bit identical, pinned by the
+/// equivalence suite — only the constant factor and resident working set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Compaction {
+    /// Compact from [`COMPACTION_AUTO_THRESHOLD`] points up (the default).
+    #[default]
+    Auto,
+    /// Always allow compaction (it still only triggers at halvings).
+    Always,
+    /// Never compact — scans keep walking INF-poisoned full rows.
+    Never,
+}
+
+/// Full parameter set for an agglomerative clustering run
+/// ([`agglomerative_params`]). The convenience wrappers fix the common
+/// fields: [`agglomerative_with`] takes linkage/algorithm/cap and leaves
+/// compaction on `Auto`; [`agglomerative_from_matrix`] builds a full
+/// dendrogram with `Auto` everything.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterParams {
+    /// Linkage criterion.
+    pub linkage: Linkage,
+    /// Engine selection.
+    pub algorithm: AgglomerativeAlgorithm,
+    /// Stop once every flat clustering with at least this many clusters is
+    /// determined (`1` = build the full dendrogram). The resulting partial
+    /// [`Dendrogram`] is bit-identical to the full one for every `cut(k)`
+    /// with `k ≥ min_clusters`; cutting below [`Dendrogram::min_clusters`]
+    /// panics. Ignored (full build) for non-reducible linkages.
+    pub min_clusters: usize,
+    /// Workspace compaction policy.
+    pub compaction: Compaction,
+}
+
+impl ClusterParams {
+    /// Full dendrogram, automatic engine and compaction selection.
+    pub fn new(linkage: Linkage) -> Self {
+        ClusterParams {
+            linkage,
+            algorithm: AgglomerativeAlgorithm::Auto,
+            min_clusters: 1,
+            compaction: Compaction::Auto,
+        }
+    }
+}
+
 /// One merge step of a dendrogram. Clusters are identified by id: leaves are
 /// `0..n`, and the cluster created by the `i`-th merge has id `n + i`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -192,6 +270,21 @@ pub struct Merge {
 }
 
 /// The result of hierarchical clustering: a sequence of merges over `n` leaves.
+///
+/// # Partial (k-capped) dendrograms
+///
+/// A dendrogram built with `min_clusters > 1` stops early and records the
+/// smallest cut it is valid for in [`Dendrogram::min_clusters`]: the
+/// engines guarantee the merges present are exactly the lowest part of the
+/// full merge tree, so [`Dendrogram::cut`] is **bit-identical to the full
+/// build's** for every `k ≥ min_clusters` — and **panics** for
+/// `k < min_clusters`, where the answer would silently be wrong.
+/// [`Dendrogram::cut_at_distance`] treats absent merges as lying above any
+/// threshold, so on a capped dendrogram it never returns fewer than
+/// `min_clusters` clusters. (The constrained variant's dendrograms may
+/// also be incomplete because *constraints* forbade further merges; that
+/// is a property of the data, not a cap, so `min_clusters` stays 1 and
+/// coarse cuts simply return more clusters than requested.)
 ///
 /// # Determinism and tie-breaking
 ///
@@ -212,9 +305,18 @@ pub struct Merge {
 pub struct Dendrogram {
     n_leaves: usize,
     merges: Vec<Merge>,
+    min_clusters: usize,
 }
 
 impl Dendrogram {
+    fn new(n_leaves: usize, merges: Vec<Merge>, min_clusters: usize) -> Self {
+        Dendrogram {
+            n_leaves,
+            merges,
+            min_clusters,
+        }
+    }
+
     /// Number of leaves (input points).
     pub fn n_leaves(&self) -> usize {
         self.n_leaves
@@ -225,19 +327,37 @@ impl Dendrogram {
         &self.merges
     }
 
+    /// Smallest `k` this dendrogram can be cut into (1 for a full build).
+    /// A k-capped build stops early; [`Dendrogram::cut`] is valid — and
+    /// identical to the full build's — for every `k >= min_clusters`, and
+    /// panics below it. Boundary ties can make the engines merge past the
+    /// requested cap, so this may be *smaller* than the cap requested via
+    /// [`ClusterParams::min_clusters`].
+    pub fn min_clusters(&self) -> usize {
+        self.min_clusters
+    }
+
     /// Cut the dendrogram into (at most) `num_clusters` clusters.
     ///
     /// Merges are applied in ascending canonical order (see the type-level
     /// tie-breaking notes) until the requested number of clusters remains.
-    /// When the dendrogram is incomplete (the constrained variant may stop
-    /// early) the result may contain more than `num_clusters` clusters.
-    /// Returns a dense assignment.
+    /// When the dendrogram is incomplete because *constraints* stopped it
+    /// (the constrained variant) the result may contain more than
+    /// `num_clusters` clusters; when it is incomplete because of a k-cap,
+    /// requesting a cut below [`Dendrogram::min_clusters`] panics instead
+    /// of returning a silently wrong partition. Returns a dense assignment.
     pub fn cut(&self, num_clusters: usize) -> Assignment {
         let n = self.n_leaves;
         if n == 0 {
             return Vec::new();
         }
         let target = num_clusters.max(1);
+        assert!(
+            target >= self.min_clusters,
+            "cut({target}) is below this capped dendrogram's valid range \
+             (min_clusters = {}); rebuild with a smaller ClusterParams::min_clusters",
+            self.min_clusters
+        );
         let mut uf = UnionFind::new(n);
         let mut remaining = n;
         for &m in &self.canonical_order() {
@@ -255,7 +375,10 @@ impl Dendrogram {
     }
 
     /// Cut the dendrogram at a distance threshold: only merges with distance
-    /// `<= threshold` are applied (order-independent).
+    /// `<= threshold` are applied (order-independent). Merges absent from a
+    /// partial dendrogram are treated as above any threshold — on a
+    /// k-capped build the result therefore never has fewer than
+    /// [`Dendrogram::min_clusters`] clusters.
     pub fn cut_at_distance(&self, threshold: f64) -> Assignment {
         let n = self.n_leaves;
         if n == 0 {
@@ -282,8 +405,7 @@ impl Dendrogram {
         order.sort_by(|&a, &b| {
             let (ma, mb) = (&self.merges[a], &self.merges[b]);
             ma.distance
-                .partial_cmp(&mb.distance)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&mb.distance)
                 .then_with(|| ma.size.cmp(&mb.size))
                 .then_with(|| min_leaf[a].cmp(&min_leaf[b]))
         });
@@ -364,7 +486,8 @@ impl UnionFind {
     }
 }
 
-/// Agglomerative clustering (unconstrained, `Auto` engine selection).
+/// Agglomerative clustering (unconstrained, full dendrogram, `Auto` engine
+/// selection).
 ///
 /// Builds the shared [`PairwiseMatrix`] (parallel for large inputs) and
 /// clusters it. Returns a full dendrogram with `n - 1` merges (or an empty
@@ -374,68 +497,133 @@ pub fn agglomerative(points: &[Vector], distance: Distance, linkage: Linkage) ->
 }
 
 /// Agglomerative clustering over a precomputed pairwise matrix with `Auto`
-/// engine selection. The matrix is only read (the Lance–Williams updates
-/// run on an internal `f32` working copy), so callers can keep using it —
-/// e.g. for medoid selection — afterwards.
+/// engine selection (full dendrogram). The matrix is only read (the
+/// Lance–Williams updates run on an internal `f32` working copy), so
+/// callers can keep using it — e.g. for medoid selection — afterwards.
 pub fn agglomerative_from_matrix(matrix: &PairwiseMatrix, linkage: Linkage) -> Dendrogram {
-    agglomerative_with(matrix, linkage, AgglomerativeAlgorithm::Auto)
+    agglomerative_with(matrix, linkage, AgglomerativeAlgorithm::Auto, 1)
 }
 
 /// Agglomerative clustering over a precomputed pairwise matrix with an
-/// explicit engine choice. `Auto` picks the expected-fastest valid engine;
-/// an explicit [`AgglomerativeAlgorithm::NnChain`] request for a
-/// non-reducible linkage (centroid/median) is routed to the generic engine,
-/// where the NN-chain would be invalid.
+/// explicit engine choice and k-cap (`min_clusters = 1` builds the full
+/// dendrogram; see [`ClusterParams::min_clusters`] for the cap's exactness
+/// guarantee). `Auto` picks the expected-fastest valid engine; an explicit
+/// [`AgglomerativeAlgorithm::NnChain`] request for a non-reducible linkage
+/// (centroid/median) is routed to the generic engine, where the NN-chain
+/// would be invalid. Compaction is on automatic selection — use
+/// [`agglomerative_params`] to pin it.
 pub fn agglomerative_with(
     matrix: &PairwiseMatrix,
     linkage: Linkage,
     algorithm: AgglomerativeAlgorithm,
+    min_clusters: usize,
 ) -> Dendrogram {
+    agglomerative_params(
+        matrix,
+        &ClusterParams {
+            linkage,
+            algorithm,
+            min_clusters,
+            compaction: Compaction::Auto,
+        },
+    )
+}
+
+/// Agglomerative clustering with every knob exposed ([`ClusterParams`]).
+pub fn agglomerative_params(matrix: &PairwiseMatrix, params: &ClusterParams) -> Dendrogram {
     let n = matrix.len();
     if n < 2 {
-        return Dendrogram {
-            n_leaves: n,
-            merges: Vec::new(),
-        };
+        return Dendrogram::new(n, Vec::new(), 1);
     }
-    let mut ws = LinkageWorkspace::from_matrix(matrix);
-    let merges = match algorithm.resolve(linkage, n) {
-        AgglomerativeAlgorithm::Generic => generic::cluster(&mut ws, linkage),
-        _ => nn_chain::cluster(&mut ws, linkage),
+    // The cap's exactness argument needs future merge heights bounded below
+    // by the current live minimum — reducibility. Centroid/median get a
+    // full build.
+    let cap = if params.linkage.is_reducible() {
+        params.min_clusters.clamp(1, n)
+    } else {
+        1
     };
-    Dendrogram {
-        n_leaves: n,
-        merges,
-    }
+    let compacting = match params.compaction {
+        Compaction::Always => true,
+        Compaction::Never => false,
+        Compaction::Auto => n >= COMPACTION_AUTO_THRESHOLD,
+    };
+    let mut ws = LinkageWorkspace::from_matrix(matrix, compacting);
+    let merges = match params.algorithm.resolve(params.linkage, n) {
+        AgglomerativeAlgorithm::Generic => generic::cluster(&mut ws, params.linkage, cap),
+        _ => nn_chain::cluster(&mut ws, params.linkage, cap),
+    };
+    // Boundary ties can push a capped run past the requested cap (or all
+    // the way to a full build): every cut down to the merge count actually
+    // reached is valid.
+    let min_clusters = if cap > 1 && merges.len() < n - 1 {
+        n - merges.len()
+    } else {
+        1
+    };
+    Dendrogram::new(n, merges, min_clusters)
 }
 
 /// Constrained agglomerative clustering with cannot-link constraints.
 ///
-/// `cannot_link` lists pairs of leaf indices that must never end up in the
-/// same cluster; merges that would violate a constraint are skipped. The
-/// resulting dendrogram may therefore be incomplete (fewer than `n - 1`
-/// merges). Intended for small `n` (column alignment), complexity O(n³):
-/// every round greedily merges the closest admissible pair (lexicographic
-/// `(distance, i, j)` tie-break) and applies the same Lance–Williams
-/// updates as the fast engines — without constraints it is their naive
-/// reference implementation.
+/// Builds the pairwise matrix internally and produces the full
+/// (constraint-limited) dendrogram; see
+/// [`agglomerative_constrained_from_matrix`] for the matrix-reusing,
+/// k-cappable variant this delegates to.
 pub fn agglomerative_constrained(
     points: &[Vector],
     distance: Distance,
     linkage: Linkage,
     cannot_link: &[(usize, usize)],
 ) -> Dendrogram {
-    let n = points.len();
+    agglomerative_constrained_from_matrix(
+        &PairwiseMatrix::compute(points, distance),
+        linkage,
+        cannot_link,
+        1,
+    )
+}
+
+/// Constrained agglomerative clustering over a precomputed pairwise matrix.
+///
+/// `cannot_link` lists pairs of leaf indices that must never end up in the
+/// same cluster; merges that would violate a constraint are skipped. The
+/// resulting dendrogram may therefore be incomplete (fewer than `n - 1`
+/// merges) even without a cap. Intended for small `n` (column alignment),
+/// complexity O(n³): every round greedily merges the closest admissible
+/// pair (lexicographic `(distance, i, j)` tie-break) and applies the same
+/// Lance–Williams updates as the fast engines — without constraints it is
+/// their naive reference implementation.
+///
+/// `min_clusters` is the same k-cap as [`ClusterParams::min_clusters`]:
+/// since the greedy loop merges admissible pairs in ascending order (the
+/// admissible submatrix is monotone for reducible linkages — constraints
+/// only ever *remove* candidate pairs), it can stop once enough merges are
+/// done and the next admissible pair is strictly farther than every merge
+/// performed. Ignored for non-reducible linkages.
+pub fn agglomerative_constrained_from_matrix(
+    matrix: &PairwiseMatrix,
+    linkage: Linkage,
+    cannot_link: &[(usize, usize)],
+    min_clusters: usize,
+) -> Dendrogram {
+    let n = matrix.len();
     if n < 2 {
-        return Dendrogram {
-            n_leaves: n,
-            merges: Vec::new(),
-        };
+        return Dendrogram::new(n, Vec::new(), 1);
     }
-    let mut ws = LinkageWorkspace::from_matrix(&PairwiseMatrix::compute(points, distance));
+    let cap = if linkage.is_reducible() {
+        min_clusters.clamp(1, n)
+    } else {
+        1
+    };
+    // Compaction is skipped here: the constrained scan indexes its member
+    // lists by slot and n is small (table columns) by contract.
+    let mut ws = LinkageWorkspace::from_matrix(matrix, false);
     // members of each cluster slot, for constraint checks
     let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
     let mut merges = Vec::new();
+    let mut max_height = f64::NEG_INFINITY;
+    let mut capped_stop = false;
 
     let conflicts = |a: &[usize], b: &[usize]| -> bool {
         cannot_link
@@ -458,18 +646,23 @@ pub fn agglomerative_constrained(
                 }
             }
         }
-        let Some((i, j, _)) = best else { break };
+        let Some((i, j, d)) = best else { break };
+        // Capped stop, same strict-boundary rule as the fast engines.
+        if cap > 1 && merges.len() + cap >= n && d as f64 > max_height {
+            capped_stop = true;
+            break;
+        }
         // `i < j`: the merged cluster keeps slot `j` (the workspace's
         // keep-the-higher-slot convention)
-        merges.push(ws.merge(i, j, linkage, |_, _| {}));
+        let merge = ws.merge(i, j, linkage, |_, _| {});
+        max_height = max_height.max(merge.distance);
+        merges.push(merge);
         let moved = std::mem::take(&mut members[i]);
         members[j].extend(moved);
     }
 
-    Dendrogram {
-        n_leaves: n,
-        merges,
-    }
+    let min_clusters = if capped_stop { n - merges.len() } else { 1 };
+    Dendrogram::new(n, merges, min_clusters)
 }
 
 #[cfg(test)]
@@ -498,8 +691,9 @@ mod tests {
                 AgglomerativeAlgorithm::NnChain,
                 AgglomerativeAlgorithm::Generic,
             ] {
-                let dendro = agglomerative_with(&matrix, linkage, algorithm);
+                let dendro = agglomerative_with(&matrix, linkage, algorithm, 1);
                 assert_eq!(dendro.merges().len(), pts.len() - 1);
+                assert_eq!(dendro.min_clusters(), 1);
                 let assignment = dendro.cut(2);
                 assert_eq!(num_clusters(&assignment), 2, "{linkage:?}/{algorithm:?}");
                 // first ten points together, last ten together
@@ -517,6 +711,50 @@ mod tests {
         assert_eq!(num_clusters(&dendro.cut(1)), 1);
         let all = dendro.cut(pts.len());
         assert_eq!(num_clusters(&all), pts.len());
+    }
+
+    #[test]
+    fn capped_build_stops_early_and_matches_full_cuts() {
+        let pts = two_blobs();
+        let matrix = PairwiseMatrix::compute(&pts, Distance::Euclidean);
+        for algorithm in [
+            AgglomerativeAlgorithm::NnChain,
+            AgglomerativeAlgorithm::Generic,
+        ] {
+            let full = agglomerative_with(&matrix, Linkage::Average, algorithm, 1);
+            let capped = agglomerative_with(&matrix, Linkage::Average, algorithm, 4);
+            assert!(capped.merges().len() < full.merges().len());
+            assert!(capped.min_clusters() <= 4);
+            for k in 4..=pts.len() {
+                assert_eq!(capped.cut(k), full.cut(k), "{algorithm:?} cut({k})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below this capped dendrogram")]
+    fn cutting_a_capped_dendrogram_below_its_cap_panics() {
+        let pts = two_blobs();
+        let matrix = PairwiseMatrix::compute(&pts, Distance::Euclidean);
+        let capped = agglomerative_with(
+            &matrix,
+            Linkage::Average,
+            AgglomerativeAlgorithm::Generic,
+            4,
+        );
+        assert!(capped.min_clusters() > 1);
+        let _ = capped.cut(capped.min_clusters() - 1);
+    }
+
+    #[test]
+    fn non_reducible_linkages_ignore_the_cap() {
+        let pts = two_blobs();
+        let matrix = PairwiseMatrix::compute(&pts, Distance::Euclidean);
+        for linkage in [Linkage::Centroid, Linkage::Median] {
+            let capped = agglomerative_with(&matrix, linkage, AgglomerativeAlgorithm::Generic, 5);
+            assert_eq!(capped.merges().len(), pts.len() - 1);
+            assert_eq!(capped.min_clusters(), 1);
+        }
     }
 
     #[test]
@@ -593,6 +831,22 @@ mod tests {
     }
 
     #[test]
+    fn capped_constrained_clustering_matches_full_in_range() {
+        let pts = two_blobs();
+        let matrix = PairwiseMatrix::compute(&pts, Distance::Euclidean);
+        let constraints = vec![(0, 10), (3, 15)];
+        let full =
+            agglomerative_constrained_from_matrix(&matrix, Linkage::Average, &constraints, 1);
+        let capped =
+            agglomerative_constrained_from_matrix(&matrix, Linkage::Average, &constraints, 5);
+        assert!(capped.merges().len() <= full.merges().len());
+        assert!(capped.min_clusters() <= 5);
+        for k in 5..=pts.len() {
+            assert_eq!(capped.cut(k), full.cut(k), "constrained cut({k})");
+        }
+    }
+
+    #[test]
     fn both_engines_match_naive_on_small_inputs() {
         // On small inputs each engine's result (cut to k) should agree with
         // the naive constrained implementation without constraints.
@@ -616,7 +870,7 @@ mod tests {
                 AgglomerativeAlgorithm::NnChain,
                 AgglomerativeAlgorithm::Generic,
             ] {
-                let fast = agglomerative_with(&matrix, linkage, algorithm).cut(3);
+                let fast = agglomerative_with(&matrix, linkage, algorithm, 1).cut(3);
                 // compare partitions up to relabelling
                 assert_eq!(
                     partition_signature(&fast),
@@ -642,13 +896,13 @@ mod tests {
         let matrix = PairwiseMatrix::compute(&pts, Distance::Euclidean);
         for linkage in [Linkage::Centroid, Linkage::Median] {
             assert!(!linkage.is_reducible());
-            let forced = agglomerative_with(&matrix, linkage, AgglomerativeAlgorithm::Generic);
+            let forced = agglomerative_with(&matrix, linkage, AgglomerativeAlgorithm::Generic, 1);
             // NnChain and Auto requests are both routed to the generic engine
             for algorithm in [
                 AgglomerativeAlgorithm::Auto,
                 AgglomerativeAlgorithm::NnChain,
             ] {
-                let routed = agglomerative_with(&matrix, linkage, algorithm);
+                let routed = agglomerative_with(&matrix, linkage, algorithm, 1);
                 assert_eq!(routed, forced, "{linkage:?}/{algorithm:?}");
             }
         }

@@ -8,26 +8,59 @@
 //! median linkage break that property and are routed to the
 //! [generic](super::generic) engine instead.
 //!
+//! # Capped (partial) runs
+//!
+//! With `min_clusters > 1` the engine stops early — but *not* simply after
+//! `n − min_clusters` merges: the chain discovers merges out of height
+//! order (a chain started at slot 0 can merge a far reciprocal pair while a
+//! closer pair elsewhere is still unmerged), so a count-only stop could
+//! omit merges the `cut(k)` of the full dendrogram would apply. The safe
+//! rule, checked once the live cluster count reaches the cap: stop only
+//! when the smallest remaining live pair distance is **strictly greater**
+//! than every merge performed so far. For reducible linkages all future
+//! merge heights are bounded below by the current live minimum, so the
+//! performed merges are then exactly the lowest part of the full merge
+//! tree and every `cut(k)` with `k ≥ n − merges` matches the full
+//! dendrogram's (ties at the boundary keep the engine merging, which keeps
+//! the guarantee exact even on degenerate all-equal inputs).
+//!
 //! Tie-breaking (see [`Dendrogram`](super::Dendrogram)): chains restart at
 //! the lowest active slot, nearest-neighbour scans return the lowest tying
 //! index, the chain predecessor wins ties (reciprocity), and the merged
-//! cluster keeps the higher slot.
+//! cluster keeps the higher slot. Compaction (see
+//! [`LinkageWorkspace::maybe_compact`]) preserves the relative order of
+//! live slots, so a compacting run merges identically — the chain's slot
+//! references are just renumbered through the returned remap.
 
 use super::workspace::LinkageWorkspace;
 use super::{Linkage, Merge};
 
-pub(super) fn cluster(ws: &mut LinkageWorkspace, linkage: Linkage) -> Vec<Merge> {
+pub(super) fn cluster(
+    ws: &mut LinkageWorkspace,
+    linkage: Linkage,
+    min_clusters: usize,
+) -> Vec<Merge> {
     debug_assert!(
         linkage.is_reducible(),
         "NN-chain is invalid for {linkage:?}; use the generic engine"
     );
     let n = ws.len();
-    let mut merges: Vec<Merge> = Vec::with_capacity(n.saturating_sub(1));
+    let cap = min_clusters.max(1);
+    let mut merges: Vec<Merge> = Vec::with_capacity(n.saturating_sub(cap));
     if n < 2 {
         return merges;
     }
+    let mut max_height = f64::NEG_INFINITY;
     let mut chain: Vec<usize> = Vec::with_capacity(n);
     while merges.len() + 1 < n {
+        // Capped stop: once at most `cap` clusters remain, stop as soon as
+        // every remaining live pair is strictly farther than every merge
+        // performed — the performed set is then exactly the bottom of the
+        // full merge tree (see the module docs). On a boundary tie keep
+        // merging; correctness over savings.
+        if cap > 1 && n - merges.len() <= cap && ws.min_active_distance() > max_height {
+            break;
+        }
         if chain.is_empty() {
             chain.push(ws.first_active().expect("at least one active cluster"));
         }
@@ -41,7 +74,9 @@ pub(super) fn cluster(ws: &mut LinkageWorkspace, linkage: Linkage) -> Vec<Merge>
                 // reciprocal nearest neighbours: merge current and prev
                 chain.pop();
                 chain.pop();
-                merges.push(ws.merge(current, best, linkage, |_, _| {}));
+                let merge = ws.merge(current, best, linkage, |_, _| {});
+                max_height = max_height.max(merge.distance);
+                merges.push(merge);
                 break;
             }
             chain.push(best);
@@ -52,6 +87,13 @@ pub(super) fn cluster(ws: &mut LinkageWorkspace, linkage: Linkage) -> Vec<Merge>
                 break;
             }
             chain.pop();
+        }
+        // After the cleanup every chain entry is live, so a compaction's
+        // remap renumbers them all.
+        if let Some(remap) = ws.maybe_compact() {
+            for slot in &mut chain {
+                *slot = remap[*slot];
+            }
         }
     }
     merges

@@ -7,12 +7,18 @@
 //!   nearest-neighbour-chain algorithm (O(n²), reducible linkages) and a
 //!   fastcluster-style cached-nearest-neighbour "generic" algorithm (lazy
 //!   min-heap, all linkages, faster from ~1000 points), selected by
-//!   [`AgglomerativeAlgorithm`]. The tuple-diversification step of DUST
-//!   relies on these for scalability; the constrained variant (cannot-link
-//!   pairs, used by holistic column alignment so that two columns of the
-//!   same table are never merged) is a small-n implementation.
+//!   [`AgglomerativeAlgorithm`]. Both engines support k-capped partial
+//!   builds and a compacting workspace ([`ClusterParams`]) — consumers
+//!   only ever cut coarsely (DUST at `k·p`, alignment at `≥ min_k`), so
+//!   the engines stop once those cuts are determined and physically shrink
+//!   the working matrix as clusters retire, without changing any answer.
+//!   The tuple-diversification step of DUST relies on these for
+//!   scalability; the constrained variant (cannot-link pairs, used by
+//!   holistic column alignment so that two columns of the same table are
+//!   never merged) is a small-n implementation.
 //! * [`silhouette`] — Silhouette coefficient for model selection
-//!   (choosing the number of clusters, Sec. 3.3).
+//!   (choosing the number of clusters, Sec. 3.3); builds one pairwise
+//!   matrix per sweep, not one per candidate cut.
 //! * [`medoid`] — medoids of clusters (the representative-tuple choice in
 //!   Sec. 5.2).
 //! * [`kmeans`] — k-means with k-means++ seeding, used as an ablation
@@ -27,14 +33,18 @@ pub mod medoid;
 pub mod silhouette;
 
 pub use agglomerative::{
-    agglomerative, agglomerative_constrained, agglomerative_from_matrix, agglomerative_with,
-    AgglomerativeAlgorithm, Dendrogram, Linkage, Merge,
+    agglomerative, agglomerative_constrained, agglomerative_constrained_from_matrix,
+    agglomerative_from_matrix, agglomerative_params, agglomerative_with, AgglomerativeAlgorithm,
+    ClusterParams, Compaction, Dendrogram, Linkage, Merge,
 };
 pub use kmeans::{kmeans, KMeansResult};
 pub use medoid::{
     cluster_medoids, cluster_medoids_from_matrix, medoid, medoid_in_matrix, medoid_with_store,
 };
-pub use silhouette::{best_cut_by_silhouette, silhouette_score};
+pub use silhouette::{
+    best_cut_by_silhouette, best_cut_by_silhouette_from_matrix, silhouette_score,
+    silhouette_score_from_matrix,
+};
 
 /// A flat clustering: `assignment[i]` is the cluster id of point `i`.
 /// Cluster ids are dense (0..num_clusters).

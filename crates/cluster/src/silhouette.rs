@@ -1,5 +1,13 @@
 //! Silhouette coefficient (Rousseeuw 1987), the cluster-quality measure the
 //! paper uses to pick the number of clusters during column alignment.
+//!
+//! Model selection sweeps `k` over a whole range, so the matrix-taking
+//! entry points matter: [`best_cut_by_silhouette`] builds **one**
+//! [`PairwiseMatrix`] and scores every candidate cut against it (the naive
+//! alternative — one matrix per candidate `k` — is an
+//! O((max_k − min_k + 1) · n² · d) trap on the per-query alignment path),
+//! and [`best_cut_by_silhouette_from_matrix`] reuses a matrix the caller
+//! already holds, e.g. the one its dendrogram was built from.
 
 use crate::agglomerative::Dendrogram;
 use crate::{clusters_from_assignment, num_clusters, Assignment};
@@ -7,14 +15,28 @@ use dust_embed::{Distance, PairwiseMatrix, Vector};
 
 /// Mean silhouette score of an assignment over the given points.
 ///
-/// Returns `None` when the score is undefined: fewer than two clusters, or
-/// every cluster is a singleton, or fewer than two points.
+/// Builds the pairwise matrix once and delegates to
+/// [`silhouette_score_from_matrix`]. Returns `None` when the score is
+/// undefined: fewer than two clusters, or every cluster is a singleton, or
+/// fewer than two points.
 pub fn silhouette_score(
     points: &[Vector],
     assignment: &[usize],
     distance: Distance,
 ) -> Option<f64> {
-    let n = points.len();
+    if points.len() < 2 || assignment.len() != points.len() {
+        return None;
+    }
+    silhouette_score_from_matrix(&PairwiseMatrix::compute(points, distance), assignment)
+}
+
+/// Mean silhouette score of an assignment over a precomputed pairwise
+/// matrix — the allocation-free core of [`silhouette_score`], for callers
+/// that score many assignments over the same points (model selection).
+///
+/// Returns `None` when the score is undefined (see [`silhouette_score`]).
+pub fn silhouette_score_from_matrix(matrix: &PairwiseMatrix, assignment: &[usize]) -> Option<f64> {
+    let n = matrix.len();
     if n < 2 || assignment.len() != n {
         return None;
     }
@@ -26,7 +48,6 @@ pub fn silhouette_score(
     if groups.iter().all(|g| g.len() <= 1) {
         return None;
     }
-    let matrix = PairwiseMatrix::compute(points, distance);
     let mut total = 0.0;
     for i in 0..n {
         let own = &groups[assignment[i]];
@@ -70,7 +91,10 @@ pub fn silhouette_score(
 ///
 /// This is the model-selection step of Sec. 3.3: "we compute a cluster
 /// quality score for each number of clusters and select the one that
-/// maximizes the quality."
+/// maximizes the quality." Builds exactly **one** [`PairwiseMatrix`] for
+/// the whole sweep; callers that already hold the matrix (it is usually
+/// the one the dendrogram was clustered from) should use
+/// [`best_cut_by_silhouette_from_matrix`] and skip even that.
 pub fn best_cut_by_silhouette(
     dendrogram: &Dendrogram,
     points: &[Vector],
@@ -78,16 +102,46 @@ pub fn best_cut_by_silhouette(
     min_k: usize,
     max_k: usize,
 ) -> (Assignment, Option<f64>) {
-    let n = points.len();
+    if points.is_empty() {
+        return (Vec::new(), None);
+    }
+    best_cut_by_silhouette_from_matrix(
+        dendrogram,
+        &PairwiseMatrix::compute(points, distance),
+        min_k,
+        max_k,
+    )
+}
+
+/// [`best_cut_by_silhouette`] over a precomputed pairwise matrix: zero
+/// matrix builds per invocation.
+///
+/// Cuts below the dendrogram's valid range (a k-capped build, see
+/// [`Dendrogram::min_clusters`]) are excluded from the sweep — pass a
+/// `min_k` no smaller than the cap the dendrogram was built with to sweep
+/// exactly the intended range. When the cap exceeds `max_k` entirely (a
+/// caller mismatch — no requested cut is buildable), the result is the
+/// dendrogram's smallest valid cut with a `None` score, never a scored
+/// out-of-range "best".
+pub fn best_cut_by_silhouette_from_matrix(
+    dendrogram: &Dendrogram,
+    matrix: &PairwiseMatrix,
+    min_k: usize,
+    max_k: usize,
+) -> (Assignment, Option<f64>) {
+    let n = matrix.len();
     if n == 0 {
         return (Vec::new(), None);
     }
-    let lo = min_k.max(1);
-    let hi = max_k.min(n).max(lo);
+    let lo = min_k.max(1).max(dendrogram.min_clusters());
+    let hi = max_k.min(n);
+    if lo > hi {
+        return (dendrogram.cut(lo), None);
+    }
     let mut best: Option<(Assignment, f64)> = None;
     for k in lo..=hi {
         let assignment = dendrogram.cut(k);
-        if let Some(score) = silhouette_score(points, &assignment, distance) {
+        if let Some(score) = silhouette_score_from_matrix(matrix, &assignment) {
             let better = best.as_ref().map(|(_, s)| score > *s).unwrap_or(true);
             if better {
                 best = Some((assignment, score));
@@ -132,6 +186,17 @@ mod tests {
     }
 
     #[test]
+    fn matrix_entry_point_matches_the_point_entry_point() {
+        let pts = blobs(&[5, 5], &[(0.0, 0.0), (10.0, 10.0)]);
+        let assignment: Assignment = vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+        let matrix = PairwiseMatrix::compute(&pts, Distance::Euclidean);
+        assert_eq!(
+            silhouette_score(&pts, &assignment, Distance::Euclidean),
+            silhouette_score_from_matrix(&matrix, &assignment)
+        );
+    }
+
+    #[test]
     fn undefined_cases_return_none() {
         let pts = blobs(&[4], &[(0.0, 0.0)]);
         // single cluster
@@ -151,6 +216,44 @@ mod tests {
         let (assignment, score) = best_cut_by_silhouette(&dendro, &pts, Distance::Euclidean, 2, 10);
         assert_eq!(num_clusters(&assignment), 3);
         assert!(score.unwrap() > 0.8);
+    }
+
+    #[test]
+    fn best_cut_from_matrix_matches_and_respects_capped_dendrograms() {
+        use crate::agglomerative::{agglomerative_with, AgglomerativeAlgorithm};
+        let pts = blobs(&[6, 6, 6], &[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)]);
+        let matrix = PairwiseMatrix::compute(&pts, Distance::Euclidean);
+        let full = agglomerative(&pts, Distance::Euclidean, Linkage::Average);
+        let by_points = best_cut_by_silhouette(&full, &pts, Distance::Euclidean, 2, 10);
+        let by_matrix = best_cut_by_silhouette_from_matrix(&full, &matrix, 2, 10);
+        assert_eq!(by_points, by_matrix);
+
+        // a dendrogram capped at the sweep's min_k selects the same cut
+        let capped = agglomerative_with(&matrix, Linkage::Average, AgglomerativeAlgorithm::Auto, 2);
+        let by_capped = best_cut_by_silhouette_from_matrix(&capped, &matrix, 2, 10);
+        assert_eq!(by_capped, by_matrix);
+    }
+
+    #[test]
+    fn cap_above_the_requested_range_yields_no_score() {
+        use crate::agglomerative::{agglomerative_with, AgglomerativeAlgorithm};
+        // Dendrogram capped at 6 clusters, sweep requested over [2, 4]:
+        // no requested cut is buildable — the smallest valid cut comes
+        // back unscored instead of a silently out-of-range "best".
+        let pts = blobs(&[6, 6, 6], &[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)]);
+        let matrix = PairwiseMatrix::compute(&pts, Distance::Euclidean);
+        // Generic engine: merges strictly ascending, so the cap binds
+        // exactly (NN-chain's chain order can legitimately merge past it).
+        let capped = agglomerative_with(
+            &matrix,
+            Linkage::Average,
+            AgglomerativeAlgorithm::Generic,
+            6,
+        );
+        assert!(capped.min_clusters() > 4);
+        let (assignment, score) = best_cut_by_silhouette_from_matrix(&capped, &matrix, 2, 4);
+        assert!(score.is_none());
+        assert_eq!(assignment, capped.cut(capped.min_clusters()));
     }
 
     #[test]

@@ -32,8 +32,8 @@
 //! tie-breaking rules pick genuinely different (equally correct) trees.
 
 use dust_cluster::{
-    agglomerative_constrained, agglomerative_with, clusters_from_assignment, num_clusters,
-    AgglomerativeAlgorithm, Dendrogram, Linkage,
+    agglomerative_constrained, agglomerative_params, agglomerative_with, clusters_from_assignment,
+    num_clusters, AgglomerativeAlgorithm, ClusterParams, Compaction, Dendrogram, Linkage,
 };
 use dust_embed::{Distance, PairwiseMatrix, Vector};
 use proptest::prelude::*;
@@ -98,8 +98,8 @@ fn ambiguous_merge_order(heights: &[f64]) -> bool {
 /// the case was unambiguous).
 fn check_engines_agree(points: &[Vector], distance: Distance, linkage: Linkage) -> bool {
     let matrix = PairwiseMatrix::compute(points, distance);
-    let chain = agglomerative_with(&matrix, linkage, AgglomerativeAlgorithm::NnChain);
-    let generic = agglomerative_with(&matrix, linkage, AgglomerativeAlgorithm::Generic);
+    let chain = agglomerative_with(&matrix, linkage, AgglomerativeAlgorithm::NnChain, 1);
+    let generic = agglomerative_with(&matrix, linkage, AgglomerativeAlgorithm::Generic, 1);
     let n = points.len();
     assert_eq!(
         chain.merges().len(),
@@ -169,7 +169,7 @@ proptest! {
         let matrix = PairwiseMatrix::compute(&points, distance);
         for linkage in Linkage::ALL {
             let naive = agglomerative_constrained(&points, distance, linkage, &[]);
-            let generic = agglomerative_with(&matrix, linkage, AgglomerativeAlgorithm::Generic);
+            let generic = agglomerative_with(&matrix, linkage, AgglomerativeAlgorithm::Generic, 1);
             prop_assert_eq!(
                 generic.merges(), naive.merges(),
                 "{:?}: generic diverged from the greedy reference", linkage
@@ -190,7 +190,7 @@ proptest! {
     ) {
         let matrix = PairwiseMatrix::compute(&points, distance);
         for linkage in REDUCIBLE {
-            let dendro = agglomerative_with(&matrix, linkage, AgglomerativeAlgorithm::Generic);
+            let dendro = agglomerative_with(&matrix, linkage, AgglomerativeAlgorithm::Generic, 1);
             prop_assert_eq!(dendro.merges().len(), points.len() - 1);
             for w in dendro.merges().windows(2) {
                 prop_assert!(
@@ -215,6 +215,7 @@ proptest! {
             &PairwiseMatrix::compute(&points, distance),
             linkage,
             AgglomerativeAlgorithm::Generic,
+            1,
         );
         let n = points.len();
         let heights = sorted_heights(&dendro);
@@ -259,11 +260,11 @@ proptest! {
         let shuffled_matrix = PairwiseMatrix::compute(&shuffled, distance);
         for linkage in REDUCIBLE.into_iter().filter(|_| tie_free) {
             for algorithm in [AgglomerativeAlgorithm::NnChain, AgglomerativeAlgorithm::Generic] {
-                let base = agglomerative_with(&matrix, linkage, algorithm);
+                let base = agglomerative_with(&matrix, linkage, algorithm, 1);
                 if ambiguous_merge_order(&sorted_heights(&base)) {
                     continue;
                 }
-                let moved = agglomerative_with(&shuffled_matrix, linkage, algorithm);
+                let moved = agglomerative_with(&shuffled_matrix, linkage, algorithm, 1);
                 let base_cut = base.cut(k);
                 let moved_cut = moved.cut(k);
                 // map the shuffled assignment back to original indices
@@ -312,8 +313,8 @@ fn assert_cuts_identical(points: &[Vector], distance: Distance, linkages: &[Link
     let matrix = PairwiseMatrix::compute(points, distance);
     let n = points.len();
     for &linkage in linkages {
-        let chain = agglomerative_with(&matrix, linkage, AgglomerativeAlgorithm::NnChain);
-        let generic = agglomerative_with(&matrix, linkage, AgglomerativeAlgorithm::Generic);
+        let chain = agglomerative_with(&matrix, linkage, AgglomerativeAlgorithm::NnChain, 1);
+        let generic = agglomerative_with(&matrix, linkage, AgglomerativeAlgorithm::Generic, 1);
         for k in 1..=n {
             assert_eq!(
                 signature(&chain.cut(k)),
@@ -348,7 +349,12 @@ fn identical_points_are_tie_broken_identically() {
         let points: Vec<Vector> = (0..n).map(|_| Vector::new(vec![1.5, -2.5])).collect();
         assert_cuts_identical(&points, Distance::Euclidean, &REDUCIBLE);
         let matrix = PairwiseMatrix::compute(&points, Distance::Euclidean);
-        let dendro = agglomerative_with(&matrix, Linkage::Average, AgglomerativeAlgorithm::Generic);
+        let dendro = agglomerative_with(
+            &matrix,
+            Linkage::Average,
+            AgglomerativeAlgorithm::Generic,
+            1,
+        );
         assert!(dendro.merges().iter().all(|m| m.distance == 0.0));
     }
 }
@@ -394,7 +400,219 @@ fn non_reducible_linkages_match_the_greedy_reference_on_ties() {
     let matrix = PairwiseMatrix::compute(&points, Distance::Euclidean);
     for linkage in [Linkage::Centroid, Linkage::Median] {
         let naive = agglomerative_constrained(&points, Distance::Euclidean, linkage, &[]);
-        let generic = agglomerative_with(&matrix, linkage, AgglomerativeAlgorithm::Generic);
+        let generic = agglomerative_with(&matrix, linkage, AgglomerativeAlgorithm::Generic, 1);
         assert_eq!(generic.merges(), naive.merges(), "{linkage:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// k-capped partial builds: a capped run is a bit-for-bit prefix of the full
+// run, and every in-range cut is identical to the full dendrogram's —
+// including under deliberate ties, where the strict-boundary stop rule
+// keeps the engines merging rather than guessing.
+// ---------------------------------------------------------------------------
+
+/// Capped vs full for one engine: prefix property plus exact cut equality
+/// for every `k >= capped.min_clusters()`.
+fn check_capped_matches_full(
+    points: &[Vector],
+    distance: Distance,
+    linkage: Linkage,
+    algorithm: AgglomerativeAlgorithm,
+    k_min: usize,
+) {
+    let matrix = PairwiseMatrix::compute(points, distance);
+    let full = agglomerative_with(&matrix, linkage, algorithm, 1);
+    let capped = agglomerative_with(&matrix, linkage, algorithm, k_min);
+    let n = points.len();
+    assert_eq!(
+        capped.merges(),
+        &full.merges()[..capped.merges().len()],
+        "{linkage:?}/{algorithm:?}: capped run is not a prefix of the full run"
+    );
+    assert!(
+        capped.min_clusters() <= k_min.max(1).min(n),
+        "{linkage:?}/{algorithm:?}: min_clusters {} exceeds requested cap {k_min}",
+        capped.min_clusters()
+    );
+    for k in capped.min_clusters()..=n {
+        assert_eq!(
+            capped.cut(k),
+            full.cut(k),
+            "{linkage:?}/{algorithm:?}: capped cut({k}) diverged (cap {k_min}, n {n})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Capped == full on random point sets (with occasional duplicated
+    /// points — exact zero-distance ties) for both engines and every
+    /// reducible linkage, across random caps.
+    #[test]
+    fn capped_cuts_match_full_dendrogram_cuts(
+        points in points_strategy(),
+        distance in distance_strategy(),
+        dup in prop::collection::vec(0usize..64, 0..4),
+        k_min in 2usize..32,
+    ) {
+        let mut points = points;
+        for &d in &dup {
+            let src = points[d % points.len()].clone();
+            points.push(src);
+        }
+        let k_min = k_min.min(points.len());
+        for linkage in REDUCIBLE {
+            for algorithm in [AgglomerativeAlgorithm::NnChain, AgglomerativeAlgorithm::Generic] {
+                check_capped_matches_full(&points, distance, linkage, algorithm, k_min);
+            }
+        }
+    }
+
+    /// Compacting == non-compacting, bit for bit: the whole dendrogram
+    /// (merge pairs, f64 heights, sizes, min_clusters) is identical with
+    /// the workspace physically shrinking and with it never shrinking —
+    /// both engines, all six linkages, capped and full. Sizes above
+    /// ~16 points genuinely compact (the workspace halves at live <= n/2).
+    #[test]
+    fn compacting_is_bit_for_bit_identical(
+        points in points_strategy(),
+        distance in distance_strategy(),
+        k_min in 1usize..24,
+    ) {
+        let matrix = PairwiseMatrix::compute(&points, distance);
+        for linkage in Linkage::ALL {
+            for algorithm in [AgglomerativeAlgorithm::NnChain, AgglomerativeAlgorithm::Generic] {
+                let run = |compaction| agglomerative_params(&matrix, &ClusterParams {
+                    linkage,
+                    algorithm,
+                    min_clusters: k_min,
+                    compaction,
+                });
+                let plain = run(Compaction::Never);
+                let compacted = run(Compaction::Always);
+                prop_assert_eq!(
+                    &plain, &compacted,
+                    "{:?}/{:?}: compaction changed the dendrogram (cap {})",
+                    linkage, algorithm, k_min
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn capped_tie_families_match_full() {
+    // All-equal distances: every stop boundary is tied, so capped builds
+    // degenerate to full builds — and must still agree cut for cut.
+    for n in 2..=12 {
+        let basis: Vec<Vector> = (0..n)
+            .map(|i| {
+                let mut row = vec![0.0f32; n];
+                row[i] = 3.0;
+                Vector::new(row)
+            })
+            .collect();
+        for algorithm in [
+            AgglomerativeAlgorithm::NnChain,
+            AgglomerativeAlgorithm::Generic,
+        ] {
+            for linkage in REDUCIBLE {
+                for k_min in [2usize, 3, n.div_ceil(2), n] {
+                    check_capped_matches_full(
+                        &basis,
+                        Distance::Euclidean,
+                        linkage,
+                        algorithm,
+                        k_min,
+                    );
+                }
+            }
+        }
+    }
+    // Duplicate groups and an equidistant grid: zero-height and exact
+    // nonzero cross ties at the cap boundary.
+    let mut dups = Vec::new();
+    for _ in 0..3 {
+        dups.push(Vector::new(vec![0.0, 0.0]));
+    }
+    for _ in 0..3 {
+        dups.push(Vector::new(vec![7.0, 1.0]));
+    }
+    dups.push(Vector::new(vec![-4.0, 2.0]));
+    dups.push(Vector::new(vec![3.0, -6.0]));
+    let grid: Vec<Vector> = (0..12).map(|i| Vector::new(vec![i as f32, 0.0])).collect();
+    for points in [&dups, &grid] {
+        for algorithm in [
+            AgglomerativeAlgorithm::NnChain,
+            AgglomerativeAlgorithm::Generic,
+        ] {
+            for linkage in REDUCIBLE {
+                for k_min in [2usize, 4, 6] {
+                    check_capped_matches_full(
+                        points,
+                        Distance::Euclidean,
+                        linkage,
+                        algorithm,
+                        k_min,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A deterministic larger case (n = 300): several compaction halvings
+/// actually fire, and capped + compacting together still reproduce the
+/// full non-compacting build's cuts exactly.
+#[test]
+fn large_capped_compacting_run_matches_plain_full_build() {
+    let mut rng = StdRng::seed_from_u64(0xCAB);
+    let n = 300;
+    let points: Vec<Vector> = (0..n)
+        .map(|_| Vector::new(vec![rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0)]))
+        .collect();
+    let matrix = PairwiseMatrix::compute(&points, Distance::Euclidean);
+    for algorithm in [
+        AgglomerativeAlgorithm::NnChain,
+        AgglomerativeAlgorithm::Generic,
+    ] {
+        for linkage in [Linkage::Average, Linkage::Ward] {
+            let full_plain = agglomerative_params(
+                &matrix,
+                &ClusterParams {
+                    linkage,
+                    algorithm,
+                    min_clusters: 1,
+                    compaction: Compaction::Never,
+                },
+            );
+            let capped_compacting = agglomerative_params(
+                &matrix,
+                &ClusterParams {
+                    linkage,
+                    algorithm,
+                    min_clusters: 20,
+                    compaction: Compaction::Always,
+                },
+            );
+            assert!(
+                capped_compacting.merges().len() < full_plain.merges().len(),
+                "{linkage:?}/{algorithm:?}: cap did not shorten the build"
+            );
+            assert_eq!(
+                capped_compacting.merges(),
+                &full_plain.merges()[..capped_compacting.merges().len()],
+                "{linkage:?}/{algorithm:?}: capped+compacting is not a bit-for-bit prefix"
+            );
+            for k in [20usize, 25, 40, 100, 299] {
+                assert_eq!(
+                    capped_compacting.cut(k),
+                    full_plain.cut(k),
+                    "{linkage:?}/{algorithm:?}: cut({k})"
+                );
+            }
+        }
     }
 }

@@ -26,7 +26,7 @@ proptest! {
         let matrix = PairwiseMatrix::compute(&points, Distance::Euclidean);
         for linkage in Linkage::ALL {
             for algorithm in [AgglomerativeAlgorithm::NnChain, AgglomerativeAlgorithm::Generic] {
-                let dendrogram = agglomerative_with(&matrix, linkage, algorithm);
+                let dendrogram = agglomerative_with(&matrix, linkage, algorithm, 1);
                 prop_assert_eq!(dendrogram.merges().len(), points.len() - 1);
                 let assignment = dendrogram.cut(k);
                 prop_assert_eq!(assignment.len(), points.len());

@@ -173,12 +173,14 @@ impl Diversifier for SwapDiversifier {
         let _ = input.pairwise();
         // start with the k candidates closest to the query (most "relevant")
         let mut by_relevance: Vec<usize> = (0..n).collect();
+        // Ascending distance = descending relevance; NaN distances
+        // (poisoned embeddings) rank last either way — see crate::order.
         by_relevance.sort_by(|&a, &b| {
-            input
-                .avg_distance_to_query(a)
-                .partial_cmp(&input.avg_distance_to_query(b))
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
+            crate::order::asc_nan_last(
+                input.avg_distance_to_query(a),
+                input.avg_distance_to_query(b),
+            )
+            .then(a.cmp(&b))
         });
         let mut selected: Vec<usize> = by_relevance[..k].to_vec();
         let mut pool: Vec<usize> = by_relevance[k..].to_vec();

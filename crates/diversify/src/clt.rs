@@ -20,6 +20,10 @@ pub struct CltDiversifier {
     /// Agglomerative engine (kept identical to DUST's for a fair
     /// comparison; `Auto` picks the expected-fastest valid engine).
     pub algorithm: AgglomerativeAlgorithm,
+    /// Build the full dendrogram instead of stopping at `k` clusters
+    /// (ablation/debug) — CLT only ever cuts at `k`, so the default capped
+    /// build selects identically.
+    pub full_dendrogram: bool,
 }
 
 impl CltDiversifier {
@@ -44,9 +48,11 @@ impl Diversifier for CltDiversifier {
         }
         // One shared pairwise matrix drives both the clustering (which
         // mutates an internal working copy) and the medoid selection (which
-        // reads the original).
+        // reads the original). The dendrogram is only ever cut at `k`, so
+        // the build is k-capped there by default.
         let matrix = input.pairwise();
-        let dendrogram = agglomerative_with(matrix, self.linkage, self.algorithm);
+        let min_clusters = if self.full_dendrogram { 1 } else { k };
+        let dendrogram = agglomerative_with(matrix, self.linkage, self.algorithm, min_clusters);
         let assignment = dendrogram.cut(k);
         let medoids = cluster_medoids_from_matrix(matrix, &assignment);
         sanitize_selection(medoids, n, k)
@@ -99,6 +105,29 @@ mod tests {
             selection.iter().any(|&i| i <= 1),
             "a near-query tuple is kept"
         );
+    }
+
+    #[test]
+    fn capped_and_full_dendrogram_builds_select_identically() {
+        let query = vec![v(0.0, 0.0)];
+        let candidates: Vec<Vector> = (0..90)
+            .map(|i| {
+                v(
+                    (i % 9) as f32 * 4.0 + (i as f32) * 0.013,
+                    (i / 9) as f32 * 3.0,
+                )
+            })
+            .collect();
+        let input = DiversificationInput::new(&query, &candidates, Distance::Euclidean);
+        for k in [2usize, 5, 10] {
+            let capped = CltDiversifier::new().select(&input, k);
+            let full = CltDiversifier {
+                full_dendrogram: true,
+                ..CltDiversifier::new()
+            }
+            .select(&input, k);
+            assert_eq!(capped, full, "k={k}");
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //!    (descending), breaking ties by the average distance (Sec. 5.3), and
 //!    return the top-k — the selected tuples are also diverse from the query.
 
+use crate::order::desc_nan_last;
 use crate::prune::prune_tuples_with_store;
 use crate::traits::{sanitize_selection, DiversificationInput, Diversifier};
 use dust_cluster::{
@@ -30,6 +31,12 @@ pub struct DustConfig {
     /// Agglomerative engine for the clustering step (`Auto` picks the
     /// expected-fastest valid engine for the linkage and input size).
     pub algorithm: AgglomerativeAlgorithm,
+    /// Build the full dendrogram instead of stopping at `k · p` clusters
+    /// (ablation/debug). DUST only ever cuts at `k · p`, so the default
+    /// k-capped build produces the identical selection — pinned by the
+    /// clustering equivalence suite and the `exp_clustering` bin — while
+    /// skipping the merges above the cut.
+    pub full_dendrogram: bool,
 }
 
 impl Default for DustConfig {
@@ -39,6 +46,7 @@ impl Default for DustConfig {
             prune_to: Some(2500),
             linkage: Linkage::Average,
             algorithm: AgglomerativeAlgorithm::Auto,
+            full_dendrogram: false,
         }
     }
 }
@@ -108,7 +116,20 @@ impl Diversifier for DustDiversifier {
                     PairwiseMatrix::from_store_subset(input.store(), &kept, input.distance);
                 &subset_matrix
             };
-            let dendrogram = agglomerative_with(matrix, self.config.linkage, self.config.algorithm);
+            // The dendrogram is only ever cut at `num_clusters`, so cap the
+            // build there — identical cut, fewer merges (and a compacting
+            // workspace at large kept counts).
+            let min_clusters = if self.config.full_dendrogram {
+                1
+            } else {
+                num_clusters
+            };
+            let dendrogram = agglomerative_with(
+                matrix,
+                self.config.linkage,
+                self.config.algorithm,
+                min_clusters,
+            );
             let assignment = dendrogram.cut(num_clusters);
             cluster_medoids_from_matrix(matrix, &assignment)
         };
@@ -129,10 +150,11 @@ impl Diversifier for DustDiversifier {
                 (global, min_d, avg_d)
             })
             .collect();
+        // NaN-scored medoids (poisoned embeddings) rank last instead of
+        // "equal to everything" — see crate::order.
         ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
+            desc_nan_last(a.1, b.1)
+                .then_with(|| desc_nan_last(a.2, b.2))
                 .then_with(|| a.0.cmp(&b.0))
         });
         sanitize_selection(ranked.into_iter().map(|(i, _, _)| i).collect(), n, k)
@@ -236,6 +258,35 @@ mod tests {
         let selection = DustDiversifier::new().select(&input, 5);
         assert_eq!(selection, vec![0, 1]);
         assert!(DustDiversifier::new().select(&input, 0).is_empty());
+    }
+
+    #[test]
+    fn capped_and_full_dendrogram_builds_select_identically() {
+        // DUST only cuts at k·p, so the default k-capped clustering must
+        // select exactly what the full-dendrogram ablation selects.
+        let mut rng = StdRng::seed_from_u64(23);
+        let query: Vec<Vector> = (0..10)
+            .map(|_| v(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let candidates: Vec<Vector> = (0..600)
+            .map(|_| v(rng.gen_range(-30.0..30.0), rng.gen_range(-30.0..30.0)))
+            .collect();
+        let input = DiversificationInput::new(&query, &candidates, Distance::Euclidean);
+        for algorithm in [
+            dust_cluster::AgglomerativeAlgorithm::NnChain,
+            dust_cluster::AgglomerativeAlgorithm::Generic,
+        ] {
+            let select = |full_dendrogram: bool| {
+                DustDiversifier::with_config(DustConfig {
+                    prune_to: None,
+                    algorithm,
+                    full_dendrogram,
+                    ..DustConfig::default()
+                })
+                .select(&input, 25)
+            };
+            assert_eq!(select(false), select(true), "{algorithm:?}");
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! baseline, and cannot run it at SANTOS scale at all — behaviour this
 //! implementation reproduces.
 
+use crate::order::desc_nan_last;
 use crate::traits::{sanitize_selection, DiversificationInput, Diversifier};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -112,7 +113,9 @@ impl Diversifier for GneDiversifier {
                         (cand, score)
                     })
                     .collect();
-                scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                // NaN marginal contributions (poisoned embeddings) rank
+                // last instead of "equal to everything" — see crate::order.
+                scored.sort_by(|a, b| desc_nan_last(a.1, b.1));
                 let rcl_len = ((scored.len() as f64) * self.alpha).ceil().max(1.0) as usize;
                 let pick = rng.gen_range(0..rcl_len.min(scored.len()));
                 let chosen = scored[pick].0;
@@ -124,26 +127,52 @@ impl Diversifier for GneDiversifier {
             }
 
             // ---- neighborhood expansion (local search by random swaps) ----
-            let mut objective = self.objective(input, &selected, k);
+            // Each swap is scored by its incremental delta on the
+            // bi-criteria objective — O(k) per attempt instead of the
+            // O(k²) full recompute the objective would cost: swapping
+            // `outgoing` for `incoming` changes the relevance sum by their
+            // difference and the diversity sum by the difference of their
+            // distances to the k−1 unchanged members. The objective itself
+            // is recomputed once per round below, so no delta drift
+            // accumulates into the cross-round comparison. The
+            // `gne_swap_delta_matches_naive_recompute` test pins selections
+            // to the recompute-per-swap reference.
             for _ in 0..self.swap_attempts {
                 if selected.is_empty() || remaining.is_empty() {
                     break;
                 }
                 let out_pos = rng.gen_range(0..selected.len());
                 let in_pos = rng.gen_range(0..remaining.len());
-                let mut trial = selected.clone();
-                trial[out_pos] = remaining[in_pos];
-                let trial_objective = self.objective(input, &trial, k);
-                if trial_objective > objective {
-                    let removed = selected[out_pos];
-                    selected = trial;
-                    remaining[in_pos] = removed;
-                    objective = trial_objective;
+                let outgoing = selected[out_pos];
+                let incoming = remaining[in_pos];
+                let mut div_delta = 0.0;
+                for (pos, &member) in selected.iter().enumerate() {
+                    if pos != out_pos {
+                        div_delta += input.candidate_distance(incoming, member)
+                            - input.candidate_distance(outgoing, member);
+                    }
+                }
+                let delta =
+                    (k as f64 - 1.0) * (1.0 - lambda) * (relevance[incoming] - relevance[outgoing])
+                        + 2.0 * lambda * div_delta;
+                if delta > 0.0 {
+                    selected[out_pos] = incoming;
+                    remaining[in_pos] = outgoing;
                 }
             }
 
-            if objective > best_objective {
-                best_objective = objective;
+            let objective = self.objective(input, &selected, k);
+            // NaN objectives (poisoned scores) compare false against
+            // everything; without the emptiness fallback they would
+            // discard every round and return nothing. Record a NaN round
+            // as -inf so it can still hold the fallback slot but any later
+            // round with a real objective replaces it.
+            if objective > best_objective || (best_selection.is_empty() && !selected.is_empty()) {
+                best_objective = if objective.is_nan() {
+                    f64::NEG_INFINITY
+                } else {
+                    objective
+                };
                 best_selection = selected;
             }
         }
@@ -211,6 +240,108 @@ mod tests {
         let sel = gne.select(&input, 4);
         let vecs: Vec<Vector> = sel.iter().map(|&i| candidates[i].clone()).collect();
         assert!(average_diversity(&[], &vecs, Distance::Euclidean) > 3.0);
+    }
+
+    /// The pre-delta implementation, verbatim: rebuild the trial set and
+    /// recompute the full O(k²) objective for every swap attempt. The fast
+    /// path must make the same accept/reject decisions and hence the same
+    /// selections.
+    fn naive_select(
+        gne: &GneDiversifier,
+        input: &DiversificationInput<'_>,
+        k: usize,
+    ) -> Vec<usize> {
+        let n = input.num_candidates();
+        if n == 0 || k == 0 {
+            return Vec::new();
+        }
+        if n <= k {
+            return (0..n).collect();
+        }
+        let mut rng = StdRng::seed_from_u64(gne.seed);
+        let lambda = gne.lambda.clamp(0.0, 1.0);
+        let _ = input.pairwise();
+        let relevance: Vec<f64> = (0..n).map(|i| gne.relevance(input, i)).collect();
+        let mut best_selection: Vec<usize> = Vec::new();
+        let mut best_objective = f64::NEG_INFINITY;
+        for _round in 0..gne.max_iterations.max(1) {
+            let mut selected: Vec<usize> = Vec::with_capacity(k);
+            let mut remaining: Vec<usize> = (0..n).collect();
+            let mut dist_to_selected = vec![0.0f64; n];
+            while selected.len() < k && !remaining.is_empty() {
+                let mut scored: Vec<(usize, f64)> = remaining
+                    .iter()
+                    .map(|&cand| {
+                        let score = (1.0 - lambda) * (k as f64 - 1.0) * relevance[cand]
+                            + 2.0 * lambda * dist_to_selected[cand];
+                        (cand, score)
+                    })
+                    .collect();
+                scored.sort_by(|a, b| crate::order::desc_nan_last(a.1, b.1));
+                let rcl_len = ((scored.len() as f64) * gne.alpha).ceil().max(1.0) as usize;
+                let pick = rng.gen_range(0..rcl_len.min(scored.len()));
+                let chosen = scored[pick].0;
+                remaining.retain(|&c| c != chosen);
+                for &other in &remaining {
+                    dist_to_selected[other] += input.candidate_distance(chosen, other);
+                }
+                selected.push(chosen);
+            }
+            let mut objective = gne.objective(input, &selected, k);
+            for _ in 0..gne.swap_attempts {
+                if selected.is_empty() || remaining.is_empty() {
+                    break;
+                }
+                let out_pos = rng.gen_range(0..selected.len());
+                let in_pos = rng.gen_range(0..remaining.len());
+                let mut trial = selected.clone();
+                trial[out_pos] = remaining[in_pos];
+                let trial_objective = gne.objective(input, &trial, k);
+                if trial_objective > objective {
+                    let removed = selected[out_pos];
+                    selected = trial;
+                    remaining[in_pos] = removed;
+                    objective = trial_objective;
+                }
+            }
+            if objective > best_objective || (best_selection.is_empty() && !selected.is_empty()) {
+                best_objective = if objective.is_nan() {
+                    f64::NEG_INFINITY
+                } else {
+                    objective
+                };
+                best_selection = selected;
+            }
+        }
+        sanitize_selection(best_selection, n, k)
+    }
+
+    #[test]
+    fn gne_swap_delta_matches_naive_recompute() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut data_rng = StdRng::seed_from_u64(0x617E);
+        for case in 0u64..6 {
+            let query: Vec<Vector> = (0..3)
+                .map(|_| v(data_rng.gen_range(-1.0..1.0), data_rng.gen_range(-1.0..1.0)))
+                .collect();
+            let candidates: Vec<Vector> = (0..40)
+                .map(|_| v(data_rng.gen_range(-8.0..8.0), data_rng.gen_range(-8.0..8.0)))
+                .collect();
+            let input = DiversificationInput::new(&query, &candidates, Distance::Euclidean);
+            for (lambda, k) in [(0.7, 6), (0.3, 4), (1.0, 8)] {
+                let gne = GneDiversifier {
+                    lambda,
+                    seed: 100 + case,
+                    ..GneDiversifier::new()
+                };
+                assert_eq!(
+                    gne.select(&input, k),
+                    naive_select(&gne, &input, k),
+                    "case {case}, lambda {lambda}, k {k}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod gmc;
 pub mod gne;
 pub mod llm;
 pub mod metrics;
+pub mod order;
 pub mod prune;
 pub mod traits;
 
@@ -38,5 +39,6 @@ pub use gmc::GmcDiversifier;
 pub use gne::GneDiversifier;
 pub use llm::{LlmConfig, SimulatedLlm};
 pub use metrics::{average_diversity, min_diversity, DiversityScores};
+pub use order::{asc_nan_last, desc_nan_last};
 pub use prune::{prune_tuples, prune_tuples_with_store};
 pub use traits::{DiversificationInput, Diversifier};

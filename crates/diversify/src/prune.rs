@@ -7,6 +7,7 @@
 //! candidates while cutting the clustering cost (Appendix A.2.3 reports a
 //! 990 s → 85 s per-query improvement on SANTOS).
 
+use crate::order::desc_nan_last;
 use dust_embed::{Distance, EmbeddingStore, Vector};
 use std::collections::HashMap;
 
@@ -57,11 +58,11 @@ pub fn prune_tuples_with_store(
             scored.push((i, store.distance_to_vector(distance, i, &mean)));
         }
     }
-    scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.0.cmp(&b.0))
-    });
+    // NaN scores (a NaN embedding poisons its whole table's mean) rank
+    // last instead of "equal to everything", which would otherwise leave
+    // the cut-off at the mercy of HashMap iteration order — see
+    // crate::order.
+    scored.sort_by(|a, b| desc_nan_last(a.1, b.1).then_with(|| a.0.cmp(&b.0)));
     scored.into_iter().take(s).map(|(i, _)| i).collect()
 }
 

@@ -1,0 +1,131 @@
+//! NaN-score regression suite: one poisoned embedding coordinate must never
+//! make a diversifier's ranking order-dependent.
+//!
+//! Before the shared total-order comparator (`dust_diversify::order`),
+//! ranking sorts used `partial_cmp(..).unwrap_or(Equal)`: a NaN score
+//! compared `Equal` to *every* other score, so the sort degenerated to
+//! input order — which for pruning flows out of a `HashMap` and is
+//! arbitrary. These tests pin the fixed behaviour: NaN-scored candidates
+//! rank strictly last, selections stay valid (k distinct, in-range
+//! indices), and repeated runs agree.
+
+use dust_diversify::{
+    prune_tuples, DiversificationInput, Diversifier, DustConfig, DustDiversifier, GneDiversifier,
+};
+use dust_embed::{Distance, Vector};
+
+fn v(x: f32, y: f32) -> Vector {
+    Vector::new(vec![x, y])
+}
+
+#[test]
+fn pruning_ranks_nan_poisoned_tables_last() {
+    // Table 0 contains a NaN tuple, which poisons the table mean and turns
+    // every table-0 score into NaN; table 1 is clean. The clean table's
+    // outliers must win the budget — on every run.
+    let candidates = vec![
+        v(0.0, 0.0),
+        v(f32::NAN, 0.0),
+        v(3.0, 0.0),
+        v(100.0, 0.0),
+        v(108.0, 0.0),
+        v(104.0, 0.0),
+    ];
+    let sources = vec![0, 0, 0, 1, 1, 1];
+    let kept = prune_tuples(&candidates, Some(&sources), Distance::Euclidean, 2);
+    assert_eq!(kept.len(), 2);
+    assert!(
+        kept.iter().all(|&i| sources[i] == 1),
+        "NaN-scored table-0 tuples displaced clean candidates: {kept:?}"
+    );
+    for _ in 0..20 {
+        assert_eq!(
+            prune_tuples(&candidates, Some(&sources), Distance::Euclidean, 2),
+            kept
+        );
+    }
+}
+
+#[test]
+fn pruning_with_every_score_nan_stays_deterministic() {
+    // All scores NaN: the index tie-break alone must order the result.
+    let candidates = vec![v(f32::NAN, 0.0), v(1.0, 0.0), v(2.0, 0.0)];
+    let kept = prune_tuples(&candidates, None, Distance::Euclidean, 2);
+    assert_eq!(kept.len(), 2);
+    let again = prune_tuples(&candidates, None, Distance::Euclidean, 2);
+    assert_eq!(kept, again);
+}
+
+#[test]
+fn dust_reranking_survives_nan_query_distances() {
+    // A NaN query tuple makes every candidate's min/avg distance to the
+    // query NaN — the re-ranking step must fall back to the deterministic
+    // index tie-break and still return k distinct, in-range candidates.
+    let query = vec![v(f32::NAN, 0.0)];
+    let candidates: Vec<Vector> = (0..40)
+        .map(|i| v((i % 8) as f32 * 3.0 + i as f32 * 0.01, (i / 8) as f32 * 4.0))
+        .collect();
+    let input = DiversificationInput::new(&query, &candidates, Distance::Euclidean);
+    let config = DustConfig {
+        prune_to: None,
+        ..DustConfig::default()
+    };
+    let selection = DustDiversifier::with_config(config.clone()).select(&input, 6);
+    assert_eq!(selection.len(), 6);
+    let unique: std::collections::HashSet<_> = selection.iter().collect();
+    assert_eq!(unique.len(), 6);
+    assert!(selection.iter().all(|&i| i < candidates.len()));
+    let again = DustDiversifier::with_config(config).select(&input, 6);
+    assert_eq!(selection, again);
+}
+
+#[test]
+fn gne_survives_nan_relevance_scores() {
+    // NaN relevance for every candidate: construction scores and swap
+    // deltas are NaN; `NaN > 0` is false, so no swap fires and the
+    // selection stays a valid deterministic k-subset.
+    let query = vec![v(f32::NAN, 0.0)];
+    let candidates: Vec<Vector> = (0..25).map(|i| v((i % 5) as f32, (i / 5) as f32)).collect();
+    let input = DiversificationInput::new(&query, &candidates, Distance::Euclidean);
+    let selection = GneDiversifier::new().select(&input, 5);
+    assert_eq!(selection.len(), 5);
+    let unique: std::collections::HashSet<_> = selection.iter().collect();
+    assert_eq!(unique.len(), 5);
+    assert_eq!(selection, GneDiversifier::new().select(&input, 5));
+}
+
+#[test]
+fn gne_does_not_pin_a_nan_poisoned_first_round() {
+    // One poisoned candidate among thirteen, alpha = 1.0 so the randomized
+    // construction can reach it. A round that selects it has a NaN
+    // objective; that round must NOT pin `best_objective` to NaN (which
+    // would discard every later clean round, since nothing compares
+    // greater than NaN). With the fix, a poisoned selection survives only
+    // when all rounds are poisoned — rare — instead of whenever the
+    // *first* round is (~selection-size/candidates ≈ 30% of seeds).
+    let query = vec![v(0.0, 0.0)];
+    let mut candidates: Vec<Vector> = (0..12)
+        .map(|i| v((i % 4) as f32 * 2.0, (i / 4) as f32 * 2.0))
+        .collect();
+    candidates.push(v(f32::NAN, 0.0));
+    let poisoned = candidates.len() - 1;
+    let input = DiversificationInput::new(&query, &candidates, Distance::Euclidean);
+    let mut poisoned_selections = 0;
+    for seed in 0..60 {
+        let gne = GneDiversifier {
+            alpha: 1.0,
+            seed,
+            ..GneDiversifier::new()
+        };
+        let selection = gne.select(&input, 4);
+        assert_eq!(selection.len(), 4, "seed {seed}");
+        if selection.contains(&poisoned) {
+            poisoned_selections += 1;
+        }
+    }
+    assert!(
+        poisoned_selections <= 3,
+        "poisoned candidate survived {poisoned_selections}/60 seeds — a NaN \
+         round objective is pinning the best selection again"
+    );
+}
