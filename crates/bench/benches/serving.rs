@@ -1,0 +1,75 @@
+//! Criterion microbench for the serving layer: B one-shot pipeline runs vs
+//! a resident session answering the same batch.
+//!
+//! Two session views per batch size:
+//!
+//! * `session_cold` — session construction **plus** `query_batch(B)` (the
+//!   honest end-to-end comparison `exp_serving` also reports);
+//! * `session_warm` — `query_batch(B)` against an already-built session
+//!   (steady-state serving throughput, the regime a long-lived server
+//!   actually runs in).
+//!
+//! Uses the pre-trained fast configuration so an iteration is milliseconds;
+//! the fine-tuned numbers (where amortization is most dramatic, since the
+//! one-shot path retrains per query) come from `exp_serving` /
+//! `BENCH_serve.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dust_core::{DustPipeline, LakeSession, PipelineConfig};
+use dust_datagen::BenchmarkConfig;
+use dust_table::Table;
+
+fn bench_serving(c: &mut Criterion) {
+    let lake = BenchmarkConfig::tiny().generate().lake;
+    let queries: Vec<Table> = lake
+        .query_names()
+        .iter()
+        .map(|n| lake.query(n).unwrap().clone())
+        .collect();
+    let config = PipelineConfig::fast();
+    let warm_session = LakeSession::new(lake.clone(), config.clone());
+    let k = 10;
+
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    for &b in &[1usize, 8, 32] {
+        let batch: Vec<Table> = (0..b).map(|i| queries[i % queries.len()].clone()).collect();
+        group.bench_with_input(
+            BenchmarkId::new("pipeline_one_shot", b),
+            &batch,
+            |bench, batch| {
+                bench.iter(|| {
+                    for query in batch {
+                        let result = DustPipeline::new(config.clone())
+                            .run(black_box(&lake), black_box(query), k)
+                            .unwrap();
+                        black_box(result);
+                    }
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("session_cold", b),
+            &batch,
+            |bench, batch| {
+                bench.iter(|| {
+                    let session = LakeSession::new(lake.clone(), config.clone());
+                    black_box(session.query_batch(black_box(batch), k));
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("session_warm", b),
+            &batch,
+            |bench, batch| {
+                bench.iter(|| {
+                    black_box(warm_session.query_batch(black_box(batch), k));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

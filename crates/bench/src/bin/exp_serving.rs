@@ -1,0 +1,165 @@
+//! Serving experiment: B independent one-shot pipeline runs vs **one**
+//! resident [`LakeSession`] answering the same B queries through
+//! `query_batch` — the embed-once / query-many claim, measured.
+//!
+//! The one-shot side is Algorithm 1 exactly as the paper runs it: every
+//! query pays lake indexing (or the full-lake Starmie column-embedding
+//! pass) and — in the fine-tuned configuration — model training. The
+//! session side pays all of that once, at construction, **and the
+//! construction cost is included in its measured time**, so the comparison
+//! is end-to-end honest: at B = 1 the session can lose (it also pre-embeds
+//! the whole lake into its shards); the break-even is where amortization
+//! starts paying.
+//!
+//! Per-query results are asserted identical between the two paths (tuple
+//! order included) before any number is reported — a speedup from a
+//! behaviour change would be a bug, not a result.
+//!
+//! Run with `cargo run --release -p dust-bench --bin exp_serving`
+//! (`-- --write` additionally writes `BENCH_serve.json`).
+//!
+//! [`LakeSession`]: dust_core::LakeSession
+
+use dust_bench::report::{fmt3, Report};
+use dust_bench::setup::scale;
+use dust_core::{DustPipeline, LakeSession, PipelineConfig, SearchTechnique, TupleEmbedderKind};
+use dust_embed::{FineTuneConfig, PretrainedModel};
+use dust_table::Table;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const BATCH_SIZES: [usize; 3] = [1, 8, 32];
+const K: usize = 10;
+
+fn configs() -> Vec<(&'static str, PipelineConfig)> {
+    vec![
+        (
+            "overlap+pretrained",
+            PipelineConfig {
+                search: SearchTechnique::Overlap,
+                ..PipelineConfig::fast()
+            },
+        ),
+        (
+            "starmie+pretrained",
+            PipelineConfig {
+                search: SearchTechnique::Starmie,
+                ..PipelineConfig::fast()
+            },
+        ),
+        (
+            "overlap+finetuned",
+            PipelineConfig {
+                search: SearchTechnique::Overlap,
+                tables_per_query: 5,
+                embedder: TupleEmbedderKind::FineTuned {
+                    backbone: PretrainedModel::Roberta,
+                    config: FineTuneConfig {
+                        max_epochs: 10,
+                        patience: 3,
+                        ..FineTuneConfig::default()
+                    },
+                    training_pairs: 120,
+                },
+                ..PipelineConfig::default()
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let write_json = std::env::args().any(|a| a == "--write");
+    let lake = scale().santos_config().generate().lake;
+    let query_names = lake.query_names();
+    let queries: Vec<Table> = query_names
+        .iter()
+        .map(|n| lake.query(n).unwrap().clone())
+        .collect();
+    assert!(!queries.is_empty(), "benchmark lake has no queries");
+
+    let mut json = String::from("{\n");
+    let note = format!(
+        "cargo run --release -p dust-bench --bin exp_serving: B one-shot DustPipeline::run \
+         calls vs one LakeSession (construction INCLUDED in its time) + query_batch(B), SANTOS-small \
+         benchmark lake ({} tables), k = {K}; per-query results asserted identical (incl. \
+         tuple order) before timing is reported",
+        lake.num_tables()
+    );
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let _ = writeln!(
+        json,
+        "  \"environment\": {{\n    \"note\": \"{note}\",\n    \"cpus\": {cpus}\n  }},"
+    );
+    let _ = writeln!(json, "  \"serving\": {{");
+
+    for (ci, (name, config)) in configs().iter().enumerate() {
+        let mut report = Report::new(format!(
+            "Serving: one-shot pipeline × B vs resident session ({name})"
+        ))
+        .headers(["B", "one-shot (s)", "session (s)", "speedup"]);
+        let _ = writeln!(json, "    \"{name}\": {{");
+        for (bi, &b) in BATCH_SIZES.iter().enumerate() {
+            let batch: Vec<Table> = (0..b).map(|i| queries[i % queries.len()].clone()).collect();
+
+            // ---- one-shot: a fresh pipeline per query ---------------------
+            let start = Instant::now();
+            let one_shot: Vec<_> = batch
+                .iter()
+                .map(|q| {
+                    DustPipeline::new(config.clone())
+                        .run(&lake, q, K)
+                        .expect("pipeline run failed")
+                })
+                .collect();
+            let one_shot_secs = start.elapsed().as_secs_f64();
+
+            // ---- resident session (construction included) -----------------
+            let lake_copy = lake.clone();
+            let start = Instant::now();
+            let session = LakeSession::new(lake_copy, config.clone());
+            let results = session.query_batch(&batch, K);
+            let session_secs = start.elapsed().as_secs_f64();
+
+            for (i, (fresh, resident)) in one_shot.iter().zip(&results).enumerate() {
+                let resident = resident.as_ref().expect("session query failed");
+                assert_eq!(
+                    fresh.tuples, resident.tuples,
+                    "{name}, B = {b}, query {i}: one-shot and session selections diverged"
+                );
+                assert_eq!(fresh.retrieved_tables, resident.retrieved_tables);
+            }
+
+            let speedup = one_shot_secs / session_secs;
+            report.row([
+                b.to_string(),
+                fmt3(one_shot_secs),
+                fmt3(session_secs),
+                format!("{speedup:.2}x"),
+            ]);
+            let _ = writeln!(
+                json,
+                "      \"B={b}\": {{ \"one_shot_secs\": {one_shot_secs:.3}, \
+                 \"session_secs\": {session_secs:.3}, \"speedup\": {speedup:.2} }}{}",
+                if bi + 1 < BATCH_SIZES.len() { "," } else { "" }
+            );
+        }
+        report.note("session time includes session construction (embed-once cost)");
+        report.note("per-query results verified identical to the one-shot pipeline");
+        report.print();
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if ci + 1 < configs().len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  }}\n}}");
+
+    if write_json {
+        std::fs::write("BENCH_serve.json", &json).expect("cannot write BENCH_serve.json");
+        println!("\nwrote BENCH_serve.json");
+    } else {
+        println!("\n{json}");
+    }
+}

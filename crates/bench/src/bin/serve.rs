@@ -1,0 +1,467 @@
+//! `serve` — the zero-to-server demo of the resident [`LakeSession`] layer.
+//!
+//! Builds a session over a data lake **once** (pre-embedded shards, warm
+//! candidate indexes, one shared tuple model), then answers JSONL requests
+//! from stdin (or a file) with JSONL responses on stdout. Logs go to
+//! stderr so the response stream stays machine-readable:
+//!
+//! ```sh
+//! # diverse-tuple queries against a generated benchmark lake
+//! printf '%s\n' \
+//!   '{"id":"q1","query":"<lake query name>","k":5}' \
+//!   '{"id":"q2","csv":"Park Name,Country\nRiver Park,USA","k":3}' \
+//!   | cargo run --release -p dust-bench --bin serve -- --benchmark tiny
+//! ```
+//!
+//! Request fields: `query` (name of a lake query table) **or** `csv` (an
+//! inline CSV table); optional `id` (echoed back), `k` (default 10),
+//! `mode` (`"diverse"` — full Algorithm 1, the default — or `"similar"` —
+//! nearest lake tuples from the resident shards, the Sec. 6.5 retrieval
+//! shape). Batched requests: `{"queries": ["name1", "name2"], "k": 5}`
+//! runs the whole array through `query_batch` in one go.
+//!
+//! Flags: `--benchmark tiny|santos|ugen` (generated lake, default tiny),
+//! `--lake-dir <dir>` (load every `*.csv` file as a lake table),
+//! `--search overlap|d3l|starmie`, `--finetune` (train the DUST model at
+//! startup instead of serving pre-trained embeddings), `--shards N`,
+//! `--requests <file>` (read JSONL from a file instead of stdin),
+//! `--selftest` (build a tiny lake, run built-in requests, verify, exit).
+//!
+//! [`LakeSession`]: dust_core::LakeSession
+
+use dust_bench::json::{self, JsonValue};
+use dust_bench::setup::Scale;
+use dust_core::{DustResult, LakeSession, PipelineConfig, SearchTechnique, TupleEmbedderKind};
+use dust_datagen::BenchmarkConfig;
+use dust_embed::{FineTuneConfig, PretrainedModel};
+use dust_table::{parse_csv, CsvOptions, DataLake, Table};
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(message) = run(&args) {
+        eprintln!("serve: {message}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let options = CliOptions::parse(args)?;
+    if options.selftest {
+        return selftest();
+    }
+
+    // ---- build the lake ---------------------------------------------------
+    let lake = match &options.lake_dir {
+        Some(dir) => load_lake_dir(dir)?,
+        None => generate_lake(&options.benchmark)?,
+    };
+    eprintln!(
+        "serve: lake {:?}: {} tables, {} queries",
+        lake.name(),
+        lake.num_tables(),
+        lake.num_queries()
+    );
+
+    // ---- build the resident session (the embed-once step) -----------------
+    let config = options.pipeline_config();
+    let session = LakeSession::with_options(
+        lake,
+        config,
+        dust_core::SessionOptions {
+            num_shards: options.shards,
+        },
+    );
+    let stats = session.stats();
+    eprintln!(
+        "serve: session ready in {:.2}s — {} tuples + {} columns resident across {} shards \
+         (tuple dim {}, column dim {}), search = {}",
+        stats.build_secs,
+        stats.tuples,
+        stats.columns,
+        stats.shards,
+        stats.tuple_dim,
+        stats.column_dim,
+        session.config().search.name(),
+    );
+    for (i, (tables, tuples)) in stats.shard_sizes.iter().enumerate() {
+        eprintln!("serve:   shard {i}: {tables} tables, {tuples} tuples");
+    }
+
+    // ---- serve ------------------------------------------------------------
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut served = 0usize;
+    let mut process = |line: &str| -> Result<(), String> {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return Ok(());
+        }
+        let response = handle_request(&session, trimmed);
+        writeln!(out, "{response}").map_err(|e| e.to_string())?;
+        out.flush().map_err(|e| e.to_string())?;
+        served += 1;
+        Ok(())
+    };
+    match &options.requests {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            for line in text.lines() {
+                process(line)?;
+            }
+        }
+        None => {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let line = line.map_err(|e| e.to_string())?;
+                process(&line)?;
+            }
+        }
+    }
+    eprintln!("serve: {served} request(s) served");
+    Ok(())
+}
+
+struct CliOptions {
+    benchmark: String,
+    lake_dir: Option<String>,
+    search: SearchTechnique,
+    finetune: bool,
+    shards: usize,
+    requests: Option<String>,
+    selftest: bool,
+}
+
+impl CliOptions {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut options = CliOptions {
+            benchmark: "tiny".to_string(),
+            lake_dir: None,
+            search: SearchTechnique::Overlap,
+            finetune: false,
+            shards: 4,
+            requests: None,
+            selftest: false,
+        };
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let mut value = |name: &str| {
+                iter.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} requires a value"))
+            };
+            match arg.as_str() {
+                "--benchmark" => options.benchmark = value("--benchmark")?,
+                "--lake-dir" => options.lake_dir = Some(value("--lake-dir")?),
+                "--search" => {
+                    options.search = match value("--search")?.as_str() {
+                        "overlap" => SearchTechnique::Overlap,
+                        "d3l" => SearchTechnique::D3l,
+                        "starmie" => SearchTechnique::Starmie,
+                        other => return Err(format!("unknown search technique {other:?}")),
+                    }
+                }
+                "--finetune" => options.finetune = true,
+                "--shards" => {
+                    options.shards = value("--shards")?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?
+                }
+                "--requests" => options.requests = Some(value("--requests")?),
+                "--selftest" => options.selftest = true,
+                "--help" | "-h" => {
+                    return Err("see the module docs: serve [--benchmark tiny|santos|ugen] \
+                                [--lake-dir DIR] [--search overlap|d3l|starmie] [--finetune] \
+                                [--shards N] [--requests FILE] [--selftest]"
+                        .to_string())
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        Ok(options)
+    }
+
+    fn pipeline_config(&self) -> PipelineConfig {
+        let mut config = PipelineConfig {
+            search: self.search,
+            ..PipelineConfig::fast()
+        };
+        if self.finetune {
+            config.embedder = TupleEmbedderKind::FineTuned {
+                backbone: PretrainedModel::Roberta,
+                config: FineTuneConfig {
+                    max_epochs: 15,
+                    patience: 3,
+                    ..FineTuneConfig::default()
+                },
+                training_pairs: 150,
+            };
+        }
+        config
+    }
+}
+
+fn generate_lake(benchmark: &str) -> Result<DataLake, String> {
+    let config = match benchmark {
+        "tiny" => BenchmarkConfig::tiny(),
+        "santos" => Scale::Small.santos_config(),
+        "ugen" => Scale::Small.ugen_config(),
+        other => return Err(format!("unknown benchmark {other:?} (tiny|santos|ugen)")),
+    };
+    Ok(config.generate().lake)
+}
+
+/// Load every `*.csv` file in a directory as one lake table (file stem =
+/// table name).
+fn load_lake_dir(dir: &str) -> Result<DataLake, String> {
+    let mut lake = DataLake::new(dir.to_string());
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {dir}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "csv"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no .csv files in {dir}"));
+    }
+    for path in paths {
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("table")
+            .to_string();
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let table = parse_csv(name, &text, CsvOptions::default()).map_err(|e| format!("{e:?}"))?;
+        lake.add_table(table).map_err(|e| format!("{e:?}"))?;
+    }
+    Ok(lake)
+}
+
+/// Handle one JSONL request line; always returns one JSON response line.
+fn handle_request(session: &LakeSession, line: &str) -> String {
+    match serve_line(session, line) {
+        Ok(response) => response,
+        Err((id, message)) => format!(
+            "{{\"id\":\"{}\",\"error\":\"{}\"}}",
+            json::escape(&id),
+            json::escape(&message)
+        ),
+    }
+}
+
+fn serve_line(session: &LakeSession, line: &str) -> Result<String, (String, String)> {
+    let request = json::parse(line).map_err(|e| (String::new(), format!("bad request: {e}")))?;
+    let id = request
+        .get("id")
+        .and_then(JsonValue::as_str)
+        .unwrap_or_default()
+        .to_string();
+    let fail = |message: String| (id.clone(), message);
+    let k = match request.get("k") {
+        None => 10,
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| fail("k must be a non-negative integer".to_string()))?,
+    };
+
+    let mode = request
+        .get("mode")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("diverse");
+
+    // batched form: {"queries": [...], "k": ...}
+    if let Some(JsonValue::Array(names)) = request.get("queries") {
+        // a non-default mode would be silently ignored here — reject it so
+        // a client never misreads a diverse batch as similar-tuple results
+        if mode != "diverse" {
+            return Err(fail(format!(
+                "batched requests only support mode \"diverse\" (got {mode:?})"
+            )));
+        }
+        let queries: Vec<Table> = names
+            .iter()
+            .map(|name| {
+                let name = name
+                    .as_str()
+                    .ok_or_else(|| fail("queries must be strings".to_string()))?;
+                resolve_query(session, name).map_err(&fail)
+            })
+            .collect::<Result<_, _>>()?;
+        let start = Instant::now();
+        let results = session.query_batch(&queries, k);
+        let secs = start.elapsed().as_secs_f64();
+        let rendered: Vec<String> = results
+            .iter()
+            .map(|r| match r {
+                Ok(result) => render_result(result),
+                Err(e) => format!("{{\"error\":\"{}\"}}", json::escape(&format!("{e:?}"))),
+            })
+            .collect();
+        return Ok(format!(
+            "{{\"id\":\"{}\",\"k\":{k},\"batch\":[{}],\"secs\":{}}}",
+            json::escape(&id),
+            rendered.join(","),
+            json::number(secs)
+        ));
+    }
+
+    // single query: by lake name or inline CSV
+    let query = if let Some(name) = request.get("query").and_then(JsonValue::as_str) {
+        resolve_query(session, name).map_err(&fail)?
+    } else if let Some(csv) = request.get("csv").and_then(JsonValue::as_str) {
+        let name = request
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("inline_query");
+        parse_csv(name, csv, CsvOptions::default()).map_err(|e| fail(format!("bad csv: {e:?}")))?
+    } else {
+        return Err(fail(
+            "request needs \"query\", \"queries\", or \"csv\"".to_string(),
+        ));
+    };
+
+    let start = Instant::now();
+    let body = match mode {
+        "diverse" => {
+            let result = session
+                .query(&query, k)
+                .map_err(|e| fail(format!("{e:?}")))?;
+            render_result(&result)
+        }
+        "similar" => {
+            let ranked = session.similar_tuples(&query, k);
+            let items: Vec<String> = ranked
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"table\":\"{}\",\"row\":{},\"score\":{}}}",
+                        json::escape(&r.table),
+                        r.row,
+                        json::number(r.score)
+                    )
+                })
+                .collect();
+            format!("{{\"similar\":[{}]}}", items.join(","))
+        }
+        other => return Err(fail(format!("unknown mode {other:?}"))),
+    };
+    let secs = start.elapsed().as_secs_f64();
+    Ok(format!(
+        "{{\"id\":\"{}\",\"k\":{k},\"result\":{body},\"secs\":{}}}",
+        json::escape(&id),
+        json::number(secs)
+    ))
+}
+
+fn resolve_query(session: &LakeSession, name: &str) -> Result<Table, String> {
+    session
+        .lake()
+        .query(name)
+        .or_else(|_| session.lake().table(name))
+        .cloned()
+        .map_err(|_| format!("no lake query or table named {name:?}"))
+}
+
+/// Render a `DustResult` as a JSON object (tuples as cell-string arrays).
+fn render_result(result: &DustResult) -> String {
+    let tuples: Vec<String> = result
+        .tuples
+        .iter()
+        .map(|t| {
+            let mut rendered: Vec<String> = Vec::with_capacity(t.headers().len());
+            for header in t.headers() {
+                let cell = t
+                    .value_for(header)
+                    .map(|v| v.render().to_string())
+                    .unwrap_or_default();
+                rendered.push(format!("\"{}\"", json::escape(&cell)));
+            }
+            format!("[{}]", rendered.join(","))
+        })
+        .collect();
+    format!(
+        "{{\"tables\":{},\"dropped\":{},\"candidates\":{},\"tuples\":[{}],\
+         \"avg_diversity\":{},\"min_diversity\":{}}}",
+        json::string_array(result.retrieved_tables.iter().map(String::as_str)),
+        json::string_array(result.dropped_tables.iter().map(String::as_str)),
+        result.candidate_tuples,
+        tuples.join(","),
+        json::number(result.diversity.average),
+        json::number(result.diversity.minimum)
+    )
+}
+
+/// Build a tiny lake, serve built-in requests, verify the responses parse
+/// and contain results. Used by CI as the serving smoke test.
+fn selftest() -> Result<(), String> {
+    let lake = BenchmarkConfig::tiny().generate().lake;
+    let query_name = lake
+        .query_names()
+        .first()
+        .cloned()
+        .ok_or("tiny benchmark generated no queries")?;
+    // an inline-CSV request built from a real query table, so alignment has
+    // something to union (arbitrary CSV also works, it just may yield an
+    // empty candidate pool on an unrelated lake)
+    let inline_csv = dust_table::write_csv(
+        lake.query(&query_name).map_err(|e| format!("{e:?}"))?,
+        CsvOptions::default(),
+    );
+    let session = LakeSession::new(lake, PipelineConfig::fast());
+
+    let requests = [
+        format!("{{\"id\":\"one\",\"query\":\"{query_name}\",\"k\":5}}"),
+        format!("{{\"id\":\"sim\",\"query\":\"{query_name}\",\"k\":3,\"mode\":\"similar\"}}"),
+        format!("{{\"id\":\"batch\",\"queries\":[\"{query_name}\",\"{query_name}\"],\"k\":4}}"),
+        format!(
+            "{{\"id\":\"inline\",\"csv\":\"{}\",\"k\":2}}",
+            json::escape(&inline_csv)
+        ),
+        "{\"id\":\"bad\",\"k\":1}".to_string(),
+        format!(
+            "{{\"id\":\"badmode\",\"queries\":[\"{query_name}\"],\"k\":2,\"mode\":\"similar\"}}"
+        ),
+    ];
+    for request in &requests {
+        let response = handle_request(&session, request);
+        let parsed = json::parse(&response)
+            .map_err(|e| format!("selftest: unparseable response {response:?}: {e}"))?;
+        let id = parsed.get("id").and_then(JsonValue::as_str).unwrap_or("");
+        match id {
+            "one" | "inline" => {
+                let tuples = parsed
+                    .get("result")
+                    .and_then(|r| r.get("tuples"))
+                    .ok_or_else(|| format!("selftest: no tuples in {response}"))?;
+                match tuples {
+                    JsonValue::Array(items) if !items.is_empty() => {}
+                    _ => return Err(format!("selftest: empty result for {id}: {response}")),
+                }
+            }
+            "sim" => {
+                if parsed
+                    .get("result")
+                    .and_then(|r| r.get("similar"))
+                    .is_none()
+                {
+                    return Err(format!("selftest: no similar tuples: {response}"));
+                }
+            }
+            "batch" => match parsed.get("batch") {
+                Some(JsonValue::Array(items)) if items.len() == 2 => {}
+                _ => return Err(format!("selftest: bad batch response: {response}")),
+            },
+            "bad" | "badmode" => {
+                if parsed.get("error").is_none() {
+                    return Err(format!("selftest: bad request not rejected: {response}"));
+                }
+            }
+            other => return Err(format!("selftest: unexpected id {other:?}")),
+        }
+    }
+    eprintln!("serve: selftest ok ({} requests verified)", requests.len());
+    Ok(())
+}

@@ -9,9 +9,11 @@
 #![warn(missing_docs)]
 
 pub mod diversity_eval;
+pub mod json;
 pub mod report;
 pub mod setup;
 
 pub use diversity_eval::{evaluate_diversifiers, DiversifierOutcome, QueryCandidates};
+pub use json::JsonValue;
 pub use report::Report;
 pub use setup::{build_candidates_for_query, scale, train_dust_model, Scale};

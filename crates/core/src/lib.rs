@@ -20,6 +20,26 @@
 //! let result = pipeline.run(&lake, &query, 10).unwrap();
 //! println!("{} diverse tuples", result.tuples.len());
 //! ```
+//!
+//! For serving many queries against one lake, build a resident
+//! [`LakeSession`] instead — it pre-embeds the lake, keeps the search
+//! technique's candidate structures warm, and trains the tuple model once:
+//!
+//! ```no_run
+//! use dust_core::{LakeSession, PipelineConfig};
+//! use dust_datagen::BenchmarkConfig;
+//!
+//! let lake = BenchmarkConfig::tiny().generate().lake;
+//! let queries: Vec<_> = lake
+//!     .query_names()
+//!     .iter()
+//!     .map(|n| lake.query(n).unwrap().clone())
+//!     .collect();
+//! let session = LakeSession::new(lake, PipelineConfig::default());
+//! for result in session.query_batch(&queries, 10) {
+//!     println!("{} diverse tuples", result.unwrap().tuples.len());
+//! }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,8 +48,12 @@ pub mod baselines;
 pub mod config;
 pub mod pipeline;
 pub mod result;
+pub mod session;
 
 pub use baselines::{LlmBaseline, RetrievalSystem, StarmieBaseline, TupleRetrievalBaseline};
 pub use config::{PipelineConfig, SearchTechnique, TupleEmbedderKind};
 pub use pipeline::DustPipeline;
 pub use result::{DustResult, StageTimings};
+pub use session::{
+    LakeSession, LakeShard, RankedColumn, RankedTuple, SessionOptions, SessionStats,
+};

@@ -1,7 +1,15 @@
 //! The DUST pipeline (Algorithm 1).
+//!
+//! The stage sequence itself lives in [`run_query`], which is shared —
+//! verbatim — between the one-shot [`DustPipeline`] and the resident
+//! [`crate::session::LakeSession`]: the two differ only in *where* the
+//! search structures and the tuple embedder come from (built per query vs
+//! kept warm across queries), so a session-served query is byte-identical
+//! to a fresh pipeline run by construction.
 
 use crate::config::{PipelineConfig, SearchTechnique, TupleEmbedderKind};
 use crate::result::{DustResult, StageTimings};
+use crate::session::LakeSession;
 use dust_align::{outer_union, HolisticAligner};
 use dust_cluster::Linkage;
 use dust_diversify::{
@@ -10,6 +18,7 @@ use dust_diversify::{
 use dust_embed::{ColumnEncoder, DustModel, TupleEncoder, Vector};
 use dust_search::{D3lSearch, OverlapSearch, StarmieSearch, TableUnionSearch};
 use dust_table::{DataLake, Table, TableError, Tuple};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The end-to-end Diverse Unionable Tuple Search pipeline.
@@ -19,6 +28,9 @@ pub struct DustPipeline {
     /// A pre-trained DUST model injected by the caller (when present, the
     /// pipeline skips its own fine-tuning even if the config asks for one).
     model: Option<DustModel>,
+    /// A resident serving session backing this pipeline (when present,
+    /// `run` delegates search structures and the tuple embedder to it).
+    session: Option<Arc<LakeSession>>,
 }
 
 impl DustPipeline {
@@ -27,6 +39,7 @@ impl DustPipeline {
         DustPipeline {
             config,
             model: None,
+            session: None,
         }
     }
 
@@ -37,6 +50,21 @@ impl DustPipeline {
         DustPipeline {
             config,
             model: Some(model),
+            session: None,
+        }
+    }
+
+    /// Create a session-backed pipeline: `run` serves queries from the
+    /// resident [`LakeSession`] (pre-built candidate indexes, shared tuple
+    /// model) instead of rebuilding them per query. Results are
+    /// byte-identical to a fresh pipeline over the session's lake and
+    /// configuration; the `lake` argument passed to [`Self::run`] is
+    /// ignored in favour of the session's resident lake.
+    pub fn with_session(session: Arc<LakeSession>) -> Self {
+        DustPipeline {
+            config: session.config().clone(),
+            model: None,
+            session: Some(session),
         }
     }
 
@@ -45,92 +73,41 @@ impl DustPipeline {
         &self.config
     }
 
+    /// The backing session, when this pipeline was built with
+    /// [`Self::with_session`].
+    pub fn session(&self) -> Option<&Arc<LakeSession>> {
+        self.session.as_ref()
+    }
+
     /// Run Algorithm 1: search, align, embed, diversify.
     pub fn run(&self, lake: &DataLake, query: &Table, k: usize) -> Result<DustResult, TableError> {
-        let mut timings = StageTimings::default();
-
-        // ---- SearchTables ---------------------------------------------
-        let start = Instant::now();
-        let retrieved = self.search_tables(lake, query);
-        StageTimings::record(&mut timings.search_secs, start.elapsed());
-
-        let tables: Vec<&Table> = retrieved
-            .iter()
-            .filter_map(|name| lake.table(name).ok())
-            .collect();
-
-        // ---- AlignColumns + outer union --------------------------------
-        let start = Instant::now();
-        let aligner = HolisticAligner {
-            encoder: ColumnEncoder::new(
-                self.config.alignment_model,
-                self.config.alignment_serialization,
-            ),
-            linkage: self.config.alignment_linkage,
-            distance: self.config.distance,
-        };
-        let alignment = aligner.align(query, &tables);
-        let candidates: Vec<Tuple> = outer_union(query, &tables, &alignment);
-        StageTimings::record(&mut timings.align_secs, start.elapsed());
-
-        // ---- EmbedTuples -----------------------------------------------
-        let start = Instant::now();
-        let query_tuples = query.tuples();
-        let (query_embeddings, candidate_embeddings) =
-            self.embed_tuples(lake, &query_tuples, &candidates);
-        StageTimings::record(&mut timings.embed_secs, start.elapsed());
-
-        // ---- DiversifyTuples -------------------------------------------
-        let start = Instant::now();
-        let sources: Vec<usize> = {
-            let mut table_ids: std::collections::HashMap<String, usize> =
-                std::collections::HashMap::new();
-            candidates
-                .iter()
-                .map(|t| {
-                    let next = table_ids.len();
-                    *table_ids
-                        .entry(t.source_table().to_string())
-                        .or_insert(next)
-                })
-                .collect()
-        };
-        // The constructor packs both embedding sets into shared stores, so
-        // every diversification stage reads cached norms and (lazily) the
-        // shared pairwise matrix instead of recomputing distances.
-        let input = DiversificationInput::with_sources(
-            &query_embeddings,
-            &candidate_embeddings,
-            &sources,
-            self.config.distance,
+        if let Some(session) = &self.session {
+            debug_assert!(
+                session.lake().name() == lake.name()
+                    && session.lake().num_tables() == lake.num_tables(),
+                "session-backed pipeline queried with a different lake \
+                 (session holds {:?} with {} tables, caller passed {:?} with {}); \
+                 rebuild the session when the lake changes",
+                session.lake().name(),
+                session.lake().num_tables(),
+                lake.name(),
+                lake.num_tables()
+            );
+            return session.query(query, k);
+        }
+        let aligner_encoder = ColumnEncoder::new(
+            self.config.alignment_model,
+            self.config.alignment_serialization,
         );
-        let diversifier = DustDiversifier::with_config(DustConfig {
-            linkage: Linkage::Average,
-            ..self.config.diversifier.to_dust_config()
-        });
-        let selection = diversifier.select(&input, k);
-        StageTimings::record(&mut timings.diversify_secs, start.elapsed());
-
-        let selected_tuples: Vec<Tuple> =
-            selection.iter().map(|&i| candidates[i].clone()).collect();
-        let selected_embeddings: Vec<Vector> = selection
-            .iter()
-            .map(|&i| candidate_embeddings[i].clone())
-            .collect();
-        let diversity = DiversityScores::compute(
-            &query_embeddings,
-            &selected_embeddings,
-            self.config.distance,
-        );
-
-        Ok(DustResult {
-            tuples: selected_tuples,
-            retrieved_tables: retrieved,
-            alignment,
-            candidate_tuples: candidates.len(),
-            diversity,
-            timings,
-        })
+        Ok(run_query(
+            lake,
+            query,
+            k,
+            &self.config,
+            &aligner_encoder,
+            &|lake, query| self.search_tables(lake, query),
+            &|query_tuples, candidates| self.embed_tuples(lake, query_tuples, candidates),
+        ))
     }
 
     /// The `SearchTables` step.
@@ -171,25 +148,152 @@ impl DustPipeline {
                 config,
                 training_pairs,
             } => {
-                let mut model = DustModel::new(*backbone, config.clone());
-                let dataset = dust_datagen::build_finetune_dataset(
-                    lake,
-                    &dust_datagen::FineTuneDatasetConfig {
-                        total_pairs: *training_pairs,
-                        ..dust_datagen::FineTuneDatasetConfig::default()
-                    },
-                );
-                if !dataset.train.is_empty() {
-                    let train = dust_datagen::FineTuneDataset::triples(&dataset.train);
-                    let val = dust_datagen::FineTuneDataset::triples(&dataset.validation);
-                    model.train(&train, &val);
-                }
+                let model = train_dust_model(lake, *backbone, config, *training_pairs);
                 (
                     model.embed_tuples(query_tuples),
                     model.embed_tuples(candidates),
                 )
             }
         }
+    }
+}
+
+/// The DUST fine-tuning recipe: sample labelled pairs from the lake's
+/// ground truth and train the projection head. The single implementation
+/// behind both the per-query pipeline path and the train-once
+/// [`LakeSession`] path — a recipe change here cannot desynchronize them.
+/// Deterministic (seeded RNG, lake-derived dataset), which is what makes
+/// the session's train-once ≡ the pipeline's train-per-query.
+pub(crate) fn train_dust_model(
+    lake: &DataLake,
+    backbone: dust_embed::PretrainedModel,
+    config: &dust_embed::FineTuneConfig,
+    training_pairs: usize,
+) -> DustModel {
+    let mut model = DustModel::new(backbone, config.clone());
+    let dataset = dust_datagen::build_finetune_dataset(
+        lake,
+        &dust_datagen::FineTuneDatasetConfig {
+            total_pairs: training_pairs,
+            ..dust_datagen::FineTuneDatasetConfig::default()
+        },
+    );
+    if !dataset.train.is_empty() {
+        let train = dust_datagen::FineTuneDataset::triples(&dataset.train);
+        let val = dust_datagen::FineTuneDataset::triples(&dataset.validation);
+        model.train(&train, &val);
+    }
+    model
+}
+
+/// The `EmbedTuples` closure shape: (query tuples, candidate tuples) →
+/// (query embeddings, candidate embeddings).
+pub(crate) type EmbedFn<'a> = dyn Fn(&[Tuple], &[Tuple]) -> (Vec<Vector>, Vec<Vector>) + 'a;
+
+/// The shared body of Algorithm 1: search → align → embed → diversify.
+///
+/// `search` returns the retrieved lake-table names for a query; `embed`
+/// turns (query tuples, candidate tuples) into their embedding sets. Both
+/// [`DustPipeline::run`] and [`LakeSession::query`] call this with closures
+/// over their own state, so every stage in between — alignment, outer
+/// union, diversification, scoring — is literally the same code on both
+/// paths, and equal search/embed outputs imply byte-identical results.
+pub(crate) fn run_query(
+    lake: &DataLake,
+    query: &Table,
+    k: usize,
+    config: &PipelineConfig,
+    aligner_encoder: &ColumnEncoder,
+    search: &dyn Fn(&DataLake, &Table) -> Vec<String>,
+    embed: &EmbedFn,
+) -> DustResult {
+    let mut timings = StageTimings::default();
+
+    // ---- SearchTables ---------------------------------------------
+    let start = Instant::now();
+    let retrieved = search(lake, query);
+    StageTimings::record(&mut timings.search_secs, start.elapsed());
+
+    // A retrieved name can fail to resolve when the index and the lake have
+    // drifted apart (stale entry, table dropped after indexing). Dropping
+    // it is the right serving behaviour — but it must leave a trace, not
+    // silently shrink the candidate pool.
+    let mut dropped_tables: Vec<String> = Vec::new();
+    let tables: Vec<&Table> = retrieved
+        .iter()
+        .filter_map(|name| match lake.table(name) {
+            Ok(table) => Some(table),
+            Err(_) => {
+                dropped_tables.push(name.clone());
+                None
+            }
+        })
+        .collect();
+
+    // ---- AlignColumns + outer union --------------------------------
+    let start = Instant::now();
+    let aligner = HolisticAligner {
+        encoder: aligner_encoder.clone(),
+        linkage: config.alignment_linkage,
+        distance: config.distance,
+    };
+    let alignment = aligner.align(query, &tables);
+    let candidates: Vec<Tuple> = outer_union(query, &tables, &alignment);
+    StageTimings::record(&mut timings.align_secs, start.elapsed());
+
+    // ---- EmbedTuples -----------------------------------------------
+    let start = Instant::now();
+    let query_tuples = query.tuples();
+    let (query_embeddings, candidate_embeddings) = embed(&query_tuples, &candidates);
+    StageTimings::record(&mut timings.embed_secs, start.elapsed());
+
+    // ---- DiversifyTuples -------------------------------------------
+    let start = Instant::now();
+    let sources: Vec<usize> = {
+        let mut table_ids: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        candidates
+            .iter()
+            .map(|t| {
+                let next = table_ids.len();
+                *table_ids
+                    .entry(t.source_table().to_string())
+                    .or_insert(next)
+            })
+            .collect()
+    };
+    // The constructor packs both embedding sets into shared stores, so
+    // every diversification stage reads cached norms and (lazily) the
+    // shared pairwise matrix instead of recomputing distances.
+    let input = DiversificationInput::with_sources(
+        &query_embeddings,
+        &candidate_embeddings,
+        &sources,
+        config.distance,
+    );
+    let diversifier = DustDiversifier::with_config(DustConfig {
+        linkage: Linkage::Average,
+        ..config.diversifier.to_dust_config()
+    });
+    let selection = diversifier.select(&input, k);
+    StageTimings::record(&mut timings.diversify_secs, start.elapsed());
+
+    let selected_tuples: Vec<Tuple> = selection.iter().map(|&i| candidates[i].clone()).collect();
+    let selected_embeddings: Vec<Vector> = selection
+        .iter()
+        .map(|&i| candidate_embeddings[i].clone())
+        .collect();
+    let diversity =
+        DiversityScores::compute(&query_embeddings, &selected_embeddings, config.distance);
+
+    DustResult {
+        tuples: selected_tuples,
+        retrieved_tables: retrieved,
+        dropped_tables,
+        alignment,
+        candidate_tuples: candidates.len(),
+        diversity,
+        timings,
     }
 }
 
@@ -212,6 +316,10 @@ mod tests {
         assert_eq!(result.len(), 5);
         assert!(result.candidate_tuples >= 5);
         assert!(!result.retrieved_tables.is_empty());
+        assert!(
+            result.is_complete(),
+            "no retrieved table should fail its lake lookup on a fresh lake"
+        );
         // selected tuples carry the query header
         for t in &result.tuples {
             assert_eq!(t.headers(), query.headers());
@@ -259,6 +367,46 @@ mod tests {
         let pipeline = DustPipeline::new(PipelineConfig::fast());
         let result = pipeline.run(&lake, &query, 100_000).unwrap();
         assert_eq!(result.len(), result.candidate_tuples);
+    }
+
+    #[test]
+    fn stale_retrieved_names_are_recorded_not_silently_dropped() {
+        // A search index that has drifted from the lake returns a name the
+        // lake no longer resolves. The query must still succeed on the
+        // resolvable tables AND surface the drop in the diagnostics.
+        let lake = tiny_lake();
+        let query_name = lake.query_names()[0].clone();
+        let query = lake.query(&query_name).unwrap().clone();
+        let config = PipelineConfig::fast();
+        let encoder = ColumnEncoder::new(config.alignment_model, config.alignment_serialization);
+        let real = lake.table_names();
+        let result = run_query(
+            &lake,
+            &query,
+            3,
+            &config,
+            &encoder,
+            &|_, _| {
+                vec![
+                    real[0].clone(),
+                    "ghost_table".to_string(),
+                    real[1].clone(),
+                    "second_ghost".to_string(),
+                ]
+            },
+            &|query_tuples, candidates| {
+                let enc = TupleEncoder::new(dust_embed::PretrainedModel::Roberta);
+                (enc.embed_tuples(query_tuples), enc.embed_tuples(candidates))
+            },
+        );
+        assert_eq!(
+            result.dropped_tables,
+            vec!["ghost_table".to_string(), "second_ghost".to_string()]
+        );
+        assert!(!result.is_complete());
+        // the stale names remain visible in the retrieved list too
+        assert!(result.retrieved_tables.contains(&"ghost_table".to_string()));
+        assert_eq!(result.len(), 3, "resolvable tables still serve the query");
     }
 
     #[test]

@@ -39,6 +39,11 @@ pub struct DustResult {
     pub tuples: Vec<Tuple>,
     /// Names of the unionable tables retrieved by the search step.
     pub retrieved_tables: Vec<String>,
+    /// Retrieved table names whose lake lookup failed (stale index entries,
+    /// tables dropped between indexing and serving). These silently shrank
+    /// the candidate pool before; now every drop is recorded so callers can
+    /// alert on a lake/index skew instead of quietly returning less.
+    pub dropped_tables: Vec<String>,
     /// The column alignment used for the outer union.
     pub alignment: Alignment,
     /// Number of unionable tuples produced by the outer union (before
@@ -59,6 +64,12 @@ impl DustResult {
     /// True when no tuples were selected.
     pub fn is_empty(&self) -> bool {
         self.tuples.is_empty()
+    }
+
+    /// True when every retrieved table resolved in the lake (no stale
+    /// index entries were dropped).
+    pub fn is_complete(&self) -> bool {
+        self.dropped_tables.is_empty()
     }
 
     /// How many selected tuples are novel with respect to the query table
@@ -101,6 +112,7 @@ mod tests {
         let result = DustResult {
             tuples: vec![tuple("River Park"), tuple("Chippewa Park")],
             retrieved_tables: vec![],
+            dropped_tables: vec![],
             alignment: Alignment::default(),
             candidate_tuples: 2,
             diversity: DiversityScores {
@@ -113,5 +125,9 @@ mod tests {
         assert_eq!(result.novel_tuple_count(&query), 1);
         assert_eq!(result.len(), 2);
         assert!(!result.is_empty());
+        assert!(result.is_complete());
+        let mut skewed = result;
+        skewed.dropped_tables.push("stale_table".into());
+        assert!(!skewed.is_complete());
     }
 }

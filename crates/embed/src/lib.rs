@@ -13,6 +13,8 @@
 //! * [`serialize`] — tuple serialization `[CLS] c1 v1 [SEP] ...` (Sec. 4);
 //! * [`models`] — the simulated model zoo (FastText, GloVe, BERT, RoBERTa,
 //!   sBERT, Ditto) plus column and tuple encoders;
+//! * [`order`] — NaN-safe total-order comparators shared by every ranking
+//!   in the workspace (search, diversification, token selection);
 //! * [`finetune`] — the DUST fine-tuned tuple model (dropout + two linear
 //!   layers trained with the cosine-embedding loss);
 //! * [`pca`] — principal component analysis used for Fig. 2.
@@ -24,6 +26,7 @@ pub mod distance;
 pub mod finetune;
 pub mod hashing;
 pub mod models;
+pub mod order;
 pub mod pca;
 pub mod serialize;
 pub mod store;
@@ -37,6 +40,7 @@ pub use finetune::{
 };
 pub use hashing::{HashingEncoder, HashingEncoderConfig};
 pub use models::{ColumnEncoder, ColumnSerialization, PretrainedModel, TupleEncoder};
+pub use order::{asc_nan_last, desc_nan_last};
 pub use pca::Pca;
 pub use serialize::{serialize_default, serialize_tuple, SerializeOptions, CLS, SEP};
 pub use store::{EmbeddingStore, NormalizedView};

@@ -1,0 +1,90 @@
+//! Total-order comparators for ranking possibly-NaN scores.
+//!
+//! Search techniques, diversifiers, and the TF-IDF token selector all rank
+//! candidates by floating-point scores (unionability, marginal
+//! contribution, distance to the query, token weight) that become `NaN` as
+//! soon as one embedding coordinate is `NaN`. Sorting such scores with
+//! `partial_cmp(..).unwrap_or(Equal)` silently degrades: `NaN` compares
+//! `Equal` to *everything*, so a single poisoned score can leave the whole
+//! order dependent on the incoming element order (or, upstream of a
+//! `HashMap`, on iteration order). The comparators here are total: `NaN`
+//! always ranks **last** — a candidate with an undefined score never
+//! displaces one with a real score — and every call site stays
+//! deterministic.
+//!
+//! They live in `dust-embed` (the lowest crate in the workspace that deals
+//! in floating-point scores) so the search, diversification, and
+//! tokenization layers all share the one implementation; `dust-diversify`
+//! re-exports them under its historical `order` path. Pinned by
+//! `crates/diversify/tests/nan_scores.rs` and the NaN-ranking tests in
+//! `dust-search`.
+
+use std::cmp::Ordering;
+
+/// Descending order on scores, `NaN` last (i.e. treated as worse than every
+/// real score, including `-∞`). Non-NaN values compare via
+/// [`f64::total_cmp`], which agrees with the usual order on every real
+/// score a ranking produces.
+pub fn desc_nan_last(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
+}
+
+/// Ascending order on costs (e.g. distance to the query), `NaN` still last
+/// — an undefined cost is worse than any real one, not "smallest".
+pub fn asc_nan_last(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descending_on_real_scores() {
+        let mut v = vec![1.0, 5.0, -2.0, 3.0];
+        v.sort_by(|a, b| desc_nan_last(*a, *b));
+        assert_eq!(v, vec![5.0, 3.0, 1.0, -2.0]);
+    }
+
+    #[test]
+    fn nan_ranks_after_every_real_score() {
+        let mut v = [f64::NAN, 1.0, f64::NEG_INFINITY, f64::NAN, 7.0];
+        v.sort_by(|a, b| desc_nan_last(*a, *b));
+        assert_eq!(v[0], 7.0);
+        assert_eq!(v[1], 1.0);
+        assert_eq!(v[2], f64::NEG_INFINITY);
+        assert!(v[3].is_nan() && v[4].is_nan());
+    }
+
+    #[test]
+    fn ascending_variant_still_ranks_nan_last() {
+        let mut v = [f64::NAN, 3.0, 1.0, f64::INFINITY];
+        v.sort_by(|a, b| asc_nan_last(*a, *b));
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[1], 3.0);
+        assert_eq!(v[2], f64::INFINITY);
+        assert!(v[3].is_nan());
+    }
+
+    #[test]
+    fn is_a_total_order() {
+        // antisymmetry + transitivity smoke check over a mixed sample
+        let sample = [f64::NAN, f64::INFINITY, 1.0, 0.0, -0.0, f64::NEG_INFINITY];
+        for &a in &sample {
+            assert_eq!(desc_nan_last(a, a), Ordering::Equal);
+            for &b in &sample {
+                assert_eq!(desc_nan_last(a, b), desc_nan_last(b, a).reverse());
+            }
+        }
+    }
+}

@@ -113,7 +113,10 @@ impl TfIdfCorpus {
             .enumerate()
             .map(|(i, t)| (i, t, *weights.get(t).unwrap_or(&0.0)))
             .collect();
-        scored.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        // NaN-safe total order: an undefined weight must never displace a
+        // real one (and `sort_by` is stable, so equal weights keep their
+        // original token order).
+        scored.sort_by(|a, b| crate::order::desc_nan_last(a.2, b.2));
         let mut keep: Vec<(usize, &String)> = scored
             .into_iter()
             .take(limit)
@@ -183,6 +186,33 @@ mod tests {
         let weights = corpus.tf_idf(&doc);
         assert!(weights.values().all(|w| *w > 0.0));
         assert!(weights["river"] > weights["usa"]);
+    }
+
+    #[test]
+    fn representative_selection_is_deterministic_under_weight_ties() {
+        // Every token distinct but all weights equal (one document, each
+        // token once): the stable sort must preserve original order, so the
+        // selection is exactly the prefix — on every run.
+        let mut corpus = TfIdfCorpus::new();
+        let tokens = word_tokens("alpha beta gamma delta epsilon");
+        corpus.add_document(&tokens);
+        let selected = corpus.select_representative(&tokens, 3);
+        assert_eq!(selected, word_tokens("alpha beta gamma"));
+        for _ in 0..10 {
+            assert_eq!(corpus.select_representative(&tokens, 3), selected);
+        }
+    }
+
+    #[test]
+    fn representative_selection_ranks_nan_weights_last() {
+        // A poisoned (NaN) weight must never displace a real-weighted token.
+        // `tf_idf` itself cannot produce NaN, so exercise the sort through
+        // the same comparator contract: rank a mixed weight list directly.
+        let mut weights = [(0usize, f64::NAN), (1, 0.2), (2, f64::NAN), (3, 0.9)];
+        weights.sort_by(|a, b| crate::order::desc_nan_last(a.1, b.1));
+        assert_eq!(weights[0].0, 3);
+        assert_eq!(weights[1].0, 1);
+        assert!(weights[2].1.is_nan() && weights[3].1.is_nan());
     }
 
     #[test]

@@ -9,7 +9,8 @@
 
 use crate::index::InvertedValueIndex;
 use crate::signals::{SignalComputer, SignalWeights};
-use crate::{rank_and_truncate, SearchResult, TableUnionSearch};
+use crate::{rank_and_truncate, shortlist_candidates, SearchResult, TableUnionSearch};
+use dust_embed::Vector;
 use dust_table::{DataLake, Table};
 
 /// D3L multi-signal union search.
@@ -48,16 +49,95 @@ impl D3lSearch {
 
     /// Aggregated score of a (query, candidate) table pair.
     pub fn score_pair(&self, query: &Table, candidate: &Table) -> f64 {
+        let qe: Vec<Vector> = query
+            .columns()
+            .iter()
+            .map(|c| self.computer.embed_column(c))
+            .collect();
+        self.score_pair_with(query, &qe, candidate, None)
+    }
+
+    /// [`Self::score_pair`] with the query's column embeddings precomputed
+    /// and the candidate's read from `stats` when available — the single
+    /// scoring code path, so the resident-stats search is byte-identical to
+    /// the fresh one.
+    fn score_pair_with(
+        &self,
+        query: &Table,
+        query_embeddings: &[Vector],
+        candidate: &Table,
+        stats: Option<&D3lSignalStats>,
+    ) -> f64 {
+        let resident = stats.and_then(|s| s.embeddings(candidate.name()));
+        let fresh: Vec<Vector>;
+        let ce: &[Vector] = match resident {
+            Some(e) => e,
+            None => {
+                fresh = candidate
+                    .columns()
+                    .iter()
+                    .map(|c| self.computer.embed_column(c))
+                    .collect();
+                &fresh
+            }
+        };
         let mut total = 0.0;
-        for qcol in query.columns() {
+        for (qcol, qe) in query.columns().iter().zip(query_embeddings) {
             let best = candidate
                 .columns()
                 .iter()
-                .map(|ccol| self.computer.compute(qcol, ccol).aggregate(&self.weights))
+                .zip(ce)
+                .map(|(ccol, cemb)| {
+                    self.computer
+                        .compute_with(qcol, qe, ccol, cemb)
+                        .aggregate(&self.weights)
+                })
                 .fold(0.0f64, f64::max);
             total += best;
         }
         total / query.num_columns().max(1) as f64
+    }
+
+    /// Search using resident candidate structures (an [`InvertedValueIndex`]
+    /// for shortlisting plus [`D3lSignalStats`] column embeddings) built
+    /// once per lake. Byte-identical ranking to
+    /// [`TableUnionSearch::search`] on the same lake.
+    pub fn search_with_stats(
+        &self,
+        lake: &DataLake,
+        query: &Table,
+        k: usize,
+        index: &InvertedValueIndex,
+        stats: &D3lSignalStats,
+    ) -> Vec<SearchResult> {
+        self.search_resident(lake, query, k, Some(index), Some(stats))
+    }
+
+    fn search_resident(
+        &self,
+        lake: &DataLake,
+        query: &Table,
+        k: usize,
+        index: Option<&InvertedValueIndex>,
+        stats: Option<&D3lSignalStats>,
+    ) -> Vec<SearchResult> {
+        let candidates = shortlist_candidates(lake, query, self.candidate_limit, index);
+        let qe: Vec<Vector> = query
+            .columns()
+            .iter()
+            .map(|c| self.computer.embed_column(c))
+            .collect();
+        let results = candidates
+            .into_iter()
+            .filter_map(|name| {
+                let table = lake.table(&name).ok()?;
+                Some(SearchResult {
+                    score: self.score_pair_with(query, &qe, table, stats),
+                    table: name,
+                })
+            })
+            .collect();
+        rank_and_truncate(results, k)
     }
 }
 
@@ -67,28 +147,47 @@ impl TableUnionSearch for D3lSearch {
     }
 
     fn search(&self, lake: &DataLake, query: &Table, k: usize) -> Vec<SearchResult> {
-        let candidates: Vec<String> = if self.candidate_limit > 0 {
-            let index = InvertedValueIndex::build(lake);
-            let shortlisted = index.candidates(query, self.candidate_limit);
-            if shortlisted.is_empty() {
-                lake.table_names()
-            } else {
-                shortlisted.into_iter().map(|(t, _)| t).collect()
-            }
-        } else {
-            lake.table_names()
-        };
-        let results = candidates
-            .into_iter()
-            .filter_map(|name| {
-                let table = lake.table(&name).ok()?;
-                Some(SearchResult {
-                    score: self.score_pair(query, table),
-                    table: name,
-                })
-            })
-            .collect();
-        rank_and_truncate(results, k)
+        self.search_resident(lake, query, k, None, None)
+    }
+}
+
+/// Resident per-column D3L signal statistics: the embedding of every lake
+/// column under the signal computer's encoder, computed **once** per lake.
+/// The embedding signal is the expensive part of
+/// [`crate::signals::SignalComputer::compute`] (the other four signals are
+/// cheap set/stat comparisons on the raw columns), so this is the
+/// persistent structure a serving layer keeps warm between queries.
+#[derive(Debug, Clone, Default)]
+pub struct D3lSignalStats {
+    inner: crate::PerTableColumnEmbeddings,
+}
+
+impl D3lSignalStats {
+    /// Embed every lake table's columns with `search`'s signal computer.
+    pub fn build(lake: &DataLake, search: &D3lSearch) -> Self {
+        D3lSignalStats {
+            inner: crate::PerTableColumnEmbeddings::build(lake, |t| {
+                t.columns()
+                    .iter()
+                    .map(|c| search.computer.embed_column(c))
+                    .collect()
+            }),
+        }
+    }
+
+    /// Column embeddings of a table (column order), if indexed.
+    pub fn embeddings(&self, table: &str) -> Option<&[Vector]> {
+        self.inner.get(table)
+    }
+
+    /// Number of indexed tables.
+    pub fn num_tables(&self) -> usize {
+        self.inner.num_tables()
+    }
+
+    /// Total number of stored column embeddings.
+    pub fn num_columns(&self) -> usize {
+        self.inner.num_columns()
     }
 }
 
@@ -182,6 +281,23 @@ mod tests {
         // than pure overlap does, thanks to the name/format signals.
         let full = D3lSearch::new();
         assert!(full.score_pair(&query, lake.table("parks_b").unwrap()) > b);
+    }
+
+    #[test]
+    fn resident_stats_reproduce_the_fresh_ranking_exactly() {
+        let (lake, query) = toy_lake();
+        let search = D3lSearch::new();
+        let index = InvertedValueIndex::build(&lake);
+        let stats = D3lSignalStats::build(&lake, &search);
+        assert_eq!(stats.num_tables(), 3);
+        assert_eq!(stats.num_columns(), 7);
+        let fresh = search.search(&lake, &query, 10);
+        let resident = search.search_with_stats(&lake, &query, 10, &index, &stats);
+        assert_eq!(fresh.len(), resident.len());
+        for (f, r) in fresh.iter().zip(&resident) {
+            assert_eq!(f.table, r.table);
+            assert_eq!(f.score.to_bits(), r.score.to_bits(), "table {}", f.table);
+        }
     }
 
     #[test]

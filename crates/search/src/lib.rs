@@ -28,14 +28,15 @@ pub mod signals;
 pub mod starmie;
 
 pub use bipartite::{max_weight_matching, Matching};
-pub use d3l::D3lSearch;
+pub use d3l::{D3lSearch, D3lSignalStats};
 pub use index::InvertedValueIndex;
 pub use metrics::{average_precision, mean_average_precision, precision_at_k, recall_at_k};
 pub use overlap::OverlapSearch;
 pub use signals::{ColumnSignals, SignalWeights};
-pub use starmie::{StarmieSearch, StarmieTupleSearch};
+pub use starmie::{StarmieColumnStore, StarmieSearch, StarmieTupleSearch};
 
 use dust_table::{DataLake, Table, TableId};
+use index::InvertedValueIndex as Index;
 
 /// A ranked search result: a data-lake table name and its unionability score.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,15 +59,88 @@ pub trait TableUnionSearch {
 
 /// Sort results by descending score (ties broken by table name for
 /// determinism) and truncate to `k`.
+///
+/// Uses the shared NaN-safe total order ([`dust_embed::desc_nan_last`]): a
+/// table whose unionability score degenerated to `NaN` (e.g. via a poisoned
+/// embedding) ranks strictly last instead of comparing `Equal` to every
+/// other score and corrupting the whole top-k order.
 pub(crate) fn rank_and_truncate(mut results: Vec<SearchResult>, k: usize) -> Vec<SearchResult> {
     results.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.table.cmp(&b.table))
+        dust_embed::desc_nan_last(a.score, b.score).then_with(|| a.table.cmp(&b.table))
     });
     results.truncate(k);
     results
+}
+
+/// Shared core of the resident per-table column-embedding stores
+/// ([`StarmieColumnStore`] and [`D3lSignalStats`]): one embedding per
+/// column per lake table, keyed by table name. The technique wrappers
+/// differ only in the embed function they build with, so bookkeeping that
+/// has to stay in sync across both (and future staleness / incremental
+/// lake-update logic) lives here exactly once.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PerTableColumnEmbeddings {
+    embeddings: std::collections::HashMap<TableId, Vec<dust_embed::Vector>>,
+}
+
+impl PerTableColumnEmbeddings {
+    /// Embed every lake table's columns with `embed_table`.
+    pub(crate) fn build(
+        lake: &DataLake,
+        mut embed_table: impl FnMut(&Table) -> Vec<dust_embed::Vector>,
+    ) -> Self {
+        PerTableColumnEmbeddings {
+            embeddings: lake
+                .tables()
+                .map(|t| (t.name().to_string(), embed_table(t)))
+                .collect(),
+        }
+    }
+
+    /// Column embeddings of a table (column order), if indexed.
+    pub(crate) fn get(&self, table: &str) -> Option<&[dust_embed::Vector]> {
+        self.embeddings.get(table).map(Vec::as_slice)
+    }
+
+    /// Number of indexed tables.
+    pub(crate) fn num_tables(&self) -> usize {
+        self.embeddings.len()
+    }
+
+    /// Total number of stored column embeddings.
+    pub(crate) fn num_columns(&self) -> usize {
+        self.embeddings.values().map(Vec::len).sum()
+    }
+}
+
+/// Candidate tables to score for a query: the inverted-index shortlist when
+/// a limit is set (building a throwaway index unless the caller provides a
+/// resident one), every lake table otherwise. Falls back to the full lake
+/// when the shortlist is empty (a query sharing no value with any table
+/// must still be scored against something).
+pub(crate) fn shortlist_candidates(
+    lake: &DataLake,
+    query: &Table,
+    limit: usize,
+    resident_index: Option<&Index>,
+) -> Vec<TableId> {
+    if limit == 0 {
+        return lake.table_names();
+    }
+    let built;
+    let index = match resident_index {
+        Some(index) => index,
+        None => {
+            built = Index::build(lake);
+            &built
+        }
+    };
+    let shortlisted = index.candidates(query, limit);
+    if shortlisted.is_empty() {
+        lake.table_names()
+    } else {
+        shortlisted.into_iter().map(|(t, _)| t).collect()
+    }
 }
 
 #[cfg(test)]
@@ -93,5 +167,36 @@ mod tests {
         assert_eq!(ranked.len(), 2);
         assert_eq!(ranked[0].table, "c");
         assert_eq!(ranked[1].table, "a"); // ties broken alphabetically
+    }
+
+    #[test]
+    fn nan_scores_rank_last_and_never_displace_real_results() {
+        // Regression for the `partial_cmp(..).unwrap_or(Equal)` hole: one
+        // NaN score used to compare Equal to everything and leave the order
+        // dependent on the input order. Now NaN-scored tables always sort
+        // after every real score, on every input permutation.
+        let mk = |table: &str, score: f64| SearchResult {
+            table: table.into(),
+            score,
+        };
+        let base = vec![
+            mk("poisoned", f64::NAN),
+            mk("low", 0.1),
+            mk("high", 0.9),
+            mk("also_poisoned", f64::NAN),
+            mk("mid", 0.5),
+        ];
+        // every rotation of the input produces the identical ranking
+        let expected = ["high", "mid", "low", "also_poisoned", "poisoned"];
+        for rot in 0..base.len() {
+            let mut input = base.clone();
+            input.rotate_left(rot);
+            let ranked = rank_and_truncate(input, 10);
+            let names: Vec<&str> = ranked.iter().map(|r| r.table.as_str()).collect();
+            assert_eq!(names, expected, "rotation {rot}");
+        }
+        // ... and a NaN entry never makes the truncated top-k
+        let top = rank_and_truncate(base, 3);
+        assert!(top.iter().all(|r| !r.score.is_nan()));
     }
 }

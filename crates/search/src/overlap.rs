@@ -7,7 +7,7 @@
 //! implementation of Algorithm 1.
 
 use crate::index::InvertedValueIndex;
-use crate::{rank_and_truncate, SearchResult, TableUnionSearch};
+use crate::{rank_and_truncate, shortlist_candidates, SearchResult, TableUnionSearch};
 use dust_table::{DataLake, Table};
 
 /// Value-overlap union search.
@@ -45,25 +45,29 @@ impl OverlapSearch {
         }
         total / query.num_columns().max(1) as f64
     }
-}
 
-impl TableUnionSearch for OverlapSearch {
-    fn name(&self) -> &'static str {
-        "overlap"
+    /// Search using a resident [`InvertedValueIndex`] built once per lake
+    /// instead of rebuilding it on every query. Byte-identical ranking to
+    /// [`TableUnionSearch::search`] on the same lake (the index contents
+    /// depend only on the lake).
+    pub fn search_with_index(
+        &self,
+        lake: &DataLake,
+        query: &Table,
+        k: usize,
+        index: &InvertedValueIndex,
+    ) -> Vec<SearchResult> {
+        self.search_shortlisted(lake, query, k, Some(index))
     }
 
-    fn search(&self, lake: &DataLake, query: &Table, k: usize) -> Vec<SearchResult> {
-        let candidates: Vec<String> = if self.candidate_limit > 0 {
-            let index = InvertedValueIndex::build(lake);
-            let shortlisted = index.candidates(query, self.candidate_limit);
-            if shortlisted.is_empty() {
-                lake.table_names()
-            } else {
-                shortlisted.into_iter().map(|(t, _)| t).collect()
-            }
-        } else {
-            lake.table_names()
-        };
+    fn search_shortlisted(
+        &self,
+        lake: &DataLake,
+        query: &Table,
+        k: usize,
+        index: Option<&InvertedValueIndex>,
+    ) -> Vec<SearchResult> {
+        let candidates = shortlist_candidates(lake, query, self.candidate_limit, index);
         let results = candidates
             .into_iter()
             .filter_map(|name| {
@@ -75,6 +79,16 @@ impl TableUnionSearch for OverlapSearch {
             })
             .collect();
         rank_and_truncate(results, k)
+    }
+}
+
+impl TableUnionSearch for OverlapSearch {
+    fn name(&self) -> &'static str {
+        "overlap"
+    }
+
+    fn search(&self, lake: &DataLake, query: &Table, k: usize) -> Vec<SearchResult> {
+        self.search_shortlisted(lake, query, k, None)
     }
 }
 
@@ -156,6 +170,20 @@ mod tests {
         assert_eq!(results.len(), 3);
         assert_eq!(results[0].table, "parks_b");
         assert_eq!(search.name(), "overlap");
+    }
+
+    #[test]
+    fn resident_index_reproduces_the_fresh_ranking_exactly() {
+        let (lake, query) = toy_lake();
+        let search = OverlapSearch::new();
+        let index = InvertedValueIndex::build(&lake);
+        let fresh = search.search(&lake, &query, 10);
+        let resident = search.search_with_index(&lake, &query, 10, &index);
+        assert_eq!(fresh.len(), resident.len());
+        for (f, r) in fresh.iter().zip(&resident) {
+            assert_eq!(f.table, r.table);
+            assert_eq!(f.score.to_bits(), r.score.to_bits());
+        }
     }
 
     #[test]

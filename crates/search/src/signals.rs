@@ -100,15 +100,31 @@ impl SignalComputer {
 
     /// Compute all signals for a pair of columns.
     pub fn compute(&self, a: &Column, b: &Column) -> ColumnSignals {
+        self.compute_with(a, &self.embed_column(a), b, &self.embed_column(b))
+    }
+
+    /// Embed a column with this computer's encoder (the expensive part of
+    /// [`Self::compute`]; deterministic, so embeddings can be computed once
+    /// per lake column and reused across queries).
+    pub fn embed_column(&self, column: &Column) -> dust_embed::Vector {
+        self.encoder.embed_column(column, &self.corpus)
+    }
+
+    /// [`Self::compute`] with already-computed column embeddings — the
+    /// single signal code path, so resident per-column embedding caches
+    /// produce signals byte-identical to the embed-per-pair path.
+    pub fn compute_with(
+        &self,
+        a: &Column,
+        a_embedding: &dust_embed::Vector,
+        b: &Column,
+        b_embedding: &dust_embed::Vector,
+    ) -> ColumnSignals {
         ColumnSignals {
             value_overlap: a.jaccard(b),
             name_similarity: name_similarity(a.name(), b.name()),
             format_similarity: format_similarity(a, b),
-            embedding_similarity: {
-                let ea = self.encoder.embed_column(a, &self.corpus);
-                let eb = self.encoder.embed_column(b, &self.corpus);
-                cosine_similarity(&ea, &eb).max(0.0)
-            },
+            embedding_similarity: cosine_similarity(a_embedding, b_embedding).max(0.0),
             numeric_similarity: numeric_similarity(a, b),
         }
     }

@@ -83,18 +83,104 @@ impl StarmieSearch {
     /// matching between column embeddings, normalized by the number of query
     /// columns.
     pub fn score_pair(&self, query: &Table, candidate: &Table) -> f64 {
-        let qe = self.contextual_column_embeddings(query);
-        let ce = self.contextual_column_embeddings(candidate);
-        let weights: Vec<Vec<f64>> = qe
+        self.score_pair_with(
+            &self.contextual_column_embeddings(query),
+            &self.contextual_column_embeddings(candidate),
+            query.num_columns(),
+        )
+    }
+
+    /// [`Self::score_pair`] over already-computed contextualized column
+    /// embeddings — the single scoring code path, so resident stores (see
+    /// [`StarmieColumnStore`]) produce results byte-identical to the
+    /// embed-per-query path.
+    pub fn score_pair_with(
+        &self,
+        query_embeddings: &[Vector],
+        candidate_embeddings: &[Vector],
+        num_query_columns: usize,
+    ) -> f64 {
+        let weights: Vec<Vec<f64>> = query_embeddings
             .iter()
             .map(|q| {
-                ce.iter()
+                candidate_embeddings
+                    .iter()
                     .map(|c| cosine_similarity(q, c).max(0.0))
                     .collect()
             })
             .collect();
         let matching = max_weight_matching(&weights);
-        matching.total_weight / query.num_columns().max(1) as f64
+        matching.total_weight / num_query_columns.max(1) as f64
+    }
+
+    /// Search against a resident [`StarmieColumnStore`] instead of
+    /// re-embedding every lake table's columns per query. The query's own
+    /// columns are embedded fresh (they depend on the query), the lake side
+    /// comes from the store; the ranking is byte-identical to
+    /// [`TableUnionSearch::search`] on the same lake.
+    pub fn search_with_store(
+        &self,
+        lake: &DataLake,
+        query: &Table,
+        k: usize,
+        store: &StarmieColumnStore,
+    ) -> Vec<SearchResult> {
+        let qe = self.contextual_column_embeddings(query);
+        let results = lake
+            .tables()
+            .map(|table| SearchResult {
+                table: table.name().to_string(),
+                score: match store.embeddings(table.name()) {
+                    Some(ce) => self.score_pair_with(&qe, ce, query.num_columns()),
+                    None => self.score_pair_with(
+                        &qe,
+                        &self.contextual_column_embeddings(table),
+                        query.num_columns(),
+                    ),
+                },
+            })
+            .collect();
+        rank_and_truncate(results, k)
+    }
+}
+
+/// Resident per-table contextualized column embeddings — the persistent
+/// candidate structure a serving layer builds **once** per lake so Starmie
+/// search stops paying the full-lake embedding pass on every query.
+///
+/// Contextualization only mixes columns of the *same* table (blend with the
+/// table centroid), so per-table embeddings are query-independent and the
+/// store is exact, not approximate: [`StarmieSearch::search_with_store`]
+/// returns byte-identical rankings to the embed-per-query path.
+#[derive(Debug, Clone, Default)]
+pub struct StarmieColumnStore {
+    inner: crate::PerTableColumnEmbeddings,
+}
+
+impl StarmieColumnStore {
+    /// Embed every lake table's columns with `search`'s encoder and
+    /// contextualization strength.
+    pub fn build(lake: &DataLake, search: &StarmieSearch) -> Self {
+        StarmieColumnStore {
+            inner: crate::PerTableColumnEmbeddings::build(lake, |t| {
+                search.contextual_column_embeddings(t)
+            }),
+        }
+    }
+
+    /// Contextualized column embeddings of a table (column order), if indexed.
+    pub fn embeddings(&self, table: &str) -> Option<&[Vector]> {
+        self.inner.get(table)
+    }
+
+    /// Number of indexed tables.
+    pub fn num_tables(&self) -> usize {
+        self.inner.num_tables()
+    }
+
+    /// Total number of stored column embeddings.
+    pub fn num_columns(&self) -> usize {
+        self.inner.num_columns()
     }
 }
 
@@ -167,10 +253,10 @@ impl StarmieTupleSearch {
                 }
             })
             .collect();
+        // NaN-safe total order (shared comparator): a poisoned similarity
+        // must rank last, never Equal-to-everything.
         results.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            dust_embed::desc_nan_last(a.score, b.score)
                 .then_with(|| a.tuple.source_table().cmp(b.tuple.source_table()))
                 .then_with(|| a.tuple.source_row().cmp(&b.tuple.source_row()))
         });
@@ -278,6 +364,29 @@ mod tests {
             "got {name}"
         );
         assert!(top[0].score >= top[1].score);
+    }
+
+    #[test]
+    fn resident_store_reproduces_the_fresh_ranking_exactly() {
+        let search = StarmieSearch::new();
+        let lake = lake();
+        let store = StarmieColumnStore::build(&lake, &search);
+        assert_eq!(store.num_tables(), 2);
+        assert_eq!(store.num_columns(), 6);
+        let fresh = search.search(&lake, &query(), 10);
+        let resident = search.search_with_store(&lake, &query(), 10, &store);
+        assert_eq!(fresh.len(), resident.len());
+        for (f, r) in fresh.iter().zip(&resident) {
+            assert_eq!(f.table, r.table);
+            assert_eq!(f.score.to_bits(), r.score.to_bits(), "table {}", f.table);
+        }
+        // a table missing from the store falls back to fresh embedding
+        let empty_store = StarmieColumnStore::default();
+        let fallback = search.search_with_store(&lake, &query(), 10, &empty_store);
+        assert_eq!(fresh.len(), fallback.len());
+        for (f, r) in fresh.iter().zip(&fallback) {
+            assert_eq!(f.score.to_bits(), r.score.to_bits());
+        }
     }
 
     #[test]
