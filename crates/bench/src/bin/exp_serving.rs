@@ -15,6 +15,14 @@
 //! order included) before any number is reported — a speedup from a
 //! behaviour change would be a bug, not a result.
 //!
+//! The **mutation** scenario measures the incremental-mutation claim the
+//! same way: a single-table `add_table` on a resident session (per-shard
+//! delta) vs building a fresh session over the grown lake, and an
+//! interleaved workload (queries between adds/drops) vs the
+//! rebuild-per-mutation strategy. Results after every mutation are
+//! asserted identical between the two strategies (that equivalence is the
+//! contract `tests/session_mutation.rs` pins bit-for-bit).
+//!
 //! Run with `cargo run --release -p dust-bench --bin exp_serving`
 //! (`-- --write` additionally writes `BENCH_serve.json`).
 //!
@@ -154,7 +162,10 @@ fn main() {
             if ci + 1 < configs().len() { "," } else { "" }
         );
     }
-    let _ = writeln!(json, "  }}\n}}");
+    let _ = writeln!(json, "  }},");
+
+    mutation_benchmark(&lake, &queries, &mut json);
+    let _ = writeln!(json, "}}");
 
     if write_json {
         std::fs::write("BENCH_serve.json", &json).expect("cannot write BENCH_serve.json");
@@ -162,4 +173,140 @@ fn main() {
     } else {
         println!("\n{json}");
     }
+}
+
+/// The incremental-mutation scenario: per-shard `add_table`/`remove_table`
+/// deltas on one resident session vs rebuilding a fresh session per
+/// mutation. Uses the fast overlap+pretrained configuration (the mutation
+/// machinery is identical across techniques; the fine-tuned configuration
+/// retrains by design — its mutation cost *is* a rebuild, documented in
+/// the session docs).
+fn mutation_benchmark(full_lake: &dust_table::DataLake, queries: &[Table], json: &mut String) {
+    const POOL: usize = 4;
+    let config = PipelineConfig {
+        search: SearchTechnique::Overlap,
+        ..PipelineConfig::fast()
+    };
+
+    // Carve a pool of mutation-fodder tables out of the lake: the session
+    // starts without them and the scenario adds/drops them.
+    let mut base_lake = full_lake.clone();
+    let names = base_lake.table_names();
+    let pool: Vec<Table> = names
+        .iter()
+        .rev()
+        .take(POOL)
+        .map(|name| base_lake.remove_table(name).expect("pool table exists"))
+        .collect();
+
+    // ---- single-table add: delta vs fresh rebuild -------------------------
+    let mut session = LakeSession::new(base_lake.clone(), config.clone());
+    let start = Instant::now();
+    session.add_table(pool[0].clone()).expect("pool add");
+    let incremental_secs = start.elapsed().as_secs_f64();
+
+    let mut grown = base_lake.clone();
+    grown.add_table(pool[0].clone()).expect("pool add");
+    let start = Instant::now();
+    let rebuilt = LakeSession::new(grown, config.clone());
+    let rebuild_secs = start.elapsed().as_secs_f64();
+
+    // identical serving behaviour, asserted before any number is reported
+    for query in queries.iter().take(4) {
+        let a = session.query(query, K).expect("mutated session query");
+        let b = rebuilt.query(query, K).expect("rebuilt session query");
+        assert_eq!(a.tuples, b.tuples, "single-add: strategies diverged");
+        assert_eq!(a.retrieved_tables, b.retrieved_tables);
+    }
+    let single_speedup = rebuild_secs / incremental_secs;
+
+    // ---- interleaved: M add/drop mutations with queries between ----------
+    // Each pool table is added then removed, with 2 queries after every
+    // mutation — the slowly-changing-lake serving shape.
+    let mut session = LakeSession::new(base_lake.clone(), config.clone());
+    let mut incremental_results = Vec::new();
+    let start = Instant::now();
+    for (mi, table) in pool.iter().enumerate() {
+        session.add_table(table.clone()).expect("pool add");
+        for qi in 0..2 {
+            let q = &queries[(mi * 4 + qi) % queries.len()];
+            incremental_results.push(session.query(q, K).expect("query"));
+        }
+        session.remove_table(table.name()).expect("pool remove");
+        for qi in 2..4 {
+            let q = &queries[(mi * 4 + qi) % queries.len()];
+            incremental_results.push(session.query(q, K).expect("query"));
+        }
+    }
+    let interleaved_incremental_secs = start.elapsed().as_secs_f64();
+    let mutations = pool.len() * 2;
+    let query_count = incremental_results.len();
+
+    let mut rebuild_results = Vec::new();
+    let mut lake = base_lake.clone();
+    let start = Instant::now();
+    for (mi, table) in pool.iter().enumerate() {
+        lake.add_table(table.clone()).expect("pool add");
+        let fresh = LakeSession::new(lake.clone(), config.clone());
+        for qi in 0..2 {
+            let q = &queries[(mi * 4 + qi) % queries.len()];
+            rebuild_results.push(fresh.query(q, K).expect("query"));
+        }
+        lake.remove_table(table.name()).expect("pool remove");
+        let fresh = LakeSession::new(lake.clone(), config.clone());
+        for qi in 2..4 {
+            let q = &queries[(mi * 4 + qi) % queries.len()];
+            rebuild_results.push(fresh.query(q, K).expect("query"));
+        }
+    }
+    let interleaved_rebuild_secs = start.elapsed().as_secs_f64();
+    for (i, (a, b)) in incremental_results.iter().zip(&rebuild_results).enumerate() {
+        assert_eq!(
+            a.tuples, b.tuples,
+            "interleaved query {i}: strategies diverged"
+        );
+        assert_eq!(a.retrieved_tables, b.retrieved_tables);
+    }
+    let interleaved_speedup = interleaved_rebuild_secs / interleaved_incremental_secs;
+
+    let mut report = Report::new(
+        "Lake mutation: incremental per-shard deltas vs rebuild-per-mutation (overlap+pretrained)",
+    )
+    .headers(["scenario", "incremental (s)", "rebuild (s)", "speedup"]);
+    report.row([
+        "single-table add".to_string(),
+        fmt3(incremental_secs),
+        fmt3(rebuild_secs),
+        format!("{single_speedup:.2}x"),
+    ]);
+    report.row([
+        format!("{mutations} mutations + {query_count} queries"),
+        fmt3(interleaved_incremental_secs),
+        fmt3(interleaved_rebuild_secs),
+        format!("{interleaved_speedup:.2}x"),
+    ]);
+    report.note("results asserted identical between strategies after every mutation");
+    report.note("equivalence itself is pinned bit-for-bit by tests/session_mutation.rs");
+    report.print();
+
+    let _ = writeln!(json, "  \"mutation\": {{");
+    let _ = writeln!(
+        json,
+        "    \"note\": \"incremental LakeSession::add_table/remove_table (per-shard deltas) vs \
+         a fresh LakeSession::new per mutation, SANTOS-small, overlap+pretrained, k = {K}; \
+         results asserted identical between strategies\","
+    );
+    let _ = writeln!(
+        json,
+        "    \"single_add\": {{ \"incremental_secs\": {incremental_secs:.4}, \
+         \"rebuild_secs\": {rebuild_secs:.4}, \"speedup\": {single_speedup:.2} }},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"interleaved\": {{ \"mutations\": {mutations}, \"queries\": {query_count}, \
+         \"incremental_secs\": {interleaved_incremental_secs:.3}, \
+         \"rebuild_secs\": {interleaved_rebuild_secs:.3}, \
+         \"speedup\": {interleaved_speedup:.2} }}"
+    );
+    let _ = writeln!(json, "  }}");
 }

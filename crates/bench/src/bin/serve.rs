@@ -20,6 +20,20 @@
 //! shape). Batched requests: `{"queries": ["name1", "name2"], "k": 5}`
 //! runs the whole array through `query_batch` in one go.
 //!
+//! The lake can be mutated in place — incremental per-shard deltas, no
+//! session rebuild (results stay bit-identical to a rebuild; see
+//! `tests/session_mutation.rs`):
+//!
+//! ```text
+//! {"id":"m1","mode":"add_table","name":"parks_new","csv":"Park Name,Country\nDelta Park,USA"}
+//! {"id":"m2","mode":"remove_table","table":"parks_new"}
+//! ```
+//!
+//! Mutation responses echo the mutated table, the new lake size, and the
+//! session generation (the count of successful mutations). A duplicate
+//! `add_table` name is an error (remove first to replace), matching the
+//! lake's pinned duplicate semantics.
+//!
 //! Flags: `--benchmark tiny|santos|ugen` (generated lake, default tiny),
 //! `--lake-dir <dir>` (load every `*.csv` file as a lake table),
 //! `--search overlap|d3l|starmie`, `--finetune` (train the DUST model at
@@ -66,7 +80,7 @@ fn run(args: &[String]) -> Result<(), String> {
 
     // ---- build the resident session (the embed-once step) -----------------
     let config = options.pipeline_config();
-    let session = LakeSession::with_options(
+    let mut session = LakeSession::with_options(
         lake,
         config,
         dust_core::SessionOptions {
@@ -98,7 +112,7 @@ fn run(args: &[String]) -> Result<(), String> {
         if trimmed.is_empty() {
             return Ok(());
         }
-        let response = handle_request(&session, trimmed);
+        let response = handle_request(&mut session, trimmed);
         writeln!(out, "{response}").map_err(|e| e.to_string())?;
         out.flush().map_err(|e| e.to_string())?;
         served += 1;
@@ -241,7 +255,7 @@ fn load_lake_dir(dir: &str) -> Result<DataLake, String> {
 }
 
 /// Handle one JSONL request line; always returns one JSON response line.
-fn handle_request(session: &LakeSession, line: &str) -> String {
+fn handle_request(session: &mut LakeSession, line: &str) -> String {
     match serve_line(session, line) {
         Ok(response) => response,
         Err((id, message)) => format!(
@@ -252,7 +266,7 @@ fn handle_request(session: &LakeSession, line: &str) -> String {
     }
 }
 
-fn serve_line(session: &LakeSession, line: &str) -> Result<String, (String, String)> {
+fn serve_line(session: &mut LakeSession, line: &str) -> Result<String, (String, String)> {
     let request = json::parse(line).map_err(|e| (String::new(), format!("bad request: {e}")))?;
     let id = request
         .get("id")
@@ -304,6 +318,53 @@ fn serve_line(session: &LakeSession, line: &str) -> Result<String, (String, Stri
             "{{\"id\":\"{}\",\"k\":{k},\"batch\":[{}],\"secs\":{}}}",
             json::escape(&id),
             rendered.join(","),
+            json::number(secs)
+        ));
+    }
+
+    // mutation modes: incremental per-shard deltas on the resident session
+    // (no rebuild; results afterwards are bit-identical to one)
+    if mode == "add_table" || mode == "remove_table" {
+        let start = Instant::now();
+        let body = if mode == "add_table" {
+            let name = request
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| fail("add_table needs \"name\"".to_string()))?;
+            let csv = request
+                .get("csv")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| fail("add_table needs \"csv\"".to_string()))?;
+            let table = parse_csv(name, csv, CsvOptions::default())
+                .map_err(|e| fail(format!("bad csv: {e:?}")))?;
+            session
+                .add_table(table)
+                .map_err(|e| fail(format!("{e:?}")))?;
+            format!(
+                "{{\"added\":\"{}\",\"tables\":{},\"generation\":{}}}",
+                json::escape(name),
+                session.lake().num_tables(),
+                session.generation()
+            )
+        } else {
+            let name = request
+                .get("table")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| fail("remove_table needs \"table\"".to_string()))?;
+            session
+                .remove_table(name)
+                .map_err(|e| fail(format!("{e:?}")))?;
+            format!(
+                "{{\"removed\":\"{}\",\"tables\":{},\"generation\":{}}}",
+                json::escape(name),
+                session.lake().num_tables(),
+                session.generation()
+            )
+        };
+        let secs = start.elapsed().as_secs_f64();
+        return Ok(format!(
+            "{{\"id\":\"{}\",\"result\":{body},\"secs\":{}}}",
+            json::escape(&id),
             json::number(secs)
         ));
     }
@@ -410,7 +471,7 @@ fn selftest() -> Result<(), String> {
         lake.query(&query_name).map_err(|e| format!("{e:?}"))?,
         CsvOptions::default(),
     );
-    let session = LakeSession::new(lake, PipelineConfig::fast());
+    let mut session = LakeSession::new(lake, PipelineConfig::fast());
 
     let requests = [
         format!("{{\"id\":\"one\",\"query\":\"{query_name}\",\"k\":5}}"),
@@ -426,7 +487,7 @@ fn selftest() -> Result<(), String> {
         ),
     ];
     for request in &requests {
-        let response = handle_request(&session, request);
+        let response = handle_request(&mut session, request);
         let parsed = json::parse(&response)
             .map_err(|e| format!("selftest: unparseable response {response:?}: {e}"))?;
         let id = parsed.get("id").and_then(JsonValue::as_str).unwrap_or("");
@@ -462,6 +523,82 @@ fn selftest() -> Result<(), String> {
             other => return Err(format!("selftest: unexpected id {other:?}")),
         }
     }
-    eprintln!("serve: selftest ok ({} requests verified)", requests.len());
+
+    // ---- mutation cycle: add → query → remove → query ---------------------
+    // After the remove, the query result must be identical to the pre-add
+    // one: the mutation deltas leave no residue (the same guarantee
+    // tests/session_mutation.rs pins against a full rebuild).
+    let query_request = format!("{{\"id\":\"cycle\",\"query\":\"{query_name}\",\"k\":5}}");
+    let result_of = |response: &str| -> Result<JsonValue, String> {
+        let parsed = json::parse(response)
+            .map_err(|e| format!("selftest: unparseable response {response:?}: {e}"))?;
+        if let Some(error) = parsed.get("error") {
+            return Err(format!("selftest: unexpected error response: {error:?}"));
+        }
+        parsed
+            .get("result")
+            .cloned()
+            .ok_or_else(|| format!("selftest: no result in {response}"))
+    };
+    let before = result_of(&handle_request(&mut session, &query_request))?;
+
+    let mutations = [
+        format!(
+            "{{\"id\":\"grow\",\"mode\":\"add_table\",\"name\":\"selftest_added\",\"csv\":\"{}\"}}",
+            json::escape(&inline_csv)
+        ),
+        "{\"id\":\"shrink\",\"mode\":\"remove_table\",\"table\":\"selftest_added\"}".to_string(),
+    ];
+    let generations = [1usize, 2];
+    for (request, expected_gen) in mutations.iter().zip(generations) {
+        let response = handle_request(&mut session, request);
+        let result = result_of(&response)?;
+        let generation = result
+            .get("generation")
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| format!("selftest: no generation in {response}"))?;
+        if generation != expected_gen {
+            return Err(format!(
+                "selftest: expected generation {expected_gen}, got {generation}: {response}"
+            ));
+        }
+        if expected_gen == 1 {
+            // the added table serves immediately
+            let mid = result_of(&handle_request(&mut session, &query_request))?;
+            if mid.get("tuples").is_none() {
+                return Err(format!("selftest: no tuples after add: {mid:?}"));
+            }
+        }
+    }
+    let after = result_of(&handle_request(&mut session, &query_request))?;
+    if before != after {
+        return Err(format!(
+            "selftest: post-remove result differs from pre-add result\n  before: {before:?}\n  after: {after:?}"
+        ));
+    }
+    // duplicate add and missing remove are rejected without mutating
+    let lake_table = session
+        .lake()
+        .table_names()
+        .first()
+        .cloned()
+        .ok_or("selftest: lake has no tables")?;
+    for bad in [
+        format!(
+            "{{\"id\":\"dup\",\"mode\":\"add_table\",\"name\":\"{lake_table}\",\"csv\":\"a\\n1\"}}"
+        ),
+        "{\"id\":\"ghost\",\"mode\":\"remove_table\",\"table\":\"selftest_added\"}".to_string(),
+    ] {
+        let response = handle_request(&mut session, &bad);
+        let parsed = json::parse(&response).map_err(|e| format!("selftest: {e}"))?;
+        if parsed.get("error").is_none() {
+            return Err(format!("selftest: bad mutation not rejected: {response}"));
+        }
+    }
+
+    eprintln!(
+        "serve: selftest ok ({} requests + mutation cycle verified)",
+        requests.len()
+    );
     Ok(())
 }

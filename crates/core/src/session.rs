@@ -1,5 +1,5 @@
 //! The resident serving layer: embed a lake **once**, serve **many**
-//! queries.
+//! queries — and mutate the lake **incrementally**.
 //!
 //! Algorithm 1 as written re-pays lake-side work on every query: the
 //! inverted value index (or the full-lake Starmie/D3L column-embedding
@@ -26,6 +26,44 @@
 //! pinned by `tests/session_equivalence.rs`. [`LakeSession::query_batch`]
 //! fans independent queries out over the rayon shim.
 //!
+//! ## Mutating the lake
+//!
+//! A slowly-changing lake must not pay a full session rebuild per added or
+//! dropped table. [`LakeSession::add_table`] and
+//! [`LakeSession::remove_table`] apply **per-shard deltas** instead:
+//!
+//! * the mutation routes to the FNV-owning shard — an add embeds only the
+//!   new table's tuples and appends them to that shard's store; a remove
+//!   tombstones that shard's rows ([`EmbeddingStore::remove_row`]) and
+//!   physically compacts once dead rows reach live rows (the same halving
+//!   rule as the clustering workspace compaction);
+//! * the search technique's candidate structures update by exact per-table
+//!   deltas — [`InvertedValueIndex`] postings are sets, Starmie/D3L column
+//!   stores are keyed per table with no cross-table float aggregate, so a
+//!   delta produces structures *structurally equal* to a fresh build;
+//! * the lake-wide TF-IDF column corpus updates by **integer** document-
+//!   frequency deltas (`TfIdfCorpus::remove_document` — exact, no
+//!   floating-point subtraction anywhere), and the corpus-dependent column
+//!   embeddings (every column's embedding depends on every table through
+//!   IDF) are marked stale and re-embedded **lazily**, on the next
+//!   [`LakeSession::similar_columns`] / [`LakeSession::stats`] call, via
+//!   the same build path as construction;
+//! * a fine-tuned session retrains its (lake-derived, deterministically
+//!   seeded) model and re-embeds the tuple shards — the documented
+//!   recompute fallback: training is a function of the whole lake, so no
+//!   exact delta exists. Sessions with an *injected* model
+//!   ([`LakeSession::with_model`]) keep it: the model is not lake-derived.
+//!
+//! The headline guarantee, enforced by `tests/session_mutation.rs` rather
+//! than prose: after **any** mutation sequence, `query` /
+//! `similar_tuples` / `similar_columns` results are bit-identical to a
+//! fresh [`LakeSession::new`] on the mutated lake.
+//!
+//! Mutations take `&mut self`, so the borrow checker rules out a mutation
+//! interleaving with an in-flight `query_batch`: every query observes
+//! exactly one lake version. [`LakeSession::generation`] counts successful
+//! mutations so external callers can correlate results with lake versions.
+//!
 //! [`DustPipeline::run`]: crate::pipeline::DustPipeline
 //! [`DustPipeline`]: crate::pipeline::DustPipeline
 
@@ -41,7 +79,7 @@ use dust_search::{
 };
 use dust_table::{Column, DataLake, Table, TableError, TableId, Tuple};
 use rayon::prelude::*;
-use std::sync::Mutex;
+use std::sync::{Mutex, RwLock, RwLockReadGuard};
 use std::time::Instant;
 
 /// Construction options for a [`LakeSession`].
@@ -59,19 +97,20 @@ impl Default for SessionOptions {
     }
 }
 
-/// One embedding shard: the tuples and columns of the lake tables whose
-/// name hashes into this shard, packed into contiguous [`EmbeddingStore`]s.
+/// One embedding shard: the tuples of the lake tables whose name hashes
+/// into this shard, packed into a contiguous [`EmbeddingStore`]. After a
+/// [`LakeSession::remove_table`] the store may carry tombstoned rows until
+/// the next compaction; `tuple_refs` stays parallel to the *physical* rows,
+/// so provenance lookups never need adjusting between compactions.
 #[derive(Debug, Clone)]
 pub struct LakeShard {
+    /// Names of the member tables, in insertion order (construction inserts
+    /// in lake name order; later [`LakeSession::add_table`] calls append).
     tables: Vec<TableId>,
     tuple_store: EmbeddingStore,
-    /// `(table, row)` per tuple-store row, parallel to the store.
+    /// `(table, row)` per tuple-store row, parallel to the store
+    /// (tombstoned rows keep their stale entry until compaction).
     tuple_refs: Vec<(TableId, usize)>,
-    column_store: EmbeddingStore,
-    /// `(table, column header)` per column-store row, parallel to the store
-    /// (the header is captured at build time so serving a hit never needs a
-    /// lake lookup).
-    column_refs: Vec<(TableId, String)>,
 }
 
 impl LakeShard {
@@ -89,16 +128,27 @@ impl LakeShard {
     pub fn tuple_ref(&self, i: usize) -> &(TableId, usize) {
         &self.tuple_refs[i]
     }
+}
 
-    /// The shard's resident column embeddings.
-    pub fn column_store(&self) -> &EmbeddingStore {
-        &self.column_store
-    }
+/// The corpus-dependent column side of the session: the lake-wide TF-IDF
+/// corpus plus per-shard column embeddings. Kept separate from the tuple
+/// shards because *every* column embedding depends on *every* table
+/// (through IDF), so mutations invalidate it wholesale: the corpus itself
+/// updates by exact integer deltas at mutation time, the embeddings are
+/// re-derived lazily through the same build path as construction.
+#[derive(Debug)]
+struct ColumnSide {
+    corpus: TfIdfCorpus,
+    shards: Vec<ColumnShard>,
+    stale: bool,
+}
 
-    /// `(table, column header)` provenance of column-store row `i`.
-    pub fn column_ref(&self, i: usize) -> &(TableId, String) {
-        &self.column_refs[i]
-    }
+#[derive(Debug)]
+struct ColumnShard {
+    store: EmbeddingStore,
+    /// `(table, column header)` per store row (the header is captured at
+    /// build time so serving a hit never needs a lake lookup).
+    refs: Vec<(TableId, String)>,
 }
 
 /// The persistent candidate structures of the configured search technique.
@@ -119,11 +169,54 @@ enum SearchStructures {
     },
 }
 
+impl SearchStructures {
+    /// Apply the exact per-table delta for an added table.
+    fn add_table(&mut self, table: &Table) {
+        match self {
+            SearchStructures::Overlap { index, .. } => index.add_table(table),
+            SearchStructures::D3l {
+                search,
+                index,
+                stats,
+            } => {
+                index.add_table(table);
+                stats.add_table(table, search);
+            }
+            SearchStructures::Starmie { search, store } => store.add_table(table, search),
+        }
+    }
+
+    /// Apply the exact per-table delta for a removed table (the caller
+    /// passes the removed [`Table`] because the inverted index holds no
+    /// per-table value lists to subtract from).
+    fn remove_table(&mut self, table: &Table) {
+        match self {
+            SearchStructures::Overlap { index, .. } => index.remove_table(table),
+            SearchStructures::D3l { index, stats, .. } => {
+                index.remove_table(table);
+                stats.remove_table(table.name());
+            }
+            SearchStructures::Starmie { store, .. } => {
+                store.remove_table(table.name());
+            }
+        }
+    }
+}
+
 /// The session's shared tuple embedder (constructed/trained once).
 #[derive(Debug)]
 enum SessionEmbedder {
     Model(DustModel),
     Encoder(TupleEncoder),
+}
+
+impl SessionEmbedder {
+    fn embed_tuple(&self, tuple: &Tuple) -> Vector {
+        match self {
+            SessionEmbedder::Model(m) => m.embed_tuple(tuple),
+            SessionEmbedder::Encoder(e) => e.embed_tuple(tuple),
+        }
+    }
 }
 
 /// A ranked lake tuple returned by [`LakeSession::similar_tuples`].
@@ -149,18 +242,19 @@ pub struct RankedColumn {
 }
 
 /// Size and shape of a session's resident state (for logs and the `serve`
-/// binary's startup banner).
+/// binary's startup banner). Counts are of **live** rows: tombstoned tuple
+/// rows awaiting compaction are excluded.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionStats {
     /// Number of lake tables embedded.
     pub tables: usize,
-    /// Total resident tuple embeddings.
+    /// Total resident (live) tuple embeddings.
     pub tuples: usize,
     /// Total resident column embeddings.
     pub columns: usize,
     /// Number of embedding shards.
     pub shards: usize,
-    /// `(tables, tuples)` per shard.
+    /// `(tables, live tuples)` per shard.
     pub shard_sizes: Vec<(usize, usize)>,
     /// Tuple embedding dimensionality.
     pub tuple_dim: usize,
@@ -170,19 +264,28 @@ pub struct SessionStats {
     pub build_secs: f64,
 }
 
-/// A resident lake session: construct once, serve many queries.
+/// A resident lake session: construct once, serve many queries, mutate
+/// incrementally (see the module docs for the delta/rebuild contract).
 #[derive(Debug)]
 pub struct LakeSession {
     lake: DataLake,
     config: PipelineConfig,
     options: SessionOptions,
     aligner_encoder: ColumnEncoder,
-    /// Lake-wide TF-IDF corpus over columns (used by the resident column
-    /// shard and [`Self::similar_columns`] probes).
-    column_corpus: TfIdfCorpus,
     embedder: SessionEmbedder,
+    /// An injected ([`Self::with_model`]) embedder is not lake-derived and
+    /// is therefore kept across mutations; a config-trained fine-tuned
+    /// model *is* lake-derived and must be retrained (recompute fallback).
+    model_injected: bool,
     search: SearchStructures,
     shards: Vec<LakeShard>,
+    /// Corpus + column embeddings, refreshed lazily after mutations (every
+    /// column embedding depends on the whole lake through IDF). Queries
+    /// never touch this lock: `run_query` builds its own per-query
+    /// alignment corpus from the query and its candidates.
+    columns: RwLock<ColumnSide>,
+    /// Number of successful mutations applied since construction.
+    generation: u64,
     build_secs: f64,
 }
 
@@ -217,17 +320,19 @@ impl LakeSession {
                 ))
             }
         };
-        Self::assemble(lake, config, options, embedder)
+        Self::assemble(lake, config, options, embedder, false)
     }
 
     /// Build a session that embeds tuples with an already-trained model
-    /// (mirrors [`crate::pipeline::DustPipeline::with_model`]).
+    /// (mirrors [`crate::pipeline::DustPipeline::with_model`]). The model
+    /// is treated as external: mutations never retrain it.
     pub fn with_model(lake: DataLake, config: PipelineConfig, model: DustModel) -> Self {
         Self::assemble(
             lake,
             config,
             SessionOptions::default(),
             SessionEmbedder::Model(model),
+            true,
         )
     }
 
@@ -236,6 +341,7 @@ impl LakeSession {
         config: PipelineConfig,
         options: SessionOptions,
         embedder: SessionEmbedder,
+        model_injected: bool,
     ) -> Self {
         let start = Instant::now();
         let num_shards = options.num_shards.max(1);
@@ -266,56 +372,25 @@ impl LakeSession {
             }
         };
 
-        // Lake-wide column corpus + per-shard embedding stores. Lake tables
-        // iterate in name order (BTreeMap), so shard contents and store row
-        // order are deterministic.
-        let column_corpus =
-            ColumnEncoder::build_corpus(lake.tables().flat_map(|t| t.columns().iter()));
-        let mut shard_members: Vec<Vec<&Table>> = vec![Vec::new(); num_shards];
-        for table in lake.tables() {
-            shard_members[shard_of(table.name(), num_shards)].push(table);
-        }
-        let shards: Vec<LakeShard> = shard_members
-            .into_iter()
-            .map(|members| {
-                let mut tuple_embeddings: Vec<Vector> = Vec::new();
-                let mut tuple_refs: Vec<(TableId, usize)> = Vec::new();
-                let mut column_embeddings: Vec<Vector> = Vec::new();
-                let mut column_refs: Vec<(TableId, String)> = Vec::new();
-                for table in &members {
-                    let name = table.name().to_string();
-                    for (row, tuple) in table.tuples().iter().enumerate() {
-                        tuple_embeddings.push(match &embedder {
-                            SessionEmbedder::Model(m) => m.embed_tuple(tuple),
-                            SessionEmbedder::Encoder(e) => e.embed_tuple(tuple),
-                        });
-                        tuple_refs.push((name.clone(), row));
-                    }
-                    for column in table.columns() {
-                        column_embeddings
-                            .push(aligner_encoder.embed_column(column, &column_corpus));
-                        column_refs.push((name.clone(), column.name().to_string()));
-                    }
-                }
-                LakeShard {
-                    tables: members.iter().map(|t| t.name().to_string()).collect(),
-                    tuple_store: EmbeddingStore::from_vectors(&tuple_embeddings),
-                    tuple_refs,
-                    column_store: EmbeddingStore::from_vectors(&column_embeddings),
-                    column_refs,
-                }
-            })
-            .collect();
+        let shards = build_tuple_shards(&lake, num_shards, &embedder);
+        let corpus = ColumnEncoder::build_corpus(lake.tables().flat_map(|t| t.columns().iter()));
+        let column_shards = build_column_shards(&lake, num_shards, &aligner_encoder, &corpus);
 
         LakeSession {
             lake,
             config,
             options: SessionOptions { num_shards },
             aligner_encoder,
-            column_corpus,
             embedder,
+            model_injected,
             search,
             shards,
+            columns: RwLock::new(ColumnSide {
+                corpus,
+                shards: column_shards,
+                stale: false,
+            }),
+            generation: 0,
             build_secs: start.elapsed().as_secs_f64(),
         }
     }
@@ -346,28 +421,176 @@ impl LakeSession {
         shard_of(table, self.options.num_shards)
     }
 
+    /// Number of successful mutations ([`Self::add_table`] /
+    /// [`Self::remove_table`]) applied since construction. Failed mutations
+    /// leave it — and every resident structure — untouched. Because
+    /// mutations take `&mut self`, every query observes exactly one
+    /// generation; a batch runs entirely within one.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Add a table to the lake and apply per-shard deltas instead of
+    /// rebuilding: the new table's tuples are embedded and appended to its
+    /// FNV-owning shard, the search technique's candidate structures take
+    /// the exact per-table delta, the TF-IDF corpus takes the exact integer
+    /// delta, and the corpus-dependent column embeddings are marked stale
+    /// (re-derived lazily). A fine-tuned session retrains its lake-derived
+    /// model and re-embeds the tuple shards instead — the documented
+    /// recompute fallback (see module docs).
+    ///
+    /// Duplicate names follow [`DataLake::add_table`]'s pinned semantics:
+    /// an error, never a replace, with the session left untouched (remove
+    /// first to replace).
+    pub fn add_table(&mut self, table: Table) -> Result<(), TableError> {
+        self.lake.add_table(table.clone())?;
+        self.search.add_table(&table);
+
+        let columns = self.columns.get_mut().expect("column side poisoned");
+        for col in table.columns() {
+            columns
+                .corpus
+                .add_document(&ColumnEncoder::column_document_tokens(col));
+        }
+        columns.stale = true;
+
+        if self.retrains_on_mutation() {
+            self.retrain_and_reembed();
+        } else {
+            let name = table.name().to_string();
+            let shard = &mut self.shards[shard_of(&name, self.options.num_shards)];
+            for (row, tuple) in table.tuples().iter().enumerate() {
+                shard.tuple_store.push(&self.embedder.embed_tuple(tuple));
+                shard.tuple_refs.push((name.clone(), row));
+            }
+            shard.tables.push(name);
+        }
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// Remove a table from the lake and apply per-shard deltas: the owning
+    /// shard's rows are tombstoned (and physically compacted once dead rows
+    /// reach live rows), the candidate structures and TF-IDF corpus take
+    /// their exact inverses, and the column embeddings are marked stale.
+    /// Returns the removed table (as [`DataLake::remove_table`], which also
+    /// scrubs ground-truth pairs naming it); errors — leaving the session
+    /// untouched — if no such table exists.
+    pub fn remove_table(&mut self, name: &str) -> Result<Table, TableError> {
+        let removed = self.lake.remove_table(name)?;
+        self.search.remove_table(&removed);
+
+        let columns = self.columns.get_mut().expect("column side poisoned");
+        for col in removed.columns() {
+            columns
+                .corpus
+                .remove_document(&ColumnEncoder::column_document_tokens(col));
+        }
+        columns.stale = true;
+
+        if self.retrains_on_mutation() {
+            self.retrain_and_reembed();
+        } else {
+            let shard = &mut self.shards[shard_of(name, self.options.num_shards)];
+            for i in 0..shard.tuple_store.len() {
+                if shard.tuple_store.is_live(i) && shard.tuple_refs[i].0 == name {
+                    shard.tuple_store.remove_row(i);
+                }
+            }
+            shard.tables.retain(|t| t != name);
+            if shard.tuple_store.should_compact() {
+                let remap = shard.tuple_store.compact();
+                let mut refs: Vec<(TableId, usize)> =
+                    vec![(String::new(), 0); shard.tuple_store.len()];
+                for (old, slot) in remap.iter().enumerate() {
+                    if let Some(new) = slot {
+                        refs[*new] = std::mem::take(&mut shard.tuple_refs[old]);
+                    }
+                }
+                shard.tuple_refs = refs;
+            }
+        }
+        self.generation += 1;
+        Ok(removed)
+    }
+
+    /// Whether mutations must fall back to retraining the tuple model: the
+    /// model came from a fine-tuning config (lake-derived training set), not
+    /// from [`Self::with_model`] injection.
+    fn retrains_on_mutation(&self) -> bool {
+        !self.model_injected && matches!(self.config.embedder, TupleEmbedderKind::FineTuned { .. })
+    }
+
+    /// The recompute fallback for lake-derived models: retrain on the
+    /// mutated lake (the identical deterministic recipe a fresh session
+    /// runs) and re-embed the tuple shards under the new model.
+    fn retrain_and_reembed(&mut self) {
+        if let TupleEmbedderKind::FineTuned {
+            backbone,
+            config: ft_config,
+            training_pairs,
+        } = &self.config.embedder
+        {
+            self.embedder = SessionEmbedder::Model(crate::pipeline::train_dust_model(
+                &self.lake,
+                *backbone,
+                ft_config,
+                *training_pairs,
+            ));
+        }
+        self.shards = build_tuple_shards(&self.lake, self.options.num_shards, &self.embedder);
+    }
+
+    /// The column side, re-derived first if a mutation left it stale. The
+    /// refresh runs the identical build path as construction (same encoder,
+    /// same — incrementally maintained, integer-exact — corpus), so a
+    /// refreshed side is bit-identical to a fresh session's.
+    fn refreshed_columns(&self) -> RwLockReadGuard<'_, ColumnSide> {
+        {
+            let guard = self.columns.read().expect("column side poisoned");
+            if !guard.stale {
+                return guard;
+            }
+        }
+        {
+            let mut guard = self.columns.write().expect("column side poisoned");
+            if guard.stale {
+                guard.shards = build_column_shards(
+                    &self.lake,
+                    self.options.num_shards,
+                    &self.aligner_encoder,
+                    &guard.corpus,
+                );
+                guard.stale = false;
+            }
+        }
+        self.columns.read().expect("column side poisoned")
+    }
+
     /// Size/shape summary of the resident state.
     pub fn stats(&self) -> SessionStats {
+        let columns = self.refreshed_columns();
         SessionStats {
             tables: self.lake.num_tables(),
-            tuples: self.shards.iter().map(|s| s.tuple_store.len()).sum(),
-            columns: self.shards.iter().map(|s| s.column_store.len()).sum(),
+            tuples: self.shards.iter().map(|s| s.tuple_store.num_live()).sum(),
+            columns: columns.shards.iter().map(|s| s.store.len()).sum(),
             shards: self.shards.len(),
             shard_sizes: self
                 .shards
                 .iter()
-                .map(|s| (s.tables.len(), s.tuple_store.len()))
+                .map(|s| (s.tables.len(), s.tuple_store.num_live()))
                 .collect(),
             tuple_dim: self
                 .shards
                 .iter()
+                .filter(|s| s.tuple_store.num_live() > 0)
                 .map(|s| s.tuple_store.dim())
                 .find(|&d| d > 0)
                 .unwrap_or(0),
-            column_dim: self
+            column_dim: columns
                 .shards
                 .iter()
-                .map(|s| s.column_store.dim())
+                .map(|s| s.store.dim())
                 .find(|&d| d > 0)
                 .unwrap_or(0),
             build_secs: self.build_secs,
@@ -412,19 +635,17 @@ impl LakeSession {
     /// Rank every resident lake tuple by its maximum cosine similarity to
     /// any query tuple and return the top `k` — the tuple-as-table serving
     /// path (Sec. 6.5's retrieval shape) answered entirely from the
-    /// resident shards, with no per-query lake embedding work.
+    /// resident shards, with no per-query lake embedding work. Tombstoned
+    /// rows never score: results reflect exactly the current lake.
     pub fn similar_tuples(&self, query: &Table, k: usize) -> Vec<RankedTuple> {
         let query_embeddings: Vec<Vector> = query
             .tuples()
             .iter()
-            .map(|t| match &self.embedder {
-                SessionEmbedder::Model(m) => m.embed_tuple(t),
-                SessionEmbedder::Encoder(e) => e.embed_tuple(t),
-            })
+            .map(|t| self.embedder.embed_tuple(t))
             .collect();
         let mut results: Vec<RankedTuple> = Vec::new();
         for shard in &self.shards {
-            for i in 0..shard.tuple_store.len() {
+            for i in shard.tuple_store.live_indices() {
                 let score = query_embeddings
                     .iter()
                     .map(|q| 1.0 - shard.tuple_store.distance_to_vector(Distance::Cosine, i, q))
@@ -445,19 +666,20 @@ impl LakeSession {
     /// Rank every resident lake column by cosine similarity to a probe
     /// column (embedded under the session's alignment encoder and lake
     /// corpus) and return the top `k` — column-level discovery from the
-    /// resident shards.
+    /// resident shards. After a mutation this re-derives the column
+    /// embeddings first (their IDF weights depend on the whole lake), so
+    /// results are always bit-identical to a freshly built session's.
     pub fn similar_columns(&self, probe: &Column, k: usize) -> Vec<RankedColumn> {
-        let probe_embedding = self
-            .aligner_encoder
-            .embed_column(probe, &self.column_corpus);
+        let columns = self.refreshed_columns();
+        let probe_embedding = self.aligner_encoder.embed_column(probe, &columns.corpus);
         let mut results: Vec<RankedColumn> = Vec::new();
-        for shard in &self.shards {
-            for i in 0..shard.column_store.len() {
+        for shard in &columns.shards {
+            for i in 0..shard.store.len() {
                 let score = 1.0
                     - shard
-                        .column_store
+                        .store
                         .distance_to_vector(Distance::Cosine, i, &probe_embedding);
-                let (table, column) = shard.column_refs[i].clone();
+                let (table, column) = shard.refs[i].clone();
                 results.push(RankedColumn {
                     table,
                     column,
@@ -512,6 +734,72 @@ impl LakeSession {
             ),
         }
     }
+}
+
+/// Build the per-shard tuple stores from scratch — session construction
+/// and the fine-tuned recompute fallback share this single path. Lake
+/// tables iterate in name order (BTreeMap), so shard contents and store
+/// row order are deterministic.
+fn build_tuple_shards(
+    lake: &DataLake,
+    num_shards: usize,
+    embedder: &SessionEmbedder,
+) -> Vec<LakeShard> {
+    let mut shard_members: Vec<Vec<&Table>> = vec![Vec::new(); num_shards];
+    for table in lake.tables() {
+        shard_members[shard_of(table.name(), num_shards)].push(table);
+    }
+    shard_members
+        .into_iter()
+        .map(|members| {
+            let mut tuple_embeddings: Vec<Vector> = Vec::new();
+            let mut tuple_refs: Vec<(TableId, usize)> = Vec::new();
+            for table in &members {
+                let name = table.name().to_string();
+                for (row, tuple) in table.tuples().iter().enumerate() {
+                    tuple_embeddings.push(embedder.embed_tuple(tuple));
+                    tuple_refs.push((name.clone(), row));
+                }
+            }
+            LakeShard {
+                tables: members.iter().map(|t| t.name().to_string()).collect(),
+                tuple_store: EmbeddingStore::from_vectors(&tuple_embeddings),
+                tuple_refs,
+            }
+        })
+        .collect()
+}
+
+/// Build the per-shard column stores from scratch under `corpus` — session
+/// construction and the lazy post-mutation refresh share this single path,
+/// which is what makes a refreshed column side bit-identical to a fresh
+/// session's.
+fn build_column_shards(
+    lake: &DataLake,
+    num_shards: usize,
+    encoder: &ColumnEncoder,
+    corpus: &TfIdfCorpus,
+) -> Vec<ColumnShard> {
+    let mut shards: Vec<ColumnShard> = (0..num_shards)
+        .map(|_| ColumnShard {
+            store: EmbeddingStore::default(),
+            refs: Vec::new(),
+        })
+        .collect();
+    let mut embeddings: Vec<Vec<Vector>> = vec![Vec::new(); num_shards];
+    for table in lake.tables() {
+        let shard = shard_of(table.name(), num_shards);
+        for column in table.columns() {
+            embeddings[shard].push(encoder.embed_column(column, corpus));
+            shards[shard]
+                .refs
+                .push((table.name().to_string(), column.name().to_string()));
+        }
+    }
+    for (shard, vectors) in shards.iter_mut().zip(&embeddings) {
+        shard.store = EmbeddingStore::from_vectors(vectors);
+    }
+    shards
 }
 
 /// Stable shard assignment: FNV-1a over the table name. The std hasher is
@@ -578,11 +866,14 @@ mod tests {
         for i in 0..session.num_shards() {
             let shard = session.shard(i);
             assert_eq!(shard.tuple_store().len(), shard.tuple_refs.len());
-            assert_eq!(shard.column_store().len(), shard.column_refs.len());
             if !shard.tuple_refs.is_empty() {
                 let (table, row) = shard.tuple_ref(0);
                 assert!(session.lake().table(table).unwrap().num_rows() > *row);
             }
+        }
+        let columns = session.refreshed_columns();
+        for shard in &columns.shards {
+            assert_eq!(shard.store.len(), shard.refs.len());
         }
     }
 
@@ -681,5 +972,123 @@ mod tests {
         let result = session.query(&query, 1).unwrap();
         assert_eq!(result.len(), 1);
         assert_eq!(result.tuples[0].headers(), query.headers());
+    }
+
+    #[test]
+    fn add_table_applies_a_shard_local_delta() {
+        let lake = tiny_lake();
+        let mut session = LakeSession::new(lake, PipelineConfig::fast());
+        let before = session.stats();
+        assert_eq!(session.generation(), 0);
+        let table = Table::builder("new_parks")
+            .column("Park Name", ["Delta Park", "Gamma Park"])
+            .column("Country", ["USA", "USA"])
+            .build()
+            .unwrap();
+        session.add_table(table.clone()).unwrap();
+        assert_eq!(session.generation(), 1);
+        let after = session.stats();
+        assert_eq!(after.tables, before.tables + 1);
+        assert_eq!(after.tuples, before.tuples + 2);
+        assert_eq!(after.columns, before.columns + 2);
+        // only the owning shard grew
+        let owner = session.shard_of("new_parks");
+        for (i, (before_shard, after_shard)) in before
+            .shard_sizes
+            .iter()
+            .zip(&after.shard_sizes)
+            .enumerate()
+        {
+            if i == owner {
+                assert_eq!(after_shard.1, before_shard.1 + 2);
+            } else {
+                assert_eq!(after_shard, before_shard, "shard {i} must not change");
+            }
+        }
+        // the new rows serve immediately
+        let top = session.similar_tuples(&table, 2);
+        assert_eq!(top[0].table, "new_parks");
+    }
+
+    #[test]
+    fn duplicate_add_fails_and_leaves_the_session_untouched() {
+        let lake = tiny_lake();
+        let existing = lake.table_names()[0].clone();
+        let mut session = LakeSession::new(lake.clone(), PipelineConfig::fast());
+        let before = session.stats();
+        let dup = Table::builder(existing.as_str())
+            .column("x", ["1", "2"])
+            .build()
+            .unwrap();
+        let err = session.add_table(dup);
+        assert_eq!(
+            err,
+            Err(TableError::DuplicateTable {
+                name: existing.clone()
+            })
+        );
+        assert_eq!(session.generation(), 0, "failed mutations do not count");
+        assert_eq!(session.stats(), before);
+        // the resident table kept its original contents
+        assert_eq!(
+            session.lake().table(&existing).unwrap(),
+            lake.table(&existing).unwrap()
+        );
+    }
+
+    #[test]
+    fn remove_table_tombstones_then_compacts() {
+        let lake = tiny_lake();
+        let mut session = LakeSession::with_options(
+            lake.clone(),
+            PipelineConfig::fast(),
+            SessionOptions { num_shards: 1 },
+        );
+        let names = lake.table_names();
+        let total: usize = lake.tables().map(|t| t.num_rows()).sum();
+        let first_rows = lake.table(&names[0]).unwrap().num_rows();
+        let removed = session.remove_table(&names[0]).unwrap();
+        assert_eq!(removed.name(), names[0]);
+        assert_eq!(session.generation(), 1);
+        assert!(session.lake().table(&names[0]).is_err());
+        let stats = session.stats();
+        assert_eq!(stats.tables, names.len() - 1);
+        assert_eq!(stats.tuples, total - first_rows);
+        // a removed table's tuples never appear again
+        for hit in session.similar_tuples(&removed, 1000) {
+            assert_ne!(hit.table, names[0]);
+        }
+        // removing a missing table errors and changes nothing
+        let before = session.stats();
+        assert!(session.remove_table(&names[0]).is_err());
+        assert_eq!(session.generation(), 1);
+        assert_eq!(session.stats(), before);
+        // keep removing until the shard compacts below half, then empty it
+        for name in &names[1..] {
+            session.remove_table(name).unwrap();
+        }
+        let stats = session.stats();
+        assert_eq!(stats.tables, 0);
+        assert_eq!(stats.tuples, 0);
+        assert_eq!(stats.columns, 0);
+        assert!(session.similar_tuples(&removed, 5).is_empty());
+        // the emptied session accepts new tables again
+        session.add_table(removed.clone()).unwrap();
+        assert_eq!(session.stats().tuples, removed.num_rows());
+        assert_eq!(session.generation(), names.len() as u64 + 1);
+    }
+
+    #[test]
+    fn generation_counts_only_successful_mutations() {
+        let lake = tiny_lake();
+        let name = lake.table_names()[0].clone();
+        let mut session = LakeSession::new(lake, PipelineConfig::fast());
+        assert_eq!(session.generation(), 0);
+        let removed = session.remove_table(&name).unwrap();
+        assert_eq!(session.generation(), 1);
+        assert!(session.remove_table(&name).is_err());
+        assert_eq!(session.generation(), 1);
+        session.add_table(removed).unwrap();
+        assert_eq!(session.generation(), 2);
     }
 }

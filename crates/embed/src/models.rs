@@ -243,18 +243,27 @@ impl ColumnEncoder {
         }
     }
 
+    /// The corpus "document" a column contributes to [`Self::build_corpus`]:
+    /// its non-null values concatenated and word-tokenized. Exposed so
+    /// incremental corpus maintenance (`TfIdfCorpus::add_document` /
+    /// `remove_document` per added/removed table) tokenizes exactly the way
+    /// the full build does — the two cannot drift.
+    pub fn column_document_tokens(column: &Column) -> Vec<String> {
+        let mut text = String::new();
+        for v in column.values() {
+            if !v.is_null() {
+                text.push_str(&v.render());
+                text.push(' ');
+            }
+        }
+        word_tokens(&text)
+    }
+
     /// Build a TF-IDF corpus where each document is one column's values.
     pub fn build_corpus<'a>(columns: impl IntoIterator<Item = &'a Column>) -> TfIdfCorpus {
         let mut corpus = TfIdfCorpus::new();
         for col in columns {
-            let mut text = String::new();
-            for v in col.values() {
-                if !v.is_null() {
-                    text.push_str(&v.render());
-                    text.push(' ');
-                }
-            }
-            corpus.add_document(&word_tokens(&text));
+            corpus.add_document(&Self::column_document_tokens(col));
         }
         corpus
     }

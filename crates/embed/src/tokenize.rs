@@ -77,6 +77,38 @@ impl TfIdfCorpus {
         }
     }
 
+    /// Remove one previously-added document's tokens from the corpus
+    /// statistics — the exact inverse of [`Self::add_document`].
+    ///
+    /// Document frequencies are integer counts, so the subtraction is
+    /// *exact* (no floating-point drift is possible; this is what lets a
+    /// mutated corpus stay bit-identical to one rebuilt from scratch —
+    /// [`Self::idf`] is a pure function of the integer counts). Entries
+    /// that reach zero are dropped so the corpus is structurally equal to
+    /// a fresh build over the surviving documents. Panics if the tokens
+    /// were never added — removal must mirror a prior add exactly.
+    pub fn remove_document(&mut self, tokens: &[String]) {
+        assert!(
+            self.documents > 0,
+            "remove_document on an empty corpus (document was never added)"
+        );
+        self.documents -= 1;
+        let mut seen = std::collections::HashSet::new();
+        for t in tokens {
+            if !seen.insert(t) {
+                continue;
+            }
+            let df = self
+                .document_frequency
+                .get_mut(t)
+                .unwrap_or_else(|| panic!("removing token {t:?} that was never added"));
+            *df -= 1;
+            if *df == 0 {
+                self.document_frequency.remove(t);
+            }
+        }
+    }
+
     /// Number of documents added.
     pub fn num_documents(&self) -> usize {
         self.documents
@@ -176,6 +208,47 @@ mod tests {
         corpus.add_document(&rare);
         assert!(corpus.idf("chippewa") > corpus.idf("usa"));
         assert_eq!(corpus.num_documents(), 11);
+    }
+
+    #[test]
+    fn remove_document_is_the_exact_inverse_of_add() {
+        // add A, B, C then remove B: every idf must be bit-identical to a
+        // corpus that only ever saw A and C
+        let a = word_tokens("river park usa");
+        let b = word_tokens("hyde park uk uk");
+        let c = word_tokens("chippewa park usa");
+        let mut mutated = TfIdfCorpus::new();
+        mutated.add_document(&a);
+        mutated.add_document(&b);
+        mutated.add_document(&c);
+        mutated.remove_document(&b);
+        let mut fresh = TfIdfCorpus::new();
+        fresh.add_document(&a);
+        fresh.add_document(&c);
+        assert_eq!(mutated.num_documents(), fresh.num_documents());
+        for token in ["river", "park", "usa", "uk", "hyde", "chippewa", "absent"] {
+            assert_eq!(
+                mutated.idf(token).to_bits(),
+                fresh.idf(token).to_bits(),
+                "idf({token}) drifted after remove"
+            );
+        }
+        // removing the rest returns to the pristine empty corpus
+        mutated.remove_document(&a);
+        mutated.remove_document(&c);
+        assert_eq!(mutated.num_documents(), 0);
+        assert_eq!(
+            mutated.idf("park").to_bits(),
+            TfIdfCorpus::new().idf("park").to_bits()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "never added")]
+    fn remove_unknown_document_panics() {
+        let mut corpus = TfIdfCorpus::new();
+        corpus.add_document(&word_tokens("river park"));
+        corpus.remove_document(&word_tokens("something else"));
     }
 
     #[test]

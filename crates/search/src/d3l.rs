@@ -175,6 +175,32 @@ impl D3lSignalStats {
         }
     }
 
+    /// Index (or re-index) one table — the incremental counterpart of
+    /// [`Self::build`] for a lake that gained a table.
+    ///
+    /// Exactness note: these stats are deliberately *decomposable* — one
+    /// embedding per column, keyed by table, with no cross-table floating-
+    /// point aggregate — so add/remove deltas are exact by construction
+    /// (the new entry is byte-identical to a full rebuild's). If a future
+    /// signal ever needs a lake-wide float aggregate (e.g. a running mean),
+    /// do **not** maintain it by subtraction: floating-point subtraction
+    /// drifts. Recompute it from the per-table parts instead, the way the
+    /// session's TF-IDF column corpus recomputes from integer counts.
+    pub fn add_table(&mut self, table: &Table, search: &D3lSearch) {
+        self.inner.insert(table, |t| {
+            t.columns()
+                .iter()
+                .map(|c| search.computer.embed_column(c))
+                .collect()
+        });
+    }
+
+    /// Drop one table's embeddings (exact: entries are per-table). Returns
+    /// whether the table was indexed.
+    pub fn remove_table(&mut self, table: &str) -> bool {
+        self.inner.remove(table)
+    }
+
     /// Column embeddings of a table (column order), if indexed.
     pub fn embeddings(&self, table: &str) -> Option<&[Vector]> {
         self.inner.get(table)
@@ -291,6 +317,37 @@ mod tests {
         let stats = D3lSignalStats::build(&lake, &search);
         assert_eq!(stats.num_tables(), 3);
         assert_eq!(stats.num_columns(), 7);
+        let fresh = search.search(&lake, &query, 10);
+        let resident = search.search_with_stats(&lake, &query, 10, &index, &stats);
+        assert_eq!(fresh.len(), resident.len());
+        for (f, r) in fresh.iter().zip(&resident) {
+            assert_eq!(f.table, r.table);
+            assert_eq!(f.score.to_bits(), r.score.to_bits(), "table {}", f.table);
+        }
+    }
+
+    #[test]
+    fn incremental_stats_deltas_match_a_fresh_rebuild() {
+        let (mut lake, query) = toy_lake();
+        let search = D3lSearch::new();
+        let mut stats = D3lSignalStats::build(&lake, &search);
+        let mut index = InvertedValueIndex::build(&lake);
+        // remove a table from the lake and both resident structures
+        let removed = lake.remove_table("molecules").unwrap();
+        assert!(stats.remove_table("molecules"));
+        assert!(!stats.remove_table("molecules"), "second remove is a no-op");
+        index.remove_table(&removed);
+        let rebuilt_stats = D3lSignalStats::build(&lake, &search);
+        assert_eq!(stats.num_tables(), rebuilt_stats.num_tables());
+        assert_eq!(stats.num_columns(), rebuilt_stats.num_columns());
+        for name in lake.table_names() {
+            assert_eq!(stats.embeddings(&name), rebuilt_stats.embeddings(&name));
+        }
+        // add it back incrementally: search over the mutated structures is
+        // bit-identical to the fresh path on the re-grown lake
+        lake.add_table(removed.clone()).unwrap();
+        stats.add_table(&removed, &search);
+        index.add_table(&removed);
         let fresh = search.search(&lake, &query, 10);
         let resident = search.search_with_stats(&lake, &query, 10, &index, &stats);
         assert_eq!(fresh.len(), resident.len());

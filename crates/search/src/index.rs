@@ -39,6 +39,33 @@ impl InvertedValueIndex {
         }
     }
 
+    /// Remove one table's values from the index — the exact inverse of
+    /// [`Self::add_table`] for the same table contents. Postings are sets
+    /// of table names (no approximate aggregates), so the delta is exact:
+    /// after removal the index is structurally equal to one built fresh
+    /// over the remaining tables (postings left empty are dropped).
+    ///
+    /// The caller supplies the removed [`Table`] because the index does not
+    /// retain per-table value lists; passing a table whose contents differ
+    /// from what was added leaves stale postings behind.
+    pub fn remove_table(&mut self, table: &Table) {
+        assert!(
+            self.indexed_tables > 0,
+            "remove_table on an empty index (table was never added)"
+        );
+        self.indexed_tables -= 1;
+        for column in table.columns() {
+            for value in column.normalized_value_set() {
+                if let Some(tables) = self.postings.get_mut(&value) {
+                    tables.remove(table.name());
+                    if tables.is_empty() {
+                        self.postings.remove(&value);
+                    }
+                }
+            }
+        }
+    }
+
     /// Number of indexed tables.
     pub fn num_tables(&self) -> usize {
         self.indexed_tables
@@ -163,5 +190,40 @@ mod tests {
     fn empty_index_returns_no_candidates() {
         let index = InvertedValueIndex::default();
         assert!(index.candidates(&query(), 5).is_empty());
+    }
+
+    #[test]
+    fn remove_table_is_the_exact_inverse_of_add() {
+        let lake = lake();
+        let mut mutated = InvertedValueIndex::build(&lake);
+        mutated.remove_table(lake.table("paintings_c").unwrap());
+        // structurally equal to an index that never saw the removed table
+        let mut fresh = InvertedValueIndex::default();
+        fresh.add_table(lake.table("parks_b").unwrap());
+        fresh.add_table(lake.table("parks_d").unwrap());
+        assert_eq!(mutated.num_tables(), fresh.num_tables());
+        assert_eq!(mutated.num_values(), fresh.num_values());
+        assert_eq!(
+            mutated.tables_with_value("usa"),
+            vec!["parks_b", "parks_d"],
+            "shared value keeps its other tables"
+        );
+        assert!(
+            mutated.tables_with_value("northern lake").is_empty(),
+            "values unique to the removed table drop their postings entirely"
+        );
+        assert_eq!(
+            mutated.candidates(&query(), 10),
+            fresh.candidates(&query(), 10)
+        );
+        // remove-then-re-add round-trips back to the full index
+        mutated.add_table(lake.table("paintings_c").unwrap());
+        let rebuilt = InvertedValueIndex::build(&lake);
+        assert_eq!(mutated.num_tables(), rebuilt.num_tables());
+        assert_eq!(mutated.num_values(), rebuilt.num_values());
+        assert_eq!(
+            mutated.candidates(&query(), 10),
+            rebuilt.candidates(&query(), 10)
+        );
     }
 }

@@ -102,6 +102,24 @@ impl PerTableColumnEmbeddings {
         self.embeddings.get(table).map(Vec::as_slice)
     }
 
+    /// Index (or re-index) one table with `embed_table`. The store keys by
+    /// table name and each entry depends only on that table's contents, so
+    /// an insert is exactly what a fresh full build would have produced for
+    /// that table — per-table deltas cannot drift from a rebuild.
+    pub(crate) fn insert(
+        &mut self,
+        table: &Table,
+        embed_table: impl FnOnce(&Table) -> Vec<dust_embed::Vector>,
+    ) {
+        self.embeddings
+            .insert(table.name().to_string(), embed_table(table));
+    }
+
+    /// Drop one table's embeddings. Returns whether the table was indexed.
+    pub(crate) fn remove(&mut self, table: &str) -> bool {
+        self.embeddings.remove(table).is_some()
+    }
+
     /// Number of indexed tables.
     pub(crate) fn num_tables(&self) -> usize {
         self.embeddings.len()

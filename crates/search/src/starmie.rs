@@ -168,6 +168,22 @@ impl StarmieColumnStore {
         }
     }
 
+    /// Index (or re-index) one table — the incremental counterpart of
+    /// [`Self::build`] for a lake that gained a table. Contextualization
+    /// blends only *within* the table (its own centroid), so the new
+    /// entry is byte-identical to what a full rebuild would store and no
+    /// other entry needs touching.
+    pub fn add_table(&mut self, table: &Table, search: &StarmieSearch) {
+        self.inner
+            .insert(table, |t| search.contextual_column_embeddings(t));
+    }
+
+    /// Drop one table's embeddings (exact: entries are per-table). Returns
+    /// whether the table was indexed.
+    pub fn remove_table(&mut self, table: &str) -> bool {
+        self.inner.remove(table)
+    }
+
     /// Contextualized column embeddings of a table (column order), if indexed.
     pub fn embeddings(&self, table: &str) -> Option<&[Vector]> {
         self.inner.get(table)
@@ -387,6 +403,50 @@ mod tests {
         for (f, r) in fresh.iter().zip(&fallback) {
             assert_eq!(f.score.to_bits(), r.score.to_bits());
         }
+    }
+
+    #[test]
+    fn incremental_store_deltas_match_a_fresh_rebuild() {
+        let search = StarmieSearch::new();
+        let mut lake = lake();
+        let mut store = StarmieColumnStore::build(&lake, &search);
+        // add a table incrementally to both the lake and the store
+        let extra = Table::builder("parks_d")
+            .column("Park Name", ["Chippewa Park", "Lawler Park"])
+            .column("Supervisor", ["Tim Erickson", "Enrique Garcia"])
+            .column("Country", ["USA", "USA"])
+            .build()
+            .unwrap();
+        lake.add_table(extra.clone()).unwrap();
+        store.add_table(&extra, &search);
+        let rebuilt = StarmieColumnStore::build(&lake, &search);
+        assert_eq!(store.num_tables(), rebuilt.num_tables());
+        assert_eq!(store.num_columns(), rebuilt.num_columns());
+        for name in lake.table_names() {
+            assert_eq!(
+                store.embeddings(&name),
+                rebuilt.embeddings(&name),
+                "delta-added store drifted from rebuild for {name}"
+            );
+        }
+        // ...and search over the mutated store matches the fresh path
+        let fresh = search.search(&lake, &query(), 10);
+        let resident = search.search_with_store(&lake, &query(), 10, &store);
+        for (f, r) in fresh.iter().zip(&resident) {
+            assert_eq!(f.table, r.table);
+            assert_eq!(f.score.to_bits(), r.score.to_bits());
+        }
+        // remove is exact too
+        lake.remove_table("paintings_c").unwrap();
+        assert!(store.remove_table("paintings_c"));
+        assert!(
+            !store.remove_table("paintings_c"),
+            "second remove is a no-op"
+        );
+        let rebuilt = StarmieColumnStore::build(&lake, &search);
+        assert_eq!(store.num_tables(), rebuilt.num_tables());
+        assert_eq!(store.num_columns(), rebuilt.num_columns());
+        assert!(store.embeddings("paintings_c").is_none());
     }
 
     #[test]

@@ -54,6 +54,17 @@ impl GroundTruth {
         self.unionable.keys()
     }
 
+    /// Remove every pair mentioning `lake_table` (used when the table
+    /// leaves the lake, so the ground truth never references a missing
+    /// table). Queries left with no unionable tables drop out entirely,
+    /// keeping the structure equal to one that never saw the table.
+    pub fn remove_lake_table(&mut self, lake_table: &str) {
+        for labels in self.unionable.values_mut() {
+            labels.remove(lake_table);
+        }
+        self.unionable.retain(|_, labels| !labels.is_empty());
+    }
+
     /// Total number of (query, lake table) unionable pairs.
     pub fn pair_count(&self) -> usize {
         self.unionable.values().map(|s| s.len()).sum()
@@ -92,7 +103,14 @@ impl DataLake {
         &self.name
     }
 
-    /// Add a data-lake table. Errors on duplicate names.
+    /// Add a data-lake table.
+    ///
+    /// Duplicate semantics (pinned by tests): a name collision is an
+    /// **error**, never a silent replace — the lake is left completely
+    /// unchanged (the resident table keeps its contents) and the caller
+    /// decides whether to [`Self::remove_table`] first. Incremental
+    /// consumers (`LakeSession::add_table`) rely on this: a failed add must
+    /// not leave indexes and lake half-updated.
     pub fn add_table(&mut self, table: Table) -> Result<()> {
         let id = table.name().to_string();
         if self.tables.contains_key(&id) {
@@ -100,6 +118,21 @@ impl DataLake {
         }
         self.tables.insert(id, table);
         Ok(())
+    }
+
+    /// Remove a data-lake table by name, returning it. Errors if the lake
+    /// has no such table. Ground-truth pairs mentioning the table are
+    /// scrubbed so the ground truth never labels a missing table; query
+    /// tables are untouched (they are a separate namespace).
+    pub fn remove_table(&mut self, id: &str) -> Result<Table> {
+        let table = self
+            .tables
+            .remove(id)
+            .ok_or_else(|| TableError::TableNotFound {
+                name: id.to_string(),
+            })?;
+        self.ground_truth.remove_lake_table(id);
+        Ok(table)
     }
 
     /// Add a query table. Errors on duplicate names.
@@ -249,6 +282,60 @@ mod tests {
         let mut lake = sample_lake();
         assert!(lake.add_table(table("t1", "a", &["9"])).is_err());
         assert!(lake.add_query(table("q1", "a", &["9"])).is_err());
+    }
+
+    #[test]
+    fn duplicate_add_is_an_error_and_leaves_the_lake_unchanged() {
+        // The pinned duplicate semantics: error, not replace. The resident
+        // table keeps its original contents and nothing else moves.
+        let mut lake = sample_lake();
+        let err = lake.add_table(table("t1", "a", &["9", "9", "9"]));
+        assert_eq!(
+            err,
+            Err(TableError::DuplicateTable {
+                name: "t1".to_string()
+            })
+        );
+        assert_eq!(lake.num_tables(), 2);
+        assert_eq!(
+            lake.table("t1").unwrap().num_rows(),
+            2,
+            "resident table must keep its original contents"
+        );
+        assert!(lake.ground_truth().is_unionable("q1", "t1"));
+        // remove-then-add is the sanctioned replace path
+        lake.remove_table("t1").unwrap();
+        lake.add_table(table("t1", "a", &["9", "9", "9"])).unwrap();
+        assert_eq!(lake.table("t1").unwrap().num_rows(), 3);
+    }
+
+    #[test]
+    fn remove_table_returns_the_table_and_scrubs_ground_truth() {
+        let mut lake = sample_lake();
+        lake.add_ground_truth("q2", "t1");
+        lake.add_ground_truth("q2", "t2");
+        let removed = lake.remove_table("t1").unwrap();
+        assert_eq!(removed.name(), "t1");
+        assert_eq!(removed.num_rows(), 2);
+        assert_eq!(lake.num_tables(), 1);
+        assert!(lake.table("t1").is_err());
+        // pairs mentioning t1 are gone; q1 (whose only label was t1) drops
+        // out entirely, q2 keeps its surviving label
+        assert!(!lake.ground_truth().is_unionable("q1", "t1"));
+        assert!(!lake.ground_truth().is_unionable("q2", "t1"));
+        assert!(lake.ground_truth().is_unionable("q2", "t2"));
+        assert_eq!(lake.ground_truth().queries().count(), 1);
+        assert_eq!(lake.ground_truth().pair_count(), 1);
+        // queries are a separate namespace and survive
+        assert_eq!(lake.num_queries(), 2);
+        // removing a missing table is an error, lake untouched
+        assert_eq!(
+            lake.remove_table("t1"),
+            Err(TableError::TableNotFound {
+                name: "t1".to_string()
+            })
+        );
+        assert_eq!(lake.num_tables(), 1);
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! Mutation ≡ rebuild equivalence suite: incremental lake mutation on a
+//! resident [`LakeSession`] must be a pure performance optimisation, never
+//! a behaviour change.
+//!
+//! The pinned guarantee (the headline contract of `LakeSession::add_table`
+//! / `remove_table`): after **any** sequence of add/remove mutations, the
+//! session's `query`, `similar_tuples`, and `similar_columns` results are
+//! **bit-identical** to a fresh `LakeSession::new` built over the mutated
+//! lake — across all three search techniques and both embedder kinds.
+//!
+//! Randomized coverage comes from a proptest over mutation sequences drawn
+//! from a table pool (an op *toggles* its table: present → remove, absent
+//! → add, so remove-then-re-add under the same name arises naturally).
+//! Curated cases pin the edges called out in the issue: re-adding a
+//! *different* table under a removed name, removing the last table of a
+//! shard, and growing a session that started over an empty lake.
+
+use dust_core::{DustResult, LakeSession, PipelineConfig, SearchTechnique, SessionOptions};
+use dust_datagen::BenchmarkConfig;
+use dust_embed::{FineTuneConfig, PretrainedModel};
+use dust_table::{DataLake, Table};
+use proptest::prelude::*;
+
+const TECHNIQUES: [SearchTechnique; 3] = [
+    SearchTechnique::Overlap,
+    SearchTechnique::D3l,
+    SearchTechnique::Starmie,
+];
+
+fn tiny_lake() -> DataLake {
+    BenchmarkConfig::tiny().generate().lake
+}
+
+/// The mutation pool: every tiny-lake table (initially present) plus a few
+/// synthesized tables (initially absent). An op index toggles one pool
+/// entry in and out of the lake.
+fn table_pool(lake: &DataLake) -> Vec<Table> {
+    let mut pool: Vec<Table> = lake.tables().cloned().collect();
+    pool.push(
+        Table::builder("extra_parks")
+            .column("Park Name", ["Delta Park", "Echo Park", "Foxtrot Park"])
+            .column("Country", ["USA", "USA", "Canada"])
+            .build()
+            .unwrap(),
+    );
+    pool.push(
+        Table::builder("extra_molecules")
+            .column("Formula", ["C8H10N4O2", "C9H8O4"])
+            .column("Mass", ["194.19", "180.16"])
+            .build()
+            .unwrap(),
+    );
+    pool.push(
+        Table::builder("extra_empty_ish")
+            .column("only", ["one"])
+            .build()
+            .unwrap(),
+    );
+    pool
+}
+
+/// Apply the toggle-encoded mutation sequence to the session, asserting
+/// each step succeeds. Returns how many mutations were applied.
+fn apply_ops(session: &mut LakeSession, pool: &[Table], ops: &[usize]) -> u64 {
+    let mut applied = 0;
+    for &op in ops {
+        let table = &pool[op % pool.len()];
+        if session.lake().table(table.name()).is_ok() {
+            let removed = session.remove_table(table.name()).unwrap();
+            assert_eq!(removed.name(), table.name());
+        } else {
+            session.add_table(table.clone()).unwrap();
+        }
+        applied += 1;
+    }
+    // never finish on an empty lake: the comparison queries need candidates
+    if session.lake().num_tables() == 0 {
+        session.add_table(pool[0].clone()).unwrap();
+        applied += 1;
+    }
+    applied
+}
+
+/// Field-by-field equality, bit-exact on every floating-point score except
+/// the wall-clock timings (which legitimately differ between runs).
+fn assert_same_result(a: &DustResult, b: &DustResult, context: &str) {
+    assert_eq!(a.tuples, b.tuples, "{context}: selected tuples differ");
+    assert_eq!(
+        a.retrieved_tables, b.retrieved_tables,
+        "{context}: retrieved tables differ"
+    );
+    assert_eq!(
+        a.dropped_tables, b.dropped_tables,
+        "{context}: dropped-table diagnostics differ"
+    );
+    assert_eq!(a.alignment, b.alignment, "{context}: alignment differs");
+    assert_eq!(
+        a.candidate_tuples, b.candidate_tuples,
+        "{context}: candidate pool size differs"
+    );
+    assert_eq!(
+        a.diversity.average.to_bits(),
+        b.diversity.average.to_bits(),
+        "{context}: average diversity differs"
+    );
+    assert_eq!(
+        a.diversity.minimum.to_bits(),
+        b.diversity.minimum.to_bits(),
+        "{context}: min diversity differs"
+    );
+}
+
+/// The full equivalence check: mutated session vs a fresh session built
+/// over the mutated lake, compared bit-for-bit on every serving surface.
+fn assert_session_matches_rebuild(mutated: &LakeSession, probes: &[Table], context: &str) {
+    let fresh = LakeSession::with_options(
+        mutated.lake().clone(),
+        mutated.config().clone(),
+        SessionOptions {
+            num_shards: mutated.num_shards(),
+        },
+    );
+
+    // resident-state shape (excluding wall-clock build time)
+    let (ms, fs) = (mutated.stats(), fresh.stats());
+    assert_eq!(ms.tables, fs.tables, "{context}: table counts differ");
+    assert_eq!(ms.tuples, fs.tuples, "{context}: live tuple counts differ");
+    assert_eq!(ms.columns, fs.columns, "{context}: column counts differ");
+    assert_eq!(
+        ms.shard_sizes, fs.shard_sizes,
+        "{context}: shard occupancy differs"
+    );
+    assert_eq!(ms.tuple_dim, fs.tuple_dim, "{context}: tuple dim differs");
+    assert_eq!(
+        ms.column_dim, fs.column_dim,
+        "{context}: column dim differs"
+    );
+
+    for (qi, probe) in probes.iter().enumerate() {
+        // Algorithm 1, end to end
+        let a = mutated.query(probe, 4).unwrap();
+        let b = fresh.query(probe, 4).unwrap();
+        assert_same_result(&a, &b, &format!("{context}: query {qi}"));
+
+        // tuple-level serving
+        let at = mutated.similar_tuples(probe, 8);
+        let bt = fresh.similar_tuples(probe, 8);
+        assert_eq!(at.len(), bt.len(), "{context}: similar_tuples length");
+        for (x, y) in at.iter().zip(&bt) {
+            assert_eq!(x.table, y.table, "{context}: similar_tuples table");
+            assert_eq!(x.row, y.row, "{context}: similar_tuples row");
+            assert_eq!(
+                x.score.to_bits(),
+                y.score.to_bits(),
+                "{context}: similar_tuples score for {}:{}",
+                x.table,
+                x.row
+            );
+        }
+
+        // column-level serving (exercises the lazily refreshed, corpus-
+        // dependent column side)
+        let probe_col = probe.column(0).unwrap();
+        let ac = mutated.similar_columns(probe_col, 6);
+        let bc = fresh.similar_columns(probe_col, 6);
+        assert_eq!(ac.len(), bc.len(), "{context}: similar_columns length");
+        for (x, y) in ac.iter().zip(&bc) {
+            assert_eq!(x.table, y.table, "{context}: similar_columns table");
+            assert_eq!(x.column, y.column, "{context}: similar_columns column");
+            assert_eq!(
+                x.score.to_bits(),
+                y.score.to_bits(),
+                "{context}: similar_columns score for {}.{}",
+                x.table,
+                x.column
+            );
+        }
+    }
+}
+
+fn probes(lake: &DataLake, n: usize) -> Vec<Table> {
+    lake.query_names()
+        .iter()
+        .take(n)
+        .map(|name| lake.query(name).unwrap().clone())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random mutation sequences, all three search techniques, pre-trained
+    /// embedder: mutated session ≡ fresh rebuild, bit for bit, on every
+    /// serving surface.
+    #[test]
+    fn random_mutation_sequences_match_rebuild_across_techniques(
+        ops in prop::collection::vec(0usize..12, 1..8),
+        shards in 1usize..5,
+    ) {
+        let lake = tiny_lake();
+        let pool = table_pool(&lake);
+        let query_probes = probes(&lake, 2);
+        for technique in TECHNIQUES {
+            let config = PipelineConfig {
+                search: technique,
+                ..PipelineConfig::fast()
+            };
+            let mut session = LakeSession::with_options(
+                lake.clone(),
+                config,
+                SessionOptions { num_shards: shards },
+            );
+            let applied = apply_ops(&mut session, &pool, &ops);
+            prop_assert_eq!(session.generation(), applied);
+            assert_session_matches_rebuild(
+                &session,
+                &query_probes,
+                &format!("{technique:?}, ops {ops:?}, {shards} shard(s)"),
+            );
+        }
+    }
+
+    /// The fine-tuned embedder's model is lake-derived, so mutations take
+    /// the documented recompute fallback (retrain + re-embed). Training is
+    /// deterministic, so the rebuilt-model session must still match a
+    /// fresh rebuild bit for bit.
+    #[test]
+    fn fine_tuned_mutations_match_rebuild_via_retraining(
+        ops in prop::collection::vec(0usize..12, 1..4),
+    ) {
+        let lake = tiny_lake();
+        let pool = table_pool(&lake);
+        let query_probes = probes(&lake, 1);
+        let config = PipelineConfig {
+            embedder: dust_core::TupleEmbedderKind::FineTuned {
+                backbone: PretrainedModel::Bert,
+                config: FineTuneConfig {
+                    hidden_dim: 16,
+                    output_dim: 8,
+                    max_epochs: 2,
+                    patience: 1,
+                    ..FineTuneConfig::default()
+                },
+                training_pairs: 40,
+            },
+            tables_per_query: 5,
+            ..PipelineConfig::default()
+        };
+        let mut session = LakeSession::new(lake, config);
+        apply_ops(&mut session, &pool, &ops);
+        assert_session_matches_rebuild(
+            &session,
+            &query_probes,
+            &format!("fine-tuned, ops {ops:?}"),
+        );
+    }
+}
+
+/// Re-adding a *different* table under a previously removed name: the
+/// remove-then-add path is the sanctioned replace, and the session must
+/// serve the replacement exactly as a fresh build would.
+#[test]
+fn remove_then_readd_same_name_with_different_content() {
+    let lake = tiny_lake();
+    let victim = lake.table_names()[0].clone();
+    let query_probes = probes(&lake, 2);
+    let mut session = LakeSession::new(lake, PipelineConfig::fast());
+
+    // replace is two explicit steps — a bare duplicate add must fail
+    let replacement = Table::builder(victim.as_str())
+        .column("Completely", ["different", "content"])
+        .column("Shape", ["entirely", "changed"])
+        .build()
+        .unwrap();
+    assert!(session.add_table(replacement.clone()).is_err());
+    session.remove_table(&victim).unwrap();
+    session.add_table(replacement).unwrap();
+    assert_eq!(session.generation(), 2);
+    assert_eq!(
+        session.lake().table(&victim).unwrap().headers(),
+        ["Completely".to_string(), "Shape".to_string()]
+    );
+    assert_session_matches_rebuild(&session, &query_probes, "replace via remove+add");
+}
+
+/// Removing the last table of a shard leaves an empty shard that must keep
+/// serving (and match a fresh build whose shard is empty from the start).
+#[test]
+fn remove_last_table_in_a_shard() {
+    let lake = tiny_lake();
+    let query_probes = probes(&lake, 2);
+    // enough shards that at least one holds exactly one table
+    let mut session = LakeSession::with_options(
+        lake,
+        PipelineConfig::fast(),
+        SessionOptions { num_shards: 8 },
+    );
+    let lone = (0..session.num_shards())
+        .find_map(|i| {
+            let tables = session.shard(i).tables();
+            (tables.len() == 1).then(|| tables[0].clone())
+        })
+        .expect("tiny lake over 8 shards should give some shard exactly one table");
+    let owner = session.shard_of(&lone);
+    session.remove_table(&lone).unwrap();
+    assert!(session.shard(owner).tables().is_empty());
+    assert_eq!(session.shard(owner).tuple_store().num_live(), 0);
+    assert_session_matches_rebuild(&session, &query_probes, "emptied shard");
+}
+
+/// A session constructed over a completely empty lake grows table by table
+/// and must be indistinguishable from a session built after the fact.
+#[test]
+fn add_to_empty_lake() {
+    let empty = DataLake::new("starts_empty");
+    let donor = tiny_lake();
+    let mut session = LakeSession::new(empty, PipelineConfig::fast());
+    assert_eq!(session.stats().tables, 0);
+    assert_eq!(session.stats().tuples, 0);
+    let names = donor.table_names();
+    for name in names.iter().take(3) {
+        session
+            .add_table(donor.table(name).unwrap().clone())
+            .unwrap();
+    }
+    assert_eq!(session.generation(), 3);
+    let query_probes = probes(&donor, 2);
+    assert_session_matches_rebuild(&session, &query_probes, "grown from empty");
+}
