@@ -18,7 +18,12 @@
 //! `mode` (`"diverse"` — full Algorithm 1, the default — or `"similar"` —
 //! nearest lake tuples from the resident shards, the Sec. 6.5 retrieval
 //! shape). Batched requests: `{"queries": ["name1", "name2"], "k": 5}`
-//! runs the whole array through `query_batch` in one go.
+//! runs the whole array through `query_batch` in one go. Every response
+//! echoes the session `generation`, so clients can tell which lake state
+//! answered. Error responses keep the request `id` and carry a stable
+//! machine-readable `kind` (`bad_request`, `not_found`, `table`, or a
+//! persistence kind such as `io`/`corrupt`) next to the human-readable
+//! `error` message.
 //!
 //! The lake can be mutated in place — incremental per-shard deltas, no
 //! session rebuild (results stay bit-identical to a rebuild; see
@@ -34,22 +39,39 @@
 //! `add_table` name is an error (remove first to replace), matching the
 //! lake's pinned duplicate semantics.
 //!
+//! With `--snapshot-dir DIR` the session is **durable**: on startup an
+//! existing snapshot is recovered (snapshot load + WAL replay — no
+//! re-embedding, no retraining) and every acknowledged mutation is
+//! appended to the fsynced WAL before the response is written. A corrupt
+//! or version-skewed snapshot degrades gracefully: the error is logged
+//! with its kind and the session is rebuilt from the lake, then
+//! re-persisted. `{"mode":"checkpoint"}` forces a snapshot rewrite + WAL
+//! truncation on demand; `--checkpoint-after N` sets the automatic
+//! threshold (default 64 records).
+//!
 //! Flags: `--benchmark tiny|santos|ugen` (generated lake, default tiny),
 //! `--lake-dir <dir>` (load every `*.csv` file as a lake table),
 //! `--search overlap|d3l|starmie`, `--finetune` (train the DUST model at
 //! startup instead of serving pre-trained embeddings), `--shards N`,
-//! `--requests <file>` (read JSONL from a file instead of stdin),
-//! `--selftest` (build a tiny lake, run built-in requests, verify, exit).
+//! `--snapshot-dir <dir>` (durable session: recover on start, WAL on
+//! mutation), `--checkpoint-after N`, `--requests <file>` (read JSONL from
+//! a file instead of stdin), `--selftest` (build a tiny lake, run built-in
+//! requests including a save → drop → recover → re-query cycle, verify,
+//! exit).
 //!
 //! [`LakeSession`]: dust_core::LakeSession
 
 use dust_bench::json::{self, JsonValue};
 use dust_bench::setup::Scale;
-use dust_core::{DustResult, LakeSession, PipelineConfig, SearchTechnique, TupleEmbedderKind};
+use dust_core::{
+    DustResult, LakeSession, PersistError, PipelineConfig, SearchTechnique, SnapshotStore,
+    StoreOptions, TupleEmbedderKind,
+};
 use dust_datagen::BenchmarkConfig;
 use dust_embed::{FineTuneConfig, PretrainedModel};
 use dust_table::{parse_csv, CsvOptions, DataLake, Table};
 use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 fn main() {
@@ -60,44 +82,42 @@ fn main() {
     }
 }
 
+/// The serving state: the resident session plus, when `--snapshot-dir` is
+/// given, the durable store whose WAL trails every acknowledged mutation.
+struct ServerState {
+    session: LakeSession,
+    store: Option<SnapshotStore>,
+}
+
+/// A request failure: the echoed request `id`, a stable machine-readable
+/// `kind`, and a human-readable message. Rendered as
+/// `{"id":..,"kind":..,"error":..}` — clients branch on `kind`, humans
+/// read `error`.
+struct ServeError {
+    id: String,
+    kind: &'static str,
+    message: String,
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let options = CliOptions::parse(args)?;
     if options.selftest {
-        return selftest();
+        return selftest(&options);
     }
 
-    // ---- build the lake ---------------------------------------------------
-    let lake = match &options.lake_dir {
-        Some(dir) => load_lake_dir(dir)?,
-        None => generate_lake(&options.benchmark)?,
-    };
-    eprintln!(
-        "serve: lake {:?}: {} tables, {} queries",
-        lake.name(),
-        lake.num_tables(),
-        lake.num_queries()
-    );
-
-    // ---- build the resident session (the embed-once step) -----------------
-    let config = options.pipeline_config();
-    let mut session = LakeSession::with_options(
-        lake,
-        config,
-        dust_core::SessionOptions {
-            num_shards: options.shards,
-        },
-    );
-    let stats = session.stats();
+    let mut state = build_state(&options)?;
+    let stats = state.session.stats();
     eprintln!(
         "serve: session ready in {:.2}s — {} tuples + {} columns resident across {} shards \
-         (tuple dim {}, column dim {}), search = {}",
+         (tuple dim {}, column dim {}), search = {}, generation {}",
         stats.build_secs,
         stats.tuples,
         stats.columns,
         stats.shards,
         stats.tuple_dim,
         stats.column_dim,
-        session.config().search.name(),
+        state.session.config().search.name(),
+        state.session.generation(),
     );
     for (i, (tables, tuples)) in stats.shard_sizes.iter().enumerate() {
         eprintln!("serve:   shard {i}: {tables} tables, {tuples} tuples");
@@ -112,7 +132,7 @@ fn run(args: &[String]) -> Result<(), String> {
         if trimmed.is_empty() {
             return Ok(());
         }
-        let response = handle_request(&mut session, trimmed);
+        let response = handle_request(&mut state, trimmed);
         writeln!(out, "{response}").map_err(|e| e.to_string())?;
         out.flush().map_err(|e| e.to_string())?;
         served += 1;
@@ -138,12 +158,86 @@ fn run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Build the serving state: recover from the snapshot directory when one
+/// is configured and holds a valid snapshot, otherwise build from the lake
+/// (and persist the fresh build when a directory is configured). A corrupt
+/// snapshot is reported and *replaced* — degraded startup cost, never
+/// degraded answers.
+fn build_state(options: &CliOptions) -> Result<ServerState, String> {
+    if let Some(dir) = &options.snapshot_dir {
+        let dir = Path::new(dir);
+        match SnapshotStore::open_with(dir, options.store_options()) {
+            Ok((store, session, report)) => {
+                eprintln!(
+                    "serve: recovered snapshot {} (generation {}, {} WAL record(s) replayed{})",
+                    dir.display(),
+                    report.snapshot_generation,
+                    report.replayed,
+                    if report.dropped_torn_tail {
+                        ", torn tail dropped"
+                    } else {
+                        ""
+                    }
+                );
+                return Ok(ServerState {
+                    session,
+                    store: Some(store),
+                });
+            }
+            Err(e @ PersistError::NoSnapshot { .. }) => {
+                eprintln!("serve: {e}; building from the lake");
+            }
+            Err(e) => {
+                eprintln!(
+                    "serve: snapshot unusable (kind: {}): {e}; rebuilding from the lake",
+                    e.kind()
+                );
+            }
+        }
+        let session = build_session(options)?;
+        let store = SnapshotStore::create_with(dir, &session, options.store_options())
+            .map_err(|e| format!("cannot persist fresh session to {}: {e}", dir.display()))?;
+        eprintln!("serve: fresh snapshot written to {}", dir.display());
+        Ok(ServerState {
+            session,
+            store: Some(store),
+        })
+    } else {
+        Ok(ServerState {
+            session: build_session(options)?,
+            store: None,
+        })
+    }
+}
+
+fn build_session(options: &CliOptions) -> Result<LakeSession, String> {
+    let lake = match &options.lake_dir {
+        Some(dir) => load_lake_dir(dir)?,
+        None => generate_lake(&options.benchmark)?,
+    };
+    eprintln!(
+        "serve: lake {:?}: {} tables, {} queries",
+        lake.name(),
+        lake.num_tables(),
+        lake.num_queries()
+    );
+    Ok(LakeSession::with_options(
+        lake,
+        options.pipeline_config(),
+        dust_core::SessionOptions {
+            num_shards: options.shards,
+        },
+    ))
+}
+
 struct CliOptions {
     benchmark: String,
     lake_dir: Option<String>,
     search: SearchTechnique,
     finetune: bool,
     shards: usize,
+    snapshot_dir: Option<String>,
+    checkpoint_after: usize,
     requests: Option<String>,
     selftest: bool,
 }
@@ -156,6 +250,8 @@ impl CliOptions {
             search: SearchTechnique::Overlap,
             finetune: false,
             shards: 4,
+            snapshot_dir: None,
+            checkpoint_after: StoreOptions::default().checkpoint_after,
             requests: None,
             selftest: false,
         };
@@ -183,12 +279,19 @@ impl CliOptions {
                         .parse()
                         .map_err(|e| format!("--shards: {e}"))?
                 }
+                "--snapshot-dir" => options.snapshot_dir = Some(value("--snapshot-dir")?),
+                "--checkpoint-after" => {
+                    options.checkpoint_after = value("--checkpoint-after")?
+                        .parse()
+                        .map_err(|e| format!("--checkpoint-after: {e}"))?
+                }
                 "--requests" => options.requests = Some(value("--requests")?),
                 "--selftest" => options.selftest = true,
                 "--help" | "-h" => {
                     return Err("see the module docs: serve [--benchmark tiny|santos|ugen] \
                                 [--lake-dir DIR] [--search overlap|d3l|starmie] [--finetune] \
-                                [--shards N] [--requests FILE] [--selftest]"
+                                [--shards N] [--snapshot-dir DIR] [--checkpoint-after N] \
+                                [--requests FILE] [--selftest]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag {other:?}")),
@@ -214,6 +317,12 @@ impl CliOptions {
             };
         }
         config
+    }
+
+    fn store_options(&self) -> StoreOptions {
+        StoreOptions {
+            checkpoint_after: self.checkpoint_after,
+        }
     }
 }
 
@@ -255,30 +364,40 @@ fn load_lake_dir(dir: &str) -> Result<DataLake, String> {
 }
 
 /// Handle one JSONL request line; always returns one JSON response line.
-fn handle_request(session: &mut LakeSession, line: &str) -> String {
-    match serve_line(session, line) {
+fn handle_request(state: &mut ServerState, line: &str) -> String {
+    match serve_line(state, line) {
         Ok(response) => response,
-        Err((id, message)) => format!(
-            "{{\"id\":\"{}\",\"error\":\"{}\"}}",
-            json::escape(&id),
-            json::escape(&message)
+        Err(e) => format!(
+            "{{\"id\":\"{}\",\"kind\":\"{}\",\"error\":\"{}\"}}",
+            json::escape(&e.id),
+            e.kind,
+            json::escape(&e.message)
         ),
     }
 }
 
-fn serve_line(session: &mut LakeSession, line: &str) -> Result<String, (String, String)> {
-    let request = json::parse(line).map_err(|e| (String::new(), format!("bad request: {e}")))?;
+fn serve_line(state: &mut ServerState, line: &str) -> Result<String, ServeError> {
+    let request = json::parse(line).map_err(|e| ServeError {
+        id: String::new(),
+        kind: "bad_request",
+        message: format!("bad request: {e}"),
+    })?;
     let id = request
         .get("id")
         .and_then(JsonValue::as_str)
         .unwrap_or_default()
         .to_string();
-    let fail = |message: String| (id.clone(), message);
+    let fail = |kind: &'static str, message: String| ServeError {
+        id: id.clone(),
+        kind,
+        message,
+    };
+    let bad = |message: String| fail("bad_request", message);
     let k = match request.get("k") {
         None => 10,
         Some(v) => v
             .as_usize()
-            .ok_or_else(|| fail("k must be a non-negative integer".to_string()))?,
+            .ok_or_else(|| bad("k must be a non-negative integer".to_string()))?,
     };
 
     let mode = request
@@ -291,7 +410,7 @@ fn serve_line(session: &mut LakeSession, line: &str) -> Result<String, (String, 
         // a non-default mode would be silently ignored here — reject it so
         // a client never misreads a diverse batch as similar-tuple results
         if mode != "diverse" {
-            return Err(fail(format!(
+            return Err(bad(format!(
                 "batched requests only support mode \"diverse\" (got {mode:?})"
             )));
         }
@@ -300,67 +419,100 @@ fn serve_line(session: &mut LakeSession, line: &str) -> Result<String, (String, 
             .map(|name| {
                 let name = name
                     .as_str()
-                    .ok_or_else(|| fail("queries must be strings".to_string()))?;
-                resolve_query(session, name).map_err(&fail)
+                    .ok_or_else(|| bad("queries must be strings".to_string()))?;
+                resolve_query(&state.session, name).map_err(|m| fail("not_found", m))
             })
             .collect::<Result<_, _>>()?;
         let start = Instant::now();
-        let results = session.query_batch(&queries, k);
+        let results = state.session.query_batch(&queries, k);
         let secs = start.elapsed().as_secs_f64();
         let rendered: Vec<String> = results
             .iter()
             .map(|r| match r {
                 Ok(result) => render_result(result),
-                Err(e) => format!("{{\"error\":\"{}\"}}", json::escape(&format!("{e:?}"))),
+                Err(e) => format!(
+                    "{{\"kind\":\"table\",\"error\":\"{}\"}}",
+                    json::escape(&e.to_string())
+                ),
             })
             .collect();
         return Ok(format!(
-            "{{\"id\":\"{}\",\"k\":{k},\"batch\":[{}],\"secs\":{}}}",
+            "{{\"id\":\"{}\",\"k\":{k},\"generation\":{},\"batch\":[{}],\"secs\":{}}}",
             json::escape(&id),
+            state.session.generation(),
             rendered.join(","),
             json::number(secs)
         ));
     }
 
     // mutation modes: incremental per-shard deltas on the resident session
-    // (no rebuild; results afterwards are bit-identical to one)
+    // (no rebuild; results afterwards are bit-identical to one). With a
+    // durable store, the WAL record is appended and fsynced *after* the
+    // in-memory apply succeeds and *before* the response is written:
+    // failed mutations are never logged, acknowledged ones always are.
     if mode == "add_table" || mode == "remove_table" {
         let start = Instant::now();
         let body = if mode == "add_table" {
             let name = request
                 .get("name")
                 .and_then(JsonValue::as_str)
-                .ok_or_else(|| fail("add_table needs \"name\"".to_string()))?;
+                .ok_or_else(|| bad("add_table needs \"name\"".to_string()))?;
             let csv = request
                 .get("csv")
                 .and_then(JsonValue::as_str)
-                .ok_or_else(|| fail("add_table needs \"csv\"".to_string()))?;
+                .ok_or_else(|| bad("add_table needs \"csv\"".to_string()))?;
             let table = parse_csv(name, csv, CsvOptions::default())
-                .map_err(|e| fail(format!("bad csv: {e:?}")))?;
-            session
-                .add_table(table)
-                .map_err(|e| fail(format!("{e:?}")))?;
+                .map_err(|e| bad(format!("bad csv: {e:?}")))?;
+            state
+                .session
+                .add_table(table.clone())
+                .map_err(|e| fail("table", e.to_string()))?;
+            if let Some(store) = state.store.as_mut() {
+                store
+                    .log_add_table(&table, state.session.generation())
+                    .map_err(|e| fail(e.kind(), format!("applied but not logged: {e}")))?;
+            }
             format!(
                 "{{\"added\":\"{}\",\"tables\":{},\"generation\":{}}}",
                 json::escape(name),
-                session.lake().num_tables(),
-                session.generation()
+                state.session.lake().num_tables(),
+                state.session.generation()
             )
         } else {
             let name = request
                 .get("table")
                 .and_then(JsonValue::as_str)
-                .ok_or_else(|| fail("remove_table needs \"table\"".to_string()))?;
-            session
-                .remove_table(name)
-                .map_err(|e| fail(format!("{e:?}")))?;
+                .ok_or_else(|| bad("remove_table needs \"table\"".to_string()))?
+                .to_string();
+            state
+                .session
+                .remove_table(&name)
+                .map_err(|e| fail("table", e.to_string()))?;
+            if let Some(store) = state.store.as_mut() {
+                store
+                    .log_remove_table(&name, state.session.generation())
+                    .map_err(|e| fail(e.kind(), format!("applied but not logged: {e}")))?;
+            }
             format!(
                 "{{\"removed\":\"{}\",\"tables\":{},\"generation\":{}}}",
-                json::escape(name),
-                session.lake().num_tables(),
-                session.generation()
+                json::escape(&name),
+                state.session.lake().num_tables(),
+                state.session.generation()
             )
         };
+        if let Some(store) = state.store.as_mut() {
+            match store.maybe_checkpoint(&state.session) {
+                Ok(true) => eprintln!(
+                    "serve: checkpoint → epoch {} at generation {}",
+                    store.epoch(),
+                    state.session.generation()
+                ),
+                Ok(false) => {}
+                // the WAL record IS durable; a failed checkpoint only means
+                // recovery replays more — log it, don't fail the request
+                Err(e) => eprintln!("serve: checkpoint failed (kind: {}): {e}", e.kind()),
+            }
+        }
         let secs = start.elapsed().as_secs_f64();
         return Ok(format!(
             "{{\"id\":\"{}\",\"result\":{body},\"secs\":{}}}",
@@ -369,31 +521,53 @@ fn serve_line(session: &mut LakeSession, line: &str) -> Result<String, (String, 
         ));
     }
 
+    // explicit checkpoint: rewrite the snapshot at the current generation
+    // and truncate the WAL
+    if mode == "checkpoint" {
+        let store = state
+            .store
+            .as_mut()
+            .ok_or_else(|| bad("checkpoint needs --snapshot-dir".to_string()))?;
+        let start = Instant::now();
+        store
+            .checkpoint(&state.session)
+            .map_err(|e| fail(e.kind(), e.to_string()))?;
+        let secs = start.elapsed().as_secs_f64();
+        return Ok(format!(
+            "{{\"id\":\"{}\",\"result\":{{\"checkpoint\":true,\"epoch\":{},\"generation\":{}}},\"secs\":{}}}",
+            json::escape(&id),
+            store.epoch(),
+            state.session.generation(),
+            json::number(secs)
+        ));
+    }
+
     // single query: by lake name or inline CSV
     let query = if let Some(name) = request.get("query").and_then(JsonValue::as_str) {
-        resolve_query(session, name).map_err(&fail)?
+        resolve_query(&state.session, name).map_err(|m| fail("not_found", m))?
     } else if let Some(csv) = request.get("csv").and_then(JsonValue::as_str) {
         let name = request
             .get("name")
             .and_then(JsonValue::as_str)
             .unwrap_or("inline_query");
-        parse_csv(name, csv, CsvOptions::default()).map_err(|e| fail(format!("bad csv: {e:?}")))?
+        parse_csv(name, csv, CsvOptions::default()).map_err(|e| bad(format!("bad csv: {e:?}")))?
     } else {
-        return Err(fail(
-            "request needs \"query\", \"queries\", or \"csv\"".to_string(),
+        return Err(bad(
+            "request needs \"query\", \"queries\", or \"csv\"".to_string()
         ));
     };
 
     let start = Instant::now();
     let body = match mode {
         "diverse" => {
-            let result = session
+            let result = state
+                .session
                 .query(&query, k)
-                .map_err(|e| fail(format!("{e:?}")))?;
+                .map_err(|e| fail("table", e.to_string()))?;
             render_result(&result)
         }
         "similar" => {
-            let ranked = session.similar_tuples(&query, k);
+            let ranked = state.session.similar_tuples(&query, k);
             let items: Vec<String> = ranked
                 .iter()
                 .map(|r| {
@@ -407,12 +581,13 @@ fn serve_line(session: &mut LakeSession, line: &str) -> Result<String, (String, 
                 .collect();
             format!("{{\"similar\":[{}]}}", items.join(","))
         }
-        other => return Err(fail(format!("unknown mode {other:?}"))),
+        other => return Err(bad(format!("unknown mode {other:?}"))),
     };
     let secs = start.elapsed().as_secs_f64();
     Ok(format!(
-        "{{\"id\":\"{}\",\"k\":{k},\"result\":{body},\"secs\":{}}}",
+        "{{\"id\":\"{}\",\"k\":{k},\"generation\":{},\"result\":{body},\"secs\":{}}}",
         json::escape(&id),
+        state.session.generation(),
         json::number(secs)
     ))
 }
@@ -456,8 +631,10 @@ fn render_result(result: &DustResult) -> String {
 }
 
 /// Build a tiny lake, serve built-in requests, verify the responses parse
-/// and contain results. Used by CI as the serving smoke test.
-fn selftest() -> Result<(), String> {
+/// and contain results, then run a full durability cycle: save → mutate
+/// (WAL) → drop → recover → re-query, asserting the recovered session
+/// answers identically. Used by CI as the serving + recovery smoke test.
+fn selftest(options: &CliOptions) -> Result<(), String> {
     let lake = BenchmarkConfig::tiny().generate().lake;
     let query_name = lake
         .query_names()
@@ -471,7 +648,10 @@ fn selftest() -> Result<(), String> {
         lake.query(&query_name).map_err(|e| format!("{e:?}"))?,
         CsvOptions::default(),
     );
-    let mut session = LakeSession::new(lake, PipelineConfig::fast());
+    let mut state = ServerState {
+        session: LakeSession::new(lake, PipelineConfig::fast()),
+        store: None,
+    };
 
     let requests = [
         format!("{{\"id\":\"one\",\"query\":\"{query_name}\",\"k\":5}}"),
@@ -485,14 +665,18 @@ fn selftest() -> Result<(), String> {
         format!(
             "{{\"id\":\"badmode\",\"queries\":[\"{query_name}\"],\"k\":2,\"mode\":\"similar\"}}"
         ),
+        "{\"id\":\"nostore\",\"mode\":\"checkpoint\"}".to_string(),
     ];
     for request in &requests {
-        let response = handle_request(&mut session, request);
+        let response = handle_request(&mut state, request);
         let parsed = json::parse(&response)
             .map_err(|e| format!("selftest: unparseable response {response:?}: {e}"))?;
         let id = parsed.get("id").and_then(JsonValue::as_str).unwrap_or("");
         match id {
             "one" | "inline" => {
+                if parsed.get("generation").and_then(JsonValue::as_usize) != Some(0) {
+                    return Err(format!("selftest: no generation in {response}"));
+                }
                 let tuples = parsed
                     .get("result")
                     .and_then(|r| r.get("tuples"))
@@ -515,9 +699,14 @@ fn selftest() -> Result<(), String> {
                 Some(JsonValue::Array(items)) if items.len() == 2 => {}
                 _ => return Err(format!("selftest: bad batch response: {response}")),
             },
-            "bad" | "badmode" => {
+            "bad" | "badmode" | "nostore" => {
                 if parsed.get("error").is_none() {
                     return Err(format!("selftest: bad request not rejected: {response}"));
+                }
+                if parsed.get("kind").and_then(JsonValue::as_str) != Some("bad_request") {
+                    return Err(format!(
+                        "selftest: error lacks kind=bad_request: {response}"
+                    ));
                 }
             }
             other => return Err(format!("selftest: unexpected id {other:?}")),
@@ -540,7 +729,7 @@ fn selftest() -> Result<(), String> {
             .cloned()
             .ok_or_else(|| format!("selftest: no result in {response}"))
     };
-    let before = result_of(&handle_request(&mut session, &query_request))?;
+    let before = result_of(&handle_request(&mut state, &query_request))?;
 
     let mutations = [
         format!(
@@ -551,7 +740,7 @@ fn selftest() -> Result<(), String> {
     ];
     let generations = [1usize, 2];
     for (request, expected_gen) in mutations.iter().zip(generations) {
-        let response = handle_request(&mut session, request);
+        let response = handle_request(&mut state, request);
         let result = result_of(&response)?;
         let generation = result
             .get("generation")
@@ -564,20 +753,21 @@ fn selftest() -> Result<(), String> {
         }
         if expected_gen == 1 {
             // the added table serves immediately
-            let mid = result_of(&handle_request(&mut session, &query_request))?;
+            let mid = result_of(&handle_request(&mut state, &query_request))?;
             if mid.get("tuples").is_none() {
                 return Err(format!("selftest: no tuples after add: {mid:?}"));
             }
         }
     }
-    let after = result_of(&handle_request(&mut session, &query_request))?;
+    let after = result_of(&handle_request(&mut state, &query_request))?;
     if before != after {
         return Err(format!(
             "selftest: post-remove result differs from pre-add result\n  before: {before:?}\n  after: {after:?}"
         ));
     }
     // duplicate add and missing remove are rejected without mutating
-    let lake_table = session
+    let lake_table = state
+        .session
         .lake()
         .table_names()
         .first()
@@ -589,15 +779,95 @@ fn selftest() -> Result<(), String> {
         ),
         "{\"id\":\"ghost\",\"mode\":\"remove_table\",\"table\":\"selftest_added\"}".to_string(),
     ] {
-        let response = handle_request(&mut session, &bad);
+        let response = handle_request(&mut state, &bad);
         let parsed = json::parse(&response).map_err(|e| format!("selftest: {e}"))?;
         if parsed.get("error").is_none() {
             return Err(format!("selftest: bad mutation not rejected: {response}"));
         }
+        if parsed.get("kind").and_then(JsonValue::as_str) != Some("table") {
+            return Err(format!(
+                "selftest: mutation error lacks kind=table: {response}"
+            ));
+        }
+    }
+
+    // ---- durability cycle: save → mutate (WAL) → drop → recover -----------
+    let snapshot_dir = options
+        .snapshot_dir
+        .clone()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("dust-serve-selftest-{}", std::process::id()))
+        });
+    let _ = std::fs::remove_dir_all(&snapshot_dir);
+    state.store = Some(
+        SnapshotStore::create(&snapshot_dir, &state.session)
+            .map_err(|e| format!("selftest: save failed: {e}"))?,
+    );
+    // mutate through the server so the record lands in the WAL
+    let regrow = format!(
+        "{{\"id\":\"regrow\",\"mode\":\"add_table\",\"name\":\"selftest_saved\",\"csv\":\"{}\"}}",
+        json::escape(&inline_csv)
+    );
+    result_of(&handle_request(&mut state, &regrow))?;
+    let expected = result_of(&handle_request(&mut state, &query_request))?;
+    let expected_generation = state.session.generation();
+
+    // drop the entire serving state; recover from disk alone (WAL replay)
+    drop(state);
+    let (store, session, report) = SnapshotStore::open(&snapshot_dir)
+        .map_err(|e| format!("selftest: recovery failed: {e}"))?;
+    if report.replayed != 1 || session.generation() != expected_generation {
+        return Err(format!(
+            "selftest: recovery replayed {} record(s) to generation {}, expected 1 → {expected_generation}",
+            report.replayed,
+            session.generation()
+        ));
+    }
+    let mut state = ServerState {
+        session,
+        store: Some(store),
+    };
+    let recovered = result_of(&handle_request(&mut state, &query_request))?;
+    if recovered != expected {
+        return Err(format!(
+            "selftest: recovered session answers differently\n  expected: {expected:?}\n  recovered: {recovered:?}"
+        ));
+    }
+
+    // checkpoint truncates the WAL; a second recovery replays nothing
+    let checkpoint = result_of(&handle_request(
+        &mut state,
+        "{\"id\":\"ck\",\"mode\":\"checkpoint\"}",
+    ))?;
+    if checkpoint.get("epoch").and_then(JsonValue::as_usize) != Some(2) {
+        return Err(format!(
+            "selftest: checkpoint did not advance epoch: {checkpoint:?}"
+        ));
+    }
+    drop(state);
+    let (store, session, report) = SnapshotStore::open(&snapshot_dir)
+        .map_err(|e| format!("selftest: post-checkpoint recovery failed: {e}"))?;
+    if report.replayed != 0 || session.generation() != expected_generation {
+        return Err(format!(
+            "selftest: post-checkpoint recovery replayed {} record(s), expected 0",
+            report.replayed
+        ));
+    }
+    let mut state = ServerState {
+        session,
+        store: Some(store),
+    };
+    let reread = result_of(&handle_request(&mut state, &query_request))?;
+    if reread != expected {
+        return Err("selftest: post-checkpoint recovery answers differently".to_string());
+    }
+    if options.snapshot_dir.is_none() {
+        let _ = std::fs::remove_dir_all(&snapshot_dir);
     }
 
     eprintln!(
-        "serve: selftest ok ({} requests + mutation cycle verified)",
+        "serve: selftest ok ({} requests + mutation cycle + recovery cycle verified)",
         requests.len()
     );
     Ok(())

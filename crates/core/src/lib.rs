@@ -46,12 +46,14 @@
 
 pub mod baselines;
 pub mod config;
+pub mod persist;
 pub mod pipeline;
 pub mod result;
 pub mod session;
 
 pub use baselines::{LlmBaseline, RetrievalSystem, StarmieBaseline, TupleRetrievalBaseline};
 pub use config::{PipelineConfig, SearchTechnique, TupleEmbedderKind};
+pub use persist::{PersistError, RecoveryReport, SessionError, SnapshotStore, StoreOptions};
 pub use pipeline::DustPipeline;
 pub use result::{DustResult, StageTimings};
 pub use session::{

@@ -1,0 +1,173 @@
+//! Typed persistence and session errors.
+//!
+//! Every failure mode of the durable store is a distinct, matchable
+//! variant: callers (the `serve` binary, the recovery fallback, the
+//! fault-injection suite) branch on *what* went wrong — a corrupt file is
+//! recoverable by rebuilding from the lake, an I/O error usually is not —
+//! instead of string-matching formatted messages.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// An error from the snapshot/WAL persistence layer.
+///
+/// The contract of every read path: a damaged file (bit flip, torn write,
+/// truncation, version skew) is *detected* and surfaces as one of these —
+/// never a panic, never silently wrong data.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An operating-system I/O failure (open, read, write, fsync, rename).
+    Io {
+        /// File or directory the operation touched.
+        path: PathBuf,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// A file failed validation: bad magic, checksum mismatch, impossible
+    /// field value, or an inconsistency between snapshot segments.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What exactly failed to validate.
+        detail: String,
+    },
+    /// A file was written by an incompatible format version.
+    UnsupportedVersion {
+        /// The offending file.
+        path: PathBuf,
+        /// Version found in the file header.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// The directory holds no snapshot (no `MANIFEST`): nothing to open.
+    NoSnapshot {
+        /// The snapshot directory.
+        dir: PathBuf,
+    },
+    /// WAL records did not replay cleanly against the snapshot (sequence
+    /// gap, or a logged mutation the restored session rejected).
+    Replay {
+        /// LSN of the record that failed to apply.
+        lsn: u64,
+        /// Why it failed.
+        detail: String,
+    },
+}
+
+impl PersistError {
+    /// A short, stable machine-readable tag for the error class (used by
+    /// the `serve` binary's JSONL error responses).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PersistError::Io { .. } => "io",
+            PersistError::Corrupt { .. } => "corrupt",
+            PersistError::UnsupportedVersion { .. } => "unsupported_version",
+            PersistError::NoSnapshot { .. } => "no_snapshot",
+            PersistError::Replay { .. } => "replay",
+        }
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { path, source } => {
+                write!(f, "I/O error on {}: {source}", path.display())
+            }
+            PersistError::Corrupt { path, detail } => {
+                write!(f, "corrupt file {}: {detail}", path.display())
+            }
+            PersistError::UnsupportedVersion {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "{} has format version {found}, this build supports {expected}",
+                path.display()
+            ),
+            PersistError::NoSnapshot { dir } => {
+                write!(f, "no snapshot in {} (missing MANIFEST)", dir.display())
+            }
+            PersistError::Replay { lsn, detail } => {
+                write!(f, "WAL replay failed at LSN {lsn}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl PersistError {
+    pub(crate) fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        PersistError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    pub(crate) fn corrupt(path: impl Into<PathBuf>, detail: impl Into<String>) -> Self {
+        PersistError::Corrupt {
+            path: path.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+/// An error from a [`crate::LakeSession`] serving or persistence operation
+/// — the one type the serving layer needs to round-trip any failure.
+#[derive(Debug)]
+pub enum SessionError {
+    /// A lake/table operation failed (duplicate add, unknown table, …).
+    Table(dust_table::TableError),
+    /// The durable store failed (see [`PersistError`]).
+    Persist(PersistError),
+}
+
+impl SessionError {
+    /// A short, stable machine-readable tag for the error class.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SessionError::Table(_) => "table",
+            SessionError::Persist(e) => e.kind(),
+        }
+    }
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Table(e) => write!(f, "{e}"),
+            SessionError::Persist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Table(e) => Some(e),
+            SessionError::Persist(e) => Some(e),
+        }
+    }
+}
+
+impl From<dust_table::TableError> for SessionError {
+    fn from(e: dust_table::TableError) -> Self {
+        SessionError::Table(e)
+    }
+}
+
+impl From<PersistError> for SessionError {
+    fn from(e: PersistError) -> Self {
+        SessionError::Persist(e)
+    }
+}

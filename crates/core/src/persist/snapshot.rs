@@ -1,0 +1,986 @@
+//! The versioned snapshot: a whole [`LakeSession`] as checksummed segment
+//! files.
+//!
+//! One snapshot *epoch* is a set of segment files named `seg-{epoch}-*.bin`
+//! plus a WAL `wal-{epoch}.log`, all referenced by the single `MANIFEST`
+//! file. Checkpointing writes a complete new epoch before atomically
+//! renaming the new manifest into place, so a crash at any point leaves
+//! the directory with one consistent epoch (old or new, never a mix).
+//!
+//! Segments (each framed and CRC32-sealed by [`super::codec`]):
+//!
+//! * **manifest** — epoch, generation, shard count, the full
+//!   [`PipelineConfig`], and whether a trained model segment exists;
+//! * **lake** — the [`DataLake`] itself (tables, queries, ground truth),
+//!   required both for query execution and for replaying WAL adds;
+//! * **shard-i** — one per tuple shard: the compacted live rows of its
+//!   [`EmbeddingStore`] (data + norms + inverse norms, bit-exact), its
+//!   `(table, row)` provenance refs, and its member-table list. Tombstone
+//!   state never round-trips: the snapshot *is* the compacted form, which
+//!   serves identically (pinned by `tests/session_recovery.rs`);
+//! * **columns** — the integer-exact TF-IDF corpus plus the per-shard
+//!   column stores (written from a refreshed, non-stale column side);
+//! * **search** — the configured technique's candidate structures
+//!   ([`InvertedValueIndex`] postings / Starmie / D3L per-table column
+//!   embeddings); the searcher objects themselves are `::new()` defaults
+//!   and are reconstructed, not persisted;
+//! * **model** — the trained [`DustModel`] head weights and centering
+//!   vector (present only when the session embeds through a model), so a
+//!   restart never re-pays training.
+//!
+//! Everything floating-point is written via IEEE bit patterns, so a
+//! restored session's scores are **bit-identical** to the saved one's.
+
+use super::codec::{read_segment, write_segment, ByteReader, ByteWriter};
+use super::error::PersistError;
+use crate::config::{DustConfigSerde, PipelineConfig, SearchTechnique, TupleEmbedderKind};
+use crate::session::{
+    ColumnShard, ColumnSide, LakeSession, LakeShard, SearchStructures, SessionEmbedder,
+    SessionOptions,
+};
+use dust_cluster::{AgglomerativeAlgorithm, Linkage};
+use dust_embed::{
+    ColumnEncoder, ColumnSerialization, Distance, DustModel, EmbeddingStore, FineTuneConfig,
+    PretrainedModel, ProjectionHead, TfIdfCorpus, TupleEncoder, Vector,
+};
+use dust_search::{
+    D3lSearch, D3lSignalStats, InvertedValueIndex, OverlapSearch, StarmieColumnStore, StarmieSearch,
+};
+use dust_table::{Column, DataLake, Table, TableId, Value};
+use std::path::{Path, PathBuf};
+use std::sync::RwLock;
+use std::time::Instant;
+
+/// Segment kind bytes (validated after the CRC, so a mismatch on an intact
+/// file means manifest/segment skew, not bit rot).
+pub(crate) const KIND_MANIFEST: u8 = 0;
+pub(crate) const KIND_LAKE: u8 = 1;
+pub(crate) const KIND_SHARD: u8 = 2;
+pub(crate) const KIND_COLUMNS: u8 = 3;
+pub(crate) const KIND_SEARCH: u8 = 4;
+pub(crate) const KIND_MODEL: u8 = 5;
+
+/// The manifest: everything needed to locate and interpret the segment
+/// files of the current epoch.
+#[derive(Debug, Clone)]
+pub(crate) struct Manifest {
+    pub(crate) epoch: u64,
+    pub(crate) generation: u64,
+    pub(crate) num_shards: usize,
+    pub(crate) model_injected: bool,
+    pub(crate) has_model: bool,
+    pub(crate) config: PipelineConfig,
+}
+
+pub(crate) fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("MANIFEST")
+}
+
+pub(crate) fn lake_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("seg-{epoch}-lake.bin"))
+}
+
+pub(crate) fn shard_path(dir: &Path, epoch: u64, shard: usize) -> PathBuf {
+    dir.join(format!("seg-{epoch}-shard-{shard}.bin"))
+}
+
+pub(crate) fn columns_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("seg-{epoch}-columns.bin"))
+}
+
+pub(crate) fn search_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("seg-{epoch}-search.bin"))
+}
+
+pub(crate) fn model_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("seg-{epoch}-model.bin"))
+}
+
+pub(crate) fn wal_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("wal-{epoch}.log"))
+}
+
+// ---------------------------------------------------------------------------
+// enum tags
+// ---------------------------------------------------------------------------
+
+fn model_tag(m: PretrainedModel) -> u8 {
+    match m {
+        PretrainedModel::FastText => 0,
+        PretrainedModel::Glove => 1,
+        PretrainedModel::Bert => 2,
+        PretrainedModel::Roberta => 3,
+        PretrainedModel::SBert => 4,
+        PretrainedModel::Ditto => 5,
+    }
+}
+
+fn model_from(tag: u8, r: &ByteReader<'_>) -> Result<PretrainedModel, PersistError> {
+    Ok(match tag {
+        0 => PretrainedModel::FastText,
+        1 => PretrainedModel::Glove,
+        2 => PretrainedModel::Bert,
+        3 => PretrainedModel::Roberta,
+        4 => PretrainedModel::SBert,
+        5 => PretrainedModel::Ditto,
+        _ => return Err(r.corrupt(format!("unknown pretrained-model tag {tag}"))),
+    })
+}
+
+fn serialization_tag(s: ColumnSerialization) -> u8 {
+    match s {
+        ColumnSerialization::CellLevel => 0,
+        ColumnSerialization::ColumnLevel => 1,
+    }
+}
+
+fn serialization_from(tag: u8, r: &ByteReader<'_>) -> Result<ColumnSerialization, PersistError> {
+    Ok(match tag {
+        0 => ColumnSerialization::CellLevel,
+        1 => ColumnSerialization::ColumnLevel,
+        _ => return Err(r.corrupt(format!("unknown column-serialization tag {tag}"))),
+    })
+}
+
+fn distance_tag(d: Distance) -> u8 {
+    match d {
+        Distance::Cosine => 0,
+        Distance::Euclidean => 1,
+        Distance::Manhattan => 2,
+    }
+}
+
+fn distance_from(tag: u8, r: &ByteReader<'_>) -> Result<Distance, PersistError> {
+    Ok(match tag {
+        0 => Distance::Cosine,
+        1 => Distance::Euclidean,
+        2 => Distance::Manhattan,
+        _ => return Err(r.corrupt(format!("unknown distance tag {tag}"))),
+    })
+}
+
+fn linkage_tag(l: Linkage) -> u8 {
+    match l {
+        Linkage::Single => 0,
+        Linkage::Complete => 1,
+        Linkage::Average => 2,
+        Linkage::Ward => 3,
+        Linkage::Centroid => 4,
+        Linkage::Median => 5,
+    }
+}
+
+fn linkage_from(tag: u8, r: &ByteReader<'_>) -> Result<Linkage, PersistError> {
+    Ok(match tag {
+        0 => Linkage::Single,
+        1 => Linkage::Complete,
+        2 => Linkage::Average,
+        3 => Linkage::Ward,
+        4 => Linkage::Centroid,
+        5 => Linkage::Median,
+        _ => return Err(r.corrupt(format!("unknown linkage tag {tag}"))),
+    })
+}
+
+fn algorithm_tag(a: AgglomerativeAlgorithm) -> u8 {
+    match a {
+        AgglomerativeAlgorithm::Auto => 0,
+        AgglomerativeAlgorithm::NnChain => 1,
+        AgglomerativeAlgorithm::Generic => 2,
+    }
+}
+
+fn algorithm_from(tag: u8, r: &ByteReader<'_>) -> Result<AgglomerativeAlgorithm, PersistError> {
+    Ok(match tag {
+        0 => AgglomerativeAlgorithm::Auto,
+        1 => AgglomerativeAlgorithm::NnChain,
+        2 => AgglomerativeAlgorithm::Generic,
+        _ => return Err(r.corrupt(format!("unknown clustering-algorithm tag {tag}"))),
+    })
+}
+
+fn technique_tag(t: SearchTechnique) -> u8 {
+    match t {
+        SearchTechnique::Overlap => 0,
+        SearchTechnique::D3l => 1,
+        SearchTechnique::Starmie => 2,
+    }
+}
+
+fn technique_from(tag: u8, r: &ByteReader<'_>) -> Result<SearchTechnique, PersistError> {
+    Ok(match tag {
+        0 => SearchTechnique::Overlap,
+        1 => SearchTechnique::D3l,
+        2 => SearchTechnique::Starmie,
+        _ => return Err(r.corrupt(format!("unknown search-technique tag {tag}"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// value / table / lake codecs
+// ---------------------------------------------------------------------------
+
+fn put_value(w: &mut ByteWriter, v: &Value) {
+    match v {
+        Value::Null => w.put_u8(0),
+        Value::Bool(b) => {
+            w.put_u8(1);
+            w.put_bool(*b);
+        }
+        Value::Int(i) => {
+            w.put_u8(2);
+            w.put_i64(*i);
+        }
+        Value::Float(f) => {
+            w.put_u8(3);
+            w.put_f64(*f);
+        }
+        Value::Text(s) => {
+            w.put_u8(4);
+            w.put_str(s);
+        }
+    }
+}
+
+fn get_value(r: &mut ByteReader<'_>) -> Result<Value, PersistError> {
+    Ok(match r.get_u8()? {
+        0 => Value::Null,
+        1 => Value::Bool(r.get_bool()?),
+        2 => Value::Int(r.get_i64()?),
+        3 => Value::Float(r.get_f64()?),
+        4 => Value::Text(r.get_str()?),
+        t => return Err(r.corrupt(format!("unknown value tag {t}"))),
+    })
+}
+
+pub(crate) fn put_table(w: &mut ByteWriter, table: &Table) {
+    w.put_str(table.name());
+    w.put_usize(table.num_columns());
+    for column in table.columns() {
+        w.put_str(column.name());
+        w.put_usize(column.len());
+        for value in column.values() {
+            put_value(w, value);
+        }
+    }
+}
+
+pub(crate) fn get_table(r: &mut ByteReader<'_>) -> Result<Table, PersistError> {
+    let name = r.get_str()?;
+    let num_columns = r.get_count()?;
+    let mut columns = Vec::with_capacity(num_columns);
+    for _ in 0..num_columns {
+        let col_name = r.get_str()?;
+        let num_values = r.get_count()?;
+        let mut values = Vec::with_capacity(num_values);
+        for _ in 0..num_values {
+            values.push(get_value(r)?);
+        }
+        columns.push(Column::new(col_name, values));
+    }
+    Table::from_columns(name, columns)
+        .map_err(|e| r.corrupt(format!("decoded table is invalid: {e}")))
+}
+
+fn encode_lake(lake: &DataLake) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_str(lake.name());
+    w.put_usize(lake.num_queries());
+    for query in lake.queries() {
+        put_table(&mut w, query);
+    }
+    w.put_usize(lake.num_tables());
+    for table in lake.tables() {
+        put_table(&mut w, table);
+    }
+    let gt = lake.ground_truth();
+    let queries: Vec<&TableId> = gt.queries().collect();
+    w.put_usize(queries.len());
+    for query in queries {
+        w.put_str(query);
+        let unionable = gt.unionable_with(query);
+        w.put_usize(unionable.len());
+        for table in &unionable {
+            w.put_str(table);
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_lake(bytes: &[u8], path: &Path) -> Result<DataLake, PersistError> {
+    let mut r = ByteReader::new(bytes, path);
+    let name = r.get_str()?;
+    let mut lake = DataLake::new(name);
+    let num_queries = r.get_count()?;
+    for _ in 0..num_queries {
+        let query = get_table(&mut r)?;
+        lake.add_query(query)
+            .map_err(|e| PersistError::corrupt(path, format!("decoded query rejected: {e}")))?;
+    }
+    let num_tables = r.get_count()?;
+    for _ in 0..num_tables {
+        let table = get_table(&mut r)?;
+        lake.add_table(table)
+            .map_err(|e| PersistError::corrupt(path, format!("decoded table rejected: {e}")))?;
+    }
+    let num_gt = r.get_count()?;
+    for _ in 0..num_gt {
+        let query = r.get_str()?;
+        let n = r.get_count()?;
+        for _ in 0..n {
+            let table = r.get_str()?;
+            lake.add_ground_truth(query.clone(), table);
+        }
+    }
+    r.finish()?;
+    Ok(lake)
+}
+
+// ---------------------------------------------------------------------------
+// embedding-store / shard / columns codecs
+// ---------------------------------------------------------------------------
+
+/// Write the **live rows** of a store (data, norms, inverse norms verbatim
+/// — bit-exact). Tombstoned rows are filtered out here, so the on-disk
+/// form is always the compacted one.
+fn put_live_store(w: &mut ByteWriter, store: &EmbeddingStore) {
+    let dim = store.dim();
+    w.put_usize(dim);
+    let live: Vec<usize> = store.live_indices().collect();
+    w.put_usize(live.len());
+    let mut data = Vec::with_capacity(live.len() * dim);
+    let mut norms = Vec::with_capacity(live.len());
+    let mut inv_norms = Vec::with_capacity(live.len());
+    for &i in &live {
+        data.extend_from_slice(store.row(i));
+        norms.push(store.norm(i));
+        inv_norms.push(store.inv_norm(i));
+    }
+    w.put_f32s(&data);
+    w.put_f32s(&norms);
+    w.put_f64s(&inv_norms);
+}
+
+fn get_store(r: &mut ByteReader<'_>) -> Result<EmbeddingStore, PersistError> {
+    let dim = r.get_usize()?;
+    let n = r.get_usize()?;
+    let data = r.get_f32s()?;
+    let norms = r.get_f32s()?;
+    let inv_norms = r.get_f64s()?;
+    if norms.len() != n || inv_norms.len() != n || data.len() != n.saturating_mul(dim) {
+        return Err(r.corrupt(format!(
+            "store buffers disagree: n={n}, dim={dim}, data={}, norms={}, inv_norms={}",
+            data.len(),
+            norms.len(),
+            inv_norms.len()
+        )));
+    }
+    Ok(EmbeddingStore::from_raw_parts(dim, data, norms, inv_norms))
+}
+
+fn encode_shard(shard: &LakeShard) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_usize(shard.tables.len());
+    for table in &shard.tables {
+        w.put_str(table);
+    }
+    put_live_store(&mut w, &shard.tuple_store);
+    // refs of the live rows only, in live order — parallel to the store
+    // rows just written
+    let live: Vec<usize> = shard.tuple_store.live_indices().collect();
+    w.put_usize(live.len());
+    for &i in &live {
+        let (table, row) = &shard.tuple_refs[i];
+        w.put_str(table);
+        w.put_usize(*row);
+    }
+    w.into_bytes()
+}
+
+fn decode_shard(bytes: &[u8], path: &Path) -> Result<LakeShard, PersistError> {
+    let mut r = ByteReader::new(bytes, path);
+    let num_tables = r.get_count()?;
+    let mut tables = Vec::with_capacity(num_tables);
+    for _ in 0..num_tables {
+        tables.push(r.get_str()?);
+    }
+    let tuple_store = get_store(&mut r)?;
+    let num_refs = r.get_count()?;
+    if num_refs != tuple_store.len() {
+        return Err(r.corrupt(format!(
+            "{num_refs} tuple refs for {} store rows",
+            tuple_store.len()
+        )));
+    }
+    let mut tuple_refs = Vec::with_capacity(num_refs);
+    for _ in 0..num_refs {
+        let table = r.get_str()?;
+        let row = r.get_usize()?;
+        tuple_refs.push((table, row));
+    }
+    r.finish()?;
+    Ok(LakeShard {
+        tables,
+        tuple_store,
+        tuple_refs,
+    })
+}
+
+fn encode_columns(side: &ColumnSide) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_usize(side.corpus.num_documents());
+    let entries = side.corpus.document_frequencies();
+    w.put_usize(entries.len());
+    for (token, df) in &entries {
+        w.put_str(token);
+        w.put_usize(*df);
+    }
+    w.put_usize(side.shards.len());
+    for shard in &side.shards {
+        put_live_store(&mut w, &shard.store);
+        w.put_usize(shard.refs.len());
+        for (table, column) in &shard.refs {
+            w.put_str(table);
+            w.put_str(column);
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_columns(bytes: &[u8], path: &Path) -> Result<ColumnSide, PersistError> {
+    let mut r = ByteReader::new(bytes, path);
+    let documents = r.get_usize()?;
+    let num_entries = r.get_count()?;
+    let mut entries = Vec::with_capacity(num_entries);
+    for _ in 0..num_entries {
+        let token = r.get_str()?;
+        let df = r.get_usize()?;
+        entries.push((token, df));
+    }
+    let corpus = TfIdfCorpus::from_document_frequencies(documents, entries);
+    let num_shards = r.get_count()?;
+    let mut shards = Vec::with_capacity(num_shards);
+    for _ in 0..num_shards {
+        let store = get_store(&mut r)?;
+        let num_refs = r.get_count()?;
+        if num_refs != store.len() {
+            return Err(r.corrupt(format!(
+                "{num_refs} column refs for {} store rows",
+                store.len()
+            )));
+        }
+        let mut refs = Vec::with_capacity(num_refs);
+        for _ in 0..num_refs {
+            let table = r.get_str()?;
+            let column = r.get_str()?;
+            refs.push((table, column));
+        }
+        shards.push(ColumnShard { store, refs });
+    }
+    r.finish()?;
+    Ok(ColumnSide {
+        corpus,
+        shards,
+        stale: false,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// search-structure codec
+// ---------------------------------------------------------------------------
+
+fn put_index(w: &mut ByteWriter, index: &InvertedValueIndex) {
+    w.put_usize(index.num_tables());
+    let entries = index.entries();
+    w.put_usize(entries.len());
+    for (value, tables) in &entries {
+        w.put_str(value);
+        w.put_usize(tables.len());
+        for table in tables {
+            w.put_str(table);
+        }
+    }
+}
+
+fn get_index(r: &mut ByteReader<'_>) -> Result<InvertedValueIndex, PersistError> {
+    let indexed_tables = r.get_usize()?;
+    let num_entries = r.get_count()?;
+    let mut entries = Vec::with_capacity(num_entries);
+    for _ in 0..num_entries {
+        let value = r.get_str()?;
+        let n = r.get_count()?;
+        let mut tables = Vec::with_capacity(n);
+        for _ in 0..n {
+            tables.push(r.get_str()?);
+        }
+        entries.push((value, tables));
+    }
+    Ok(InvertedValueIndex::from_entries(indexed_tables, entries))
+}
+
+fn put_column_entries(w: &mut ByteWriter, entries: &[(String, Vec<Vector>)]) {
+    w.put_usize(entries.len());
+    for (table, vectors) in entries {
+        w.put_str(table);
+        w.put_usize(vectors.len());
+        for v in vectors {
+            w.put_f32s(v.as_slice());
+        }
+    }
+}
+
+fn get_column_entries(r: &mut ByteReader<'_>) -> Result<Vec<(String, Vec<Vector>)>, PersistError> {
+    let n = r.get_count()?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let table = r.get_str()?;
+        let num_vectors = r.get_count()?;
+        let mut vectors = Vec::with_capacity(num_vectors);
+        for _ in 0..num_vectors {
+            vectors.push(Vector::new(r.get_f32s()?));
+        }
+        entries.push((table, vectors));
+    }
+    Ok(entries)
+}
+
+fn encode_search(search: &SearchStructures) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match search {
+        SearchStructures::Overlap { index, .. } => {
+            w.put_u8(technique_tag(SearchTechnique::Overlap));
+            put_index(&mut w, index);
+        }
+        SearchStructures::D3l { index, stats, .. } => {
+            w.put_u8(technique_tag(SearchTechnique::D3l));
+            put_index(&mut w, index);
+            put_column_entries(&mut w, &stats.entries());
+        }
+        SearchStructures::Starmie { store, .. } => {
+            w.put_u8(technique_tag(SearchTechnique::Starmie));
+            put_column_entries(&mut w, &store.entries());
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decode the search segment. The searcher objects are the same `::new()`
+/// defaults a fresh session constructs — only the lake-derived structures
+/// round-trip. The decoded technique must match `expected` (from the
+/// manifest's config): a mismatch means the files are inconsistent.
+fn decode_search(
+    bytes: &[u8],
+    path: &Path,
+    expected: SearchTechnique,
+) -> Result<SearchStructures, PersistError> {
+    let mut r = ByteReader::new(bytes, path);
+    let technique = technique_from(r.get_u8()?, &r)?;
+    if technique != expected {
+        return Err(PersistError::corrupt(
+            path,
+            format!("search segment holds {technique:?} but the manifest config says {expected:?}"),
+        ));
+    }
+    let search = match technique {
+        SearchTechnique::Overlap => {
+            let index = get_index(&mut r)?;
+            SearchStructures::Overlap {
+                search: OverlapSearch::new(),
+                index,
+            }
+        }
+        SearchTechnique::D3l => {
+            let index = get_index(&mut r)?;
+            let stats = D3lSignalStats::from_entries(get_column_entries(&mut r)?);
+            SearchStructures::D3l {
+                search: D3lSearch::new(),
+                index,
+                stats,
+            }
+        }
+        SearchTechnique::Starmie => {
+            let store = StarmieColumnStore::from_entries(get_column_entries(&mut r)?);
+            SearchStructures::Starmie {
+                search: StarmieSearch::new(),
+                store,
+            }
+        }
+    };
+    r.finish()?;
+    Ok(search)
+}
+
+// ---------------------------------------------------------------------------
+// model codec
+// ---------------------------------------------------------------------------
+
+fn put_finetune_config(w: &mut ByteWriter, c: &FineTuneConfig) {
+    w.put_usize(c.hidden_dim);
+    w.put_usize(c.output_dim);
+    w.put_f32(c.dropout);
+    w.put_f32(c.learning_rate);
+    w.put_usize(c.max_epochs);
+    w.put_usize(c.patience);
+    w.put_f64(c.margin);
+    w.put_u64(c.seed);
+}
+
+fn get_finetune_config(r: &mut ByteReader<'_>) -> Result<FineTuneConfig, PersistError> {
+    Ok(FineTuneConfig {
+        hidden_dim: r.get_usize()?,
+        output_dim: r.get_usize()?,
+        dropout: r.get_f32()?,
+        learning_rate: r.get_f32()?,
+        max_epochs: r.get_usize()?,
+        patience: r.get_usize()?,
+        margin: r.get_f64()?,
+        seed: r.get_u64()?,
+    })
+}
+
+fn encode_model(model: &DustModel) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(model_tag(model.backbone()));
+    let head = model.head();
+    put_finetune_config(&mut w, head.config());
+    w.put_usize(head.input_dim());
+    let (w1, b1, w2, b2) = head.raw_weights();
+    w.put_f32s(w1);
+    w.put_f32s(b1);
+    w.put_f32s(w2);
+    w.put_f32s(b2);
+    match model.center() {
+        Some(center) => {
+            w.put_bool(true);
+            w.put_f32s(center.as_slice());
+        }
+        None => w.put_bool(false),
+    }
+    w.into_bytes()
+}
+
+fn decode_model(bytes: &[u8], path: &Path) -> Result<DustModel, PersistError> {
+    let mut r = ByteReader::new(bytes, path);
+    let backbone = model_from(r.get_u8()?, &r)?;
+    let config = get_finetune_config(&mut r)?;
+    let input_dim = r.get_usize()?;
+    let w1 = r.get_f32s()?;
+    let b1 = r.get_f32s()?;
+    let w2 = r.get_f32s()?;
+    let b2 = r.get_f32s()?;
+    let center = if r.get_bool()? {
+        Some(Vector::new(r.get_f32s()?))
+    } else {
+        None
+    };
+    r.finish()?;
+    // Validate shapes with typed errors before the constructors' asserts
+    // can fire (decode must never panic, even on an adversarial file).
+    if w1.len() != config.hidden_dim.saturating_mul(input_dim)
+        || b1.len() != config.hidden_dim
+        || w2.len() != config.output_dim.saturating_mul(config.hidden_dim)
+        || b2.len() != config.output_dim
+        || config.hidden_dim == 0
+        || config.output_dim == 0
+        || input_dim == 0
+    {
+        return Err(PersistError::corrupt(path, "model weight shapes disagree"));
+    }
+    if input_dim != TupleEncoder::new(backbone).dim() {
+        return Err(PersistError::corrupt(
+            path,
+            format!("head input dim {input_dim} does not match backbone {backbone:?}"),
+        ));
+    }
+    if let Some(c) = &center {
+        if c.dim() != input_dim {
+            return Err(PersistError::corrupt(
+                path,
+                "centering vector dim does not match the backbone",
+            ));
+        }
+    }
+    let head = ProjectionHead::from_raw_weights(input_dim, config, w1, b1, w2, b2);
+    Ok(DustModel::from_parts(backbone, head, center))
+}
+
+// ---------------------------------------------------------------------------
+// manifest codec
+// ---------------------------------------------------------------------------
+
+fn encode_manifest(m: &Manifest) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(m.epoch);
+    w.put_u64(m.generation);
+    w.put_usize(m.num_shards);
+    w.put_bool(m.model_injected);
+    w.put_bool(m.has_model);
+    let c = &m.config;
+    w.put_u8(technique_tag(c.search));
+    w.put_usize(c.tables_per_query);
+    w.put_u8(model_tag(c.alignment_model));
+    w.put_u8(serialization_tag(c.alignment_serialization));
+    w.put_u8(linkage_tag(c.alignment_linkage));
+    match &c.embedder {
+        TupleEmbedderKind::Pretrained(backbone) => {
+            w.put_u8(0);
+            w.put_u8(model_tag(*backbone));
+        }
+        TupleEmbedderKind::FineTuned {
+            backbone,
+            config,
+            training_pairs,
+        } => {
+            w.put_u8(1);
+            w.put_u8(model_tag(*backbone));
+            put_finetune_config(&mut w, config);
+            w.put_usize(*training_pairs);
+        }
+    }
+    w.put_u8(distance_tag(c.distance));
+    w.put_usize(c.diversifier.p);
+    match c.diversifier.prune_to {
+        Some(s) => {
+            w.put_bool(true);
+            w.put_usize(s);
+        }
+        None => w.put_bool(false),
+    }
+    w.put_u8(algorithm_tag(c.diversifier.algorithm));
+    w.put_bool(c.diversifier.full_dendrogram);
+    w.into_bytes()
+}
+
+fn decode_manifest(bytes: &[u8], path: &Path) -> Result<Manifest, PersistError> {
+    let mut r = ByteReader::new(bytes, path);
+    let epoch = r.get_u64()?;
+    let generation = r.get_u64()?;
+    let num_shards = r.get_usize()?;
+    let model_injected = r.get_bool()?;
+    let has_model = r.get_bool()?;
+    let search = technique_from(r.get_u8()?, &r)?;
+    let tables_per_query = r.get_usize()?;
+    let alignment_model = model_from(r.get_u8()?, &r)?;
+    let alignment_serialization = serialization_from(r.get_u8()?, &r)?;
+    let alignment_linkage = linkage_from(r.get_u8()?, &r)?;
+    let embedder = match r.get_u8()? {
+        0 => TupleEmbedderKind::Pretrained(model_from(r.get_u8()?, &r)?),
+        1 => {
+            let backbone = model_from(r.get_u8()?, &r)?;
+            let config = get_finetune_config(&mut r)?;
+            let training_pairs = r.get_usize()?;
+            TupleEmbedderKind::FineTuned {
+                backbone,
+                config,
+                training_pairs,
+            }
+        }
+        t => return Err(r.corrupt(format!("unknown embedder tag {t}"))),
+    };
+    let distance = distance_from(r.get_u8()?, &r)?;
+    let p = r.get_usize()?;
+    let prune_to = if r.get_bool()? {
+        Some(r.get_usize()?)
+    } else {
+        None
+    };
+    let algorithm = algorithm_from(r.get_u8()?, &r)?;
+    let full_dendrogram = r.get_bool()?;
+    r.finish()?;
+    if num_shards == 0 {
+        return Err(PersistError::corrupt(path, "manifest claims zero shards"));
+    }
+    if !has_model && matches!(embedder, TupleEmbedderKind::FineTuned { .. }) {
+        return Err(PersistError::corrupt(
+            path,
+            "fine-tuned config without a model segment",
+        ));
+    }
+    Ok(Manifest {
+        epoch,
+        generation,
+        num_shards,
+        model_injected,
+        has_model,
+        config: PipelineConfig {
+            search,
+            tables_per_query,
+            alignment_model,
+            alignment_serialization,
+            alignment_linkage,
+            embedder,
+            distance,
+            diversifier: DustConfigSerde {
+                p,
+                prune_to,
+                algorithm,
+                full_dendrogram,
+            },
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// whole-snapshot write / read
+// ---------------------------------------------------------------------------
+
+/// Write every segment of epoch `epoch` (everything except the manifest
+/// and the WAL, which the caller sequences for crash safety).
+pub(crate) fn write_epoch_segments(
+    dir: &Path,
+    session: &LakeSession,
+    epoch: u64,
+) -> Result<(), PersistError> {
+    write_segment(
+        &lake_path(dir, epoch),
+        KIND_LAKE,
+        &encode_lake(&session.lake),
+    )?;
+    for (i, shard) in session.shards.iter().enumerate() {
+        write_segment(&shard_path(dir, epoch, i), KIND_SHARD, &encode_shard(shard))?;
+    }
+    {
+        // Refresh first: a stale column side must never be photographed —
+        // the snapshot always holds the post-mutation, corpus-consistent
+        // embeddings a fresh session would build.
+        let columns = session.refreshed_columns();
+        write_segment(
+            &columns_path(dir, epoch),
+            KIND_COLUMNS,
+            &encode_columns(&columns),
+        )?;
+    }
+    write_segment(
+        &search_path(dir, epoch),
+        KIND_SEARCH,
+        &encode_search(&session.search),
+    )?;
+    if let SessionEmbedder::Model(model) = &session.embedder {
+        write_segment(&model_path(dir, epoch), KIND_MODEL, &encode_model(model))?;
+    }
+    Ok(())
+}
+
+/// The manifest that describes `session` at `epoch`.
+pub(crate) fn manifest_for(session: &LakeSession, epoch: u64) -> Manifest {
+    Manifest {
+        epoch,
+        generation: session.generation,
+        num_shards: session.options.num_shards,
+        model_injected: session.model_injected,
+        has_model: matches!(session.embedder, SessionEmbedder::Model(_)),
+        config: session.config.clone(),
+    }
+}
+
+/// Atomically publish a manifest: write `MANIFEST.tmp`, fsync, rename over
+/// `MANIFEST`, fsync the directory. A crash before the rename leaves the
+/// old manifest (and its epoch files) fully intact.
+pub(crate) fn publish_manifest(dir: &Path, manifest: &Manifest) -> Result<(), PersistError> {
+    let tmp = dir.join("MANIFEST.tmp");
+    write_segment(&tmp, KIND_MANIFEST, &encode_manifest(manifest))?;
+    let target = manifest_path(dir);
+    std::fs::rename(&tmp, &target).map_err(|e| PersistError::io(&target, e))?;
+    super::codec::sync_dir(dir)?;
+    Ok(())
+}
+
+/// Read and validate the manifest. [`PersistError::NoSnapshot`] when the
+/// file does not exist (an empty directory is "nothing saved yet", not
+/// corruption).
+pub(crate) fn read_manifest(dir: &Path) -> Result<Manifest, PersistError> {
+    let path = manifest_path(dir);
+    if !path.exists() {
+        return Err(PersistError::NoSnapshot {
+            dir: dir.to_path_buf(),
+        });
+    }
+    let bytes = read_segment(&path, KIND_MANIFEST)?;
+    decode_manifest(&bytes, &path)
+}
+
+/// Load a full session from the manifest's epoch segments. The WAL is NOT
+/// replayed here — [`super::SnapshotStore::open`] does that through the
+/// live mutation paths.
+pub(crate) fn load_session(dir: &Path, manifest: &Manifest) -> Result<LakeSession, PersistError> {
+    let start = Instant::now();
+    let epoch = manifest.epoch;
+
+    let lp = lake_path(dir, epoch);
+    let lake = decode_lake(&read_segment(&lp, KIND_LAKE)?, &lp)?;
+
+    let mut shards = Vec::with_capacity(manifest.num_shards);
+    for i in 0..manifest.num_shards {
+        let sp = shard_path(dir, epoch, i);
+        shards.push(decode_shard(&read_segment(&sp, KIND_SHARD)?, &sp)?);
+    }
+
+    let cp = columns_path(dir, epoch);
+    let columns = decode_columns(&read_segment(&cp, KIND_COLUMNS)?, &cp)?;
+
+    let sp = search_path(dir, epoch);
+    let search = decode_search(
+        &read_segment(&sp, KIND_SEARCH)?,
+        &sp,
+        manifest.config.search,
+    )?;
+
+    let embedder = if manifest.has_model {
+        let mp = model_path(dir, epoch);
+        SessionEmbedder::Model(decode_model(&read_segment(&mp, KIND_MODEL)?, &mp)?)
+    } else {
+        match &manifest.config.embedder {
+            TupleEmbedderKind::Pretrained(backbone) => {
+                SessionEmbedder::Encoder(TupleEncoder::new(*backbone))
+            }
+            TupleEmbedderKind::FineTuned { .. } => {
+                // decode_manifest already rejects this combination
+                return Err(PersistError::corrupt(
+                    manifest_path(dir),
+                    "fine-tuned config without a model segment",
+                ));
+            }
+        }
+    };
+
+    let aligner_encoder = ColumnEncoder::new(
+        manifest.config.alignment_model,
+        manifest.config.alignment_serialization,
+    );
+    Ok(LakeSession {
+        lake,
+        config: manifest.config.clone(),
+        options: SessionOptions {
+            num_shards: manifest.num_shards,
+        },
+        aligner_encoder,
+        embedder,
+        model_injected: manifest.model_injected,
+        search,
+        shards,
+        columns: RwLock::new(columns),
+        generation: manifest.generation,
+        build_secs: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Best-effort removal of every `seg-*`/`wal-*` file that does not belong
+/// to `keep_epoch` (superseded epochs after a checkpoint, leftovers from a
+/// crashed one). Failures are ignored: stale files are garbage, not state.
+pub(crate) fn sweep_stale_epochs(dir: &Path, keep_epoch: u64) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let seg_keep = format!("seg-{keep_epoch}-");
+    let wal_keep = format!("wal-{keep_epoch}.log");
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale = (name.starts_with("seg-") && !name.starts_with(&seg_keep))
+            || (name.starts_with("wal-") && name != wal_keep)
+            || name == "MANIFEST.tmp";
+        if stale {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}

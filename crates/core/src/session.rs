@@ -106,11 +106,11 @@ impl Default for SessionOptions {
 pub struct LakeShard {
     /// Names of the member tables, in insertion order (construction inserts
     /// in lake name order; later [`LakeSession::add_table`] calls append).
-    tables: Vec<TableId>,
-    tuple_store: EmbeddingStore,
+    pub(crate) tables: Vec<TableId>,
+    pub(crate) tuple_store: EmbeddingStore,
     /// `(table, row)` per tuple-store row, parallel to the store
     /// (tombstoned rows keep their stale entry until compaction).
-    tuple_refs: Vec<(TableId, usize)>,
+    pub(crate) tuple_refs: Vec<(TableId, usize)>,
 }
 
 impl LakeShard {
@@ -137,23 +137,23 @@ impl LakeShard {
 /// updates by exact integer deltas at mutation time, the embeddings are
 /// re-derived lazily through the same build path as construction.
 #[derive(Debug)]
-struct ColumnSide {
-    corpus: TfIdfCorpus,
-    shards: Vec<ColumnShard>,
-    stale: bool,
+pub(crate) struct ColumnSide {
+    pub(crate) corpus: TfIdfCorpus,
+    pub(crate) shards: Vec<ColumnShard>,
+    pub(crate) stale: bool,
 }
 
 #[derive(Debug)]
-struct ColumnShard {
-    store: EmbeddingStore,
+pub(crate) struct ColumnShard {
+    pub(crate) store: EmbeddingStore,
     /// `(table, column header)` per store row (the header is captured at
     /// build time so serving a hit never needs a lake lookup).
-    refs: Vec<(TableId, String)>,
+    pub(crate) refs: Vec<(TableId, String)>,
 }
 
 /// The persistent candidate structures of the configured search technique.
 #[derive(Debug)]
-enum SearchStructures {
+pub(crate) enum SearchStructures {
     Overlap {
         search: OverlapSearch,
         index: InvertedValueIndex,
@@ -205,7 +205,7 @@ impl SearchStructures {
 
 /// The session's shared tuple embedder (constructed/trained once).
 #[derive(Debug)]
-enum SessionEmbedder {
+pub(crate) enum SessionEmbedder {
     Model(DustModel),
     Encoder(TupleEncoder),
 }
@@ -268,25 +268,25 @@ pub struct SessionStats {
 /// incrementally (see the module docs for the delta/rebuild contract).
 #[derive(Debug)]
 pub struct LakeSession {
-    lake: DataLake,
-    config: PipelineConfig,
-    options: SessionOptions,
-    aligner_encoder: ColumnEncoder,
-    embedder: SessionEmbedder,
+    pub(crate) lake: DataLake,
+    pub(crate) config: PipelineConfig,
+    pub(crate) options: SessionOptions,
+    pub(crate) aligner_encoder: ColumnEncoder,
+    pub(crate) embedder: SessionEmbedder,
     /// An injected ([`Self::with_model`]) embedder is not lake-derived and
     /// is therefore kept across mutations; a config-trained fine-tuned
     /// model *is* lake-derived and must be retrained (recompute fallback).
-    model_injected: bool,
-    search: SearchStructures,
-    shards: Vec<LakeShard>,
+    pub(crate) model_injected: bool,
+    pub(crate) search: SearchStructures,
+    pub(crate) shards: Vec<LakeShard>,
     /// Corpus + column embeddings, refreshed lazily after mutations (every
     /// column embedding depends on the whole lake through IDF). Queries
     /// never touch this lock: `run_query` builds its own per-query
     /// alignment corpus from the query and its candidates.
-    columns: RwLock<ColumnSide>,
+    pub(crate) columns: RwLock<ColumnSide>,
     /// Number of successful mutations applied since construction.
-    generation: u64,
-    build_secs: f64,
+    pub(crate) generation: u64,
+    pub(crate) build_secs: f64,
 }
 
 impl LakeSession {
@@ -430,6 +430,29 @@ impl LakeSession {
         self.generation
     }
 
+    /// Persist the whole session — embeddings, candidate structures,
+    /// trained model, lake — as a checksummed snapshot (plus a fresh,
+    /// empty write-ahead log) in `dir`, replacing any snapshot already
+    /// there. [`Self::open`] restores it bit-identically without re-paying
+    /// the embed/index/train cost. To keep logging mutations durably after
+    /// saving, hold a [`crate::persist::SnapshotStore`] instead.
+    pub fn save(&self, dir: &std::path::Path) -> Result<(), crate::persist::PersistError> {
+        crate::persist::SnapshotStore::create(dir, self).map(|_| ())
+    }
+
+    /// Restore a session from a snapshot directory written by
+    /// [`Self::save`] (or by a [`crate::persist::SnapshotStore`]): load the
+    /// snapshot, then replay any write-ahead-log records through the
+    /// incremental mutation paths. The restored session serves results
+    /// **bit-identical** to the session that was saved — and therefore to
+    /// a fresh [`LakeSession::new`] over the same lake (pinned by
+    /// `tests/session_recovery.rs`). A damaged snapshot or log yields a
+    /// typed [`crate::persist::PersistError`], never a panic; callers fall
+    /// back to rebuilding from the lake.
+    pub fn open(dir: &std::path::Path) -> Result<LakeSession, crate::persist::PersistError> {
+        crate::persist::SnapshotStore::open(dir).map(|(_, session, _)| session)
+    }
+
     /// Add a table to the lake and apply per-shard deltas instead of
     /// rebuilding: the new table's tuples are embedded and appended to its
     /// FNV-owning shard, the search technique's candidate structures take
@@ -545,7 +568,7 @@ impl LakeSession {
     /// refresh runs the identical build path as construction (same encoder,
     /// same — incrementally maintained, integer-exact — corpus), so a
     /// refreshed side is bit-identical to a fresh session's.
-    fn refreshed_columns(&self) -> RwLockReadGuard<'_, ColumnSide> {
+    pub(crate) fn refreshed_columns(&self) -> RwLockReadGuard<'_, ColumnSide> {
         {
             let guard = self.columns.read().expect("column side poisoned");
             if !guard.stale {

@@ -144,6 +144,44 @@ impl ProjectionHead {
         &self.config
     }
 
+    /// Export the trained weights: `(w1, b1, w2, b2)` exactly as stored
+    /// (`w1` is `hidden_dim × input_dim` row-major, `w2` is `output_dim ×
+    /// hidden_dim` row-major). Together with [`Self::input_dim`] and
+    /// [`Self::config`] this is the head's whole state.
+    pub fn raw_weights(&self) -> (&[f32], &[f32], &[f32], &[f32]) {
+        (&self.w1, &self.b1, &self.w2, &self.b2)
+    }
+
+    /// Reassemble a head from exported weights — the exact inverse of
+    /// [`Self::raw_weights`]. Weights round-trip verbatim, so every forward
+    /// pass of the restored head is bit-identical to the original's.
+    /// Panics if the buffer lengths disagree with the dimensions.
+    pub fn from_raw_weights(
+        input_dim: usize,
+        config: FineTuneConfig,
+        w1: Vec<f32>,
+        b1: Vec<f32>,
+        w2: Vec<f32>,
+        b2: Vec<f32>,
+    ) -> Self {
+        assert_eq!(w1.len(), config.hidden_dim * input_dim, "w1 shape mismatch");
+        assert_eq!(b1.len(), config.hidden_dim, "b1 shape mismatch");
+        assert_eq!(
+            w2.len(),
+            config.output_dim * config.hidden_dim,
+            "w2 shape mismatch"
+        );
+        assert_eq!(b2.len(), config.output_dim, "b2 shape mismatch");
+        ProjectionHead {
+            input_dim,
+            config,
+            w1,
+            b1,
+            w2,
+            b2,
+        }
+    }
+
     /// Forward pass in evaluation mode (no dropout).
     pub fn embed(&self, x: &Vector) -> Vector {
         let (_, _, out) = self.forward(x.as_slice(), None);
@@ -438,6 +476,35 @@ impl DustModel {
     /// The backbone model.
     pub fn backbone(&self) -> PretrainedModel {
         self.base.model()
+    }
+
+    /// The trained projection head.
+    pub fn head(&self) -> &ProjectionHead {
+        &self.head
+    }
+
+    /// The training-time centering vector, if the model was trained.
+    pub fn center(&self) -> Option<&Vector> {
+        self.center.as_ref()
+    }
+
+    /// Reassemble a model from its parts — the inverse of
+    /// [`Self::backbone`]/[`Self::head`]/[`Self::center`]. The base encoder
+    /// is deterministic in the backbone, and head weights and centering
+    /// round-trip verbatim, so every embedding of the restored model is
+    /// bit-identical to the original's.
+    pub fn from_parts(
+        backbone: PretrainedModel,
+        head: ProjectionHead,
+        center: Option<Vector>,
+    ) -> Self {
+        let base = TupleEncoder::new(backbone);
+        assert_eq!(
+            head.input_dim(),
+            base.dim(),
+            "head input dim does not match the backbone"
+        );
+        DustModel { base, head, center }
     }
 
     /// Output embedding dimensionality.

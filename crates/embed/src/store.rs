@@ -82,6 +82,33 @@ impl EmbeddingStore {
         }
     }
 
+    /// Reassemble a store from raw parts captured verbatim from a live
+    /// store (row-major `data`, per-row `norms` and `inv_norms` — e.g. by
+    /// a snapshot writer walking [`Self::row`]/[`Self::norm`]/
+    /// [`Self::inv_norm`] over the live rows). Because the cached norms
+    /// round-trip as-is instead of being recomputed, every distance
+    /// computed through the restored store is bit-identical to the
+    /// original. All rows are live. Panics if the buffer lengths disagree.
+    pub fn from_raw_parts(
+        dim: usize,
+        data: Vec<f32>,
+        norms: Vec<f32>,
+        inv_norms: Vec<f64>,
+    ) -> Self {
+        let n = norms.len();
+        assert_eq!(inv_norms.len(), n, "norm buffers disagree on row count");
+        assert_eq!(data.len(), n * dim, "data buffer is not n × dim");
+        EmbeddingStore {
+            n,
+            dim,
+            data,
+            norms,
+            inv_norms,
+            dead: Vec::new(),
+            live: n,
+        }
+    }
+
     /// Append one vector as a new live row at index `len() - 1`. An empty
     /// store adopts the vector's dimension; afterwards dimensions must
     /// match (panics otherwise).

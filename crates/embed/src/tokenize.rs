@@ -114,6 +114,30 @@ impl TfIdfCorpus {
         self.documents
     }
 
+    /// Export the corpus statistics as `(token, document-frequency)` pairs
+    /// in sorted token order (deterministic — suitable for checksummed
+    /// snapshots). Together with [`Self::num_documents`] this is the whole
+    /// corpus state: [`Self::idf`] is a pure function of these integers.
+    pub fn document_frequencies(&self) -> Vec<(String, usize)> {
+        let mut entries: Vec<(String, usize)> = self
+            .document_frequency
+            .iter()
+            .map(|(t, &df)| (t.clone(), df))
+            .collect();
+        entries.sort_unstable();
+        entries
+    }
+
+    /// Reassemble a corpus from exported statistics — the exact inverse of
+    /// [`Self::document_frequencies`]. Integer counts round-trip exactly,
+    /// so every `idf` of the restored corpus is bit-identical.
+    pub fn from_document_frequencies(documents: usize, entries: Vec<(String, usize)>) -> Self {
+        TfIdfCorpus {
+            documents,
+            document_frequency: entries.into_iter().collect(),
+        }
+    }
+
     /// Smoothed inverse document frequency of a token.
     pub fn idf(&self, token: &str) -> f64 {
         let df = self.document_frequency.get(token).copied().unwrap_or(0);

@@ -215,6 +215,21 @@ impl D3lSignalStats {
     pub fn num_columns(&self) -> usize {
         self.inner.num_columns()
     }
+
+    /// Export every entry as `(table, column embeddings)` in sorted table
+    /// order (deterministic — suitable for checksummed snapshots).
+    pub fn entries(&self) -> Vec<(String, Vec<Vector>)> {
+        self.inner.entries()
+    }
+
+    /// Reassemble the stats from exported entries — the exact inverse of
+    /// [`Self::entries`]. Embeddings round-trip verbatim, so search results
+    /// through the restored stats are bit-identical.
+    pub fn from_entries(entries: Vec<(String, Vec<Vector>)>) -> Self {
+        D3lSignalStats {
+            inner: crate::PerTableColumnEmbeddings::from_entries(entries),
+        }
+    }
 }
 
 #[cfg(test)]

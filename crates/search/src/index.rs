@@ -71,6 +71,35 @@ impl InvertedValueIndex {
         self.indexed_tables
     }
 
+    /// Export the postings as `(value, tables)` entries, both levels in
+    /// sorted order (deterministic — suitable for checksummed snapshots).
+    pub fn entries(&self) -> Vec<(String, Vec<TableId>)> {
+        let mut entries: Vec<(String, Vec<TableId>)> = self
+            .postings
+            .iter()
+            .map(|(value, tables)| {
+                let mut tables: Vec<TableId> = tables.iter().cloned().collect();
+                tables.sort_unstable();
+                (value.clone(), tables)
+            })
+            .collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
+    /// Reassemble an index from exported entries — the exact inverse of
+    /// [`Self::entries`]. Postings are sets of names (no floats), so the
+    /// restored index is structurally equal to the original.
+    pub fn from_entries(indexed_tables: usize, entries: Vec<(String, Vec<TableId>)>) -> Self {
+        InvertedValueIndex {
+            postings: entries
+                .into_iter()
+                .map(|(value, tables)| (value, tables.into_iter().collect()))
+                .collect(),
+            indexed_tables,
+        }
+    }
+
     /// Number of distinct indexed values.
     pub fn num_values(&self) -> usize {
         self.postings.len()

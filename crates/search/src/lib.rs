@@ -129,6 +129,26 @@ impl PerTableColumnEmbeddings {
     pub(crate) fn num_columns(&self) -> usize {
         self.embeddings.values().map(Vec::len).sum()
     }
+
+    /// Export every entry in sorted table order (deterministic — suitable
+    /// for checksummed snapshots).
+    pub(crate) fn entries(&self) -> Vec<(TableId, Vec<dust_embed::Vector>)> {
+        let mut entries: Vec<(TableId, Vec<dust_embed::Vector>)> = self
+            .embeddings
+            .iter()
+            .map(|(t, vs)| (t.clone(), vs.clone()))
+            .collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
+    /// Reassemble a store from exported entries — the exact inverse of
+    /// [`Self::entries`]. Embeddings round-trip verbatim, bit for bit.
+    pub(crate) fn from_entries(entries: Vec<(TableId, Vec<dust_embed::Vector>)>) -> Self {
+        PerTableColumnEmbeddings {
+            embeddings: entries.into_iter().collect(),
+        }
+    }
 }
 
 /// Candidate tables to score for a query: the inverted-index shortlist when
