@@ -165,6 +165,7 @@ fn main() {
     let _ = writeln!(json, "  }},");
 
     mutation_benchmark(&lake, &queries, &mut json);
+    concurrency_benchmark(&lake, &queries, &mut json);
     recovery_benchmark(&lake, &queries, &mut json);
     let _ = writeln!(json, "}}");
 
@@ -201,7 +202,7 @@ fn mutation_benchmark(full_lake: &dust_table::DataLake, queries: &[Table], json:
         .collect();
 
     // ---- single-table add: delta vs fresh rebuild -------------------------
-    let mut session = LakeSession::new(base_lake.clone(), config.clone());
+    let session = LakeSession::new(base_lake.clone(), config.clone());
     let start = Instant::now();
     session.add_table(pool[0].clone()).expect("pool add");
     let incremental_secs = start.elapsed().as_secs_f64();
@@ -224,7 +225,7 @@ fn mutation_benchmark(full_lake: &dust_table::DataLake, queries: &[Table], json:
     // ---- interleaved: M add/drop mutations with queries between ----------
     // Each pool table is added then removed, with 2 queries after every
     // mutation — the slowly-changing-lake serving shape.
-    let mut session = LakeSession::new(base_lake.clone(), config.clone());
+    let session = LakeSession::new(base_lake.clone(), config.clone());
     let mut incremental_results = Vec::new();
     let start = Instant::now();
     for (mi, table) in pool.iter().enumerate() {
@@ -312,6 +313,152 @@ fn mutation_benchmark(full_lake: &dust_table::DataLake, queries: &[Table], json:
     let _ = writeln!(json, "  }},");
 }
 
+/// The multi-client scenario: the generation-snapshot concurrency model,
+/// measured. Pure-read first — the same queries through one pinned view on
+/// one thread vs spread across parallel client threads (each pinning its
+/// own view), results asserted bit-identical before timing is reported; the
+/// snapshot model's read path must not tax the serial case. Then the
+/// headline shape: readers querying *while* a mutator publishes new
+/// generations — reads never block on mutations, so read throughput is
+/// reported alongside the generation span the readers actually observed
+/// (linearizability of those observations is pinned by
+/// `tests/session_concurrency.rs`).
+fn concurrency_benchmark(full_lake: &dust_table::DataLake, queries: &[Table], json: &mut String) {
+    const READERS: usize = 4;
+    const READS: usize = 16;
+    let config = PipelineConfig {
+        search: SearchTechnique::Overlap,
+        ..PipelineConfig::fast()
+    };
+    let session = LakeSession::new(full_lake.clone(), config.clone());
+    let batch: Vec<Table> = (0..READS)
+        .map(|i| queries[i % queries.len()].clone())
+        .collect();
+
+    // ---- pure read: one thread, one pinned view ---------------------------
+    let view = session.view();
+    let start = Instant::now();
+    let serial: Vec<_> = batch
+        .iter()
+        .map(|q| view.query(q, K).expect("serial query"))
+        .collect();
+    let serial_secs = start.elapsed().as_secs_f64();
+    drop(view);
+
+    // ---- pure read: the same queries across READERS client threads -------
+    let collected = std::sync::Mutex::new(Vec::with_capacity(READS));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for reader in 0..READERS {
+            let (session, batch, collected) = (&session, &batch, &collected);
+            scope.spawn(move || {
+                for i in (reader..batch.len()).step_by(READERS) {
+                    let view = session.view();
+                    let result = view.query(&batch[i], K).expect("concurrent query");
+                    collected.lock().unwrap().push((i, result));
+                }
+            });
+        }
+    });
+    let concurrent_secs = start.elapsed().as_secs_f64();
+    let mut concurrent = collected.into_inner().unwrap();
+    concurrent.sort_by_key(|(i, _)| *i);
+    for ((i, c), s) in concurrent.iter().zip(&serial) {
+        assert_eq!(
+            c.tuples, s.tuples,
+            "pure-read query {i}: concurrent and serial selections diverged"
+        );
+        assert_eq!(c.retrieved_tables, s.retrieved_tables);
+    }
+    let overhead = concurrent_secs / serial_secs;
+
+    // ---- interleaved: readers keep serving while a mutator publishes ------
+    let mut base_lake = full_lake.clone();
+    let names = base_lake.table_names();
+    let pool: Vec<Table> = names
+        .iter()
+        .rev()
+        .take(2)
+        .map(|name| base_lake.remove_table(name).expect("pool table exists"))
+        .collect();
+    let session = LakeSession::new(base_lake, config.clone());
+    let observed = std::sync::Mutex::new(Vec::with_capacity(READS));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for table in &pool {
+                session.add_table(table.clone()).expect("bench add");
+                session.remove_table(table.name()).expect("bench remove");
+            }
+        });
+        for reader in 0..READERS {
+            let (session, batch, observed) = (&session, &batch, &observed);
+            scope.spawn(move || {
+                for i in (reader..batch.len()).step_by(READERS) {
+                    let view = session.view();
+                    view.query(&batch[i], K).expect("interleaved query");
+                    observed.lock().unwrap().push(view.generation());
+                }
+            });
+        }
+    });
+    let interleaved_secs = start.elapsed().as_secs_f64();
+    let observed = observed.into_inner().unwrap();
+    let mutations = pool.len() * 2;
+    let gen_lo = observed.iter().min().copied().unwrap_or(0);
+    let gen_hi = observed.iter().max().copied().unwrap_or(0);
+    let pure_rate = READS as f64 / concurrent_secs;
+    let interleaved_rate = READS as f64 / interleaved_secs;
+
+    let mut report = Report::new(
+        "Concurrent serving: pinned-view readers, with and without interleaved mutations",
+    )
+    .headers(["scenario", "wall (s)", "reads/s", "detail"]);
+    report.row([
+        format!("{READS} reads, 1 thread"),
+        fmt3(serial_secs),
+        format!("{:.1}", READS as f64 / serial_secs),
+        "serial baseline".to_string(),
+    ]);
+    report.row([
+        format!("{READS} reads, {READERS} clients"),
+        fmt3(concurrent_secs),
+        format!("{pure_rate:.1}"),
+        format!("{overhead:.2}x serial wall clock"),
+    ]);
+    report.row([
+        format!("{READS} reads + {mutations} mutations"),
+        fmt3(interleaved_secs),
+        format!("{interleaved_rate:.1}"),
+        format!("readers observed generations {gen_lo}..{gen_hi}"),
+    ]);
+    report.note("concurrent pure-read results asserted bit-identical to the serial view");
+    report.note("read ≡ rebuild-at-observed-generation is pinned by tests/session_concurrency.rs");
+    report.print();
+
+    let _ = writeln!(json, "  \"concurrency\": {{");
+    let _ = writeln!(
+        json,
+        "    \"note\": \"generation-snapshot serving: {READS} queries through one pinned view \
+         on one thread vs {READERS} client threads (results asserted identical), then the same \
+         reads while a mutator publishes {mutations} generations; reads never block on \
+         mutations\","
+    );
+    let _ = writeln!(
+        json,
+        "    \"pure_read\": {{ \"reads\": {READS}, \"readers\": {READERS}, \
+         \"serial_secs\": {serial_secs:.3}, \"concurrent_secs\": {concurrent_secs:.3}, \
+         \"overhead_vs_serial\": {overhead:.2} }},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"interleaved\": {{ \"reads\": {READS}, \"mutations\": {mutations}, \
+         \"secs\": {interleaved_secs:.3}, \"reads_per_sec\": {interleaved_rate:.1}, \
+         \"generations_observed\": [{gen_lo}, {gen_hi}] }}"
+    );
+    let _ = writeln!(json, "  }},");
+}
+
 /// The durability scenario: restart cost by strategy. A server that dies
 /// pays one of three prices to come back: rebuild the session from the
 /// lake (re-embed, and for the fine-tuned embedder retrain), load a
@@ -353,7 +500,7 @@ fn recovery_benchmark(full_lake: &dust_table::DataLake, queries: &[Table], json:
         // ---- cold rebuild: restart without persistence --------------------
         let lake = full_lake.clone();
         let start = Instant::now();
-        let mut session = LakeSession::new(lake, config.clone());
+        let session = LakeSession::new(lake, config.clone());
         let cold_secs = start.elapsed().as_secs_f64();
 
         // ---- snapshot load: no WAL records --------------------------------

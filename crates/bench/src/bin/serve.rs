@@ -2,8 +2,9 @@
 //!
 //! Builds a session over a data lake **once** (pre-embedded shards, warm
 //! candidate indexes, one shared tuple model), then answers JSONL requests
-//! from stdin (or a file) with JSONL responses on stdout. Logs go to
-//! stderr so the response stream stays machine-readable:
+//! with JSONL responses — from stdin (or a file) on stdout, or from many
+//! concurrent TCP clients with `--listen`. Logs go to stderr so the
+//! response stream stays machine-readable:
 //!
 //! ```sh
 //! # diverse-tuple queries against a generated benchmark lake
@@ -11,6 +12,9 @@
 //!   '{"id":"q1","query":"<lake query name>","k":5}' \
 //!   '{"id":"q2","csv":"Park Name,Country\nRiver Park,USA","k":3}' \
 //!   | cargo run --release -p dust-bench --bin serve -- --benchmark tiny
+//!
+//! # multi-client TCP server on port 7777
+//! cargo run --release -p dust-bench --bin serve -- --benchmark tiny --listen 127.0.0.1:7777
 //! ```
 //!
 //! Request fields: `query` (name of a lake query table) **or** `csv` (an
@@ -18,12 +22,28 @@
 //! `mode` (`"diverse"` — full Algorithm 1, the default — or `"similar"` —
 //! nearest lake tuples from the resident shards, the Sec. 6.5 retrieval
 //! shape). Batched requests: `{"queries": ["name1", "name2"], "k": 5}`
-//! runs the whole array through `query_batch` in one go. Every response
-//! echoes the session `generation`, so clients can tell which lake state
-//! answered. Error responses keep the request `id` and carry a stable
-//! machine-readable `kind` (`bad_request`, `not_found`, `table`, or a
-//! persistence kind such as `io`/`corrupt`) next to the human-readable
-//! `error` message.
+//! runs the whole array through `query_batch` in one go. Error responses
+//! keep the request `id` and carry a stable machine-readable `kind`
+//! (`bad_request`, `not_found`, `table`, `panic`, or a persistence kind
+//! such as `io`/`corrupt`) next to the human-readable `error` message.
+//!
+//! ## Concurrency and the `generation` token
+//!
+//! The session serves reads and mutations concurrently: queries run
+//! against immutable generation snapshots and **never block** on an
+//! in-flight mutation (mutations serialize against each other only). The
+//! `generation` echoed in every response is a real consistency token — it
+//! names the exact lake version that produced the result, pinned for the
+//! whole request (a batch runs entirely within one generation). A request
+//! that panics inside a worker degrades to a per-slot `kind:"panic"`
+//! error; the session, the batch's other slots, and every other
+//! connection keep serving.
+//!
+//! With `--listen ADDR` the server accepts any number of TCP clients,
+//! one thread per connection, each speaking the same JSONL protocol.
+//! `{"mode":"shutdown"}` (from any client, or stdin) stops the server
+//! gracefully: in-flight requests drain, and a durable session writes a
+//! final checkpoint so the next recovery replays nothing.
 //!
 //! The lake can be mutated in place — incremental per-shard deltas, no
 //! session rebuild (results stay bit-identical to a rebuild; see
@@ -42,22 +62,25 @@
 //! With `--snapshot-dir DIR` the session is **durable**: on startup an
 //! existing snapshot is recovered (snapshot load + WAL replay — no
 //! re-embedding, no retraining) and every acknowledged mutation is
-//! appended to the fsynced WAL before the response is written. A corrupt
-//! or version-skewed snapshot degrades gracefully: the error is logged
-//! with its kind and the session is rebuilt from the lake, then
-//! re-persisted. `{"mode":"checkpoint"}` forces a snapshot rewrite + WAL
-//! truncation on demand; `--checkpoint-after N` sets the automatic
-//! threshold (default 64 records).
+//! appended to the fsynced WAL before the response is written (one
+//! durability lock covers apply + append, so WAL LSNs always equal
+//! generations even under concurrent mutating clients). A corrupt or
+//! version-skewed snapshot degrades gracefully: the error is logged with
+//! its kind and the session is rebuilt from the lake, then re-persisted.
+//! `{"mode":"checkpoint"}` forces a snapshot rewrite + WAL truncation on
+//! demand; `--checkpoint-after N` sets the automatic threshold (default
+//! 64 records).
 //!
 //! Flags: `--benchmark tiny|santos|ugen` (generated lake, default tiny),
 //! `--lake-dir <dir>` (load every `*.csv` file as a lake table),
 //! `--search overlap|d3l|starmie`, `--finetune` (train the DUST model at
 //! startup instead of serving pre-trained embeddings), `--shards N`,
-//! `--snapshot-dir <dir>` (durable session: recover on start, WAL on
-//! mutation), `--checkpoint-after N`, `--requests <file>` (read JSONL from
-//! a file instead of stdin), `--selftest` (build a tiny lake, run built-in
-//! requests including a save → drop → recover → re-query cycle, verify,
-//! exit).
+//! `--listen ADDR` (TCP multi-client mode; takes precedence over
+//! stdin/`--requests`), `--snapshot-dir <dir>` (durable session: recover
+//! on start, WAL on mutation), `--checkpoint-after N`, `--requests
+//! <file>` (read JSONL from a file instead of stdin), `--selftest` (build
+//! a tiny lake, run built-in requests including a save → drop → recover →
+//! re-query cycle and a concurrent TCP round-trip, verify, exit).
 //!
 //! [`LakeSession`]: dust_core::LakeSession
 
@@ -71,8 +94,21 @@ use dust_datagen::BenchmarkConfig;
 use dust_embed::{FineTuneConfig, PretrainedModel};
 use dust_table::{parse_csv, CsvOptions, DataLake, Table};
 use std::io::{BufRead, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Give up on a broken stdin after this many read failures in a row (a
+/// single bad line must not kill the server; a permanently dead pipe
+/// should not spin forever either).
+const MAX_CONSECUTIVE_READ_ERRORS: usize = 16;
+
+/// Per-connection read timeout; doubles as the shutdown-flag poll
+/// interval, so every connection notices `{"mode":"shutdown"}` within
+/// this window.
+const CONNECTION_POLL: Duration = Duration::from_millis(200);
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -82,11 +118,29 @@ fn main() {
     }
 }
 
-/// The serving state: the resident session plus, when `--snapshot-dir` is
-/// given, the durable store whose WAL trails every acknowledged mutation.
+/// The shared serving state: the resident session (internally concurrent —
+/// queries take `&self` and never block on mutations) plus, when
+/// `--snapshot-dir` is given, the durable store whose WAL trails every
+/// acknowledged mutation. One instance serves every connection.
 struct ServerState {
     session: LakeSession,
-    store: Option<SnapshotStore>,
+    /// The durable store, guarded by the *durability lock*: held across
+    /// apply + WAL append (+ auto-checkpoint) so record LSNs always equal
+    /// session generations, even with concurrent mutating clients. Read
+    /// requests never touch it.
+    durable: Mutex<Option<SnapshotStore>>,
+    /// Set by `{"mode":"shutdown"}`; every serve loop polls it.
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    fn new(session: LakeSession, store: Option<SnapshotStore>) -> ServerState {
+        ServerState {
+            session,
+            durable: Mutex::new(store),
+            shutdown: AtomicBool::new(false),
+        }
+    }
 }
 
 /// A request failure: the echoed request `id`, a stable machine-readable
@@ -105,7 +159,7 @@ fn run(args: &[String]) -> Result<(), String> {
         return selftest(&options);
     }
 
-    let mut state = build_state(&options)?;
+    let state = Arc::new(build_state(&options)?);
     let stats = state.session.stats();
     eprintln!(
         "serve: session ready in {:.2}s — {} tuples + {} columns resident across {} shards \
@@ -123,39 +177,215 @@ fn run(args: &[String]) -> Result<(), String> {
         eprintln!("serve:   shard {i}: {tables} tables, {tuples} tuples");
     }
 
-    // ---- serve ------------------------------------------------------------
+    if let Some(addr) = &options.listen {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+        serve_tcp(&state, listener)?;
+    } else {
+        serve_stdio(&state, &options)?;
+    }
+    shutdown_checkpoint(&state);
+    Ok(())
+}
+
+/// The stdin / `--requests`-file serve loop. A single unreadable line is
+/// logged and skipped — the loop keeps serving (bounded by
+/// [`MAX_CONSECUTIVE_READ_ERRORS`] so a permanently dead pipe still
+/// terminates). `{"mode":"shutdown"}` ends the loop gracefully.
+fn serve_stdio(state: &ServerState, options: &CliOptions) -> Result<(), String> {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let mut served = 0usize;
-    let mut process = |line: &str| -> Result<(), String> {
+    let emit = |line: &str, out: &mut dyn Write| -> Result<bool, String> {
         let trimmed = line.trim();
         if trimmed.is_empty() {
-            return Ok(());
+            return Ok(false);
         }
-        let response = handle_request(&mut state, trimmed);
-        writeln!(out, "{response}").map_err(|e| e.to_string())?;
-        out.flush().map_err(|e| e.to_string())?;
-        served += 1;
-        Ok(())
+        let response = handle_request(state, trimmed);
+        writeln!(out, "{response}")
+            .and_then(|_| out.flush())
+            .map_err(|e| e.to_string())?;
+        Ok(true)
     };
     match &options.requests {
         Some(path) => {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             for line in text.lines() {
-                process(line)?;
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                if emit(line, &mut out)? {
+                    served += 1;
+                }
             }
         }
         None => {
             let stdin = std::io::stdin();
-            for line in stdin.lock().lines() {
-                let line = line.map_err(|e| e.to_string())?;
-                process(&line)?;
+            let mut lines = stdin.lock().lines();
+            let mut consecutive_read_errors = 0usize;
+            loop {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match lines.next() {
+                    None => break,
+                    Some(Ok(line)) => {
+                        consecutive_read_errors = 0;
+                        if emit(&line, &mut out)? {
+                            served += 1;
+                        }
+                    }
+                    Some(Err(e)) => {
+                        consecutive_read_errors += 1;
+                        eprintln!("serve: dropped unreadable stdin line ({e}); still serving");
+                        if consecutive_read_errors >= MAX_CONSECUTIVE_READ_ERRORS {
+                            eprintln!(
+                                "serve: {consecutive_read_errors} consecutive stdin read \
+                                 failures; stopping"
+                            );
+                            break;
+                        }
+                    }
+                }
             }
         }
     }
     eprintln!("serve: {served} request(s) served");
     Ok(())
+}
+
+/// The TCP accept loop: one thread per connection, all sharing one
+/// [`ServerState`]. Nonblocking accept so the shutdown flag is honored
+/// promptly; scoped threads so every in-flight connection drains before
+/// this returns (that is what makes the post-loop checkpoint safe).
+fn serve_tcp(state: &Arc<ServerState>, listener: TcpListener) -> Result<(), String> {
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot set nonblocking accept: {e}"))?;
+    eprintln!(
+        "serve: listening on {addr} — one JSONL request per line, one thread per connection; \
+         send {{\"mode\":\"shutdown\"}} to stop"
+    );
+    std::thread::scope(|scope| {
+        while !state.shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    let state = Arc::clone(state);
+                    scope.spawn(move || serve_connection(&state, stream, peer));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => {
+                    // One failed accept (e.g. a client that vanished mid
+                    // handshake) must not kill the server.
+                    eprintln!("serve: accept failed ({e}); still listening");
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            }
+        }
+    });
+    eprintln!("serve: listener on {addr} shut down");
+    Ok(())
+}
+
+/// One client connection: JSONL request per line, JSONL response per
+/// line. The read timeout doubles as the shutdown poll; partial lines
+/// survive timeouts (bytes accumulate in `buf` until the newline
+/// arrives). Any failure here disconnects this client only — the shared
+/// state is behind `&`, so nothing a connection does can poison another.
+fn serve_connection(state: &ServerState, stream: TcpStream, peer: SocketAddr) {
+    if let Err(e) = stream.set_read_timeout(Some(CONNECTION_POLL)) {
+        eprintln!("serve: {peer}: cannot set read timeout: {e}");
+        return;
+    }
+    let reader = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(e) => {
+            eprintln!("serve: {peer}: cannot clone stream: {e}");
+            return;
+        }
+    };
+    let mut reader = std::io::BufReader::new(reader);
+    let mut writer = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) if buf.is_empty() => return, // clean close
+            Ok(0) => {
+                // EOF after a partial line: serve the tail, then close.
+                let line = String::from_utf8_lossy(&buf).into_owned();
+                respond(state, &mut writer, line.trim());
+                return;
+            }
+            Ok(_) => {
+                let complete = buf.last() == Some(&b'\n');
+                let line = String::from_utf8_lossy(&buf).into_owned();
+                buf.clear();
+                if !respond(state, &mut writer, line.trim()) {
+                    return;
+                }
+                if !complete {
+                    // read_until returns without a delimiter only at EOF
+                    return;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // poll tick: re-check the shutdown flag, keep the partial
+                // line (if any) accumulating in `buf`
+                continue;
+            }
+            Err(e) => {
+                eprintln!("serve: {peer}: read failed: {e}");
+                return;
+            }
+        }
+    }
+}
+
+/// Serve one request line over a connection. Returns `false` when the
+/// client is gone (write failed) and the connection should close.
+fn respond(state: &ServerState, writer: &mut TcpStream, trimmed: &str) -> bool {
+    if trimmed.is_empty() {
+        return true;
+    }
+    let response = handle_request(state, trimmed);
+    writeln!(writer, "{response}")
+        .and_then(|_| writer.flush())
+        .is_ok()
+}
+
+/// Graceful-shutdown hook: fold the WAL into a fresh checkpoint so the
+/// next recovery replays nothing. A failure is logged, not fatal — the
+/// fsynced WAL remains authoritative either way.
+fn shutdown_checkpoint(state: &ServerState) {
+    let mut durable = state.durable.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(store) = durable.as_mut() {
+        if store.wal_records() == 0 {
+            return;
+        }
+        match store.checkpoint(&state.session) {
+            Ok(()) => eprintln!(
+                "serve: shutdown checkpoint → epoch {} at generation {}",
+                store.epoch(),
+                state.session.generation()
+            ),
+            Err(e) => eprintln!(
+                "serve: shutdown checkpoint failed (kind: {}): {e} — WAL remains authoritative",
+                e.kind()
+            ),
+        }
+    }
 }
 
 /// Build the serving state: recover from the snapshot directory when one
@@ -179,10 +409,7 @@ fn build_state(options: &CliOptions) -> Result<ServerState, String> {
                         ""
                     }
                 );
-                return Ok(ServerState {
-                    session,
-                    store: Some(store),
-                });
+                return Ok(ServerState::new(session, Some(store)));
             }
             Err(e @ PersistError::NoSnapshot { .. }) => {
                 eprintln!("serve: {e}; building from the lake");
@@ -198,15 +425,9 @@ fn build_state(options: &CliOptions) -> Result<ServerState, String> {
         let store = SnapshotStore::create_with(dir, &session, options.store_options())
             .map_err(|e| format!("cannot persist fresh session to {}: {e}", dir.display()))?;
         eprintln!("serve: fresh snapshot written to {}", dir.display());
-        Ok(ServerState {
-            session,
-            store: Some(store),
-        })
+        Ok(ServerState::new(session, Some(store)))
     } else {
-        Ok(ServerState {
-            session: build_session(options)?,
-            store: None,
-        })
+        Ok(ServerState::new(build_session(options)?, None))
     }
 }
 
@@ -236,6 +457,7 @@ struct CliOptions {
     search: SearchTechnique,
     finetune: bool,
     shards: usize,
+    listen: Option<String>,
     snapshot_dir: Option<String>,
     checkpoint_after: usize,
     requests: Option<String>,
@@ -250,6 +472,7 @@ impl CliOptions {
             search: SearchTechnique::Overlap,
             finetune: false,
             shards: 4,
+            listen: None,
             snapshot_dir: None,
             checkpoint_after: StoreOptions::default().checkpoint_after,
             requests: None,
@@ -279,6 +502,7 @@ impl CliOptions {
                         .parse()
                         .map_err(|e| format!("--shards: {e}"))?
                 }
+                "--listen" => options.listen = Some(value("--listen")?),
                 "--snapshot-dir" => options.snapshot_dir = Some(value("--snapshot-dir")?),
                 "--checkpoint-after" => {
                     options.checkpoint_after = value("--checkpoint-after")?
@@ -290,8 +514,8 @@ impl CliOptions {
                 "--help" | "-h" => {
                     return Err("see the module docs: serve [--benchmark tiny|santos|ugen] \
                                 [--lake-dir DIR] [--search overlap|d3l|starmie] [--finetune] \
-                                [--shards N] [--snapshot-dir DIR] [--checkpoint-after N] \
-                                [--requests FILE] [--selftest]"
+                                [--shards N] [--listen ADDR] [--snapshot-dir DIR] \
+                                [--checkpoint-after N] [--requests FILE] [--selftest]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag {other:?}")),
@@ -364,7 +588,9 @@ fn load_lake_dir(dir: &str) -> Result<DataLake, String> {
 }
 
 /// Handle one JSONL request line; always returns one JSON response line.
-fn handle_request(state: &mut ServerState, line: &str) -> String {
+/// Takes the state by `&` — any number of connections call this
+/// concurrently.
+fn handle_request(state: &ServerState, line: &str) -> String {
     match serve_line(state, line) {
         Ok(response) => response,
         Err(e) => format!(
@@ -376,7 +602,7 @@ fn handle_request(state: &mut ServerState, line: &str) -> String {
     }
 }
 
-fn serve_line(state: &mut ServerState, line: &str) -> Result<String, ServeError> {
+fn serve_line(state: &ServerState, line: &str) -> Result<String, ServeError> {
     let request = json::parse(line).map_err(|e| ServeError {
         id: String::new(),
         kind: "bad_request",
@@ -405,7 +631,9 @@ fn serve_line(state: &mut ServerState, line: &str) -> Result<String, ServeError>
         .and_then(JsonValue::as_str)
         .unwrap_or("diverse");
 
-    // batched form: {"queries": [...], "k": ...}
+    // batched form: {"queries": [...], "k": ...} — the whole batch is
+    // pinned to one generation snapshot, so every slot answers from the
+    // same lake version and the echoed generation names it exactly
     if let Some(JsonValue::Array(names)) = request.get("queries") {
         // a non-default mode would be silently ignored here — reject it so
         // a client never misreads a diverse batch as similar-tuple results
@@ -414,24 +642,28 @@ fn serve_line(state: &mut ServerState, line: &str) -> Result<String, ServeError>
                 "batched requests only support mode \"diverse\" (got {mode:?})"
             )));
         }
+        let view = state.session.view();
         let queries: Vec<Table> = names
             .iter()
             .map(|name| {
                 let name = name
                     .as_str()
                     .ok_or_else(|| bad("queries must be strings".to_string()))?;
-                resolve_query(&state.session, name).map_err(|m| fail("not_found", m))
+                resolve_query(view.lake(), name).map_err(|m| fail("not_found", m))
             })
             .collect::<Result<_, _>>()?;
         let start = Instant::now();
-        let results = state.session.query_batch(&queries, k);
+        let results = view.query_batch(&queries, k);
         let secs = start.elapsed().as_secs_f64();
         let rendered: Vec<String> = results
             .iter()
             .map(|r| match r {
                 Ok(result) => render_result(result),
+                // a panicked worker shows up here as kind:"panic" in its
+                // own slot; the rest of the batch served normally
                 Err(e) => format!(
-                    "{{\"kind\":\"table\",\"error\":\"{}\"}}",
+                    "{{\"kind\":\"{}\",\"error\":\"{}\"}}",
+                    e.kind(),
                     json::escape(&e.to_string())
                 ),
             })
@@ -439,19 +671,22 @@ fn serve_line(state: &mut ServerState, line: &str) -> Result<String, ServeError>
         return Ok(format!(
             "{{\"id\":\"{}\",\"k\":{k},\"generation\":{},\"batch\":[{}],\"secs\":{}}}",
             json::escape(&id),
-            state.session.generation(),
+            view.generation(),
             rendered.join(","),
             json::number(secs)
         ));
     }
 
     // mutation modes: incremental per-shard deltas on the resident session
-    // (no rebuild; results afterwards are bit-identical to one). With a
-    // durable store, the WAL record is appended and fsynced *after* the
-    // in-memory apply succeeds and *before* the response is written:
-    // failed mutations are never logged, acknowledged ones always are.
+    // (no rebuild; results afterwards are bit-identical to one). The
+    // durability lock is held across apply + WAL append + auto-checkpoint:
+    // concurrent mutating clients serialize here, so the fsynced record's
+    // LSN always equals the generation the apply produced. Failed
+    // mutations are never logged, acknowledged ones always are. Readers
+    // are unaffected — they never take this lock.
     if mode == "add_table" || mode == "remove_table" {
         let start = Instant::now();
+        let mut durable = state.durable.lock().unwrap_or_else(|e| e.into_inner());
         let body = if mode == "add_table" {
             let name = request
                 .get("name")
@@ -467,7 +702,7 @@ fn serve_line(state: &mut ServerState, line: &str) -> Result<String, ServeError>
                 .session
                 .add_table(table.clone())
                 .map_err(|e| fail("table", e.to_string()))?;
-            if let Some(store) = state.store.as_mut() {
+            if let Some(store) = durable.as_mut() {
                 store
                     .log_add_table(&table, state.session.generation())
                     .map_err(|e| fail(e.kind(), format!("applied but not logged: {e}")))?;
@@ -488,7 +723,7 @@ fn serve_line(state: &mut ServerState, line: &str) -> Result<String, ServeError>
                 .session
                 .remove_table(&name)
                 .map_err(|e| fail("table", e.to_string()))?;
-            if let Some(store) = state.store.as_mut() {
+            if let Some(store) = durable.as_mut() {
                 store
                     .log_remove_table(&name, state.session.generation())
                     .map_err(|e| fail(e.kind(), format!("applied but not logged: {e}")))?;
@@ -500,7 +735,7 @@ fn serve_line(state: &mut ServerState, line: &str) -> Result<String, ServeError>
                 state.session.generation()
             )
         };
-        if let Some(store) = state.store.as_mut() {
+        if let Some(store) = durable.as_mut() {
             match store.maybe_checkpoint(&state.session) {
                 Ok(true) => eprintln!(
                     "serve: checkpoint → epoch {} at generation {}",
@@ -524,8 +759,8 @@ fn serve_line(state: &mut ServerState, line: &str) -> Result<String, ServeError>
     // explicit checkpoint: rewrite the snapshot at the current generation
     // and truncate the WAL
     if mode == "checkpoint" {
-        let store = state
-            .store
+        let mut durable = state.durable.lock().unwrap_or_else(|e| e.into_inner());
+        let store = durable
             .as_mut()
             .ok_or_else(|| bad("checkpoint needs --snapshot-dir".to_string()))?;
         let start = Instant::now();
@@ -542,9 +777,22 @@ fn serve_line(state: &mut ServerState, line: &str) -> Result<String, ServeError>
         ));
     }
 
-    // single query: by lake name or inline CSV
+    // graceful stop: every serve loop (stdin, accept, connections) polls
+    // the flag; run() writes a final checkpoint after they drain
+    if mode == "shutdown" {
+        state.shutdown.store(true, Ordering::SeqCst);
+        return Ok(format!(
+            "{{\"id\":\"{}\",\"result\":{{\"shutdown\":true,\"generation\":{}}}}}",
+            json::escape(&id),
+            state.session.generation()
+        ));
+    }
+
+    // single query: by lake name or inline CSV, served from one pinned
+    // generation (the one echoed in the response)
+    let view = state.session.view();
     let query = if let Some(name) = request.get("query").and_then(JsonValue::as_str) {
-        resolve_query(&state.session, name).map_err(|m| fail("not_found", m))?
+        resolve_query(view.lake(), name).map_err(|m| fail("not_found", m))?
     } else if let Some(csv) = request.get("csv").and_then(JsonValue::as_str) {
         let name = request
             .get("name")
@@ -560,14 +808,13 @@ fn serve_line(state: &mut ServerState, line: &str) -> Result<String, ServeError>
     let start = Instant::now();
     let body = match mode {
         "diverse" => {
-            let result = state
-                .session
+            let result = view
                 .query(&query, k)
                 .map_err(|e| fail("table", e.to_string()))?;
             render_result(&result)
         }
         "similar" => {
-            let ranked = state.session.similar_tuples(&query, k);
+            let ranked = view.similar_tuples(&query, k);
             let items: Vec<String> = ranked
                 .iter()
                 .map(|r| {
@@ -587,16 +834,14 @@ fn serve_line(state: &mut ServerState, line: &str) -> Result<String, ServeError>
     Ok(format!(
         "{{\"id\":\"{}\",\"k\":{k},\"generation\":{},\"result\":{body},\"secs\":{}}}",
         json::escape(&id),
-        state.session.generation(),
+        view.generation(),
         json::number(secs)
     ))
 }
 
-fn resolve_query(session: &LakeSession, name: &str) -> Result<Table, String> {
-    session
-        .lake()
-        .query(name)
-        .or_else(|_| session.lake().table(name))
+fn resolve_query(lake: &DataLake, name: &str) -> Result<Table, String> {
+    lake.query(name)
+        .or_else(|_| lake.table(name))
         .cloned()
         .map_err(|_| format!("no lake query or table named {name:?}"))
 }
@@ -631,9 +876,11 @@ fn render_result(result: &DustResult) -> String {
 }
 
 /// Build a tiny lake, serve built-in requests, verify the responses parse
-/// and contain results, then run a full durability cycle: save → mutate
-/// (WAL) → drop → recover → re-query, asserting the recovered session
-/// answers identically. Used by CI as the serving + recovery smoke test.
+/// and contain results, then run a full durability cycle (save → mutate
+/// (WAL) → drop → recover → re-query) and a concurrent TCP round-trip
+/// (parallel reading clients + a mutating client + graceful shutdown),
+/// asserting recovered and TCP-served sessions answer identically. Used
+/// by CI as the serving + recovery smoke test.
 fn selftest(options: &CliOptions) -> Result<(), String> {
     let lake = BenchmarkConfig::tiny().generate().lake;
     let query_name = lake
@@ -648,10 +895,7 @@ fn selftest(options: &CliOptions) -> Result<(), String> {
         lake.query(&query_name).map_err(|e| format!("{e:?}"))?,
         CsvOptions::default(),
     );
-    let mut state = ServerState {
-        session: LakeSession::new(lake, PipelineConfig::fast()),
-        store: None,
-    };
+    let state = ServerState::new(LakeSession::new(lake, PipelineConfig::fast()), None);
 
     let requests = [
         format!("{{\"id\":\"one\",\"query\":\"{query_name}\",\"k\":5}}"),
@@ -668,7 +912,7 @@ fn selftest(options: &CliOptions) -> Result<(), String> {
         "{\"id\":\"nostore\",\"mode\":\"checkpoint\"}".to_string(),
     ];
     for request in &requests {
-        let response = handle_request(&mut state, request);
+        let response = handle_request(&state, request);
         let parsed = json::parse(&response)
             .map_err(|e| format!("selftest: unparseable response {response:?}: {e}"))?;
         let id = parsed.get("id").and_then(JsonValue::as_str).unwrap_or("");
@@ -729,7 +973,7 @@ fn selftest(options: &CliOptions) -> Result<(), String> {
             .cloned()
             .ok_or_else(|| format!("selftest: no result in {response}"))
     };
-    let before = result_of(&handle_request(&mut state, &query_request))?;
+    let before = result_of(&handle_request(&state, &query_request))?;
 
     let mutations = [
         format!(
@@ -740,7 +984,7 @@ fn selftest(options: &CliOptions) -> Result<(), String> {
     ];
     let generations = [1usize, 2];
     for (request, expected_gen) in mutations.iter().zip(generations) {
-        let response = handle_request(&mut state, request);
+        let response = handle_request(&state, request);
         let result = result_of(&response)?;
         let generation = result
             .get("generation")
@@ -753,13 +997,13 @@ fn selftest(options: &CliOptions) -> Result<(), String> {
         }
         if expected_gen == 1 {
             // the added table serves immediately
-            let mid = result_of(&handle_request(&mut state, &query_request))?;
+            let mid = result_of(&handle_request(&state, &query_request))?;
             if mid.get("tuples").is_none() {
                 return Err(format!("selftest: no tuples after add: {mid:?}"));
             }
         }
     }
-    let after = result_of(&handle_request(&mut state, &query_request))?;
+    let after = result_of(&handle_request(&state, &query_request))?;
     if before != after {
         return Err(format!(
             "selftest: post-remove result differs from pre-add result\n  before: {before:?}\n  after: {after:?}"
@@ -779,7 +1023,7 @@ fn selftest(options: &CliOptions) -> Result<(), String> {
         ),
         "{\"id\":\"ghost\",\"mode\":\"remove_table\",\"table\":\"selftest_added\"}".to_string(),
     ] {
-        let response = handle_request(&mut state, &bad);
+        let response = handle_request(&state, &bad);
         let parsed = json::parse(&response).map_err(|e| format!("selftest: {e}"))?;
         if parsed.get("error").is_none() {
             return Err(format!("selftest: bad mutation not rejected: {response}"));
@@ -800,7 +1044,7 @@ fn selftest(options: &CliOptions) -> Result<(), String> {
             std::env::temp_dir().join(format!("dust-serve-selftest-{}", std::process::id()))
         });
     let _ = std::fs::remove_dir_all(&snapshot_dir);
-    state.store = Some(
+    *state.durable.lock().unwrap_or_else(|e| e.into_inner()) = Some(
         SnapshotStore::create(&snapshot_dir, &state.session)
             .map_err(|e| format!("selftest: save failed: {e}"))?,
     );
@@ -809,8 +1053,8 @@ fn selftest(options: &CliOptions) -> Result<(), String> {
         "{{\"id\":\"regrow\",\"mode\":\"add_table\",\"name\":\"selftest_saved\",\"csv\":\"{}\"}}",
         json::escape(&inline_csv)
     );
-    result_of(&handle_request(&mut state, &regrow))?;
-    let expected = result_of(&handle_request(&mut state, &query_request))?;
+    result_of(&handle_request(&state, &regrow))?;
+    let expected = result_of(&handle_request(&state, &query_request))?;
     let expected_generation = state.session.generation();
 
     // drop the entire serving state; recover from disk alone (WAL replay)
@@ -824,11 +1068,8 @@ fn selftest(options: &CliOptions) -> Result<(), String> {
             session.generation()
         ));
     }
-    let mut state = ServerState {
-        session,
-        store: Some(store),
-    };
-    let recovered = result_of(&handle_request(&mut state, &query_request))?;
+    let state = ServerState::new(session, Some(store));
+    let recovered = result_of(&handle_request(&state, &query_request))?;
     if recovered != expected {
         return Err(format!(
             "selftest: recovered session answers differently\n  expected: {expected:?}\n  recovered: {recovered:?}"
@@ -837,7 +1078,7 @@ fn selftest(options: &CliOptions) -> Result<(), String> {
 
     // checkpoint truncates the WAL; a second recovery replays nothing
     let checkpoint = result_of(&handle_request(
-        &mut state,
+        &state,
         "{\"id\":\"ck\",\"mode\":\"checkpoint\"}",
     ))?;
     if checkpoint.get("epoch").and_then(JsonValue::as_usize) != Some(2) {
@@ -854,20 +1095,153 @@ fn selftest(options: &CliOptions) -> Result<(), String> {
             report.replayed
         ));
     }
-    let mut state = ServerState {
-        session,
-        store: Some(store),
-    };
-    let reread = result_of(&handle_request(&mut state, &query_request))?;
+    let state = ServerState::new(session, Some(store));
+    let reread = result_of(&handle_request(&state, &query_request))?;
     if reread != expected {
         return Err("selftest: post-checkpoint recovery answers differently".to_string());
+    }
+
+    // ---- concurrent TCP round-trip ----------------------------------------
+    // Parallel reading clients + a mutating client against one live TCP
+    // server, then a graceful shutdown whose final checkpoint leaves the
+    // WAL empty. Readers assert the generation token: any response at the
+    // starting generation must be bit-identical to the stdin-served one.
+    let state = Arc::new(state);
+    let listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("selftest: bind failed: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("selftest: {e}"))?;
+    let server = {
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || serve_tcp(&state, listener))
+    };
+    let tcp_request = |request: &str| -> Result<JsonValue, String> {
+        let mut stream =
+            TcpStream::connect(addr).map_err(|e| format!("selftest: connect failed: {e}"))?;
+        writeln!(stream, "{request}").map_err(|e| format!("selftest: send failed: {e}"))?;
+        let mut reader = std::io::BufReader::new(stream);
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("selftest: recv failed: {e}"))?;
+        json::parse(line.trim())
+            .map_err(|e| format!("selftest: unparseable TCP response {line:?}: {e}"))
+    };
+
+    let base_generation = expected_generation as usize;
+    std::thread::scope(|scope| -> Result<(), String> {
+        let mut clients = Vec::new();
+        for client in 0..2usize {
+            let tcp_request = &tcp_request;
+            let query_request = &query_request;
+            let expected = &expected;
+            clients.push(scope.spawn(move || -> Result<(), String> {
+                for round in 0..3usize {
+                    let parsed = tcp_request(query_request)?;
+                    if let Some(error) = parsed.get("error") {
+                        return Err(format!(
+                            "selftest: TCP client {client} round {round}: {error:?}"
+                        ));
+                    }
+                    let generation = parsed
+                        .get("generation")
+                        .and_then(JsonValue::as_usize)
+                        .ok_or("selftest: TCP response lacks generation")?;
+                    let result = parsed
+                        .get("result")
+                        .ok_or("selftest: TCP response lacks result")?;
+                    // the consistency token: at the starting generation the
+                    // result must be bit-identical to the stdin-served one
+                    if generation == base_generation && result != expected {
+                        return Err(format!(
+                            "selftest: TCP result at generation {generation} differs from the \
+                             stdin-served one"
+                        ));
+                    }
+                }
+                Ok(())
+            }));
+        }
+        // a mutating client interleaved with the readers
+        let mutator = {
+            let tcp_request = &tcp_request;
+            let inline_csv = &inline_csv;
+            scope.spawn(move || -> Result<(), String> {
+                let add = format!(
+                    "{{\"id\":\"tadd\",\"mode\":\"add_table\",\"name\":\"tcp_added\",\"csv\":\"{}\"}}",
+                    json::escape(inline_csv)
+                );
+                for (request, label) in [
+                    (add.as_str(), "add"),
+                    (
+                        "{\"id\":\"tdel\",\"mode\":\"remove_table\",\"table\":\"tcp_added\"}",
+                        "remove",
+                    ),
+                ] {
+                    let parsed = tcp_request(request)?;
+                    if let Some(error) = parsed.get("error") {
+                        return Err(format!("selftest: TCP {label} failed: {error:?}"));
+                    }
+                }
+                Ok(())
+            })
+        };
+        for client in clients {
+            client
+                .join()
+                .map_err(|_| "selftest: TCP client panicked".to_string())??;
+        }
+        mutator
+            .join()
+            .map_err(|_| "selftest: TCP mutator panicked".to_string())??;
+        Ok(())
+    })?;
+
+    // after add + remove the lake is back to the recovered content: the
+    // query must answer identically, two generations later
+    let settled = tcp_request(&query_request)?;
+    if settled.get("generation").and_then(JsonValue::as_usize) != Some(base_generation + 2) {
+        return Err(format!(
+            "selftest: expected generation {} after the TCP mutation cycle, got {settled:?}",
+            base_generation + 2
+        ));
+    }
+    if settled.get("result") != Some(&expected) {
+        return Err("selftest: post-TCP-mutation result differs".to_string());
+    }
+
+    // graceful shutdown: the accept loop and every connection drain
+    let bye = tcp_request("{\"id\":\"bye\",\"mode\":\"shutdown\"}")?;
+    if bye.get("result").and_then(|r| r.get("shutdown")) != Some(&JsonValue::Bool(true)) {
+        return Err(format!("selftest: shutdown not acknowledged: {bye:?}"));
+    }
+    server
+        .join()
+        .map_err(|_| "selftest: server thread panicked".to_string())??;
+    shutdown_checkpoint(&state);
+    drop(state);
+
+    // the shutdown checkpoint folded the TCP mutations into the snapshot:
+    // recovery replays nothing and lands on the post-mutation generation
+    let (_store, session, report) = SnapshotStore::open(&snapshot_dir)
+        .map_err(|e| format!("selftest: post-shutdown recovery failed: {e}"))?;
+    if report.replayed != 0 || session.generation() != expected_generation + 2 {
+        return Err(format!(
+            "selftest: post-shutdown recovery replayed {} record(s) to generation {}, \
+             expected 0 → {}",
+            report.replayed,
+            session.generation(),
+            expected_generation + 2
+        ));
     }
     if options.snapshot_dir.is_none() {
         let _ = std::fs::remove_dir_all(&snapshot_dir);
     }
 
     eprintln!(
-        "serve: selftest ok ({} requests + mutation cycle + recovery cycle verified)",
+        "serve: selftest ok ({} requests + mutation cycle + recovery cycle + concurrent TCP \
+         round-trip verified)",
         requests.len()
     );
     Ok(())

@@ -57,5 +57,6 @@ pub use persist::{PersistError, RecoveryReport, SessionError, SnapshotStore, Sto
 pub use pipeline::DustPipeline;
 pub use result::{DustResult, StageTimings};
 pub use session::{
-    LakeSession, LakeShard, RankedColumn, RankedTuple, SessionOptions, SessionStats,
+    LakeRef, LakeSession, LakeShard, RankedColumn, RankedTuple, SessionOptions, SessionStats,
+    SessionView,
 };

@@ -130,6 +130,13 @@ pub enum SessionError {
     Table(dust_table::TableError),
     /// The durable store failed (see [`PersistError`]).
     Persist(PersistError),
+    /// A query worker panicked. The panic is confined to its own result
+    /// slot: session state is immutable snapshots, so nothing is poisoned
+    /// and every other in-flight and later request keeps serving.
+    QueryPanicked {
+        /// The panic payload, when it was a string.
+        detail: String,
+    },
 }
 
 impl SessionError {
@@ -138,6 +145,7 @@ impl SessionError {
         match self {
             SessionError::Table(_) => "table",
             SessionError::Persist(e) => e.kind(),
+            SessionError::QueryPanicked { .. } => "panic",
         }
     }
 }
@@ -147,6 +155,9 @@ impl fmt::Display for SessionError {
         match self {
             SessionError::Table(e) => write!(f, "{e}"),
             SessionError::Persist(e) => write!(f, "{e}"),
+            SessionError::QueryPanicked { detail } => {
+                write!(f, "query worker panicked: {detail}")
+            }
         }
     }
 }
@@ -156,6 +167,7 @@ impl std::error::Error for SessionError {
         match self {
             SessionError::Table(e) => Some(e),
             SessionError::Persist(e) => Some(e),
+            SessionError::QueryPanicked { .. } => None,
         }
     }
 }

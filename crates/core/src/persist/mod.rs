@@ -96,9 +96,12 @@ impl SnapshotStore {
     ) -> Result<SnapshotStore, PersistError> {
         std::fs::create_dir_all(dir).map_err(|e| PersistError::io(dir, e))?;
         let epoch = 1;
-        snapshot::write_epoch_segments(dir, session, epoch)?;
-        let wal = wal::WalWriter::create(&snapshot::wal_path(dir, epoch), session.generation())?;
-        snapshot::publish_manifest(dir, &snapshot::manifest_for(session, epoch))?;
+        // One pinned view for every segment plus the manifest: concurrent
+        // mutations publish newer generations without tearing the snapshot.
+        let view = session.view();
+        snapshot::write_epoch_segments(dir, &view, epoch)?;
+        let wal = wal::WalWriter::create(&snapshot::wal_path(dir, epoch), view.generation())?;
+        snapshot::publish_manifest(dir, &snapshot::manifest_for(&view, epoch))?;
         snapshot::sweep_stale_epochs(dir, epoch);
         Ok(SnapshotStore {
             dir: dir.to_path_buf(),
@@ -122,7 +125,7 @@ impl SnapshotStore {
         options: StoreOptions,
     ) -> Result<(SnapshotStore, LakeSession, RecoveryReport), PersistError> {
         let manifest = snapshot::read_manifest(dir)?;
-        let mut session = snapshot::load_session(dir, &manifest)?;
+        let session = snapshot::load_session(dir, &manifest)?;
 
         let wal_path = snapshot::wal_path(dir, manifest.epoch);
         let (contents, valid_len) = wal::read_wal(&wal_path)?;
@@ -201,16 +204,24 @@ impl SnapshotStore {
         Ok(())
     }
 
-    /// Rewrite the snapshot at the session's current state and start an
-    /// empty WAL, bounding future recovery replay to zero. Crash-safe: the
-    /// new epoch is complete and fsynced before `MANIFEST` is atomically
-    /// swung to it; old-epoch files are deleted only afterwards.
+    /// Rewrite the snapshot at the session's current generation and start
+    /// an empty WAL, bounding future recovery replay to zero. The whole
+    /// epoch photographs **one** pinned generation, so a checkpoint is
+    /// internally consistent even while readers and the caller's other
+    /// threads keep working. Crash-safe: the new epoch is complete and
+    /// fsynced before `MANIFEST` is atomically swung to it; old-epoch
+    /// files are deleted only afterwards.
+    ///
+    /// The caller must ensure no mutation is applied-but-not-yet-logged
+    /// while this runs (the `serve` binary holds its durability lock
+    /// across apply + log + checkpoint), otherwise that mutation would be
+    /// neither in the new snapshot nor in the new WAL.
     pub fn checkpoint(&mut self, session: &LakeSession) -> Result<(), PersistError> {
         let epoch = self.epoch + 1;
-        snapshot::write_epoch_segments(&self.dir, session, epoch)?;
-        let wal =
-            wal::WalWriter::create(&snapshot::wal_path(&self.dir, epoch), session.generation())?;
-        snapshot::publish_manifest(&self.dir, &snapshot::manifest_for(session, epoch))?;
+        let view = session.view();
+        snapshot::write_epoch_segments(&self.dir, &view, epoch)?;
+        let wal = wal::WalWriter::create(&snapshot::wal_path(&self.dir, epoch), view.generation())?;
+        snapshot::publish_manifest(&self.dir, &snapshot::manifest_for(&view, epoch))?;
         snapshot::sweep_stale_epochs(&self.dir, epoch);
         self.epoch = epoch;
         self.wal = wal;
@@ -295,7 +306,7 @@ mod tests {
         );
         assert_eq!(sa.shard_sizes, sb.shard_sizes);
         let probe = a
-            .lake
+            .lake()
             .queries()
             .next()
             .expect("tiny lake has a query")
@@ -323,14 +334,14 @@ mod tests {
     #[test]
     fn wal_replay_restores_mutations() {
         let dir = temp_dir("wal-replay");
-        let mut session = tiny_session();
+        let session = tiny_session();
         let mut store = SnapshotStore::create(&dir, &session).unwrap();
 
         session.add_table(extra_table("wal_extra")).unwrap();
         store
             .log_add_table(&extra_table("wal_extra"), session.generation())
             .unwrap();
-        let victim = session.lake.table_names()[0].clone();
+        let victim = session.lake().table_names()[0].clone();
         session.remove_table(&victim).unwrap();
         store
             .log_remove_table(&victim, session.generation())
@@ -347,7 +358,7 @@ mod tests {
     #[test]
     fn checkpoint_truncates_wal() {
         let dir = temp_dir("checkpoint");
-        let mut session = tiny_session();
+        let session = tiny_session();
         let mut store = SnapshotStore::create(&dir, &session).unwrap();
         session.add_table(extra_table("ckpt_extra")).unwrap();
         store
@@ -368,7 +379,7 @@ mod tests {
     #[test]
     fn torn_tail_is_dropped_cleanly() {
         let dir = temp_dir("torn-tail");
-        let mut session = tiny_session();
+        let session = tiny_session();
         let mut store = SnapshotStore::create(&dir, &session).unwrap();
         session.add_table(extra_table("torn_extra")).unwrap();
         store

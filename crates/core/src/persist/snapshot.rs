@@ -35,8 +35,8 @@ use super::codec::{read_segment, write_segment, ByteReader, ByteWriter};
 use super::error::PersistError;
 use crate::config::{DustConfigSerde, PipelineConfig, SearchTechnique, TupleEmbedderKind};
 use crate::session::{
-    ColumnShard, ColumnSide, LakeSession, LakeShard, SearchStructures, SessionEmbedder,
-    SessionOptions,
+    ColumnShard, LakeSession, LakeShard, SearchStructures, SessionEmbedder, SessionOptions,
+    SessionView,
 };
 use dust_cluster::{AgglomerativeAlgorithm, Linkage};
 use dust_embed::{
@@ -48,7 +48,6 @@ use dust_search::{
 };
 use dust_table::{Column, DataLake, Table, TableId, Value};
 use std::path::{Path, PathBuf};
-use std::sync::RwLock;
 use std::time::Instant;
 
 /// Segment kind bytes (validated after the CRC, so a mismatch on an intact
@@ -426,17 +425,17 @@ fn decode_shard(bytes: &[u8], path: &Path) -> Result<LakeShard, PersistError> {
     })
 }
 
-fn encode_columns(side: &ColumnSide) -> Vec<u8> {
+fn encode_columns(corpus: &TfIdfCorpus, column_shards: &[ColumnShard]) -> Vec<u8> {
     let mut w = ByteWriter::new();
-    w.put_usize(side.corpus.num_documents());
-    let entries = side.corpus.document_frequencies();
+    w.put_usize(corpus.num_documents());
+    let entries = corpus.document_frequencies();
     w.put_usize(entries.len());
     for (token, df) in &entries {
         w.put_str(token);
         w.put_usize(*df);
     }
-    w.put_usize(side.shards.len());
-    for shard in &side.shards {
+    w.put_usize(column_shards.len());
+    for shard in column_shards {
         put_live_store(&mut w, &shard.store);
         w.put_usize(shard.refs.len());
         for (table, column) in &shard.refs {
@@ -447,7 +446,10 @@ fn encode_columns(side: &ColumnSide) -> Vec<u8> {
     w.into_bytes()
 }
 
-fn decode_columns(bytes: &[u8], path: &Path) -> Result<ColumnSide, PersistError> {
+fn decode_columns(
+    bytes: &[u8],
+    path: &Path,
+) -> Result<(TfIdfCorpus, Vec<ColumnShard>), PersistError> {
     let mut r = ByteReader::new(bytes, path);
     let documents = r.get_usize()?;
     let num_entries = r.get_count()?;
@@ -478,11 +480,7 @@ fn decode_columns(bytes: &[u8], path: &Path) -> Result<ColumnSide, PersistError>
         shards.push(ColumnShard { store, refs });
     }
     r.finish()?;
-    Ok(ColumnSide {
-        corpus,
-        shards,
-        stale: false,
-    })
+    Ok((corpus, shards))
 }
 
 // ---------------------------------------------------------------------------
@@ -825,51 +823,54 @@ fn decode_manifest(bytes: &[u8], path: &Path) -> Result<Manifest, PersistError> 
 // ---------------------------------------------------------------------------
 
 /// Write every segment of epoch `epoch` (everything except the manifest
-/// and the WAL, which the caller sequences for crash safety).
+/// and the WAL, which the caller sequences for crash safety). Takes a
+/// pinned [`SessionView`] so every segment photographs **one** generation
+/// even while concurrent mutations publish newer ones.
 pub(crate) fn write_epoch_segments(
     dir: &Path,
-    session: &LakeSession,
+    view: &SessionView<'_>,
     epoch: u64,
 ) -> Result<(), PersistError> {
-    write_segment(
-        &lake_path(dir, epoch),
-        KIND_LAKE,
-        &encode_lake(&session.lake),
-    )?;
-    for (i, shard) in session.shards.iter().enumerate() {
-        write_segment(&shard_path(dir, epoch, i), KIND_SHARD, &encode_shard(shard))?;
+    write_segment(&lake_path(dir, epoch), KIND_LAKE, &encode_lake(view.lake()))?;
+    for (i, shard) in view.shards().iter().enumerate() {
+        write_segment(
+            &shard_path(dir, epoch, i),
+            KIND_SHARD,
+            &encode_shard(shard.as_ref()),
+        )?;
     }
     {
-        // Refresh first: a stale column side must never be photographed —
-        // the snapshot always holds the post-mutation, corpus-consistent
-        // embeddings a fresh session would build.
-        let columns = session.refreshed_columns();
+        // Materialize the pinned generation's (lazily-built) column side
+        // first: the snapshot always holds the post-mutation,
+        // corpus-consistent embeddings a fresh session would build.
+        let columns = view.columns();
         write_segment(
             &columns_path(dir, epoch),
             KIND_COLUMNS,
-            &encode_columns(&columns),
+            &encode_columns(view.corpus(), &columns),
         )?;
     }
     write_segment(
         &search_path(dir, epoch),
         KIND_SEARCH,
-        &encode_search(&session.search),
+        &encode_search(view.search_structures()),
     )?;
-    if let SessionEmbedder::Model(model) = &session.embedder {
+    if let SessionEmbedder::Model(model) = view.session_embedder() {
         write_segment(&model_path(dir, epoch), KIND_MODEL, &encode_model(model))?;
     }
     Ok(())
 }
 
-/// The manifest that describes `session` at `epoch`.
-pub(crate) fn manifest_for(session: &LakeSession, epoch: u64) -> Manifest {
+/// The manifest that describes the view's pinned generation at `epoch`.
+pub(crate) fn manifest_for(view: &SessionView<'_>, epoch: u64) -> Manifest {
+    let session = view.session();
     Manifest {
         epoch,
-        generation: session.generation,
-        num_shards: session.options.num_shards,
+        generation: view.generation(),
+        num_shards: session.num_shards(),
         model_injected: session.model_injected,
-        has_model: matches!(session.embedder, SessionEmbedder::Model(_)),
-        config: session.config.clone(),
+        has_model: matches!(view.session_embedder(), SessionEmbedder::Model(_)),
+        config: session.config().clone(),
     }
 }
 
@@ -916,7 +917,7 @@ pub(crate) fn load_session(dir: &Path, manifest: &Manifest) -> Result<LakeSessio
     }
 
     let cp = columns_path(dir, epoch);
-    let columns = decode_columns(&read_segment(&cp, KIND_COLUMNS)?, &cp)?;
+    let (corpus, column_shards) = decode_columns(&read_segment(&cp, KIND_COLUMNS)?, &cp)?;
 
     let sp = search_path(dir, epoch);
     let search = decode_search(
@@ -947,21 +948,22 @@ pub(crate) fn load_session(dir: &Path, manifest: &Manifest) -> Result<LakeSessio
         manifest.config.alignment_model,
         manifest.config.alignment_serialization,
     );
-    Ok(LakeSession {
+    Ok(LakeSession::from_restored(
         lake,
-        config: manifest.config.clone(),
-        options: SessionOptions {
+        manifest.config.clone(),
+        SessionOptions {
             num_shards: manifest.num_shards,
         },
         aligner_encoder,
         embedder,
-        model_injected: manifest.model_injected,
+        manifest.model_injected,
         search,
         shards,
-        columns: RwLock::new(columns),
-        generation: manifest.generation,
-        build_secs: start.elapsed().as_secs_f64(),
-    })
+        corpus,
+        column_shards,
+        manifest.generation,
+        start.elapsed().as_secs_f64(),
+    ))
 }
 
 /// Best-effort removal of every `seg-*`/`wal-*` file that does not belong

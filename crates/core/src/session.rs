@@ -1,5 +1,6 @@
 //! The resident serving layer: embed a lake **once**, serve **many**
-//! queries — and mutate the lake **incrementally**.
+//! queries — and mutate the lake **incrementally**, without ever blocking
+//! a reader.
 //!
 //! Algorithm 1 as written re-pays lake-side work on every query: the
 //! inverted value index (or the full-lake Starmie/D3L column-embedding
@@ -26,6 +27,32 @@
 //! pinned by `tests/session_equivalence.rs`. [`LakeSession::query_batch`]
 //! fans independent queries out over the rayon shim.
 //!
+//! ## Generation snapshots: reads never block on writes
+//!
+//! All lake-derived resident state lives in an immutable
+//! `SessionSnapshot` behind an `Arc`-swapped pointer. A reader takes a
+//! momentary lock only to **clone the `Arc`** (O(1), never held across
+//! any work), then serves entirely from that pinned snapshot. A mutation
+//! takes `&self` too: it serializes against other mutations on a writer
+//! mutex, builds the **next** snapshot off to the side — cloning only the
+//! `Arc`s of untouched shards and rebuilding just the FNV-owning one —
+//! and atomically publishes it. Consequences, pinned by
+//! `tests/session_concurrency.rs`:
+//!
+//! * queries and mutations interleave freely; an in-flight `add_table`
+//!   never stalls a `query`, `similar_*`, or `stats` call;
+//! * every query observes exactly one lake version, and the
+//!   [`LakeSession::generation`] it reports is a real consistency token:
+//!   the result is bit-identical to a fresh [`LakeSession::new`] over the
+//!   lake at that generation;
+//! * [`LakeSession::view`] pins a generation explicitly, so a caller can
+//!   run many reads against one consistent version while mutations
+//!   publish newer ones;
+//! * a panicking batch worker surfaces as a typed
+//!   [`SessionError::QueryPanicked`] in its own slot — it cannot poison
+//!   shared state (snapshots are immutable; every internal lock recovers
+//!   poison) and the rest of the batch still serves.
+//!
 //! ## Mutating the lake
 //!
 //! A slowly-changing lake must not pay a full session rebuild per added or
@@ -45,9 +72,11 @@
 //!   frequency deltas (`TfIdfCorpus::remove_document` — exact, no
 //!   floating-point subtraction anywhere), and the corpus-dependent column
 //!   embeddings (every column's embedding depends on every table through
-//!   IDF) are marked stale and re-embedded **lazily**, on the next
-//!   [`LakeSession::similar_columns`] / [`LakeSession::stats`] call, via
-//!   the same build path as construction;
+//!   IDF) are re-derived **lazily**, on the next
+//!   [`LakeSession::similar_columns`] / [`LakeSession::stats`] call
+//!   against the new snapshot — built *off* every lock through the same
+//!   path as construction, so column readers of older generations never
+//!   wait on the rebuild;
 //! * a fine-tuned session retrains its (lake-derived, deterministically
 //!   seeded) model and re-embeds the tuple shards — the documented
 //!   recompute fallback: training is a function of the whole lake, so no
@@ -59,15 +88,12 @@
 //! `similar_tuples` / `similar_columns` results are bit-identical to a
 //! fresh [`LakeSession::new`] on the mutated lake.
 //!
-//! Mutations take `&mut self`, so the borrow checker rules out a mutation
-//! interleaving with an in-flight `query_batch`: every query observes
-//! exactly one lake version. [`LakeSession::generation`] counts successful
-//! mutations so external callers can correlate results with lake versions.
-//!
 //! [`DustPipeline::run`]: crate::pipeline::DustPipeline
 //! [`DustPipeline`]: crate::pipeline::DustPipeline
+//! [`SessionError::QueryPanicked`]: crate::persist::SessionError::QueryPanicked
 
 use crate::config::{PipelineConfig, SearchTechnique, TupleEmbedderKind};
+use crate::persist::SessionError;
 use crate::pipeline::run_query;
 use crate::result::DustResult;
 use dust_embed::{
@@ -79,7 +105,9 @@ use dust_search::{
 };
 use dust_table::{Column, DataLake, Table, TableError, TableId, Tuple};
 use rayon::prelude::*;
-use std::sync::{Mutex, RwLock, RwLockReadGuard};
+use std::ops::Deref;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 use std::time::Instant;
 
 /// Construction options for a [`LakeSession`].
@@ -130,19 +158,9 @@ impl LakeShard {
     }
 }
 
-/// The corpus-dependent column side of the session: the lake-wide TF-IDF
-/// corpus plus per-shard column embeddings. Kept separate from the tuple
-/// shards because *every* column embedding depends on *every* table
-/// (through IDF), so mutations invalidate it wholesale: the corpus itself
-/// updates by exact integer deltas at mutation time, the embeddings are
-/// re-derived lazily through the same build path as construction.
-#[derive(Debug)]
-pub(crate) struct ColumnSide {
-    pub(crate) corpus: TfIdfCorpus,
-    pub(crate) shards: Vec<ColumnShard>,
-    pub(crate) stale: bool,
-}
-
+/// One shard of resident column embeddings (the corpus-dependent side:
+/// every column embedding depends on every table through IDF, so these are
+/// rebuilt per generation, lazily, rather than delta-maintained).
 #[derive(Debug)]
 pub(crate) struct ColumnShard {
     pub(crate) store: EmbeddingStore,
@@ -152,7 +170,7 @@ pub(crate) struct ColumnShard {
 }
 
 /// The persistent candidate structures of the configured search technique.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum SearchStructures {
     Overlap {
         search: OverlapSearch,
@@ -219,6 +237,49 @@ impl SessionEmbedder {
     }
 }
 
+/// One immutable generation of resident state. Readers pin a snapshot
+/// (cheap `Arc` clone) and serve from it; mutations build the *next*
+/// snapshot off to the side and publish it atomically. Nothing in here is
+/// ever written after publication — the lazily-built column side included:
+/// its `OnceLock` initializes at most once, off every lock.
+#[derive(Debug)]
+pub(crate) struct SessionSnapshot {
+    /// Number of successful mutations between [`LakeSession`] construction
+    /// and this snapshot.
+    pub(crate) generation: u64,
+    pub(crate) lake: DataLake,
+    pub(crate) embedder: Arc<SessionEmbedder>,
+    pub(crate) search: Arc<SearchStructures>,
+    /// Untouched shards are shared with the previous generation by `Arc`;
+    /// a mutation rebuilds only the FNV-owning shard.
+    pub(crate) shards: Vec<Arc<LakeShard>>,
+    /// The lake-wide TF-IDF corpus, maintained by exact integer deltas.
+    pub(crate) corpus: TfIdfCorpus,
+    /// Column embeddings under `corpus`, built lazily on first column read
+    /// of this generation (construction and restore pre-fill it). Built
+    /// through the same path as construction, so the lazy result is
+    /// bit-identical to a fresh session's.
+    pub(crate) columns: OnceLock<Arc<Vec<ColumnShard>>>,
+}
+
+impl SessionSnapshot {
+    /// The column side, built on first use (off every session lock —
+    /// concurrent first readers of the same generation may wait on each
+    /// other here, but never on a mutation, and never block tuple reads).
+    fn columns(&self, encoder: &ColumnEncoder) -> Arc<Vec<ColumnShard>> {
+        self.columns
+            .get_or_init(|| {
+                Arc::new(build_column_shards(
+                    &self.lake,
+                    self.shards.len(),
+                    encoder,
+                    &self.corpus,
+                ))
+            })
+            .clone()
+    }
+}
+
 /// A ranked lake tuple returned by [`LakeSession::similar_tuples`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RankedTuple {
@@ -264,29 +325,58 @@ pub struct SessionStats {
     pub build_secs: f64,
 }
 
-/// A resident lake session: construct once, serve many queries, mutate
-/// incrementally (see the module docs for the delta/rebuild contract).
+/// A resident lake session: construct once, serve many queries
+/// concurrently, mutate incrementally — queries never block on an
+/// in-flight mutation (see the module docs for the snapshot and
+/// delta/rebuild contracts).
 #[derive(Debug)]
 pub struct LakeSession {
-    pub(crate) lake: DataLake,
     pub(crate) config: PipelineConfig,
     pub(crate) options: SessionOptions,
     pub(crate) aligner_encoder: ColumnEncoder,
-    pub(crate) embedder: SessionEmbedder,
     /// An injected ([`Self::with_model`]) embedder is not lake-derived and
     /// is therefore kept across mutations; a config-trained fine-tuned
     /// model *is* lake-derived and must be retrained (recompute fallback).
     pub(crate) model_injected: bool,
-    pub(crate) search: SearchStructures,
-    pub(crate) shards: Vec<LakeShard>,
-    /// Corpus + column embeddings, refreshed lazily after mutations (every
-    /// column embedding depends on the whole lake through IDF). Queries
-    /// never touch this lock: `run_query` builds its own per-query
-    /// alignment corpus from the query and its candidates.
-    pub(crate) columns: RwLock<ColumnSide>,
-    /// Number of successful mutations applied since construction.
-    pub(crate) generation: u64,
+    /// The currently-published snapshot. The lock is held only for the
+    /// instant of an `Arc` clone (readers) or an `Arc` swap (the one
+    /// publishing mutation) — never across embedding, search, or I/O work.
+    current: RwLock<Arc<SessionSnapshot>>,
+    /// Serializes mutations against each other (readers never touch it).
+    mutate: Mutex<()>,
     pub(crate) build_secs: f64,
+}
+
+/// A pinned borrow of the session's lake at one generation, returned by
+/// [`LakeSession::lake`]. Dereferences to [`DataLake`]; a later mutation
+/// publishes a *new* snapshot and leaves this one untouched, so the
+/// borrow stays valid and consistent for as long as it is held.
+#[derive(Debug)]
+pub struct LakeRef {
+    snap: Arc<SessionSnapshot>,
+}
+
+impl Deref for LakeRef {
+    type Target = DataLake;
+
+    fn deref(&self) -> &DataLake {
+        &self.snap.lake
+    }
+}
+
+/// A read view pinned to one generation of a [`LakeSession`].
+///
+/// Every read on the parent session ([`LakeSession::query`],
+/// [`LakeSession::similar_tuples`], …) internally takes a fresh view; take
+/// one explicitly to run **many** reads against a single consistent
+/// generation while mutations publish newer ones, or to correlate a
+/// result with the exact generation that produced it
+/// ([`SessionView::generation`]). A view holds only `Arc`s — it never
+/// blocks mutations, and dropping it releases the pinned state.
+#[derive(Debug)]
+pub struct SessionView<'a> {
+    session: &'a LakeSession,
+    snap: Arc<SessionSnapshot>,
 }
 
 impl LakeSession {
@@ -372,32 +462,106 @@ impl LakeSession {
             }
         };
 
-        let shards = build_tuple_shards(&lake, num_shards, &embedder);
+        let shards = build_tuple_shards(&lake, num_shards, &embedder)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
         let corpus = ColumnEncoder::build_corpus(lake.tables().flat_map(|t| t.columns().iter()));
         let column_shards = build_column_shards(&lake, num_shards, &aligner_encoder, &corpus);
+        let columns = OnceLock::new();
+        let _ = columns.set(Arc::new(column_shards));
 
         LakeSession {
-            lake,
             config,
             options: SessionOptions { num_shards },
             aligner_encoder,
-            embedder,
             model_injected,
-            search,
-            shards,
-            columns: RwLock::new(ColumnSide {
+            current: RwLock::new(Arc::new(SessionSnapshot {
+                generation: 0,
+                lake,
+                embedder: Arc::new(embedder),
+                search: Arc::new(search),
+                shards,
                 corpus,
-                shards: column_shards,
-                stale: false,
-            }),
-            generation: 0,
+                columns,
+            })),
+            mutate: Mutex::new(()),
             build_secs: start.elapsed().as_secs_f64(),
         }
     }
 
-    /// The resident lake.
-    pub fn lake(&self) -> &DataLake {
-        &self.lake
+    /// Reassemble a session from restored (snapshot-decoded) parts — the
+    /// persistence layer's constructor, bypassing embedding and training.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_restored(
+        lake: DataLake,
+        config: PipelineConfig,
+        options: SessionOptions,
+        aligner_encoder: ColumnEncoder,
+        embedder: SessionEmbedder,
+        model_injected: bool,
+        search: SearchStructures,
+        shards: Vec<LakeShard>,
+        corpus: TfIdfCorpus,
+        column_shards: Vec<ColumnShard>,
+        generation: u64,
+        build_secs: f64,
+    ) -> Self {
+        let columns = OnceLock::new();
+        let _ = columns.set(Arc::new(column_shards));
+        LakeSession {
+            config,
+            options,
+            aligner_encoder,
+            model_injected,
+            current: RwLock::new(Arc::new(SessionSnapshot {
+                generation,
+                lake,
+                embedder: Arc::new(embedder),
+                search: Arc::new(search),
+                shards: shards.into_iter().map(Arc::new).collect(),
+                corpus,
+                columns,
+            })),
+            mutate: Mutex::new(()),
+            build_secs,
+        }
+    }
+
+    /// The currently-published snapshot (an O(1) `Arc` clone; the lock is
+    /// released before this returns). Poison is recovered everywhere the
+    /// pointer lock is taken: the guarded value is always a fully-formed
+    /// `Arc`, so a panic elsewhere can never leave it half-written.
+    fn snapshot(&self) -> Arc<SessionSnapshot> {
+        self.current
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Atomically publish the next generation.
+    fn publish(&self, next: SessionSnapshot) {
+        *self.current.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(next);
+    }
+
+    /// Pin the current generation and return a read view over it. All
+    /// reads through the view observe one consistent lake version no
+    /// matter how many mutations publish in the meantime.
+    pub fn view(&self) -> SessionView<'_> {
+        SessionView {
+            session: self,
+            snap: self.snapshot(),
+        }
+    }
+
+    /// The resident lake at the current generation. The returned handle
+    /// dereferences to [`DataLake`] and pins its snapshot: it stays valid
+    /// and self-consistent even if mutations publish newer generations
+    /// while it is held.
+    pub fn lake(&self) -> LakeRef {
+        LakeRef {
+            snap: self.snapshot(),
+        }
     }
 
     /// The pipeline configuration this session serves.
@@ -410,9 +574,11 @@ impl LakeSession {
         self.options.num_shards
     }
 
-    /// Shard `i` (panics out of range).
-    pub fn shard(&self, i: usize) -> &LakeShard {
-        &self.shards[i]
+    /// Shard `i` of the current generation (panics out of range). The
+    /// returned `Arc` keeps that shard version alive across later
+    /// mutations.
+    pub fn shard(&self, i: usize) -> Arc<LakeShard> {
+        self.snapshot().shards[i].clone()
     }
 
     /// Which shard a table's embeddings live in (stable across processes:
@@ -422,12 +588,12 @@ impl LakeSession {
     }
 
     /// Number of successful mutations ([`Self::add_table`] /
-    /// [`Self::remove_table`]) applied since construction. Failed mutations
-    /// leave it — and every resident structure — untouched. Because
-    /// mutations take `&mut self`, every query observes exactly one
-    /// generation; a batch runs entirely within one.
+    /// [`Self::remove_table`]) applied since construction. Failed
+    /// mutations leave it — and every resident structure — untouched.
+    /// Every read observes exactly one generation; pin one explicitly
+    /// with [`Self::view`] to correlate results with lake versions.
     pub fn generation(&self) -> u64 {
-        self.generation
+        self.snapshot().generation
     }
 
     /// Persist the whole session — embeddings, candidate structures,
@@ -453,68 +619,95 @@ impl LakeSession {
         crate::persist::SnapshotStore::open(dir).map(|(_, session, _)| session)
     }
 
-    /// Add a table to the lake and apply per-shard deltas instead of
-    /// rebuilding: the new table's tuples are embedded and appended to its
-    /// FNV-owning shard, the search technique's candidate structures take
-    /// the exact per-table delta, the TF-IDF corpus takes the exact integer
-    /// delta, and the corpus-dependent column embeddings are marked stale
-    /// (re-derived lazily). A fine-tuned session retrains its lake-derived
-    /// model and re-embeds the tuple shards instead — the documented
-    /// recompute fallback (see module docs).
+    /// Add a table to the lake and publish the next generation built from
+    /// per-shard deltas instead of a rebuild: the new table's tuples are
+    /// embedded and appended to (a copy of) its FNV-owning shard — every
+    /// other shard is shared with the previous generation by `Arc` — the
+    /// search technique's candidate structures take the exact per-table
+    /// delta, the TF-IDF corpus takes the exact integer delta, and the
+    /// corpus-dependent column embeddings are re-derived lazily. A
+    /// fine-tuned session retrains its lake-derived model and re-embeds
+    /// the tuple shards instead — the documented recompute fallback (see
+    /// module docs). In-flight reads keep serving the previous generation
+    /// throughout; they never wait.
     ///
     /// Duplicate names follow [`DataLake::add_table`]'s pinned semantics:
     /// an error, never a replace, with the session left untouched (remove
     /// first to replace).
-    pub fn add_table(&mut self, table: Table) -> Result<(), TableError> {
-        self.lake.add_table(table.clone())?;
-        self.search.add_table(&table);
+    pub fn add_table(&self, table: Table) -> Result<(), TableError> {
+        let _mutating = self.mutate.lock().unwrap_or_else(PoisonError::into_inner);
+        let snap = self.snapshot();
 
-        let columns = self.columns.get_mut().expect("column side poisoned");
+        let mut lake = snap.lake.clone();
+        lake.add_table(table.clone())?;
+
+        let mut search = (*snap.search).clone();
+        search.add_table(&table);
+
+        let mut corpus = snap.corpus.clone();
         for col in table.columns() {
-            columns
-                .corpus
-                .add_document(&ColumnEncoder::column_document_tokens(col));
+            corpus.add_document(&ColumnEncoder::column_document_tokens(col));
         }
-        columns.stale = true;
 
-        if self.retrains_on_mutation() {
-            self.retrain_and_reembed();
+        let (embedder, shards) = if self.retrains_on_mutation() {
+            self.retrained_state(&lake)
         } else {
             let name = table.name().to_string();
-            let shard = &mut self.shards[shard_of(&name, self.options.num_shards)];
+            let mut shards = snap.shards.clone();
+            let idx = shard_of(&name, self.options.num_shards);
+            let mut shard = (*shards[idx]).clone();
             for (row, tuple) in table.tuples().iter().enumerate() {
-                shard.tuple_store.push(&self.embedder.embed_tuple(tuple));
+                shard.tuple_store.push(&snap.embedder.embed_tuple(tuple));
                 shard.tuple_refs.push((name.clone(), row));
             }
             shard.tables.push(name);
-        }
-        self.generation += 1;
+            shards[idx] = Arc::new(shard);
+            (snap.embedder.clone(), shards)
+        };
+
+        self.publish(SessionSnapshot {
+            generation: snap.generation + 1,
+            lake,
+            embedder,
+            search: Arc::new(search),
+            shards,
+            corpus,
+            columns: OnceLock::new(),
+        });
         Ok(())
     }
 
-    /// Remove a table from the lake and apply per-shard deltas: the owning
-    /// shard's rows are tombstoned (and physically compacted once dead rows
-    /// reach live rows), the candidate structures and TF-IDF corpus take
-    /// their exact inverses, and the column embeddings are marked stale.
-    /// Returns the removed table (as [`DataLake::remove_table`], which also
-    /// scrubs ground-truth pairs naming it); errors — leaving the session
-    /// untouched — if no such table exists.
-    pub fn remove_table(&mut self, name: &str) -> Result<Table, TableError> {
-        let removed = self.lake.remove_table(name)?;
-        self.search.remove_table(&removed);
+    /// Remove a table from the lake and publish the next generation built
+    /// from per-shard deltas: the owning shard is copied with the table's
+    /// rows tombstoned (and physically compacted once dead rows reach live
+    /// rows) — every other shard is shared by `Arc` — the candidate
+    /// structures and TF-IDF corpus take their exact inverses, and the
+    /// column embeddings are re-derived lazily. Returns the removed table
+    /// (as [`DataLake::remove_table`], which also scrubs ground-truth
+    /// pairs naming it); errors — leaving the session untouched — if no
+    /// such table exists. In-flight reads keep serving the previous
+    /// generation throughout.
+    pub fn remove_table(&self, name: &str) -> Result<Table, TableError> {
+        let _mutating = self.mutate.lock().unwrap_or_else(PoisonError::into_inner);
+        let snap = self.snapshot();
 
-        let columns = self.columns.get_mut().expect("column side poisoned");
+        let mut lake = snap.lake.clone();
+        let removed = lake.remove_table(name)?;
+
+        let mut search = (*snap.search).clone();
+        search.remove_table(&removed);
+
+        let mut corpus = snap.corpus.clone();
         for col in removed.columns() {
-            columns
-                .corpus
-                .remove_document(&ColumnEncoder::column_document_tokens(col));
+            corpus.remove_document(&ColumnEncoder::column_document_tokens(col));
         }
-        columns.stale = true;
 
-        if self.retrains_on_mutation() {
-            self.retrain_and_reembed();
+        let (embedder, shards) = if self.retrains_on_mutation() {
+            self.retrained_state(&lake)
         } else {
-            let shard = &mut self.shards[shard_of(name, self.options.num_shards)];
+            let mut shards = snap.shards.clone();
+            let idx = shard_of(name, self.options.num_shards);
+            let mut shard = (*shards[idx]).clone();
             for i in 0..shard.tuple_store.len() {
                 if shard.tuple_store.is_live(i) && shard.tuple_refs[i].0 == name {
                     shard.tuple_store.remove_row(i);
@@ -532,8 +725,19 @@ impl LakeSession {
                 }
                 shard.tuple_refs = refs;
             }
-        }
-        self.generation += 1;
+            shards[idx] = Arc::new(shard);
+            (snap.embedder.clone(), shards)
+        };
+
+        self.publish(SessionSnapshot {
+            generation: snap.generation + 1,
+            lake,
+            embedder,
+            search: Arc::new(search),
+            shards,
+            corpus,
+            columns: OnceLock::new(),
+        });
         Ok(removed)
     }
 
@@ -546,64 +750,155 @@ impl LakeSession {
 
     /// The recompute fallback for lake-derived models: retrain on the
     /// mutated lake (the identical deterministic recipe a fresh session
-    /// runs) and re-embed the tuple shards under the new model.
-    fn retrain_and_reembed(&mut self) {
-        if let TupleEmbedderKind::FineTuned {
-            backbone,
-            config: ft_config,
-            training_pairs,
-        } = &self.config.embedder
-        {
-            self.embedder = SessionEmbedder::Model(crate::pipeline::train_dust_model(
-                &self.lake,
+    /// runs) and re-embed the tuple shards under the new model. Runs on
+    /// the mutating thread, off every lock — readers of the previous
+    /// generation are unaffected for the whole (expensive) rebuild.
+    fn retrained_state(&self, lake: &DataLake) -> (Arc<SessionEmbedder>, Vec<Arc<LakeShard>>) {
+        let embedder = match &self.config.embedder {
+            TupleEmbedderKind::FineTuned {
+                backbone,
+                config: ft_config,
+                training_pairs,
+            } => SessionEmbedder::Model(crate::pipeline::train_dust_model(
+                lake,
                 *backbone,
                 ft_config,
                 *training_pairs,
-            ));
-        }
-        self.shards = build_tuple_shards(&self.lake, self.options.num_shards, &self.embedder);
+            )),
+            // Unreachable in practice: retrains_on_mutation() gates on a
+            // fine-tuned config. Keep the encoder fallback total anyway.
+            TupleEmbedderKind::Pretrained(backbone) => {
+                SessionEmbedder::Encoder(TupleEncoder::new(*backbone))
+            }
+        };
+        let shards = build_tuple_shards(lake, self.options.num_shards, &embedder)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        (Arc::new(embedder), shards)
     }
 
-    /// The column side, re-derived first if a mutation left it stale. The
-    /// refresh runs the identical build path as construction (same encoder,
-    /// same — incrementally maintained, integer-exact — corpus), so a
-    /// refreshed side is bit-identical to a fresh session's.
-    pub(crate) fn refreshed_columns(&self) -> RwLockReadGuard<'_, ColumnSide> {
-        {
-            let guard = self.columns.read().expect("column side poisoned");
-            if !guard.stale {
-                return guard;
-            }
-        }
-        {
-            let mut guard = self.columns.write().expect("column side poisoned");
-            if guard.stale {
-                guard.shards = build_column_shards(
-                    &self.lake,
-                    self.options.num_shards,
-                    &self.aligner_encoder,
-                    &guard.corpus,
-                );
-                guard.stale = false;
-            }
-        }
-        self.columns.read().expect("column side poisoned")
-    }
-
-    /// Size/shape summary of the resident state.
+    /// Size/shape summary of the resident state at the current generation.
     pub fn stats(&self) -> SessionStats {
-        let columns = self.refreshed_columns();
+        self.view().stats()
+    }
+
+    /// Serve one query against the current generation: Algorithm 1 over
+    /// the resident structures. Byte-identical to
+    /// `DustPipeline::new(config).run(lake, query, k)` over that
+    /// generation's lake.
+    pub fn query(&self, query: &Table, k: usize) -> Result<DustResult, TableError> {
+        self.view().query(query, k)
+    }
+
+    /// Serve a batch of independent queries, in parallel over the rayon
+    /// shim on multi-core hosts. The whole batch runs against **one**
+    /// pinned generation; `results[i]` corresponds to `queries[i]` and is
+    /// identical to a sequential [`Self::query`] call at that generation.
+    /// A worker that panics yields a typed
+    /// [`SessionError::QueryPanicked`](crate::persist::SessionError::QueryPanicked)
+    /// in its own slot — the rest of the batch, and every later request,
+    /// still serves.
+    pub fn query_batch(
+        &self,
+        queries: &[Table],
+        k: usize,
+    ) -> Vec<Result<DustResult, SessionError>> {
+        self.view().query_batch(queries, k)
+    }
+
+    /// Rank every resident lake tuple (current generation) by its maximum
+    /// cosine similarity to any query tuple and return the top `k` — the
+    /// tuple-as-table serving path (Sec. 6.5's retrieval shape) answered
+    /// entirely from the resident shards, with no per-query lake embedding
+    /// work. Tombstoned rows never score: results reflect exactly the
+    /// observed lake generation.
+    pub fn similar_tuples(&self, query: &Table, k: usize) -> Vec<RankedTuple> {
+        self.view().similar_tuples(query, k)
+    }
+
+    /// Rank every resident lake column (current generation) by cosine
+    /// similarity to a probe column (embedded under the session's
+    /// alignment encoder and lake corpus) and return the top `k` —
+    /// column-level discovery from the resident shards. The first column
+    /// read after a mutation re-derives the column embeddings (their IDF
+    /// weights depend on the whole lake) — off every lock, so concurrent
+    /// tuple reads and mutations are unaffected — and results are always
+    /// bit-identical to a freshly built session's.
+    pub fn similar_columns(&self, probe: &Column, k: usize) -> Vec<RankedColumn> {
+        self.view().similar_columns(probe, k)
+    }
+}
+
+impl<'a> SessionView<'a> {
+    /// The generation this view is pinned to: every read through the view
+    /// reflects exactly the lake version that generation denotes.
+    pub fn generation(&self) -> u64 {
+        self.snap.generation
+    }
+
+    /// The pinned generation's lake.
+    pub fn lake(&self) -> &DataLake {
+        &self.snap.lake
+    }
+
+    /// The session this view was taken from.
+    pub fn session(&self) -> &'a LakeSession {
+        self.session
+    }
+
+    /// Shard `i` of the pinned generation (panics out of range).
+    pub fn shard(&self, i: usize) -> &LakeShard {
+        &self.snap.shards[i]
+    }
+
+    /// The pinned generation's candidate structures (persistence reads
+    /// them segment by segment).
+    pub(crate) fn search_structures(&self) -> &SearchStructures {
+        &self.snap.search
+    }
+
+    /// The pinned generation's tuple embedder.
+    pub(crate) fn session_embedder(&self) -> &SessionEmbedder {
+        &self.snap.embedder
+    }
+
+    /// The pinned generation's tuple shards.
+    pub(crate) fn shards(&self) -> &[Arc<LakeShard>] {
+        &self.snap.shards
+    }
+
+    /// The pinned generation's TF-IDF corpus.
+    pub(crate) fn corpus(&self) -> &TfIdfCorpus {
+        &self.snap.corpus
+    }
+
+    /// The pinned generation's column side, built on first use.
+    pub(crate) fn columns(&self) -> Arc<Vec<ColumnShard>> {
+        self.snap.columns(&self.session.aligner_encoder)
+    }
+
+    /// [`LakeSession::stats`] at the pinned generation.
+    pub fn stats(&self) -> SessionStats {
+        let columns = self.columns();
         SessionStats {
-            tables: self.lake.num_tables(),
-            tuples: self.shards.iter().map(|s| s.tuple_store.num_live()).sum(),
-            columns: columns.shards.iter().map(|s| s.store.len()).sum(),
-            shards: self.shards.len(),
+            tables: self.snap.lake.num_tables(),
+            tuples: self
+                .snap
+                .shards
+                .iter()
+                .map(|s| s.tuple_store.num_live())
+                .sum(),
+            columns: columns.iter().map(|s| s.store.len()).sum(),
+            shards: self.snap.shards.len(),
             shard_sizes: self
+                .snap
                 .shards
                 .iter()
                 .map(|s| (s.tables.len(), s.tuple_store.num_live()))
                 .collect(),
             tuple_dim: self
+                .snap
                 .shards
                 .iter()
                 .filter(|s| s.tuple_store.num_live() > 0)
@@ -611,63 +906,98 @@ impl LakeSession {
                 .find(|&d| d > 0)
                 .unwrap_or(0),
             column_dim: columns
-                .shards
                 .iter()
                 .map(|s| s.store.dim())
                 .find(|&d| d > 0)
                 .unwrap_or(0),
-            build_secs: self.build_secs,
+            build_secs: self.session.build_secs,
         }
     }
 
-    /// Serve one query: Algorithm 1 over the resident structures.
-    /// Byte-identical to `DustPipeline::new(config).run(lake, query, k)`.
+    /// [`LakeSession::query`] at the pinned generation.
     pub fn query(&self, query: &Table, k: usize) -> Result<DustResult, TableError> {
         Ok(run_query(
-            &self.lake,
+            &self.snap.lake,
             query,
             k,
-            &self.config,
-            &self.aligner_encoder,
+            &self.session.config,
+            &self.session.aligner_encoder,
             &|lake, query| self.search_tables(lake, query),
             &|query_tuples, candidates| self.embed_tuples(query_tuples, candidates),
         ))
     }
 
-    /// Serve a batch of independent queries, in parallel over the rayon
-    /// shim on multi-core hosts. `results[i]` corresponds to `queries[i]`
-    /// and is identical to a sequential [`Self::query`] call.
-    pub fn query_batch(&self, queries: &[Table], k: usize) -> Vec<Result<DustResult, TableError>> {
-        let slots: Vec<Mutex<Option<Result<DustResult, TableError>>>> =
+    /// [`LakeSession::query_batch`] at the pinned generation.
+    pub fn query_batch(
+        &self,
+        queries: &[Table],
+        k: usize,
+    ) -> Vec<Result<DustResult, SessionError>> {
+        self.query_batch_injecting(queries, k, &|_| {})
+    }
+
+    /// [`Self::query_batch`] with a fault hook: `fault(i)` runs on the
+    /// worker thread just before query `i` executes, and a panic it (or
+    /// the query itself) raises is caught and surfaced as that slot's
+    /// [`SessionError::QueryPanicked`](crate::persist::SessionError::QueryPanicked)
+    /// — the other slots are unaffected. This is the fault-injection seam
+    /// the concurrency suite drives; production callers use
+    /// [`Self::query_batch`], whose hook is a no-op.
+    pub fn query_batch_injecting(
+        &self,
+        queries: &[Table],
+        k: usize,
+        fault: &(dyn Fn(usize) + Sync),
+    ) -> Vec<Result<DustResult, SessionError>> {
+        let slots: Vec<Mutex<Option<Result<DustResult, SessionError>>>> =
             queries.iter().map(|_| Mutex::new(None)).collect();
         let jobs: Vec<usize> = (0..queries.len()).collect();
         jobs.into_par_iter().for_each(|i| {
-            let result = self.query(&queries[i], k);
-            *slots[i].lock().expect("batch slot poisoned") = Some(result);
+            // Catch the panic *inside* the worker closure: the slot below
+            // is only locked after the fallible work is done, so a panic
+            // can neither poison a slot nor kill the batch. The snapshot
+            // is immutable, so unwinding cannot leave broken invariants
+            // behind — AssertUnwindSafe is sound here.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                fault(i);
+                self.query(&queries[i], k)
+            }));
+            let result = match outcome {
+                Ok(served) => served.map_err(SessionError::from),
+                Err(payload) => Err(SessionError::QueryPanicked {
+                    detail: panic_detail(payload.as_ref()),
+                }),
+            };
+            *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
         });
         slots
             .into_iter()
-            .map(|slot| {
+            .enumerate()
+            .map(|(i, slot)| {
                 slot.into_inner()
-                    .expect("batch slot poisoned")
-                    .expect("batch worker skipped a query")
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .unwrap_or_else(|| {
+                        // A worker that died before writing its slot (a
+                        // defensive branch: catch_unwind above should make
+                        // this unreachable) degrades to a per-query error,
+                        // never a server-killing panic.
+                        Err(SessionError::QueryPanicked {
+                            detail: format!("batch worker for query {i} never reported a result"),
+                        })
+                    })
             })
             .collect()
     }
 
-    /// Rank every resident lake tuple by its maximum cosine similarity to
-    /// any query tuple and return the top `k` — the tuple-as-table serving
-    /// path (Sec. 6.5's retrieval shape) answered entirely from the
-    /// resident shards, with no per-query lake embedding work. Tombstoned
-    /// rows never score: results reflect exactly the current lake.
+    /// [`LakeSession::similar_tuples`] at the pinned generation.
     pub fn similar_tuples(&self, query: &Table, k: usize) -> Vec<RankedTuple> {
         let query_embeddings: Vec<Vector> = query
             .tuples()
             .iter()
-            .map(|t| self.embedder.embed_tuple(t))
+            .map(|t| self.snap.embedder.embed_tuple(t))
             .collect();
         let mut results: Vec<RankedTuple> = Vec::new();
-        for shard in &self.shards {
+        for shard in &self.snap.shards {
             for i in shard.tuple_store.live_indices() {
                 let score = query_embeddings
                     .iter()
@@ -686,17 +1016,15 @@ impl LakeSession {
         results
     }
 
-    /// Rank every resident lake column by cosine similarity to a probe
-    /// column (embedded under the session's alignment encoder and lake
-    /// corpus) and return the top `k` — column-level discovery from the
-    /// resident shards. After a mutation this re-derives the column
-    /// embeddings first (their IDF weights depend on the whole lake), so
-    /// results are always bit-identical to a freshly built session's.
+    /// [`LakeSession::similar_columns`] at the pinned generation.
     pub fn similar_columns(&self, probe: &Column, k: usize) -> Vec<RankedColumn> {
-        let columns = self.refreshed_columns();
-        let probe_embedding = self.aligner_encoder.embed_column(probe, &columns.corpus);
+        let columns = self.columns();
+        let probe_embedding = self
+            .session
+            .aligner_encoder
+            .embed_column(probe, &self.snap.corpus);
         let mut results: Vec<RankedColumn> = Vec::new();
-        for shard in &columns.shards {
+        for shard in columns.iter() {
             for i in 0..shard.store.len() {
                 let score = 1.0
                     - shard
@@ -720,10 +1048,10 @@ impl LakeSession {
     }
 
     /// The resident `SearchTables` step (same searcher defaults as the
-    /// one-shot pipeline, candidate structures read from the session).
+    /// one-shot pipeline, candidate structures read from the snapshot).
     fn search_tables(&self, lake: &DataLake, query: &Table) -> Vec<String> {
-        let k = self.config.tables_per_query;
-        let results = match &self.search {
+        let k = self.session.config.tables_per_query;
+        let results = match &*self.snap.search {
             SearchStructures::Overlap { search, index } => {
                 search.search_with_index(lake, query, k, index)
             }
@@ -746,7 +1074,7 @@ impl LakeSession {
         query_tuples: &[Tuple],
         candidates: &[Tuple],
     ) -> (Vec<Vector>, Vec<Vector>) {
-        match &self.embedder {
+        match &*self.snap.embedder {
             SessionEmbedder::Model(model) => (
                 model.embed_tuples(query_tuples),
                 model.embed_tuples(candidates),
@@ -756,6 +1084,17 @@ impl LakeSession {
                 encoder.embed_tuples(candidates),
             ),
         }
+    }
+}
+
+/// Render a caught panic payload for a typed error message.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -794,9 +1133,9 @@ fn build_tuple_shards(
 }
 
 /// Build the per-shard column stores from scratch under `corpus` — session
-/// construction and the lazy post-mutation refresh share this single path,
-/// which is what makes a refreshed column side bit-identical to a fresh
-/// session's.
+/// construction and the lazy per-generation refresh share this single
+/// path, which is what makes a refreshed column side bit-identical to a
+/// fresh session's.
 fn build_column_shards(
     lake: &DataLake,
     num_shards: usize,
@@ -894,8 +1233,8 @@ mod tests {
                 assert!(session.lake().table(table).unwrap().num_rows() > *row);
             }
         }
-        let columns = session.refreshed_columns();
-        for shard in &columns.shards {
+        let view = session.view();
+        for shard in view.columns().iter() {
             assert_eq!(shard.store.len(), shard.refs.len());
         }
     }
@@ -916,7 +1255,8 @@ mod tests {
         // the best hit must be a genuinely similar tuple
         assert!(top[0].score > 0.5, "top score {}", top[0].score);
         // provenance resolves
-        let table = session.lake().table(&top[0].table).unwrap();
+        let lake = session.lake();
+        let table = lake.table(&top[0].table).unwrap();
         assert!(top[0].row < table.num_rows());
         // empty k
         assert!(session.similar_tuples(&query, 0).is_empty());
@@ -972,6 +1312,36 @@ mod tests {
     }
 
     #[test]
+    fn a_panicking_batch_worker_degrades_to_a_typed_error() {
+        let lake = tiny_lake();
+        let queries: Vec<Table> = lake
+            .query_names()
+            .iter()
+            .take(2)
+            .map(|n| lake.query(n).unwrap().clone())
+            .collect();
+        let session = LakeSession::new(lake, PipelineConfig::fast());
+        let view = session.view();
+        let batch = view.query_batch_injecting(&queries, 3, &|i| {
+            if i == 0 {
+                panic!("injected fault in worker {i}");
+            }
+        });
+        assert_eq!(batch.len(), 2);
+        let err = batch[0].as_ref().unwrap_err();
+        assert_eq!(err.kind(), "panic");
+        assert!(err.to_string().contains("injected fault"));
+        // the sibling slot served normally...
+        let healthy = batch[1].as_ref().unwrap();
+        let sequential = session.query(&queries[1], 3).unwrap();
+        assert_eq!(healthy.tuples, sequential.tuples);
+        // ...and the session is not poisoned: later requests still serve.
+        let again = session.query_batch(&queries, 3);
+        assert!(again.iter().all(|r| r.is_ok()));
+        assert_eq!(session.stats().tables, session.lake().num_tables());
+    }
+
+    #[test]
     fn single_shard_session_still_serves() {
         let mut lake = DataLake::new("micro");
         lake.add_table(
@@ -1000,7 +1370,7 @@ mod tests {
     #[test]
     fn add_table_applies_a_shard_local_delta() {
         let lake = tiny_lake();
-        let mut session = LakeSession::new(lake, PipelineConfig::fast());
+        let session = LakeSession::new(lake, PipelineConfig::fast());
         let before = session.stats();
         assert_eq!(session.generation(), 0);
         let table = Table::builder("new_parks")
@@ -1034,10 +1404,41 @@ mod tests {
     }
 
     #[test]
+    fn a_view_keeps_serving_its_pinned_generation_across_mutations() {
+        let lake = tiny_lake();
+        let query_name = lake.query_names()[0].clone();
+        let query = lake.query(&query_name).unwrap().clone();
+        let session = LakeSession::new(lake, PipelineConfig::fast());
+        let pinned = session.view();
+        assert_eq!(pinned.generation(), 0);
+        let before = pinned.query(&query, 3).unwrap();
+        let before_tuples = pinned.stats().tuples;
+
+        // mutate underneath the pinned view
+        let table = Table::builder("gen_probe")
+            .column("Park Name", ["Pin Park"])
+            .column("Country", ["USA"])
+            .build()
+            .unwrap();
+        session.add_table(table).unwrap();
+        assert_eq!(session.generation(), 1);
+
+        // the view still observes generation 0, bit-identically
+        assert_eq!(pinned.generation(), 0);
+        assert!(pinned.lake().table("gen_probe").is_err());
+        assert_eq!(pinned.stats().tuples, before_tuples);
+        let replay = pinned.query(&query, 3).unwrap();
+        assert_eq!(replay.tuples, before.tuples);
+        assert_eq!(replay.retrieved_tables, before.retrieved_tables);
+        // while the session-level read path sees generation 1
+        assert!(session.lake().table("gen_probe").is_ok());
+    }
+
+    #[test]
     fn duplicate_add_fails_and_leaves_the_session_untouched() {
         let lake = tiny_lake();
         let existing = lake.table_names()[0].clone();
-        let mut session = LakeSession::new(lake.clone(), PipelineConfig::fast());
+        let session = LakeSession::new(lake.clone(), PipelineConfig::fast());
         let before = session.stats();
         let dup = Table::builder(existing.as_str())
             .column("x", ["1", "2"])
@@ -1062,7 +1463,7 @@ mod tests {
     #[test]
     fn remove_table_tombstones_then_compacts() {
         let lake = tiny_lake();
-        let mut session = LakeSession::with_options(
+        let session = LakeSession::with_options(
             lake.clone(),
             PipelineConfig::fast(),
             SessionOptions { num_shards: 1 },
@@ -1105,7 +1506,7 @@ mod tests {
     fn generation_counts_only_successful_mutations() {
         let lake = tiny_lake();
         let name = lake.table_names()[0].clone();
-        let mut session = LakeSession::new(lake, PipelineConfig::fast());
+        let session = LakeSession::new(lake, PipelineConfig::fast());
         assert_eq!(session.generation(), 0);
         let removed = session.remove_table(&name).unwrap();
         assert_eq!(session.generation(), 1);

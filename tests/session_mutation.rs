@@ -61,7 +61,7 @@ fn table_pool(lake: &DataLake) -> Vec<Table> {
 
 /// Apply the toggle-encoded mutation sequence to the session, asserting
 /// each step succeeds. Returns how many mutations were applied.
-fn apply_ops(session: &mut LakeSession, pool: &[Table], ops: &[usize]) -> u64 {
+fn apply_ops(session: &LakeSession, pool: &[Table], ops: &[usize]) -> u64 {
     let mut applied = 0;
     for &op in ops {
         let table = &pool[op % pool.len()];
@@ -205,12 +205,12 @@ proptest! {
                 search: technique,
                 ..PipelineConfig::fast()
             };
-            let mut session = LakeSession::with_options(
+            let session = LakeSession::with_options(
                 lake.clone(),
                 config,
                 SessionOptions { num_shards: shards },
             );
-            let applied = apply_ops(&mut session, &pool, &ops);
+            let applied = apply_ops(&session, &pool, &ops);
             prop_assert_eq!(session.generation(), applied);
             assert_session_matches_rebuild(
                 &session,
@@ -246,8 +246,8 @@ proptest! {
             tables_per_query: 5,
             ..PipelineConfig::default()
         };
-        let mut session = LakeSession::new(lake, config);
-        apply_ops(&mut session, &pool, &ops);
+        let session = LakeSession::new(lake, config);
+        apply_ops(&session, &pool, &ops);
         assert_session_matches_rebuild(
             &session,
             &query_probes,
@@ -264,7 +264,7 @@ fn remove_then_readd_same_name_with_different_content() {
     let lake = tiny_lake();
     let victim = lake.table_names()[0].clone();
     let query_probes = probes(&lake, 2);
-    let mut session = LakeSession::new(lake, PipelineConfig::fast());
+    let session = LakeSession::new(lake, PipelineConfig::fast());
 
     // replace is two explicit steps — a bare duplicate add must fail
     let replacement = Table::builder(victim.as_str())
@@ -290,14 +290,15 @@ fn remove_last_table_in_a_shard() {
     let lake = tiny_lake();
     let query_probes = probes(&lake, 2);
     // enough shards that at least one holds exactly one table
-    let mut session = LakeSession::with_options(
+    let session = LakeSession::with_options(
         lake,
         PipelineConfig::fast(),
         SessionOptions { num_shards: 8 },
     );
     let lone = (0..session.num_shards())
         .find_map(|i| {
-            let tables = session.shard(i).tables();
+            let shard = session.shard(i);
+            let tables = shard.tables();
             (tables.len() == 1).then(|| tables[0].clone())
         })
         .expect("tiny lake over 8 shards should give some shard exactly one table");
@@ -314,7 +315,7 @@ fn remove_last_table_in_a_shard() {
 fn add_to_empty_lake() {
     let empty = DataLake::new("starts_empty");
     let donor = tiny_lake();
-    let mut session = LakeSession::new(empty, PipelineConfig::fast());
+    let session = LakeSession::new(empty, PipelineConfig::fast());
     assert_eq!(session.stats().tables, 0);
     assert_eq!(session.stats().tuples, 0);
     let names = donor.table_names();

@@ -87,7 +87,7 @@ fn table_pool(lake: &DataLake) -> Vec<Table> {
 
 /// Apply one toggle op through the session AND the durable store, exactly
 /// as the `serve` binary does: mutate first, log only on success.
-fn apply_logged(session: &mut LakeSession, store: &mut SnapshotStore, table: &Table) {
+fn apply_logged(session: &LakeSession, store: &mut SnapshotStore, table: &Table) {
     if session.lake().table(table.name()).is_ok() {
         session.remove_table(table.name()).unwrap();
         store
@@ -144,7 +144,7 @@ fn assert_sessions_match(recovered: &LakeSession, reference: &LakeSession, conte
         "{context}: shard occupancy differs"
     );
 
-    for (qi, probe) in probes(reference.lake(), 2).iter().enumerate() {
+    for (qi, probe) in probes(&reference.lake(), 2).iter().enumerate() {
         let a = recovered.query(probe, 4).unwrap();
         let b = reference.query(probe, 4).unwrap();
         assert_same_result(&a, &b, &format!("{context}: query {qi}"));
@@ -203,22 +203,22 @@ proptest! {
         for technique in TECHNIQUES {
             let tmp = TempDir::new("equiv");
             let config = PipelineConfig { search: technique, ..PipelineConfig::fast() };
-            let mut session = LakeSession::with_options(
+            let session = LakeSession::with_options(
                 tiny_lake(),
                 config,
                 SessionOptions { num_shards: shards },
             );
-            let pool = table_pool(session.lake());
+            let pool = table_pool(&session.lake());
             let mut store = SnapshotStore::create(&tmp.0, &session).unwrap();
             for (i, &op) in ops.iter().enumerate() {
-                apply_logged(&mut session, &mut store, &pool[op % pool.len()]);
+                apply_logged(&session, &mut store, &pool[op % pool.len()]);
                 if i == checkpoint_at {
                     store.checkpoint(&session).unwrap();
                 }
             }
             // the comparison queries need candidates
             if session.lake().num_tables() == 0 {
-                apply_logged(&mut session, &mut store, &pool[0]);
+                apply_logged(&session, &mut store, &pool[0]);
             }
             drop(store);
 
@@ -258,11 +258,11 @@ proptest! {
             tables_per_query: 5,
             ..PipelineConfig::default()
         };
-        let mut session = LakeSession::new(tiny_lake(), config);
-        let pool = table_pool(session.lake());
+        let session = LakeSession::new(tiny_lake(), config);
+        let pool = table_pool(&session.lake());
         let mut store = SnapshotStore::create(&tmp.0, &session).unwrap();
         for &op in &ops {
-            apply_logged(&mut session, &mut store, &pool[op % pool.len()]);
+            apply_logged(&session, &mut store, &pool[op % pool.len()]);
         }
         drop(store);
 
@@ -299,19 +299,19 @@ proptest! {
     ) {
         let truncate = truncate_pick == 1;
         let tmp = TempDir::new("fault");
-        let mut session = LakeSession::with_options(
+        let session = LakeSession::with_options(
             tiny_lake(),
             PipelineConfig::fast(),
             SessionOptions { num_shards: 2 },
         );
-        let pool = table_pool(session.lake());
+        let pool = table_pool(&session.lake());
         let mut store = SnapshotStore::create(&tmp.0, &session).unwrap();
 
         // Lake state at every acknowledged generation, for the rewind check.
         let mut lake_states = vec![session.lake().clone()];
-        apply_logged(&mut session, &mut store, &pool[pool.len() - 1]);
+        apply_logged(&session, &mut store, &pool[pool.len() - 1]);
         lake_states.push(session.lake().clone());
-        apply_logged(&mut session, &mut store, &pool[0]);
+        apply_logged(&session, &mut store, &pool[0]);
         lake_states.push(session.lake().clone());
         drop(store);
 
@@ -392,7 +392,7 @@ fn assert_recovered_matches_reference(
     assert_eq!(rs.tables, fs.tables, "{context}: table counts differ");
     assert_eq!(rs.tuples, fs.tuples, "{context}: live tuple counts differ");
     assert_eq!(rs.columns, fs.columns, "{context}: column counts differ");
-    for (qi, probe) in probes(reference.lake(), 1).iter().enumerate() {
+    for (qi, probe) in probes(&reference.lake(), 1).iter().enumerate() {
         let a = recovered.query(probe, 4).unwrap();
         let b = reference.query(probe, 4).unwrap();
         assert_same_result(&a, &b, &format!("{context}: query {qi}"));
@@ -437,10 +437,10 @@ fn missing_segment_is_typed_and_distinct_from_empty_dir() {
 #[test]
 fn old_epoch_survives_a_simulated_checkpoint_crash() {
     let tmp = TempDir::new("ckpt-crash");
-    let mut session = LakeSession::new(tiny_lake(), PipelineConfig::fast());
-    let pool = table_pool(session.lake());
+    let session = LakeSession::new(tiny_lake(), PipelineConfig::fast());
+    let pool = table_pool(&session.lake());
     let mut store = SnapshotStore::create(&tmp.0, &session).unwrap();
-    apply_logged(&mut session, &mut store, &pool[pool.len() - 1]);
+    apply_logged(&session, &mut store, &pool[pool.len() - 1]);
     drop(store);
 
     // A checkpoint that crashed after writing some epoch-2 files but
