@@ -33,8 +33,64 @@ use dust_bench::setup::scale;
 use dust_core::{DustPipeline, LakeSession, PipelineConfig, SearchTechnique, TupleEmbedderKind};
 use dust_embed::{FineTuneConfig, PretrainedModel};
 use dust_table::Table;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Counting wrapper around the system allocator. The mutation scenario
+/// reads the counters around each publish, so the structural-sharing claim
+/// ("a mutation clones O(1 table + 1 shard), not the snapshot") is
+/// reported as measured bytes, not asserted prose. Frees are not tracked:
+/// the interesting number is how much a publish *writes*, not its net
+/// footprint.
+struct CountingAlloc;
+
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Bytes and allocation calls since process start.
+fn alloc_counters() -> (u64, u64) {
+    (
+        ALLOC_BYTES.load(Ordering::Relaxed),
+        ALLOC_CALLS.load(Ordering::Relaxed),
+    )
+}
+
+/// Counter deltas since `before` (bytes, calls).
+fn alloc_since(before: (u64, u64)) -> (u64, u64) {
+    let now = alloc_counters();
+    (now.0 - before.0, now.1 - before.1)
+}
+
+fn fmt_bytes(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{:.1} MiB", bytes as f64 / (1u64 << 20) as f64)
+    } else {
+        format!("{:.1} KiB", bytes as f64 / 1024.0)
+    }
+}
 
 const BATCH_SIZES: [usize; 3] = [1, 8, 32];
 const K: usize = 10;
@@ -202,16 +258,23 @@ fn mutation_benchmark(full_lake: &dust_table::DataLake, queries: &[Table], json:
         .collect();
 
     // ---- single-table add: delta vs fresh rebuild -------------------------
+    // Allocation counters bracket each publish: the structural-sharing
+    // refactor's claim is that the incremental path allocates the delta
+    // (one table + one shard + touched postings), not a snapshot copy.
     let session = LakeSession::new(base_lake.clone(), config.clone());
+    let counters = alloc_counters();
     let start = Instant::now();
     session.add_table(pool[0].clone()).expect("pool add");
     let incremental_secs = start.elapsed().as_secs_f64();
+    let (incremental_bytes, incremental_allocs) = alloc_since(counters);
 
     let mut grown = base_lake.clone();
     grown.add_table(pool[0].clone()).expect("pool add");
+    let counters = alloc_counters();
     let start = Instant::now();
     let rebuilt = LakeSession::new(grown, config.clone());
     let rebuild_secs = start.elapsed().as_secs_f64();
+    let (rebuild_bytes, rebuild_allocs) = alloc_since(counters);
 
     // identical serving behaviour, asserted before any number is reported
     for query in queries.iter().take(4) {
@@ -227,6 +290,7 @@ fn mutation_benchmark(full_lake: &dust_table::DataLake, queries: &[Table], json:
     // mutation — the slowly-changing-lake serving shape.
     let session = LakeSession::new(base_lake.clone(), config.clone());
     let mut incremental_results = Vec::new();
+    let counters = alloc_counters();
     let start = Instant::now();
     for (mi, table) in pool.iter().enumerate() {
         session.add_table(table.clone()).expect("pool add");
@@ -241,11 +305,13 @@ fn mutation_benchmark(full_lake: &dust_table::DataLake, queries: &[Table], json:
         }
     }
     let interleaved_incremental_secs = start.elapsed().as_secs_f64();
+    let (interleaved_incremental_bytes, _) = alloc_since(counters);
     let mutations = pool.len() * 2;
     let query_count = incremental_results.len();
 
     let mut rebuild_results = Vec::new();
     let mut lake = base_lake.clone();
+    let counters = alloc_counters();
     let start = Instant::now();
     for (mi, table) in pool.iter().enumerate() {
         lake.add_table(table.clone()).expect("pool add");
@@ -262,6 +328,7 @@ fn mutation_benchmark(full_lake: &dust_table::DataLake, queries: &[Table], json:
         }
     }
     let interleaved_rebuild_secs = start.elapsed().as_secs_f64();
+    let (interleaved_rebuild_bytes, _) = alloc_since(counters);
     for (i, (a, b)) in incremental_results.iter().zip(&rebuild_results).enumerate() {
         assert_eq!(
             a.tuples, b.tuples,
@@ -274,19 +341,31 @@ fn mutation_benchmark(full_lake: &dust_table::DataLake, queries: &[Table], json:
     let mut report = Report::new(
         "Lake mutation: incremental per-shard deltas vs rebuild-per-mutation (overlap+pretrained)",
     )
-    .headers(["scenario", "incremental (s)", "rebuild (s)", "speedup"]);
+    .headers([
+        "scenario",
+        "incremental (s)",
+        "rebuild (s)",
+        "speedup",
+        "incr alloc",
+        "rebuild alloc",
+    ]);
     report.row([
         "single-table add".to_string(),
         fmt3(incremental_secs),
         fmt3(rebuild_secs),
         format!("{single_speedup:.2}x"),
+        format!("{} / {incremental_allocs}", fmt_bytes(incremental_bytes)),
+        format!("{} / {rebuild_allocs}", fmt_bytes(rebuild_bytes)),
     ]);
     report.row([
         format!("{mutations} mutations + {query_count} queries"),
         fmt3(interleaved_incremental_secs),
         fmt3(interleaved_rebuild_secs),
         format!("{interleaved_speedup:.2}x"),
+        fmt_bytes(interleaved_incremental_bytes),
+        fmt_bytes(interleaved_rebuild_bytes),
     ]);
+    report.note("alloc = bytes allocated / allocation calls inside the timed publish window");
     report.note("results asserted identical between strategies after every mutation");
     report.note("equivalence itself is pinned bit-for-bit by tests/session_mutation.rs");
     report.print();
@@ -301,14 +380,20 @@ fn mutation_benchmark(full_lake: &dust_table::DataLake, queries: &[Table], json:
     let _ = writeln!(
         json,
         "    \"single_add\": {{ \"incremental_secs\": {incremental_secs:.4}, \
-         \"rebuild_secs\": {rebuild_secs:.4}, \"speedup\": {single_speedup:.2} }},"
+         \"rebuild_secs\": {rebuild_secs:.4}, \"speedup\": {single_speedup:.2}, \
+         \"incremental_alloc_bytes\": {incremental_bytes}, \
+         \"incremental_allocs\": {incremental_allocs}, \
+         \"rebuild_alloc_bytes\": {rebuild_bytes}, \
+         \"rebuild_allocs\": {rebuild_allocs} }},"
     );
     let _ = writeln!(
         json,
         "    \"interleaved\": {{ \"mutations\": {mutations}, \"queries\": {query_count}, \
          \"incremental_secs\": {interleaved_incremental_secs:.3}, \
          \"rebuild_secs\": {interleaved_rebuild_secs:.3}, \
-         \"speedup\": {interleaved_speedup:.2} }}"
+         \"speedup\": {interleaved_speedup:.2}, \
+         \"incremental_alloc_bytes\": {interleaved_incremental_bytes}, \
+         \"rebuild_alloc_bytes\": {interleaved_rebuild_bytes} }}"
     );
     let _ = writeln!(json, "  }},");
 }

@@ -68,8 +68,17 @@
 //! version-skewed snapshot degrades gracefully: the error is logged with
 //! its kind and the session is rebuilt from the lake, then re-persisted.
 //! `{"mode":"checkpoint"}` forces a snapshot rewrite + WAL truncation on
-//! demand; `--checkpoint-after N` sets the automatic threshold (default
-//! 64 records).
+//! demand; `--checkpoint-after N` sets the automatic record-count
+//! threshold (default 64 records) and `--checkpoint-bytes N` the
+//! byte-size threshold (default 64 MiB of WAL since the last checkpoint)
+//! — whichever trips first wins, so a burst of huge `add_table` payloads
+//! compacts long before the record counter would fire.
+//!
+//! `{"mode":"stats"}` is the operability probe: it reports the pinned
+//! generation, lake-wide table/tuple/column counts, per-shard
+//! `{tables, live, dead}` rows (dead = tombstoned, awaiting compaction),
+//! and — for a durable session — the WAL epoch, record count, and bytes
+//! accumulated since the last checkpoint (`"wal":null` otherwise).
 //!
 //! Flags: `--benchmark tiny|santos|ugen` (generated lake, default tiny),
 //! `--lake-dir <dir>` (load every `*.csv` file as a lake table),
@@ -77,7 +86,8 @@
 //! startup instead of serving pre-trained embeddings), `--shards N`,
 //! `--listen ADDR` (TCP multi-client mode; takes precedence over
 //! stdin/`--requests`), `--snapshot-dir <dir>` (durable session: recover
-//! on start, WAL on mutation), `--checkpoint-after N`, `--requests
+//! on start, WAL on mutation), `--checkpoint-after N`,
+//! `--checkpoint-bytes N`, `--requests
 //! <file>` (read JSONL from a file instead of stdin), `--selftest` (build
 //! a tiny lake, run built-in requests including a save → drop → recover →
 //! re-query cycle and a concurrent TCP round-trip, verify, exit).
@@ -460,6 +470,7 @@ struct CliOptions {
     listen: Option<String>,
     snapshot_dir: Option<String>,
     checkpoint_after: usize,
+    checkpoint_bytes: u64,
     requests: Option<String>,
     selftest: bool,
 }
@@ -475,6 +486,7 @@ impl CliOptions {
             listen: None,
             snapshot_dir: None,
             checkpoint_after: StoreOptions::default().checkpoint_after,
+            checkpoint_bytes: StoreOptions::default().checkpoint_after_bytes,
             requests: None,
             selftest: false,
         };
@@ -509,13 +521,19 @@ impl CliOptions {
                         .parse()
                         .map_err(|e| format!("--checkpoint-after: {e}"))?
                 }
+                "--checkpoint-bytes" => {
+                    options.checkpoint_bytes = value("--checkpoint-bytes")?
+                        .parse()
+                        .map_err(|e| format!("--checkpoint-bytes: {e}"))?
+                }
                 "--requests" => options.requests = Some(value("--requests")?),
                 "--selftest" => options.selftest = true,
                 "--help" | "-h" => {
                     return Err("see the module docs: serve [--benchmark tiny|santos|ugen] \
                                 [--lake-dir DIR] [--search overlap|d3l|starmie] [--finetune] \
                                 [--shards N] [--listen ADDR] [--snapshot-dir DIR] \
-                                [--checkpoint-after N] [--requests FILE] [--selftest]"
+                                [--checkpoint-after N] [--checkpoint-bytes N] \
+                                [--requests FILE] [--selftest]"
                         .to_string())
                 }
                 other => return Err(format!("unknown flag {other:?}")),
@@ -546,6 +564,7 @@ impl CliOptions {
     fn store_options(&self) -> StoreOptions {
         StoreOptions {
             checkpoint_after: self.checkpoint_after,
+            checkpoint_after_bytes: self.checkpoint_bytes,
         }
     }
 }
@@ -788,6 +807,43 @@ fn serve_line(state: &ServerState, line: &str) -> Result<String, ServeError> {
         ));
     }
 
+    // operability probe: one pinned view's resource picture — per-shard
+    // live/dead rows, the generation it answers from, and how much WAL has
+    // accumulated since the last checkpoint (null without --snapshot-dir)
+    if mode == "stats" {
+        let view = state.session.view();
+        let stats = view.stats();
+        let shards: Vec<String> = stats
+            .shard_sizes
+            .iter()
+            .zip(&stats.shard_dead)
+            .map(|(&(tables, live), &dead)| {
+                format!("{{\"tables\":{tables},\"live\":{live},\"dead\":{dead}}}")
+            })
+            .collect();
+        let wal = {
+            let durable = state.durable.lock().unwrap_or_else(|e| e.into_inner());
+            match durable.as_ref() {
+                Some(store) => format!(
+                    "{{\"epoch\":{},\"records\":{},\"bytes_since_checkpoint\":{}}}",
+                    store.epoch(),
+                    store.wal_records(),
+                    store.wal_bytes()
+                ),
+                None => "null".to_string(),
+            }
+        };
+        return Ok(format!(
+            "{{\"id\":\"{}\",\"generation\":{},\"result\":{{\"tables\":{},\"tuples\":{},\"columns\":{},\"shards\":[{}],\"wal\":{wal}}}}}",
+            json::escape(&id),
+            view.generation(),
+            stats.tables,
+            stats.tuples,
+            stats.columns,
+            shards.join(","),
+        ));
+    }
+
     // single query: by lake name or inline CSV, served from one pinned
     // generation (the one echoed in the response)
     let view = state.session.view();
@@ -910,6 +966,7 @@ fn selftest(options: &CliOptions) -> Result<(), String> {
             "{{\"id\":\"badmode\",\"queries\":[\"{query_name}\"],\"k\":2,\"mode\":\"similar\"}}"
         ),
         "{\"id\":\"nostore\",\"mode\":\"checkpoint\"}".to_string(),
+        "{\"id\":\"stats\",\"mode\":\"stats\"}".to_string(),
     ];
     for request in &requests {
         let response = handle_request(&state, request);
@@ -943,6 +1000,30 @@ fn selftest(options: &CliOptions) -> Result<(), String> {
                 Some(JsonValue::Array(items)) if items.len() == 2 => {}
                 _ => return Err(format!("selftest: bad batch response: {response}")),
             },
+            "stats" => {
+                let result = parsed
+                    .get("result")
+                    .ok_or_else(|| format!("selftest: no result in {response}"))?;
+                match result.get("shards") {
+                    Some(JsonValue::Array(items)) if !items.is_empty() => {
+                        for shard in items {
+                            if shard.get("live").and_then(JsonValue::as_usize).is_none()
+                                || shard.get("dead").and_then(JsonValue::as_usize).is_none()
+                            {
+                                return Err(format!(
+                                    "selftest: shard stats lack live/dead: {response}"
+                                ));
+                            }
+                        }
+                    }
+                    _ => return Err(format!("selftest: no shard stats: {response}")),
+                }
+                if result.get("wal") != Some(&JsonValue::Null) {
+                    return Err(format!(
+                        "selftest: wal must be null without --snapshot-dir: {response}"
+                    ));
+                }
+            }
             "bad" | "badmode" | "nostore" => {
                 if parsed.get("error").is_none() {
                     return Err(format!("selftest: bad request not rejected: {response}"));
@@ -1057,6 +1138,26 @@ fn selftest(options: &CliOptions) -> Result<(), String> {
     let expected = result_of(&handle_request(&state, &query_request))?;
     let expected_generation = state.session.generation();
 
+    // the stats probe on a durable session sees the un-checkpointed record
+    let stats = result_of(&handle_request(
+        &state,
+        "{\"id\":\"ds\",\"mode\":\"stats\"}",
+    ))?;
+    let wal = stats
+        .get("wal")
+        .ok_or_else(|| format!("selftest: durable stats lack wal: {stats:?}"))?;
+    if wal.get("records").and_then(JsonValue::as_usize) != Some(1)
+        || wal
+            .get("bytes_since_checkpoint")
+            .and_then(JsonValue::as_usize)
+            .unwrap_or(0)
+            == 0
+    {
+        return Err(format!(
+            "selftest: durable stats must report 1 WAL record and nonzero bytes: {stats:?}"
+        ));
+    }
+
     // drop the entire serving state; recover from disk alone (WAL replay)
     drop(state);
     let (store, session, report) = SnapshotStore::open(&snapshot_dir)
@@ -1099,6 +1200,24 @@ fn selftest(options: &CliOptions) -> Result<(), String> {
     let reread = result_of(&handle_request(&state, &query_request))?;
     if reread != expected {
         return Err("selftest: post-checkpoint recovery answers differently".to_string());
+    }
+    // the checkpoint truncated the WAL; the byte counter restarts at zero
+    let stats = result_of(&handle_request(
+        &state,
+        "{\"id\":\"cs\",\"mode\":\"stats\"}",
+    ))?;
+    let wal = stats
+        .get("wal")
+        .ok_or_else(|| format!("selftest: post-checkpoint stats lack wal: {stats:?}"))?;
+    if wal.get("records").and_then(JsonValue::as_usize) != Some(0)
+        || wal
+            .get("bytes_since_checkpoint")
+            .and_then(JsonValue::as_usize)
+            != Some(0)
+    {
+        return Err(format!(
+            "selftest: post-checkpoint stats must report an empty WAL: {stats:?}"
+        ));
     }
 
     // ---- concurrent TCP round-trip ----------------------------------------

@@ -43,12 +43,19 @@ pub struct StoreOptions {
     /// Rewrite the snapshot and truncate the WAL once this many records
     /// have accumulated since the last checkpoint (`maybe_checkpoint`).
     pub checkpoint_after: usize,
+    /// Also rewrite once this many WAL **bytes** accumulated since the
+    /// last checkpoint, whichever trigger fires first. Record count is a
+    /// poor proxy for replay cost when table sizes vary wildly — a handful
+    /// of million-row `AddTable` records can out-weigh hundreds of small
+    /// ones. `u64::MAX` disables the byte trigger.
+    pub checkpoint_after_bytes: u64,
 }
 
 impl Default for StoreOptions {
     fn default() -> Self {
         StoreOptions {
             checkpoint_after: 64,
+            checkpoint_after_bytes: 64 << 20,
         }
     }
 }
@@ -78,6 +85,7 @@ pub struct SnapshotStore {
     epoch: u64,
     wal: wal::WalWriter,
     records_since_checkpoint: usize,
+    bytes_since_checkpoint: u64,
     options: StoreOptions,
 }
 
@@ -108,6 +116,7 @@ impl SnapshotStore {
             epoch,
             wal,
             records_since_checkpoint: 0,
+            bytes_since_checkpoint: 0,
             options,
         })
     }
@@ -170,6 +179,9 @@ impl SnapshotStore {
                 epoch: manifest.epoch,
                 wal,
                 records_since_checkpoint: replayed,
+                // Everything after the fixed WAL header is replayed record
+                // bytes — the byte trigger survives restarts exactly.
+                bytes_since_checkpoint: valid_len.saturating_sub(wal::HEADER_LEN as u64),
                 options,
             },
             session,
@@ -199,8 +211,9 @@ impl SnapshotStore {
                 detail: format!("session generation {generation} does not match the next LSN"),
             });
         }
-        self.wal.append(&op)?;
+        let (_lsn, bytes) = self.wal.append(&op)?;
         self.records_since_checkpoint += 1;
+        self.bytes_since_checkpoint += bytes as u64;
         Ok(())
     }
 
@@ -226,14 +239,18 @@ impl SnapshotStore {
         self.epoch = epoch;
         self.wal = wal;
         self.records_since_checkpoint = 0;
+        self.bytes_since_checkpoint = 0;
         Ok(())
     }
 
     /// [`checkpoint`](SnapshotStore::checkpoint) iff at least
-    /// `checkpoint_after` records accumulated since the last one. Returns
-    /// whether a checkpoint ran.
+    /// `checkpoint_after` records **or** `checkpoint_after_bytes` WAL
+    /// bytes accumulated since the last one — whichever trigger fires
+    /// first. Returns whether a checkpoint ran.
     pub fn maybe_checkpoint(&mut self, session: &LakeSession) -> Result<bool, PersistError> {
-        if self.records_since_checkpoint >= self.options.checkpoint_after {
+        if self.records_since_checkpoint >= self.options.checkpoint_after
+            || self.bytes_since_checkpoint >= self.options.checkpoint_after_bytes
+        {
             self.checkpoint(session)?;
             Ok(true)
         } else {
@@ -249,6 +266,13 @@ impl SnapshotStore {
     /// WAL records appended (or replayed) since the last checkpoint.
     pub fn wal_records(&self) -> usize {
         self.records_since_checkpoint
+    }
+
+    /// WAL bytes appended (or replayed) since the last checkpoint — the
+    /// same quantity the `checkpoint_after_bytes` trigger compares against
+    /// (record bytes only; the fixed file header is excluded).
+    pub fn wal_bytes(&self) -> u64 {
+        self.bytes_since_checkpoint
     }
 }
 
@@ -374,6 +398,75 @@ mod tests {
         assert_eq!(store.epoch(), 2);
         assert_eq!(report.replayed, 0);
         assert_serves_identically(&session, &restored);
+    }
+
+    #[test]
+    fn byte_trigger_checkpoints_before_the_record_trigger() {
+        let dir = temp_dir("byte-trigger");
+        let session = tiny_session();
+        // Record trigger far away, byte trigger tiny: the very first logged
+        // mutation (hundreds of bytes of table payload) must checkpoint.
+        let mut store = SnapshotStore::create_with(
+            &dir,
+            &session,
+            StoreOptions {
+                checkpoint_after: 1000,
+                checkpoint_after_bytes: 32,
+            },
+        )
+        .unwrap();
+        session.add_table(extra_table("bytes_extra")).unwrap();
+        store
+            .log_add_table(&extra_table("bytes_extra"), session.generation())
+            .unwrap();
+        assert!(store.wal_bytes() >= 32, "record bytes were not counted");
+        assert!(store.maybe_checkpoint(&session).unwrap());
+        assert_eq!(store.epoch(), 2);
+        assert_eq!(store.wal_records(), 0);
+        assert_eq!(store.wal_bytes(), 0, "checkpoint must reset the byte count");
+        assert!(!store.maybe_checkpoint(&session).unwrap());
+
+        // And with the byte trigger disabled, the same mutation volume
+        // does not checkpoint.
+        let dir2 = temp_dir("byte-trigger-off");
+        let session2 = tiny_session();
+        let mut store2 = SnapshotStore::create_with(
+            &dir2,
+            &session2,
+            StoreOptions {
+                checkpoint_after: 1000,
+                checkpoint_after_bytes: u64::MAX,
+            },
+        )
+        .unwrap();
+        session2.add_table(extra_table("bytes_extra")).unwrap();
+        store2
+            .log_add_table(&extra_table("bytes_extra"), session2.generation())
+            .unwrap();
+        assert!(!store2.maybe_checkpoint(&session2).unwrap());
+        assert_eq!(store2.epoch(), 1);
+    }
+
+    #[test]
+    fn wal_bytes_survive_reopen() {
+        let dir = temp_dir("bytes-reopen");
+        let session = tiny_session();
+        let mut store = SnapshotStore::create(&dir, &session).unwrap();
+        session.add_table(extra_table("reopen_extra")).unwrap();
+        store
+            .log_add_table(&extra_table("reopen_extra"), session.generation())
+            .unwrap();
+        let logged = store.wal_bytes();
+        assert!(logged > 0);
+        drop(store);
+
+        let (store, _restored, report) = SnapshotStore::open(&dir).unwrap();
+        assert_eq!(report.replayed, 1);
+        assert_eq!(
+            store.wal_bytes(),
+            logged,
+            "bytes-since-checkpoint must be reconstructed from the replayed WAL"
+        );
     }
 
     #[test]

@@ -47,7 +47,9 @@ use dust_search::{
     D3lSearch, D3lSignalStats, InvertedValueIndex, OverlapSearch, StarmieColumnStore, StarmieSearch,
 };
 use dust_table::{Column, DataLake, Table, TableId, Value};
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Segment kind bytes (validated after the CRC, so a mismatch on an intact
@@ -411,10 +413,17 @@ fn decode_shard(bytes: &[u8], path: &Path) -> Result<LakeShard, PersistError> {
             tuple_store.len()
         )));
     }
-    let mut tuple_refs = Vec::with_capacity(num_refs);
+    // intern one Arc<str> per member table so the decoded shard, like a
+    // freshly built one, carries one name allocation per table (not per row)
+    let mut interned: HashMap<String, Arc<str>> = HashMap::new();
+    let mut tuple_refs: Vec<(Arc<str>, usize)> = Vec::with_capacity(num_refs);
     for _ in 0..num_refs {
         let table = r.get_str()?;
         let row = r.get_usize()?;
+        let table = interned
+            .entry(table.clone())
+            .or_insert_with(|| Arc::from(table.as_str()))
+            .clone();
         tuple_refs.push((table, row));
     }
     r.finish()?;

@@ -34,7 +34,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-const HEADER_LEN: usize = 8 + 4 + 8 + 4;
+pub(crate) const HEADER_LEN: usize = 8 + 4 + 8 + 4;
 const RECORD_HEADER_LEN: usize = 8 + 1 + 4 + 4;
 
 const KIND_ADD_TABLE: u8 = 1;
@@ -124,8 +124,10 @@ impl WalWriter {
         self.next_lsn
     }
 
-    /// Append one mutation record and fsync it. Returns the record's LSN.
-    pub(crate) fn append(&mut self, op: &WalOp) -> Result<u64, PersistError> {
+    /// Append one mutation record and fsync it. Returns the record's LSN
+    /// and its on-disk size in bytes (header + payload + seals), which the
+    /// store accumulates for its bytes-since-checkpoint trigger.
+    pub(crate) fn append(&mut self, op: &WalOp) -> Result<(u64, usize), PersistError> {
         let (kind, payload) = match op {
             WalOp::AddTable(table) => {
                 let mut w = ByteWriter::new();
@@ -157,7 +159,7 @@ impl WalWriter {
             .and_then(|()| self.file.sync_data())
             .map_err(|e| PersistError::io(&self.path, e))?;
         self.next_lsn += 1;
-        Ok(lsn)
+        Ok((lsn, rec.len()))
     }
 }
 

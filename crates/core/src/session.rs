@@ -137,8 +137,11 @@ pub struct LakeShard {
     pub(crate) tables: Vec<TableId>,
     pub(crate) tuple_store: EmbeddingStore,
     /// `(table, row)` per tuple-store row, parallel to the store
-    /// (tombstoned rows keep their stale entry until compaction).
-    pub(crate) tuple_refs: Vec<(TableId, usize)>,
+    /// (tombstoned rows keep their stale entry until compaction). The
+    /// table name is a shared `Arc<str>` — one allocation per member
+    /// table, so cloning the owning shard on a mutation bumps refcounts
+    /// instead of reallocating a string per row.
+    pub(crate) tuple_refs: Vec<(Arc<str>, usize)>,
 }
 
 impl LakeShard {
@@ -153,8 +156,9 @@ impl LakeShard {
     }
 
     /// `(table, row)` provenance of tuple-store row `i`.
-    pub fn tuple_ref(&self, i: usize) -> &(TableId, usize) {
-        &self.tuple_refs[i]
+    pub fn tuple_ref(&self, i: usize) -> (&str, usize) {
+        let (table, row) = &self.tuple_refs[i];
+        (table, *row)
     }
 }
 
@@ -216,6 +220,41 @@ impl SearchStructures {
             }
             SearchStructures::Starmie { store, .. } => {
                 store.remove_table(table.name());
+            }
+        }
+    }
+
+    /// Record the pointer identity of every per-table / per-value shared
+    /// payload into `out` (see [`SessionView::sharing_fingerprint`]).
+    fn sharing_fingerprint(
+        &self,
+        lake: &DataLake,
+        out: &mut std::collections::BTreeMap<String, usize>,
+    ) {
+        fn postings(
+            index: &InvertedValueIndex,
+            out: &mut std::collections::BTreeMap<String, usize>,
+        ) {
+            for (value, set) in index.postings_shared() {
+                out.insert(format!("posting:{value}"), Arc::as_ptr(set) as usize);
+            }
+        }
+        match self {
+            SearchStructures::Overlap { index, .. } => postings(index, out),
+            SearchStructures::D3l { index, stats, .. } => {
+                postings(index, out);
+                for (id, _) in lake.tables_shared() {
+                    if let Some(block) = stats.embeddings_shared(id) {
+                        out.insert(format!("columns:{id}"), Arc::as_ptr(block) as usize);
+                    }
+                }
+            }
+            SearchStructures::Starmie { store, .. } => {
+                for (id, _) in lake.tables_shared() {
+                    if let Some(block) = store.embeddings_shared(id) {
+                        out.insert(format!("columns:{id}"), Arc::as_ptr(block) as usize);
+                    }
+                }
             }
         }
     }
@@ -317,6 +356,8 @@ pub struct SessionStats {
     pub shards: usize,
     /// `(tables, live tuples)` per shard.
     pub shard_sizes: Vec<(usize, usize)>,
+    /// Dead (tombstoned, not yet compacted) tuple rows per shard.
+    pub shard_dead: Vec<usize>,
     /// Tuple embedding dimensionality.
     pub tuple_dim: usize,
     /// Column embedding dimensionality.
@@ -633,13 +674,22 @@ impl LakeSession {
     ///
     /// Duplicate names follow [`DataLake::add_table`]'s pinned semantics:
     /// an error, never a replace, with the session left untouched (remove
-    /// first to replace).
+    /// first to replace). The rejection is decided **before** anything is
+    /// cloned: a failed add neither bumps [`Self::generation`] nor
+    /// allocates a next snapshot — the published root stays `Arc::ptr_eq`
+    /// to what it was (pinned by `tests/session_sharing.rs`).
     pub fn add_table(&self, table: Table) -> Result<(), TableError> {
         let _mutating = self.mutate.lock().unwrap_or_else(PoisonError::into_inner);
         let snap = self.snapshot();
 
+        if snap.lake.table(table.name()).is_ok() {
+            return Err(TableError::DuplicateTable {
+                name: table.name().to_string(),
+            });
+        }
+        let table = Arc::new(table);
         let mut lake = snap.lake.clone();
-        lake.add_table(table.clone())?;
+        lake.add_table_shared(table.clone())?;
 
         let mut search = (*snap.search).clone();
         search.add_table(&table);
@@ -656,9 +706,10 @@ impl LakeSession {
             let mut shards = snap.shards.clone();
             let idx = shard_of(&name, self.options.num_shards);
             let mut shard = (*shards[idx]).clone();
+            let name_ref: Arc<str> = Arc::from(name.as_str());
             for (row, tuple) in table.tuples().iter().enumerate() {
                 shard.tuple_store.push(&snap.embedder.embed_tuple(tuple));
-                shard.tuple_refs.push((name.clone(), row));
+                shard.tuple_refs.push((name_ref.clone(), row));
             }
             shard.tables.push(name);
             shards[idx] = Arc::new(shard);
@@ -685,12 +736,15 @@ impl LakeSession {
     /// column embeddings are re-derived lazily. Returns the removed table
     /// (as [`DataLake::remove_table`], which also scrubs ground-truth
     /// pairs naming it); errors — leaving the session untouched — if no
-    /// such table exists. In-flight reads keep serving the previous
+    /// such table exists. Like a rejected add, a missing name is decided
+    /// before anything is cloned: the published root stays `Arc::ptr_eq`
+    /// to what it was. In-flight reads keep serving the previous
     /// generation throughout.
     pub fn remove_table(&self, name: &str) -> Result<Table, TableError> {
         let _mutating = self.mutate.lock().unwrap_or_else(PoisonError::into_inner);
         let snap = self.snapshot();
 
+        snap.lake.table(name)?;
         let mut lake = snap.lake.clone();
         let removed = lake.remove_table(name)?;
 
@@ -709,18 +763,19 @@ impl LakeSession {
             let idx = shard_of(name, self.options.num_shards);
             let mut shard = (*shards[idx]).clone();
             for i in 0..shard.tuple_store.len() {
-                if shard.tuple_store.is_live(i) && shard.tuple_refs[i].0 == name {
+                if shard.tuple_store.is_live(i) && shard.tuple_refs[i].0.as_ref() == name {
                     shard.tuple_store.remove_row(i);
                 }
             }
             shard.tables.retain(|t| t != name);
             if shard.tuple_store.should_compact() {
                 let remap = shard.tuple_store.compact();
-                let mut refs: Vec<(TableId, usize)> =
-                    vec![(String::new(), 0); shard.tuple_store.len()];
+                let placeholder: Arc<str> = Arc::from("");
+                let mut refs: Vec<(Arc<str>, usize)> =
+                    vec![(placeholder, 0); shard.tuple_store.len()];
                 for (old, slot) in remap.iter().enumerate() {
                     if let Some(new) = slot {
-                        refs[*new] = std::mem::take(&mut shard.tuple_refs[old]);
+                        refs[*new] = shard.tuple_refs[old].clone();
                     }
                 }
                 shard.tuple_refs = refs;
@@ -842,6 +897,47 @@ impl<'a> SessionView<'a> {
         &self.snap.lake
     }
 
+    /// An opaque identity for the pinned snapshot root: two views return
+    /// the same value iff they pin the very same published snapshot
+    /// (`Arc::ptr_eq` on the root). A failed mutation must leave the
+    /// published value unchanged — same id before and after (pinned by
+    /// `tests/session_sharing.rs`).
+    pub fn snapshot_id(&self) -> usize {
+        Arc::as_ptr(&self.snap) as usize
+    }
+
+    /// Pointer identities of every independently-shared component of the
+    /// pinned snapshot, keyed by role: `lake-table:NAME` (the lake's
+    /// `Arc<Table>` entries), `shard:I` (tuple shards), `columns:NAME`
+    /// (per-table search-store embedding blocks), `posting:VALUE`
+    /// (inverted-index posting sets), plus `embedder` and `corpus-base`.
+    ///
+    /// Diffing the fingerprints of generations *g* and *g+1* shows exactly
+    /// what a mutation cloned: every key the mutation didn't touch must map
+    /// to the same pointer in both — the structural-sharing contract pinned
+    /// by `tests/session_sharing.rs`.
+    pub fn sharing_fingerprint(&self) -> std::collections::BTreeMap<String, usize> {
+        let mut out = std::collections::BTreeMap::new();
+        for (id, table) in self.snap.lake.tables_shared() {
+            out.insert(format!("lake-table:{id}"), Arc::as_ptr(table) as usize);
+        }
+        for (i, shard) in self.snap.shards.iter().enumerate() {
+            out.insert(format!("shard:{i}"), Arc::as_ptr(shard) as usize);
+        }
+        out.insert(
+            "embedder".to_string(),
+            Arc::as_ptr(&self.snap.embedder) as usize,
+        );
+        out.insert(
+            "corpus-base".to_string(),
+            Arc::as_ptr(self.snap.corpus.base_shared()) as usize,
+        );
+        self.snap
+            .search
+            .sharing_fingerprint(&self.snap.lake, &mut out);
+        out
+    }
+
     /// The session this view was taken from.
     pub fn session(&self) -> &'a LakeSession {
         self.session
@@ -896,6 +992,12 @@ impl<'a> SessionView<'a> {
                 .shards
                 .iter()
                 .map(|s| (s.tables.len(), s.tuple_store.num_live()))
+                .collect(),
+            shard_dead: self
+                .snap
+                .shards
+                .iter()
+                .map(|s| s.tuple_store.len() - s.tuple_store.num_live())
                 .collect(),
             tuple_dim: self
                 .snap
@@ -1003,8 +1105,12 @@ impl<'a> SessionView<'a> {
                     .iter()
                     .map(|q| 1.0 - shard.tuple_store.distance_to_vector(Distance::Cosine, i, q))
                     .fold(f64::NEG_INFINITY, f64::max);
-                let (table, row) = shard.tuple_refs[i].clone();
-                results.push(RankedTuple { table, row, score });
+                let (table, row) = &shard.tuple_refs[i];
+                results.push(RankedTuple {
+                    table: table.to_string(),
+                    row: *row,
+                    score,
+                });
             }
         }
         results.sort_by(|a, b| {
@@ -1115,9 +1221,9 @@ fn build_tuple_shards(
         .into_iter()
         .map(|members| {
             let mut tuple_embeddings: Vec<Vector> = Vec::new();
-            let mut tuple_refs: Vec<(TableId, usize)> = Vec::new();
+            let mut tuple_refs: Vec<(Arc<str>, usize)> = Vec::new();
             for table in &members {
-                let name = table.name().to_string();
+                let name: Arc<str> = Arc::from(table.name());
                 for (row, tuple) in table.tuples().iter().enumerate() {
                     tuple_embeddings.push(embedder.embed_tuple(tuple));
                     tuple_refs.push((name.clone(), row));
@@ -1230,7 +1336,7 @@ mod tests {
             assert_eq!(shard.tuple_store().len(), shard.tuple_refs.len());
             if !shard.tuple_refs.is_empty() {
                 let (table, row) = shard.tuple_ref(0);
-                assert!(session.lake().table(table).unwrap().num_rows() > *row);
+                assert!(session.lake().table(table).unwrap().num_rows() > row);
             }
         }
         let view = session.view();

@@ -265,6 +265,10 @@ impl ColumnEncoder {
         for col in columns {
             corpus.add_document(&Self::column_document_tokens(col));
         }
+        // One deliberate collapse after the bulk add loop: the first
+        // mutation applied to a clone of this corpus then shares the whole
+        // baseline by pointer instead of starting from a half-full overlay.
+        corpus.collapse();
         corpus
     }
 }

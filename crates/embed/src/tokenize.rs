@@ -54,10 +54,21 @@ pub fn term_frequencies(tokens: &[String]) -> HashMap<String, usize> {
 ///
 /// A "document" is whatever unit the caller chooses (a column, a tuple, a
 /// table); the paper uses columns when selecting representative tokens.
+///
+/// Internally the counts are two-level: a shared baseline map behind an
+/// `Arc` plus a small per-instance overlay of exact integer deltas (df `0`
+/// = token dropped). Cloning the corpus shares the baseline by pointer and
+/// copies only the overlay, so consecutive session snapshots share the bulk
+/// of the vocabulary; when the overlay outgrows half the baseline it is
+/// collapsed into a new baseline (amortized O(1) per mutation). The split
+/// is invisible from outside: [`Self::idf`] stays a pure function of the
+/// merged integer counts and [`Self::document_frequencies`] exports the
+/// merged view, bit-identical to a corpus built fresh.
 #[derive(Debug, Clone, Default)]
 pub struct TfIdfCorpus {
     documents: usize,
-    document_frequency: HashMap<String, usize>,
+    base: std::sync::Arc<HashMap<String, usize>>,
+    overlay: HashMap<String, usize>,
 }
 
 impl TfIdfCorpus {
@@ -66,15 +77,60 @@ impl TfIdfCorpus {
         Self::default()
     }
 
+    /// The merged document frequency of one token (0 = not in the corpus).
+    fn df(&self, token: &str) -> usize {
+        match self.overlay.get(token) {
+            Some(&df) => df,
+            None => self.base.get(token).copied().unwrap_or(0),
+        }
+    }
+
+    /// Fold the overlay into a fresh baseline once it stops being "small".
+    /// The threshold doubles the baseline geometrically, so a long mutation
+    /// stream pays amortized O(1) per touched token while clones taken
+    /// between collapses share the entire baseline by pointer.
+    fn maybe_collapse(&mut self) {
+        if self.overlay.len() < 64 || self.overlay.len() <= self.base.len() / 2 {
+            return;
+        }
+        self.collapse();
+    }
+
+    /// Fold the overlay into the baseline unconditionally, leaving the
+    /// overlay empty. Bulk builders call this once after their add loop so
+    /// that the *next* small mutation shares the entire baseline by
+    /// pointer; observable state (exports, `idf`) is unchanged.
+    pub fn collapse(&mut self) {
+        if self.overlay.is_empty() {
+            return;
+        }
+        let mut merged = (*self.base).clone();
+        for (t, df) in self.overlay.drain() {
+            if df == 0 {
+                merged.remove(&t);
+            } else {
+                merged.insert(t, df);
+            }
+        }
+        self.base = std::sync::Arc::new(merged);
+    }
+
+    /// The shared baseline handle, for sharing diagnostics: clones taken
+    /// between overlay collapses are `Arc::ptr_eq` on it.
+    pub fn base_shared(&self) -> &std::sync::Arc<HashMap<String, usize>> {
+        &self.base
+    }
+
     /// Add one document's tokens to the corpus statistics.
     pub fn add_document(&mut self, tokens: &[String]) {
         self.documents += 1;
         let mut seen = std::collections::HashSet::new();
         for t in tokens {
             if seen.insert(t) {
-                *self.document_frequency.entry(t.clone()).or_insert(0) += 1;
+                self.overlay.insert(t.clone(), self.df(t) + 1);
             }
         }
+        self.maybe_collapse();
     }
 
     /// Remove one previously-added document's tokens from the corpus
@@ -98,15 +154,19 @@ impl TfIdfCorpus {
             if !seen.insert(t) {
                 continue;
             }
-            let df = self
-                .document_frequency
-                .get_mut(t)
-                .unwrap_or_else(|| panic!("removing token {t:?} that was never added"));
-            *df -= 1;
-            if *df == 0 {
-                self.document_frequency.remove(t);
+            let df = self.df(t);
+            if df == 0 {
+                panic!("removing token {t:?} that was never added");
+            }
+            if df == 1 && !self.base.contains_key(t.as_str()) {
+                // Never in the baseline: dropping the overlay entry is the
+                // same as a 0-tombstone, without growing the overlay.
+                self.overlay.remove(t);
+            } else {
+                self.overlay.insert(t.clone(), df - 1);
             }
         }
+        self.maybe_collapse();
     }
 
     /// Number of documents added.
@@ -120,8 +180,10 @@ impl TfIdfCorpus {
     /// corpus state: [`Self::idf`] is a pure function of these integers.
     pub fn document_frequencies(&self) -> Vec<(String, usize)> {
         let mut entries: Vec<(String, usize)> = self
-            .document_frequency
+            .base
             .iter()
+            .filter(|(t, _)| !self.overlay.contains_key(t.as_str()))
+            .chain(self.overlay.iter().filter(|(_, &df)| df > 0))
             .map(|(t, &df)| (t.clone(), df))
             .collect();
         entries.sort_unstable();
@@ -134,13 +196,14 @@ impl TfIdfCorpus {
     pub fn from_document_frequencies(documents: usize, entries: Vec<(String, usize)>) -> Self {
         TfIdfCorpus {
             documents,
-            document_frequency: entries.into_iter().collect(),
+            base: std::sync::Arc::new(entries.into_iter().collect()),
+            overlay: HashMap::new(),
         }
     }
 
     /// Smoothed inverse document frequency of a token.
     pub fn idf(&self, token: &str) -> f64 {
-        let df = self.document_frequency.get(token).copied().unwrap_or(0);
+        let df = self.df(token);
         (((self.documents + 1) as f64) / ((df + 1) as f64)).ln() + 1.0
     }
 
@@ -264,6 +327,56 @@ mod tests {
         assert_eq!(
             mutated.idf("park").to_bits(),
             TfIdfCorpus::new().idf("park").to_bits()
+        );
+    }
+
+    #[test]
+    fn overlay_is_invisible_and_clones_share_the_baseline() {
+        // Drive enough distinct tokens through add/remove to cross the
+        // overlay-collapse threshold repeatedly; exports and idf must stay
+        // bit-identical to a corpus built fresh over the surviving docs.
+        let docs: Vec<Vec<String>> = (0..200)
+            .map(|i| word_tokens(&format!("common tok{} tok{}", i, i + 1)))
+            .collect();
+        let mut mutated = TfIdfCorpus::new();
+        for d in &docs {
+            mutated.add_document(d);
+        }
+        for d in docs.iter().skip(100) {
+            mutated.remove_document(d);
+        }
+        let mut fresh = TfIdfCorpus::new();
+        for d in docs.iter().take(100) {
+            fresh.add_document(d);
+        }
+        assert_eq!(mutated.document_frequencies(), fresh.document_frequencies());
+        for token in ["common", "tok0", "tok100", "tok199", "absent"] {
+            assert_eq!(mutated.idf(token).to_bits(), fresh.idf(token).to_bits());
+        }
+        // A clone mutated by one small document keeps sharing the baseline
+        // by pointer — only the overlay diverges.
+        let mut clone = mutated.clone();
+        clone.add_document(&word_tokens("common brand_new"));
+        assert!(std::sync::Arc::ptr_eq(
+            mutated.base_shared(),
+            clone.base_shared()
+        ));
+        assert_ne!(
+            mutated.idf("brand_new").to_bits(),
+            clone.idf("brand_new").to_bits()
+        );
+        // Round-trip through the exported form erases the split entirely.
+        let restored = TfIdfCorpus::from_document_frequencies(
+            clone.num_documents(),
+            clone.document_frequencies(),
+        );
+        assert_eq!(
+            restored.document_frequencies(),
+            clone.document_frequencies()
+        );
+        assert_eq!(
+            restored.idf("common").to_bits(),
+            clone.idf("common").to_bits()
         );
     }
 

@@ -206,6 +206,13 @@ impl D3lSignalStats {
         self.inner.get(table)
     }
 
+    /// The shared handle to a table's embedding block: two clones return
+    /// `Arc::ptr_eq` handles for every table neither re-indexed (sharing
+    /// diagnostics — see `tests/session_sharing.rs`).
+    pub fn embeddings_shared(&self, table: &str) -> Option<&std::sync::Arc<Vec<Vector>>> {
+        self.inner.get_shared(table)
+    }
+
     /// Number of indexed tables.
     pub fn num_tables(&self) -> usize {
         self.inner.num_tables()

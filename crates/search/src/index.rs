@@ -8,11 +8,22 @@
 
 use dust_table::{DataLake, Table, TableId};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Inverted index: normalized value → set of data-lake table names.
+///
+/// Posting sets sit behind per-value `Arc`s: cloning the index copies the
+/// value→pointer map but shares every set, and mutations copy-on-write only
+/// the postings they touch ([`Arc::make_mut`]). Two clones therefore keep
+/// `Arc::ptr_eq` postings for every value the mutation didn't mention —
+/// structurally equal to a fresh build, shared by pointer with its
+/// predecessor (pinned by `tests/session_sharing.rs`). Keys are `Arc<str>`
+/// for the same reason: cloning the map bumps refcounts instead of
+/// reallocating every value string, keeping the per-mutation publish cost
+/// proportional to the touched postings.
 #[derive(Debug, Clone, Default)]
 pub struct InvertedValueIndex {
-    postings: HashMap<String, HashSet<TableId>>,
+    postings: HashMap<Arc<str>, Arc<HashSet<TableId>>>,
     indexed_tables: usize,
 }
 
@@ -31,10 +42,16 @@ impl InvertedValueIndex {
         self.indexed_tables += 1;
         for column in table.columns() {
             for value in column.normalized_value_set() {
-                self.postings
-                    .entry(value)
-                    .or_default()
-                    .insert(table.name().to_string());
+                match self.postings.get_mut(value.as_str()) {
+                    Some(tables) => {
+                        Arc::make_mut(tables).insert(table.name().to_string());
+                    }
+                    None => {
+                        let mut tables = HashSet::new();
+                        tables.insert(table.name().to_string());
+                        self.postings.insert(Arc::from(value), Arc::new(tables));
+                    }
+                }
             }
         }
     }
@@ -56,10 +73,14 @@ impl InvertedValueIndex {
         self.indexed_tables -= 1;
         for column in table.columns() {
             for value in column.normalized_value_set() {
-                if let Some(tables) = self.postings.get_mut(&value) {
+                if let Some(tables) = self.postings.get_mut(value.as_str()) {
+                    if !tables.contains(table.name()) {
+                        continue;
+                    }
+                    let tables = Arc::make_mut(tables);
                     tables.remove(table.name());
                     if tables.is_empty() {
-                        self.postings.remove(&value);
+                        self.postings.remove(value.as_str());
                     }
                 }
             }
@@ -80,7 +101,7 @@ impl InvertedValueIndex {
             .map(|(value, tables)| {
                 let mut tables: Vec<TableId> = tables.iter().cloned().collect();
                 tables.sort_unstable();
-                (value.clone(), tables)
+                (value.to_string(), tables)
             })
             .collect();
         entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
@@ -94,10 +115,17 @@ impl InvertedValueIndex {
         InvertedValueIndex {
             postings: entries
                 .into_iter()
-                .map(|(value, tables)| (value, tables.into_iter().collect()))
+                .map(|(value, tables)| (Arc::from(value), Arc::new(tables.into_iter().collect())))
                 .collect(),
             indexed_tables,
         }
+    }
+
+    /// Iterate `(value, posting set)` pairs as shared handles, for sharing
+    /// diagnostics: postings untouched by a mutation stay `Arc::ptr_eq`
+    /// across clones. Iteration order is unspecified (hash order).
+    pub fn postings_shared(&self) -> impl Iterator<Item = (&Arc<str>, &Arc<HashSet<TableId>>)> {
+        self.postings.iter()
     }
 
     /// Number of distinct indexed values.
@@ -110,7 +138,7 @@ impl InvertedValueIndex {
         let key = value.trim().to_ascii_lowercase();
         let mut out: Vec<TableId> = self
             .postings
-            .get(&key)
+            .get(key.as_str())
             .map(|s| s.iter().cloned().collect())
             .unwrap_or_default();
         out.sort();
@@ -127,8 +155,8 @@ impl InvertedValueIndex {
             query_values.extend(column.normalized_value_set());
         }
         for value in &query_values {
-            if let Some(tables) = self.postings.get(value) {
-                for t in tables {
+            if let Some(tables) = self.postings.get(value.as_str()) {
+                for t in tables.iter() {
                     *counts.entry(t.clone()).or_insert(0) += 1;
                 }
             }

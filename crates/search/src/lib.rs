@@ -78,9 +78,15 @@ pub(crate) fn rank_and_truncate(mut results: Vec<SearchResult>, k: usize) -> Vec
 /// differ only in the embed function they build with, so bookkeeping that
 /// has to stay in sync across both (and future staleness / incremental
 /// lake-update logic) lives here exactly once.
+///
+/// Each table's embedding block sits behind an `Arc`: cloning the store
+/// copies the name→pointer map and shares every block, and a per-table
+/// insert/remove replaces only that table's entry. Consecutive session
+/// snapshots therefore keep `Arc::ptr_eq` blocks for every table a mutation
+/// didn't touch (pinned by `tests/session_sharing.rs`).
 #[derive(Debug, Clone, Default)]
 pub(crate) struct PerTableColumnEmbeddings {
-    embeddings: std::collections::HashMap<TableId, Vec<dust_embed::Vector>>,
+    embeddings: std::collections::HashMap<TableId, std::sync::Arc<Vec<dust_embed::Vector>>>,
 }
 
 impl PerTableColumnEmbeddings {
@@ -92,14 +98,23 @@ impl PerTableColumnEmbeddings {
         PerTableColumnEmbeddings {
             embeddings: lake
                 .tables()
-                .map(|t| (t.name().to_string(), embed_table(t)))
+                .map(|t| (t.name().to_string(), std::sync::Arc::new(embed_table(t))))
                 .collect(),
         }
     }
 
     /// Column embeddings of a table (column order), if indexed.
     pub(crate) fn get(&self, table: &str) -> Option<&[dust_embed::Vector]> {
-        self.embeddings.get(table).map(Vec::as_slice)
+        self.embeddings.get(table).map(|vs| vs.as_slice())
+    }
+
+    /// The shared handle to a table's embedding block, for sharing
+    /// diagnostics (`Arc::ptr_eq` across snapshot generations).
+    pub(crate) fn get_shared(
+        &self,
+        table: &str,
+    ) -> Option<&std::sync::Arc<Vec<dust_embed::Vector>>> {
+        self.embeddings.get(table)
     }
 
     /// Index (or re-index) one table with `embed_table`. The store keys by
@@ -111,8 +126,10 @@ impl PerTableColumnEmbeddings {
         table: &Table,
         embed_table: impl FnOnce(&Table) -> Vec<dust_embed::Vector>,
     ) {
-        self.embeddings
-            .insert(table.name().to_string(), embed_table(table));
+        self.embeddings.insert(
+            table.name().to_string(),
+            std::sync::Arc::new(embed_table(table)),
+        );
     }
 
     /// Drop one table's embeddings. Returns whether the table was indexed.
@@ -127,7 +144,7 @@ impl PerTableColumnEmbeddings {
 
     /// Total number of stored column embeddings.
     pub(crate) fn num_columns(&self) -> usize {
-        self.embeddings.values().map(Vec::len).sum()
+        self.embeddings.values().map(|vs| vs.len()).sum()
     }
 
     /// Export every entry in sorted table order (deterministic — suitable
@@ -136,7 +153,7 @@ impl PerTableColumnEmbeddings {
         let mut entries: Vec<(TableId, Vec<dust_embed::Vector>)> = self
             .embeddings
             .iter()
-            .map(|(t, vs)| (t.clone(), vs.clone()))
+            .map(|(t, vs)| (t.clone(), vs.as_ref().clone()))
             .collect();
         entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         entries
@@ -146,7 +163,10 @@ impl PerTableColumnEmbeddings {
     /// [`Self::entries`]. Embeddings round-trip verbatim, bit for bit.
     pub(crate) fn from_entries(entries: Vec<(TableId, Vec<dust_embed::Vector>)>) -> Self {
         PerTableColumnEmbeddings {
-            embeddings: entries.into_iter().collect(),
+            embeddings: entries
+                .into_iter()
+                .map(|(t, vs)| (t, std::sync::Arc::new(vs)))
+                .collect(),
         }
     }
 }

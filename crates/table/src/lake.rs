@@ -11,6 +11,7 @@ use crate::table::Table;
 use crate::Result;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Identifier of a table inside a lake (its unique name).
 pub type TableId = String;
@@ -65,6 +66,12 @@ impl GroundTruth {
         self.unionable.retain(|_, labels| !labels.is_empty());
     }
 
+    /// Whether any pair mentions `lake_table` (i.e. whether
+    /// [`Self::remove_lake_table`] would change anything).
+    pub fn mentions_lake_table(&self, lake_table: &str) -> bool {
+        self.unionable.values().any(|s| s.contains(lake_table))
+    }
+
     /// Total number of (query, lake table) unionable pairs.
     pub fn pair_count(&self) -> usize {
         self.unionable.values().map(|s| s.len()).sum()
@@ -81,12 +88,20 @@ impl GroundTruth {
 }
 
 /// A data lake: query tables, data-lake tables, and ground truth.
+///
+/// Cloning a lake is cheap by design: data-lake tables are held as
+/// `Arc<Table>` entries and the query side and ground truth each sit behind
+/// one `Arc`, so a clone copies name strings and bumps reference counts
+/// instead of duplicating cell data. Mutators use copy-on-write
+/// ([`Arc::make_mut`]) so two clones never observe each other's changes —
+/// a mutation touches only the entry it changes while every untouched table
+/// stays pointer-shared with the original (see `DataLake::table_shared`).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DataLake {
     name: String,
-    queries: BTreeMap<TableId, Table>,
-    tables: BTreeMap<TableId, Table>,
-    ground_truth: GroundTruth,
+    queries: Arc<BTreeMap<TableId, Table>>,
+    tables: BTreeMap<TableId, Arc<Table>>,
+    ground_truth: Arc<GroundTruth>,
 }
 
 impl DataLake {
@@ -112,6 +127,13 @@ impl DataLake {
     /// consumers (`LakeSession::add_table`) rely on this: a failed add must
     /// not leave indexes and lake half-updated.
     pub fn add_table(&mut self, table: Table) -> Result<()> {
+        self.add_table_shared(Arc::new(table))
+    }
+
+    /// [`Self::add_table`] for a table the caller already holds behind an
+    /// `Arc` — the lake shares the allocation instead of cloning it. Same
+    /// duplicate semantics.
+    pub fn add_table_shared(&mut self, table: Arc<Table>) -> Result<()> {
         let id = table.name().to_string();
         if self.tables.contains_key(&id) {
             return Err(TableError::DuplicateTable { name: id });
@@ -131,8 +153,10 @@ impl DataLake {
             .ok_or_else(|| TableError::TableNotFound {
                 name: id.to_string(),
             })?;
-        self.ground_truth.remove_lake_table(id);
-        Ok(table)
+        if self.ground_truth.mentions_lake_table(id) {
+            Arc::make_mut(&mut self.ground_truth).remove_lake_table(id);
+        }
+        Ok(Arc::try_unwrap(table).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     /// Add a query table. Errors on duplicate names.
@@ -141,18 +165,19 @@ impl DataLake {
         if self.queries.contains_key(&id) {
             return Err(TableError::DuplicateTable { name: id });
         }
-        self.queries.insert(id, table);
+        Arc::make_mut(&mut self.queries).insert(id, table);
         Ok(())
     }
 
     /// Record that `lake_table` is unionable with `query`.
     pub fn add_ground_truth(&mut self, query: impl Into<TableId>, lake_table: impl Into<TableId>) {
-        self.ground_truth.add(query, lake_table);
+        Arc::make_mut(&mut self.ground_truth).add(query, lake_table);
     }
 
-    /// Mutable access to the ground truth.
+    /// Mutable access to the ground truth (copy-on-write: unshares it from
+    /// any clones first).
     pub fn ground_truth_mut(&mut self) -> &mut GroundTruth {
-        &mut self.ground_truth
+        Arc::make_mut(&mut self.ground_truth)
     }
 
     /// The unionability ground truth.
@@ -162,6 +187,14 @@ impl DataLake {
 
     /// Look up a data-lake table by name.
     pub fn table(&self, id: &str) -> Result<&Table> {
+        self.table_shared(id).map(|t| t.as_ref())
+    }
+
+    /// Look up a data-lake table by name, exposing the shared handle. Two
+    /// lake clones return `Arc::ptr_eq` handles for every table neither has
+    /// touched — the structural-sharing guarantee the snapshot stack builds
+    /// on (pinned by `tests/session_sharing.rs`).
+    pub fn table_shared(&self, id: &str) -> Result<&Arc<Table>> {
         self.tables
             .get(id)
             .ok_or_else(|| TableError::TableNotFound {
@@ -180,7 +213,12 @@ impl DataLake {
 
     /// Iterate all data-lake tables in name order.
     pub fn tables(&self) -> impl Iterator<Item = &Table> {
-        self.tables.values()
+        self.tables.values().map(|t| t.as_ref())
+    }
+
+    /// Iterate all data-lake tables in name order as shared handles.
+    pub fn tables_shared(&self) -> impl Iterator<Item = (&TableId, &Arc<Table>)> {
+        self.tables.iter()
     }
 
     /// Iterate all query tables in name order.
@@ -210,7 +248,7 @@ impl DataLake {
 
     /// Aggregate statistics of the data-lake side (Fig. 5 right half).
     pub fn lake_stats(&self) -> CorpusStats {
-        CorpusStats::compute(self.tables.values())
+        CorpusStats::compute(self.tables.values().map(|t| t.as_ref()))
     }
 
     /// Aggregate statistics of the query side (Fig. 5 left half).
@@ -224,21 +262,23 @@ impl DataLake {
         let mut out = DataLake::new(self.name.clone());
         for t in self.tables.values() {
             if let Ok(clean) = t.drop_all_null_columns() {
-                out.tables.insert(clean.name().to_string(), clean);
+                out.tables.insert(clean.name().to_string(), Arc::new(clean));
             }
         }
+        let queries = Arc::make_mut(&mut out.queries);
         for q in self.queries.values() {
             if q.num_rows() >= min_query_rows {
                 if let Ok(clean) = q.drop_all_null_columns() {
-                    out.queries.insert(clean.name().to_string(), clean);
+                    queries.insert(clean.name().to_string(), clean);
                 }
             }
         }
         // Keep only ground truth entries whose tables survived.
+        let ground_truth = Arc::make_mut(&mut out.ground_truth);
         for query in out.queries.keys() {
             for t in self.ground_truth.unionable_with(query) {
                 if out.tables.contains_key(&t) {
-                    out.ground_truth.add(query.clone(), t);
+                    ground_truth.add(query.clone(), t);
                 }
             }
         }
@@ -379,6 +419,31 @@ mod tests {
         assert_eq!(cleaned.table("t3").unwrap().num_columns(), 1);
         // ground truth restricted to surviving tables
         assert!(cleaned.ground_truth().is_unionable("q1", "t1"));
+    }
+
+    #[test]
+    fn clones_share_untouched_tables_by_pointer() {
+        let lake = sample_lake();
+        let mut clone = lake.clone();
+        // Before any mutation, every entry is shared.
+        for (id, t) in lake.tables_shared() {
+            assert!(Arc::ptr_eq(t, clone.table_shared(id).unwrap()));
+        }
+        clone.add_table(table("t3", "c", &["7"])).unwrap();
+        // t1/t2 still shared with the original; t3 is the clone's own.
+        for id in ["t1", "t2"] {
+            assert!(Arc::ptr_eq(
+                lake.table_shared(id).unwrap(),
+                clone.table_shared(id).unwrap()
+            ));
+        }
+        assert!(lake.table("t3").is_err());
+        // Removing from the clone never disturbs the original.
+        let removed = clone.remove_table("t1").unwrap();
+        assert_eq!(removed.num_rows(), 2);
+        assert_eq!(lake.table("t1").unwrap().num_rows(), 2);
+        assert!(lake.ground_truth().is_unionable("q1", "t1"));
+        assert!(!clone.ground_truth().is_unionable("q1", "t1"));
     }
 
     #[test]
