@@ -18,6 +18,9 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// One element of an alignment set.
+// The derived PartialOrd delegates to String/ColumnRef — total orders with
+// no floats — so the workspace partial_cmp ban does not apply here.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum AlignmentItem {
     /// Two columns aligned together (stored in sorted order).

@@ -11,6 +11,9 @@ use dust_table::Table;
 use serde::{Deserialize, Serialize};
 
 /// A reference to one column of one table.
+// The derived PartialOrd compares two Strings — a total order with no
+// floats — so the workspace partial_cmp ban does not apply here.
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ColumnRef {
     /// Table name.

@@ -219,7 +219,7 @@ fn naive_agglomerative_cut(
         }
     }
     // cut: union in ascending merge-distance order until num_clusters remain
-    merges.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    merges.sort_by(|a, b| dust_embed::order::asc_nan_last(a.0, b.0));
     let mut parent: Vec<usize> = (0..n).collect();
     fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
@@ -313,9 +313,8 @@ fn naive_dust(
         })
         .collect();
     ranked.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
+        dust_embed::order::desc_nan_last(a.1, b.1)
+            .then_with(|| dust_embed::order::desc_nan_last(a.2, b.2))
             .then_with(|| a.0.cmp(&b.0))
     });
     ranked.into_iter().map(|(i, _, _)| i).take(k).collect()
@@ -350,11 +349,7 @@ fn naive_prune(candidates: &[Vector], distance: Distance, s: usize) -> Vec<usize
         .enumerate()
         .map(|(i, c)| (i, distance.between(c, &mean)))
         .collect();
-    scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.0.cmp(&b.0))
-    });
+    scored.sort_by(|a, b| dust_embed::order::desc_nan_last(a.1, b.1).then_with(|| a.0.cmp(&b.0)));
     scored.into_iter().take(s).map(|(i, _)| i).collect()
 }
 

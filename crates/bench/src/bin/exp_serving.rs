@@ -36,6 +36,7 @@ use dust_table::Table;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::PoisonError;
 use std::time::Instant;
 
 /// Counting wrapper around the system allocator. The mutation scenario
@@ -49,17 +50,25 @@ struct CountingAlloc;
 static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method delegates verbatim to std::alloc::System with the
+// caller's own layout/pointer arguments; the only addition is relaxed
+// atomic counter bumps, which allocate nothing and cannot unwind.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same layout is passed straight through to System.alloc.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: ptr/layout come from the paired alloc and are forwarded
+    // unchanged to System.dealloc.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: arguments are forwarded unchanged to System.realloc, which
+    // upholds the GlobalAlloc contract for them.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
@@ -440,7 +449,11 @@ fn concurrency_benchmark(full_lake: &dust_table::DataLake, queries: &[Table], js
                 for i in (reader..batch.len()).step_by(READERS) {
                     let view = session.view();
                     let result = view.query(&batch[i], K).expect("concurrent query");
-                    collected.lock().unwrap().push((i, result));
+                    // dust-lint: lock(bench-collect)
+                    collected
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push((i, result));
                 }
             });
         }
@@ -482,7 +495,11 @@ fn concurrency_benchmark(full_lake: &dust_table::DataLake, queries: &[Table], js
                 for i in (reader..batch.len()).step_by(READERS) {
                     let view = session.view();
                     view.query(&batch[i], K).expect("interleaved query");
-                    observed.lock().unwrap().push(view.generation());
+                    // dust-lint: lock(bench-collect)
+                    observed
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(view.generation());
                 }
             });
         }

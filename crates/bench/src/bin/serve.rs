@@ -94,6 +94,8 @@
 //!
 //! [`LakeSession`]: dust_core::LakeSession
 
+#![forbid(unsafe_code)]
+
 use dust_bench::json::{self, JsonValue};
 use dust_bench::setup::Scale;
 use dust_core::{
@@ -379,6 +381,7 @@ fn respond(state: &ServerState, writer: &mut TcpStream, trimmed: &str) -> bool {
 /// next recovery replays nothing. A failure is logged, not fatal — the
 /// fsynced WAL remains authoritative either way.
 fn shutdown_checkpoint(state: &ServerState) {
+    // dust-lint: lock(durability)
     let mut durable = state.durable.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(store) = durable.as_mut() {
         if store.wal_records() == 0 {
@@ -705,6 +708,7 @@ fn serve_line(state: &ServerState, line: &str) -> Result<String, ServeError> {
     // are unaffected — they never take this lock.
     if mode == "add_table" || mode == "remove_table" {
         let start = Instant::now();
+        // dust-lint: lock(durability)
         let mut durable = state.durable.lock().unwrap_or_else(|e| e.into_inner());
         let body = if mode == "add_table" {
             let name = request
@@ -778,6 +782,7 @@ fn serve_line(state: &ServerState, line: &str) -> Result<String, ServeError> {
     // explicit checkpoint: rewrite the snapshot at the current generation
     // and truncate the WAL
     if mode == "checkpoint" {
+        // dust-lint: lock(durability)
         let mut durable = state.durable.lock().unwrap_or_else(|e| e.into_inner());
         let store = durable
             .as_mut()
@@ -822,6 +827,7 @@ fn serve_line(state: &ServerState, line: &str) -> Result<String, ServeError> {
             })
             .collect();
         let wal = {
+            // dust-lint: lock(durability)
             let durable = state.durable.lock().unwrap_or_else(|e| e.into_inner());
             match durable.as_ref() {
                 Some(store) => format!(
@@ -1125,6 +1131,7 @@ fn selftest(options: &CliOptions) -> Result<(), String> {
             std::env::temp_dir().join(format!("dust-serve-selftest-{}", std::process::id()))
         });
     let _ = std::fs::remove_dir_all(&snapshot_dir);
+    // dust-lint: lock(durability)
     *state.durable.lock().unwrap_or_else(|e| e.into_inner()) = Some(
         SnapshotStore::create(&snapshot_dir, &state.session)
             .map_err(|e| format!("selftest: save failed: {e}"))?,

@@ -791,7 +791,7 @@ mod tests {
         // Average linkage is reducible, so NN-chain produces merges that can
         // be sorted into a monotone sequence; verify sorted monotonicity.
         let mut dists: Vec<f64> = dendro.merges().iter().map(|m| m.distance).collect();
-        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        dists.sort_by(|a, b| a.total_cmp(b));
         assert!(dists.windows(2).all(|w| w[0] <= w[1] + 1e-12));
     }
 

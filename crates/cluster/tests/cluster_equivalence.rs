@@ -73,7 +73,7 @@ fn signature(assignment: &[usize]) -> Vec<Vec<usize>> {
 
 fn sorted_heights(dendro: &Dendrogram) -> Vec<f64> {
     let mut h: Vec<f64> = dendro.merges().iter().map(|m| m.distance).collect();
-    h.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    h.sort_by(|a, b| a.total_cmp(b));
     h
 }
 

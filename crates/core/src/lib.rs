@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod clock;
 pub mod config;
 pub mod persist;
 pub mod pipeline;

@@ -47,10 +47,10 @@ use dust_search::{
     D3lSearch, D3lSignalStats, InvertedValueIndex, OverlapSearch, StarmieColumnStore, StarmieSearch,
 };
 use dust_table::{Column, DataLake, Table, TableId, Value};
+// dust-lint: allow(deterministic-encode) -- decode-side string interning only; never feeds encoded bytes
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Segment kind bytes (validated after the CRC, so a mismatch on an intact
 /// file means manifest/segment skew, not bit rot).
@@ -415,6 +415,7 @@ fn decode_shard(bytes: &[u8], path: &Path) -> Result<LakeShard, PersistError> {
     }
     // intern one Arc<str> per member table so the decoded shard, like a
     // freshly built one, carries one name allocation per table (not per row)
+    // dust-lint: allow(deterministic-encode) -- decode-side interning map; iteration order never observed
     let mut interned: HashMap<String, Arc<str>> = HashMap::new();
     let mut tuple_refs: Vec<(Arc<str>, usize)> = Vec::with_capacity(num_refs);
     for _ in 0..num_refs {
@@ -913,7 +914,7 @@ pub(crate) fn read_manifest(dir: &Path) -> Result<Manifest, PersistError> {
 /// replayed here — [`super::SnapshotStore::open`] does that through the
 /// live mutation paths.
 pub(crate) fn load_session(dir: &Path, manifest: &Manifest) -> Result<LakeSession, PersistError> {
-    let start = Instant::now();
+    let start = crate::clock::now();
     let epoch = manifest.epoch;
 
     let lp = lake_path(dir, epoch);

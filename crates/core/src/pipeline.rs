@@ -19,7 +19,6 @@ use dust_embed::{ColumnEncoder, DustModel, TupleEncoder, Vector};
 use dust_search::{D3lSearch, OverlapSearch, StarmieSearch, TableUnionSearch};
 use dust_table::{DataLake, Table, TableError, Tuple};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// The end-to-end Diverse Unionable Tuple Search pipeline.
 #[derive(Debug)]
@@ -210,7 +209,7 @@ pub(crate) fn run_query(
     let mut timings = StageTimings::default();
 
     // ---- SearchTables ---------------------------------------------
-    let start = Instant::now();
+    let start = crate::clock::now();
     let retrieved = search(lake, query);
     StageTimings::record(&mut timings.search_secs, start.elapsed());
 
@@ -231,7 +230,7 @@ pub(crate) fn run_query(
         .collect();
 
     // ---- AlignColumns + outer union --------------------------------
-    let start = Instant::now();
+    let start = crate::clock::now();
     let aligner = HolisticAligner {
         encoder: aligner_encoder.clone(),
         linkage: config.alignment_linkage,
@@ -242,13 +241,13 @@ pub(crate) fn run_query(
     StageTimings::record(&mut timings.align_secs, start.elapsed());
 
     // ---- EmbedTuples -----------------------------------------------
-    let start = Instant::now();
+    let start = crate::clock::now();
     let query_tuples = query.tuples();
     let (query_embeddings, candidate_embeddings) = embed(&query_tuples, &candidates);
     StageTimings::record(&mut timings.embed_secs, start.elapsed());
 
     // ---- DiversifyTuples -------------------------------------------
-    let start = Instant::now();
+    let start = crate::clock::now();
     let sources: Vec<usize> = {
         let mut table_ids: std::collections::HashMap<String, usize> =
             std::collections::HashMap::new();

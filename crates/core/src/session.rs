@@ -108,7 +108,6 @@ use rayon::prelude::*;
 use std::ops::Deref;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
-use std::time::Instant;
 
 /// Construction options for a [`LakeSession`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -306,6 +305,7 @@ impl SessionSnapshot {
     /// concurrent first readers of the same generation may wait on each
     /// other here, but never on a mutation, and never block tuple reads).
     fn columns(&self, encoder: &ColumnEncoder) -> Arc<Vec<ColumnShard>> {
+        // dust-lint: lock(columns-once)
         self.columns
             .get_or_init(|| {
                 Arc::new(build_column_shards(
@@ -474,7 +474,7 @@ impl LakeSession {
         embedder: SessionEmbedder,
         model_injected: bool,
     ) -> Self {
-        let start = Instant::now();
+        let start = crate::clock::now();
         let num_shards = options.num_shards.max(1);
         let aligner_encoder =
             ColumnEncoder::new(config.alignment_model, config.alignment_serialization);
@@ -574,6 +574,7 @@ impl LakeSession {
     /// pointer lock is taken: the guarded value is always a fully-formed
     /// `Arc`, so a panic elsewhere can never leave it half-written.
     fn snapshot(&self) -> Arc<SessionSnapshot> {
+        // dust-lint: lock(session-current)
         self.current
             .read()
             .unwrap_or_else(PoisonError::into_inner)
@@ -582,6 +583,7 @@ impl LakeSession {
 
     /// Atomically publish the next generation.
     fn publish(&self, next: SessionSnapshot) {
+        // dust-lint: lock(session-current)
         *self.current.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(next);
     }
 
@@ -679,6 +681,7 @@ impl LakeSession {
     /// allocates a next snapshot — the published root stays `Arc::ptr_eq`
     /// to what it was (pinned by `tests/session_sharing.rs`).
     pub fn add_table(&self, table: Table) -> Result<(), TableError> {
+        // dust-lint: lock(session-mutate)
         let _mutating = self.mutate.lock().unwrap_or_else(PoisonError::into_inner);
         let snap = self.snapshot();
 
@@ -741,6 +744,7 @@ impl LakeSession {
     /// to what it was. In-flight reads keep serving the previous
     /// generation throughout.
     pub fn remove_table(&self, name: &str) -> Result<Table, TableError> {
+        // dust-lint: lock(session-mutate)
         let _mutating = self.mutate.lock().unwrap_or_else(PoisonError::into_inner);
         let snap = self.snapshot();
 
@@ -1070,6 +1074,7 @@ impl<'a> SessionView<'a> {
                     detail: panic_detail(payload.as_ref()),
                 }),
             };
+            // dust-lint: lock(batch-slot)
             *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
         });
         slots

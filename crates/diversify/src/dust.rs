@@ -232,10 +232,10 @@ mod tests {
         // "most unionable" baseline: the k candidates closest to the query
         let mut by_similarity: Vec<usize> = (0..candidates.len()).collect();
         by_similarity.sort_by(|&a, &b| {
-            input
-                .min_distance_to_query(a)
-                .partial_cmp(&input.min_distance_to_query(b))
-                .unwrap()
+            dust_embed::order::asc_nan_last(
+                input.min_distance_to_query(a),
+                input.min_distance_to_query(b),
+            )
         });
         let similar: Vec<usize> = by_similarity.into_iter().take(k).collect();
         let to_vecs =

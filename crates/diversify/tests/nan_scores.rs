@@ -129,3 +129,41 @@ fn gne_does_not_pin_a_nan_poisoned_first_round() {
          round objective is pinning the best selection again"
     );
 }
+
+#[test]
+fn most_unionable_baseline_ranks_nan_candidates_last() {
+    // The "most unionable" baseline (the k candidates closest to the
+    // query) is the comparison DUST is judged against. With the old
+    // `partial_cmp(..).unwrap()` sort it *panicked* on a NaN distance;
+    // with `unwrap_or(Equal)` it silently kept input order. The
+    // `asc_nan_last` comparator must instead push the poisoned candidate
+    // out of every top-k and keep the ranking permutation-independent.
+    let query = vec![v(0.0, 0.0)];
+    let mut candidates: Vec<Vector> = (0..10).map(|i| v(i as f32 + 1.0, 0.0)).collect();
+    candidates.insert(3, v(f32::NAN, 0.0));
+    let poisoned = 3usize;
+    let input = DiversificationInput::new(&query, &candidates, Distance::Euclidean);
+
+    let mut ranked: Vec<usize> = (0..candidates.len()).collect();
+    ranked.sort_by(|&a, &b| {
+        dust_diversify::asc_nan_last(
+            input.min_distance_to_query(a),
+            input.min_distance_to_query(b),
+        )
+    });
+    assert_eq!(
+        *ranked.last().unwrap(),
+        poisoned,
+        "NaN-distance candidate must rank strictly last: {ranked:?}"
+    );
+    // The clean prefix is the true nearest-first order, so any top-k
+    // (k < n) is NaN-free and deterministic.
+    let clean: Vec<usize> = ranked[..ranked.len() - 1].to_vec();
+    let mut expected: Vec<usize> = (0..candidates.len()).filter(|&i| i != poisoned).collect();
+    expected.sort_by(|&a, &b| {
+        input
+            .min_distance_to_query(a)
+            .total_cmp(&input.min_distance_to_query(b))
+    });
+    assert_eq!(clean, expected);
+}

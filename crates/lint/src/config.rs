@@ -1,0 +1,51 @@
+//! Linter configuration, read from `lint/dust_lint.toml` at the
+//! workspace root.
+//!
+//! Today the only knob is the declared lock-acquisition order; rule
+//! scopes are deliberately code, not config — they encode this
+//! workspace's layout and should change via a reviewed diff of the rule,
+//! not a config tweak.
+
+use crate::toml;
+use std::fs;
+use std::path::Path;
+
+/// Where the config file lives, relative to the workspace root.
+pub const CONFIG_PATH: &str = "lint/dust_lint.toml";
+
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    /// Lock names, outermost first. An annotated acquisition may only
+    /// nest locks in strictly increasing rank order. Empty list = no
+    /// declared order (the lock-order rule then only checks annotations
+    /// and cross-function cycles).
+    pub lock_order: Vec<String>,
+}
+
+impl Config {
+    /// Rank of a lock name in the declared order.
+    pub fn rank(&self, name: &str) -> Option<usize> {
+        self.lock_order.iter().position(|n| n == name)
+    }
+}
+
+/// Load the config; a missing file is an empty config, a malformed file
+/// is an error (the config is checked in — failing loudly beats silently
+/// linting with the wrong rules).
+pub fn load(root: &Path) -> Result<Config, String> {
+    let path = root.join(CONFIG_PATH);
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Config::default()),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    let doc = toml::parse(&text).map_err(|e| format!("{CONFIG_PATH}: {e}"))?;
+    let lock_order = match doc.root.get("lock_order") {
+        Some(toml::Value::Array(names)) => names.clone(),
+        Some(toml::Value::Str(_)) => {
+            return Err(format!("{CONFIG_PATH}: lock_order must be an array"))
+        }
+        None => Vec::new(),
+    };
+    Ok(Config { lock_order })
+}

@@ -1,0 +1,55 @@
+//! The unsafe ledger, `lint/unsafe_ledger.toml`.
+//!
+//! Every `unsafe` token in the workspace must be matched by one checked-in
+//! ledger entry, so introducing (or moving) unsafe code is always an
+//! explicit, reviewable diff to this file — never a silent side effect of
+//! an otherwise plausible change. Entries are matched by file plus a
+//! `contains` snippet of the unsafe line; a stale entry (matching no
+//! remaining site) is itself a violation, keeping the ledger exact.
+
+use crate::toml;
+use std::fs;
+use std::path::Path;
+
+/// Where the ledger lives, relative to the workspace root.
+pub const LEDGER_PATH: &str = "lint/unsafe_ledger.toml";
+
+#[derive(Debug, Clone)]
+pub struct LedgerEntry {
+    pub file: String,
+    /// Substring of the raw line holding the `unsafe` token.
+    pub contains: String,
+    /// Why this unsafe exists (documentation; not matched against code).
+    pub reason: String,
+}
+
+#[derive(Debug, Default)]
+pub struct Ledger {
+    pub entries: Vec<LedgerEntry>,
+}
+
+/// Load the ledger; missing file = empty ledger (any unsafe then fails).
+pub fn load(root: &Path) -> Result<Ledger, String> {
+    let path = root.join(LEDGER_PATH);
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Ledger::default()),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    let doc = toml::parse(&text).map_err(|e| format!("{LEDGER_PATH}: {e}"))?;
+    let mut entries = Vec::new();
+    for t in doc.tables_named("unsafe") {
+        entries.push(LedgerEntry {
+            file: t
+                .get_str("file")
+                .ok_or_else(|| format!("{LEDGER_PATH}: entry missing file"))?
+                .to_string(),
+            contains: t
+                .get_str("contains")
+                .ok_or_else(|| format!("{LEDGER_PATH}: entry missing contains"))?
+                .to_string(),
+            reason: t.get_str("reason").unwrap_or_default().to_string(),
+        });
+    }
+    Ok(Ledger { entries })
+}

@@ -1,0 +1,58 @@
+//! `dust-lint` — a workspace-native invariant checker.
+//!
+//! Eight PRs of correctness work accumulated a set of hard-won,
+//! cross-cutting invariants: NaN total-order comparators on every ranking
+//! path, poison-recovering locks only, deterministic byte output from
+//! every `persist` encoder, the no-float-subtraction rule on delta paths,
+//! a SAFETY-commented + ledgered `unsafe` budget, and a declared lock
+//! acquisition order. Until this crate, every one of them was enforced by
+//! prose in CHANGES.md and by whichever test happened to exercise the
+//! violating line. `dust-lint` enforces them mechanically.
+//!
+//! It is deliberately **not** a `syn`-based analyzer: the workspace builds
+//! offline against vendored stand-in dependencies, so the linter is a
+//! hand-rolled line-and-token scanner with zero dependencies that
+//! compiles in well under a second and runs as the first CI step. String
+//! literals and comments are masked before any pattern matching, so a
+//! rule name quoted in a doc comment (or in this crate's own source)
+//! never trips the rule itself.
+//!
+//! # Rules
+//!
+//! | id | invariant (origin) |
+//! |----|--------------------|
+//! | `nan-ordering` | no `partial_cmp` ranking outside `embed::order` (PR 3/4) |
+//! | `lock-hygiene` | poison-recovering locks only (PR 7) |
+//! | `deterministic-encode` | no `HashMap`/`HashSet` in `core::persist` (PR 6) |
+//! | `no-wall-clock` | no `Instant::now`/`SystemTime` outside `crates/bench` (PR 6) |
+//! | `delta-float-subtraction` | integer-only deltas on mutation paths (PR 5) |
+//! | `unsafe-ledger` | every `unsafe` carries `// SAFETY:` and a ledger entry |
+//! | `lock-order` | annotated lock sites must respect the declared order (PR 7) |
+//!
+//! # Escape hatches
+//!
+//! A violation can be justified in place with a pragma **with a mandatory
+//! reason**:
+//!
+//! ```text
+//! // dust-lint: allow(no-wall-clock) -- phase timing diagnostic only
+//! ```
+//!
+//! or grandfathered in `lint/baseline.toml` (see [`baseline`]). Stale
+//! baseline entries and stale ledger entries are themselves violations,
+//! so both files shrink monotonically.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod ledger;
+pub mod pragma;
+pub mod rules;
+pub mod source;
+pub mod toml;
+
+pub use diag::{Diagnostic, Rule};
+pub use engine::{run, update_baseline, Report};

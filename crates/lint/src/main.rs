@@ -1,0 +1,137 @@
+//! `dust-lint` CLI.
+//!
+//! ```text
+//! cargo run -p dust-lint                      # lint the workspace, exit 1 on violations
+//! cargo run -p dust-lint -- --update-baseline # grandfather current violations
+//! cargo run -p dust-lint -- --root <dir>      # lint a different tree (fixtures)
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations, 2 usage/IO/config error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut update = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("dust-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--update-baseline" => update = true,
+            "--help" | "-h" => {
+                println!("usage: dust-lint [--root <dir>] [--update-baseline]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("dust-lint: unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.map(Ok).unwrap_or_else(discover_root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dust-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if update {
+        return match dust_lint::update_baseline(&root) {
+            Ok(n) => {
+                println!(
+                    "dust-lint: wrote {n} baseline entr{} to lint/baseline.toml",
+                    plural_y(n)
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("dust-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match dust_lint::run(&root) {
+        Ok(report) if report.is_clean() => {
+            println!(
+                "dust-lint: clean — {} files, {} pragma-suppressed, {} baselined",
+                report.files_checked, report.suppressed_by_pragma, report.suppressed_by_baseline
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(report) => {
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            println!();
+            println!(
+                "dust-lint: {} violation{} across {} files:",
+                report.diagnostics.len(),
+                plural_s(report.diagnostics.len()),
+                report.files_checked
+            );
+            for (rule, hits) in report.per_rule() {
+                println!("  {rule:<24} {hits}");
+            }
+            println!(
+                "(justify in place with `// dust-lint: allow(<rule>) -- <reason>` or \
+                 grandfather with `--update-baseline`)"
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("dust-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root: the nearest ancestor (starting from the crate's
+/// own manifest when run via cargo, else the current directory) that
+/// holds both a `Cargo.toml` and a `crates/` directory.
+fn discover_root() -> Result<PathBuf, String> {
+    let start = match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => PathBuf::from(dir),
+        None => std::env::current_dir().map_err(|e| e.to_string())?,
+    };
+    let mut dir = start.as_path();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Ok(dir.to_path_buf());
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => {
+                return Err(format!(
+                    "no workspace root (Cargo.toml + crates/) above {}",
+                    start.display()
+                ))
+            }
+        }
+    }
+}
+
+fn plural_s(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+fn plural_y(n: usize) -> &'static str {
+    if n == 1 {
+        "y"
+    } else {
+        "ies"
+    }
+}

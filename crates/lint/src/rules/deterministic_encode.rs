@@ -1,0 +1,62 @@
+//! Rule `deterministic-encode` — no hash-ordered collections inside the
+//! persistence layer.
+//!
+//! Origin: PR 6. Snapshot segments are CRC-sealed and recovery is pinned
+//! **bit-for-bit** against fresh rebuilds, which only holds if encoders
+//! iterate deterministically. `HashMap`/`HashSet` iteration order is
+//! arbitrary, so inside `crates/core/src/persist/` the types themselves
+//! are banned: encoders must walk the sorted export methods
+//! (`entries()`, `to_sorted_vec()`, …) or `BTreeMap`. Decode-side uses
+//! that never feed encoded bytes can be pragma-justified in place.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+const SCOPE_PREFIX: &str = "crates/core/src/persist/";
+const BANNED: &[&str] = &["HashMap", "HashSet"];
+
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    if !file.rel.starts_with(SCOPE_PREFIX) {
+        return Vec::new();
+    }
+    let mut lines = BTreeSet::new();
+    for word in BANNED {
+        lines.extend(file.find_word(word));
+    }
+    lines
+        .into_iter()
+        .map(|line| {
+            Diagnostic::new(
+                Rule::DeterministicEncode,
+                &file.rel,
+                line,
+                "hash-ordered collection in the persist layer: snapshot bytes must come \
+                 from sorted exports (BTreeMap / sorted Vec), or justify a decode-only use",
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_only_inside_persist() {
+        let text = "use std::collections::HashMap;\n";
+        let inside = SourceFile::parse("crates/core/src/persist/snapshot.rs", text);
+        let outside = SourceFile::parse("crates/core/src/session.rs", text);
+        assert_eq!(check(&inside).len(), 1);
+        assert!(check(&outside).is_empty());
+    }
+
+    #[test]
+    fn doc_comment_mentions_are_fine() {
+        let f = SourceFile::parse(
+            "crates/core/src/persist/codec.rs",
+            "//! Unlike a HashMap walk, entries() is sorted.\nlet m = BTreeMap::new();\n",
+        );
+        assert!(check(&f).is_empty());
+    }
+}

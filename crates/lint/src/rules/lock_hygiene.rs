@@ -1,0 +1,84 @@
+//! Rule `lock-hygiene` — poison-recovering locks only.
+//!
+//! Origin: PR 7. A panic while holding a `Mutex`/`RwLock` poisons it;
+//! `.lock().unwrap()` then converts every *later* access into a panic,
+//! turning one bad request into a dead server. Everywhere in this
+//! workspace the guarded value is a fully-formed value (never
+//! half-written), so the sanctioned form recovers:
+//!
+//! ```text
+//! lock.lock().unwrap_or_else(PoisonError::into_inner)
+//! ```
+//!
+//! The rule has no exempt files — tests included, since a poisoned lock
+//! in a test helper hides the very failure the test was written to see.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+const PATTERNS: &[&str] = &[
+    ".lock().unwrap()",
+    ".lock().expect(",
+    ".read().unwrap()",
+    ".read().expect(",
+    ".write().unwrap()",
+    ".write().expect(",
+];
+
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut lines = BTreeSet::new();
+    for pat in PATTERNS {
+        lines.extend(file.find_pattern(pat));
+    }
+    lines
+        .into_iter()
+        .map(|line| {
+            Diagnostic::new(
+                Rule::LockHygiene,
+                &file.rel,
+                line,
+                "poison-propagating lock: use .unwrap_or_else(PoisonError::into_inner) — \
+                 one panicked holder must not turn every later access into a panic",
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_unwrap_and_expect() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "let a = m.lock().unwrap();\nlet b = r.read().expect(\"poisoned\");\n",
+        );
+        assert_eq!(check(&f).len(), 2);
+    }
+
+    #[test]
+    fn recovering_form_passes() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "let a = m.lock().unwrap_or_else(PoisonError::into_inner);\nlet b = m.lock().unwrap_or_else(|e| e.into_inner());\n",
+        );
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn multiline_chain_is_still_caught() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "let a = m\n    .write()\n    .unwrap();\n",
+        );
+        assert_eq!(check(&f).len(), 1);
+    }
+
+    #[test]
+    fn stdin_lock_lines_is_not_a_mutex() {
+        let f = SourceFile::parse("crates/x/src/lib.rs", "let l = stdin.lock().lines();\n");
+        assert!(check(&f).is_empty());
+    }
+}

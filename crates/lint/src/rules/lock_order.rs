@@ -1,0 +1,363 @@
+//! Rule `lock-order` — annotated lock sites, checked against the
+//! declared acquisition hierarchy.
+//!
+//! Origin: PR 7/8. The serving stack holds locks across other lock
+//! acquisitions in exactly one sanctioned shape: serve's durability lock
+//! → the session mutate mutex → the published-pointer `RwLock` → the
+//! per-snapshot column `OnceLock` → leaf slot mutexes. That hierarchy
+//! used to live in comments; this rule extracts it from code. Every
+//! acquisition site (the poison-recovering `.lock()/.read()/.write()`
+//! forms and `OnceLock::get_or_init`) inside `crates/{core,bench}/src`
+//! must carry a `// dust-lint: lock(<name>)` annotation naming a lock
+//! from `lock_order` in `lint/dust_lint.toml` (outermost first). The
+//! rule then checks, per function, that a second acquisition while a
+//! let-bound guard is still in scope only ever moves *inward* — and
+//! accumulates the observed held→acquired edges across the whole
+//! workspace so a cycle between functions is caught even when no single
+//! function misorders.
+//!
+//! Guard liveness is lexical and conservative: a `let`-bound guard is
+//! held to the end of its block; a guard inside a plain expression
+//! statement dies at its semicolon. Both approximations are documented
+//! limitations of a token-level scanner; `allow(lock-order)` with a
+//! reason is the escape hatch.
+
+use crate::config::Config;
+use crate::diag::{Diagnostic, Rule};
+use crate::pragma::Pragmas;
+use crate::rules::scan_scopes;
+use crate::source::SourceFile;
+
+/// Where annotated locking is required.
+const SCOPE_PREFIXES: &[&str] = &["crates/core/src/", "crates/bench/src/"];
+
+/// Call shapes that acquire a lock. Only the poison-recovering forms
+/// appear here: the raw `.unwrap()` forms are already `lock-hygiene`
+/// violations, and `io::stdin().lock()` takes no recovery combinator so
+/// it never matches.
+const ACQUIRE_PATTERNS: &[&str] = &[
+    ".lock().unwrap_or_else(",
+    ".read().unwrap_or_else(",
+    ".write().unwrap_or_else(",
+    ".get_or_init(",
+];
+
+/// How many lines above the acquisition the annotation may sit (a
+/// multi-line chain is annotated on its statement's first line).
+const ANNOTATION_WINDOW: usize = 3;
+
+/// One observed held→acquired pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    pub from: String,
+    pub to: String,
+    pub file: String,
+    pub line: usize,
+}
+
+pub fn check(
+    file: &SourceFile,
+    pragmas: &Pragmas,
+    config: &Config,
+) -> (Vec<Diagnostic>, Vec<Edge>) {
+    if !SCOPE_PREFIXES.iter().any(|p| file.rel.starts_with(p)) {
+        return (Vec::new(), Vec::new());
+    }
+    let mut acquisitions: Vec<usize> = ACQUIRE_PATTERNS
+        .iter()
+        .flat_map(|p| file.find_pattern(p))
+        .collect();
+    acquisitions.sort_unstable();
+    acquisitions.dedup();
+    if acquisitions.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+
+    let (spans, line_depth) = scan_scopes(file);
+    let mut diags = Vec::new();
+    let mut edges = Vec::new();
+
+    for span in &spans {
+        // Held let-bound guards: (name, scope-end line).
+        let mut held: Vec<(String, usize)> = Vec::new();
+        for &line in acquisitions.iter().filter(|&&l| span.contains(l)) {
+            // Inner fns own their acquisitions; skip lines that a more
+            // deeply nested span claims.
+            if spans
+                .iter()
+                .any(|s| s != span && s.contains(line) && s.body_start > span.body_start)
+            {
+                continue;
+            }
+            held.retain(|(_, end)| *end > line);
+            let Some(name) = pragmas.lock_name(line, ANNOTATION_WINDOW) else {
+                diags.push(Diagnostic::new(
+                    Rule::LockOrder,
+                    &file.rel,
+                    line,
+                    "unannotated lock acquisition — name it with `// dust-lint: lock(<name>)` \
+                     so the acquisition order stays checkable",
+                ));
+                continue;
+            };
+            if !config.lock_order.is_empty() && config.rank(name).is_none() {
+                diags.push(Diagnostic::new(
+                    Rule::LockOrder,
+                    &file.rel,
+                    line,
+                    format!("lock `{name}` is not in lock_order (lint/dust_lint.toml) — declare its place in the hierarchy"),
+                ));
+                continue;
+            }
+            for (held_name, _) in &held {
+                if held_name.as_str() == name {
+                    diags.push(Diagnostic::new(
+                        Rule::LockOrder,
+                        &file.rel,
+                        line,
+                        format!("`{name}` re-acquired while already held — self-deadlock"),
+                    ));
+                    continue;
+                }
+                edges.push(Edge {
+                    from: held_name.clone(),
+                    to: name.to_string(),
+                    file: file.rel.clone(),
+                    line,
+                });
+                if let (Some(outer), Some(inner)) = (config.rank(held_name), config.rank(name)) {
+                    if inner <= outer {
+                        diags.push(Diagnostic::new(
+                            Rule::LockOrder,
+                            &file.rel,
+                            line,
+                            format!(
+                                "`{name}` acquired while holding `{held_name}` — declared order \
+                                 requires `{name}` to be taken first (outermost-first in lock_order)"
+                            ),
+                        ));
+                    }
+                }
+            }
+            if is_let_bound(file, span.body_start, line) {
+                let depth = line_depth.get(line - 1).copied().unwrap_or(span.body_depth);
+                let scope_end = (line + 1..=span.end)
+                    .find(|&l| line_depth.get(l - 1).copied().unwrap_or(0) < depth)
+                    .unwrap_or(span.end);
+                held.push((name.to_string(), scope_end));
+            }
+        }
+    }
+    (diags, edges)
+}
+
+/// Does the statement containing `line` start with `let`? Walks up a few
+/// lines to the statement start (the previous line ending a statement or
+/// opening a block/call marks the boundary).
+fn is_let_bound(file: &SourceFile, body_start: usize, line: usize) -> bool {
+    let mut stmt = line;
+    for _ in 0..6 {
+        if stmt <= body_start {
+            break;
+        }
+        let prev = file.masked[stmt - 2].trim_end();
+        let boundary = prev.is_empty()
+            || prev.ends_with(';')
+            || prev.ends_with('{')
+            || prev.ends_with('}')
+            || prev.ends_with(',')
+            || prev.ends_with('(');
+        if boundary {
+            break;
+        }
+        stmt -= 1;
+    }
+    file.masked[stmt - 1].trim_start().starts_with("let ")
+}
+
+/// Cross-function deadlock check over every observed edge: report the
+/// first cycle found in the held→acquired graph.
+pub fn check_cycles(edges: &[Edge]) -> Vec<Diagnostic> {
+    let mut names: Vec<&str> = Vec::new();
+    for e in edges {
+        for n in [e.from.as_str(), e.to.as_str()] {
+            if !names.contains(&n) {
+                names.push(n);
+            }
+        }
+    }
+    // DFS from every node; 0 = unvisited, 1 = on stack, 2 = done.
+    let mut state = vec![0u8; names.len()];
+    fn dfs(
+        v: usize,
+        names: &[&str],
+        edges: &[Edge],
+        state: &mut [u8],
+        path: &mut Vec<usize>,
+    ) -> Option<Vec<usize>> {
+        state[v] = 1;
+        path.push(v);
+        for e in edges.iter().filter(|e| e.from == names[v]) {
+            let w = names.iter().position(|m| *m == e.to).expect("known");
+            match state[w] {
+                1 => {
+                    let start = path.iter().position(|&p| p == w).expect("on path");
+                    return Some(path[start..].to_vec());
+                }
+                0 => {
+                    if let Some(c) = dfs(w, names, edges, state, path) {
+                        return Some(c);
+                    }
+                }
+                _ => {}
+            }
+        }
+        path.pop();
+        state[v] = 2;
+        None
+    }
+    for v in 0..names.len() {
+        if state[v] != 0 {
+            continue;
+        }
+        let mut path = Vec::new();
+        if let Some(cycle) = dfs(v, &names, edges, &mut state, &mut path) {
+            let chain: Vec<&str> = cycle
+                .iter()
+                .chain(std::iter::once(&cycle[0]))
+                .map(|&i| names[i])
+                .collect();
+            let witness = edges
+                .iter()
+                .find(|e| e.from == names[cycle[0]])
+                .expect("cycle has an edge");
+            return vec![Diagnostic::new(
+                Rule::LockOrder,
+                &witness.file,
+                witness.line,
+                format!(
+                    "lock-order cycle across functions: {} — two threads taking these \
+                     paths can deadlock",
+                    chain.join(" -> ")
+                ),
+            )];
+        }
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pragma;
+
+    fn setup(text: &str, order: &[&str]) -> (Vec<Diagnostic>, Vec<Edge>) {
+        let f = SourceFile::parse("crates/core/src/session.rs", text);
+        let (pragmas, pd) = pragma::collect(&f);
+        assert!(pd.is_empty(), "{pd:?}");
+        let config = Config {
+            lock_order: order.iter().map(|s| s.to_string()).collect(),
+        };
+        check(&f, &pragmas, &config)
+    }
+
+    #[test]
+    fn annotated_ordered_nesting_passes() {
+        let (d, e) = setup(
+            "fn add(&self) {\n    // dust-lint: lock(mutate)\n    let _g = self.mutate.lock().unwrap_or_else(PoisonError::into_inner);\n    // dust-lint: lock(current)\n    *self.current.write().unwrap_or_else(PoisonError::into_inner) = next;\n}\n",
+            &["mutate", "current"],
+        );
+        assert!(d.is_empty(), "{d:?}");
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].from, "mutate");
+        assert_eq!(e[0].to, "current");
+    }
+
+    #[test]
+    fn inverted_nesting_is_flagged() {
+        let (d, _) = setup(
+            "fn bad(&self) {\n    // dust-lint: lock(current)\n    let _g = self.current.write().unwrap_or_else(PoisonError::into_inner);\n    // dust-lint: lock(mutate)\n    let _h = self.mutate.lock().unwrap_or_else(PoisonError::into_inner);\n}\n",
+            &["mutate", "current"],
+        );
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("declared order"));
+    }
+
+    #[test]
+    fn unannotated_acquisition_is_flagged() {
+        let (d, _) = setup(
+            "fn f(&self) {\n    let _g = self.mutate.lock().unwrap_or_else(PoisonError::into_inner);\n}\n",
+            &["mutate"],
+        );
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("unannotated"));
+    }
+
+    #[test]
+    fn unknown_name_is_flagged() {
+        let (d, _) = setup(
+            "fn f(&self) {\n    // dust-lint: lock(mystery)\n    let _g = self.m.lock().unwrap_or_else(PoisonError::into_inner);\n}\n",
+            &["mutate"],
+        );
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("not in lock_order"));
+    }
+
+    #[test]
+    fn temporary_guard_does_not_hold() {
+        // Two statement-expression acquisitions of the same lock: each
+        // guard dies at its semicolon, so no re-acquisition is reported.
+        let (d, e) = setup(
+            "fn f(&self) {\n    // dust-lint: lock(slot)\n    *slots[0].lock().unwrap_or_else(PoisonError::into_inner) = one;\n    // dust-lint: lock(slot)\n    *slots[1].lock().unwrap_or_else(PoisonError::into_inner) = two;\n}\n",
+            &["slot"],
+        );
+        assert!(d.is_empty(), "{d:?}");
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn reacquisition_while_held_is_flagged() {
+        let (d, _) = setup(
+            "fn f(&self) {\n    // dust-lint: lock(mutate)\n    let _a = self.m.lock().unwrap_or_else(PoisonError::into_inner);\n    // dust-lint: lock(mutate)\n    let _b = self.m.lock().unwrap_or_else(PoisonError::into_inner);\n}\n",
+            &["mutate"],
+        );
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("self-deadlock"));
+    }
+
+    #[test]
+    fn guard_scope_ends_with_its_block() {
+        let (d, e) = setup(
+            "fn f(&self) {\n    {\n        // dust-lint: lock(current)\n        let _g = self.current.read().unwrap_or_else(PoisonError::into_inner);\n    }\n    // dust-lint: lock(mutate)\n    let _h = self.mutate.lock().unwrap_or_else(PoisonError::into_inner);\n}\n",
+            &["mutate", "current"],
+        );
+        assert!(d.is_empty(), "{d:?}");
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn cycles_across_functions_are_caught() {
+        let (d1, e1) = setup(
+            "fn a(&self) {\n    // dust-lint: lock(x)\n    let _g = self.x.lock().unwrap_or_else(PoisonError::into_inner);\n    // dust-lint: lock(y)\n    let _h = self.y.lock().unwrap_or_else(PoisonError::into_inner);\n}\n",
+            &[],
+        );
+        let (d2, e2) = setup(
+            "fn b(&self) {\n    // dust-lint: lock(y)\n    let _g = self.y.lock().unwrap_or_else(PoisonError::into_inner);\n    // dust-lint: lock(x)\n    let _h = self.x.lock().unwrap_or_else(PoisonError::into_inner);\n}\n",
+            &[],
+        );
+        assert!(d1.is_empty() && d2.is_empty());
+        let edges: Vec<Edge> = e1.into_iter().chain(e2).collect();
+        let cycles = check_cycles(&edges);
+        assert_eq!(cycles.len(), 1);
+        assert!(cycles[0].message.contains("cycle"));
+    }
+
+    #[test]
+    fn multiline_chain_annotated_at_statement_start() {
+        let (d, _) = setup(
+            "fn f(&self) {\n    // dust-lint: lock(current)\n    let snap = self\n        .current\n        .read()\n        .unwrap_or_else(PoisonError::into_inner)\n        .clone();\n}\n",
+            &["current"],
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

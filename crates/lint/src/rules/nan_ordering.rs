@@ -1,0 +1,87 @@
+//! Rule `nan-ordering` — forbid `partial_cmp`-based ranking outside the
+//! one sanctioned module.
+//!
+//! Origin: the PR 3/4 bug class. `partial_cmp(..).unwrap_or(Equal)`
+//! makes `NaN` compare `Equal` to *everything*, so a single poisoned
+//! score leaves the whole order dependent on input order; `.unwrap()`
+//! turns the same NaN into a panic on a serving path. Every ranking must
+//! go through `dust_embed::order::{desc_nan_last, asc_nan_last}` (or
+//! `total_cmp` where NaN is impossible by construction). The comparator
+//! module itself is the only place allowed to talk about partial
+//! comparison.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+/// The one module that implements the sanctioned comparators.
+const ALLOWED_FILES: &[&str] = &["crates/embed/src/order.rs"];
+
+const PATTERNS: &[&str] = &[
+    ".partial_cmp(",
+    "unwrap_or(Ordering::Equal)",
+    "unwrap_or(cmp::Ordering::Equal)",
+    "unwrap_or(std::cmp::Ordering::Equal)",
+];
+
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    if ALLOWED_FILES.contains(&file.rel.as_str()) {
+        return Vec::new();
+    }
+    let mut lines = BTreeSet::new();
+    for pat in PATTERNS {
+        lines.extend(file.find_pattern(pat));
+    }
+    lines
+        .into_iter()
+        .map(|line| {
+            Diagnostic::new(
+                Rule::NanOrdering,
+                &file.rel,
+                line,
+                "float ranking via partial_cmp: use dust_embed::order::{desc,asc}_nan_last \
+                 (or total_cmp) so one NaN score cannot corrupt or panic the order",
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_call_sites_not_definitions() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "fn partial_cmp(&self, o: &Self) -> Option<Ordering> { Some(self.cmp(o)) }\nscores.sort_by(|a, b| a.partial_cmp(b).unwrap());\n",
+        );
+        let d = check(&f);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn flags_equal_fallback() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "v.sort_by(|a, b| cmp(a, b).unwrap_or(std::cmp::Ordering::Equal));\n",
+        );
+        assert_eq!(check(&f).len(), 1);
+    }
+
+    #[test]
+    fn order_module_is_exempt() {
+        let f = SourceFile::parse("crates/embed/src/order.rs", "a.partial_cmp(&b);\n");
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn one_diagnostic_per_line() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));\n",
+        );
+        assert_eq!(check(&f).len(), 1);
+    }
+}

@@ -1,0 +1,60 @@
+//! Rule `no-wall-clock` — time is an input only the bench crate may
+//! read.
+//!
+//! Origin: PR 6's bit-for-bit recovery pins. Query results and snapshot
+//! bytes must be pure functions of the lake; a wall-clock read anywhere
+//! on those paths is either dead weight or a determinism bug waiting to
+//! be interpolated into output. Measurement belongs to `crates/bench`.
+//! The single sanctioned library helper is `crates/core/src/clock.rs`,
+//! which exists so diagnostic stage timings (never part of ranked
+//! results or encoded bytes) have one auditable chokepoint.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+const ALLOWED_PREFIX: &str = "crates/bench/";
+const ALLOWED_FILES: &[&str] = &["crates/core/src/clock.rs"];
+
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    if file.rel.starts_with(ALLOWED_PREFIX) || ALLOWED_FILES.contains(&file.rel.as_str()) {
+        return Vec::new();
+    }
+    let mut lines = BTreeSet::new();
+    lines.extend(file.find_pattern("Instant::now("));
+    lines.extend(file.find_word("SystemTime"));
+    lines
+        .into_iter()
+        .map(|line| {
+            Diagnostic::new(
+                Rule::NoWallClock,
+                &file.rel,
+                line,
+                "wall-clock read outside crates/bench: results and snapshot bytes must be \
+                 time-independent — route diagnostic timings through core::clock",
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_core_but_not_bench() {
+        let text = "let start = Instant::now();\n";
+        assert_eq!(
+            check(&SourceFile::parse("crates/core/src/pipeline.rs", text)).len(),
+            1
+        );
+        assert!(check(&SourceFile::parse("crates/bench/src/bin/serve.rs", text)).is_empty());
+        assert!(check(&SourceFile::parse("crates/core/src/clock.rs", text)).is_empty());
+    }
+
+    #[test]
+    fn flags_system_time() {
+        let f = SourceFile::parse("crates/table/src/lake.rs", "let t = SystemTime::now();\n");
+        assert_eq!(check(&f).len(), 1);
+    }
+}

@@ -1,0 +1,352 @@
+//! Lexical view of one Rust source file.
+//!
+//! The rules never look at raw text: they match against a **masked** copy
+//! in which the contents of string literals, char literals, and comments
+//! are blanked out (delimiters kept). That is what lets the linter's own
+//! source — full of quoted patterns like `".lock().unwrap()"` — pass its
+//! own rules, and keeps doc comments from tripping token checks.
+//!
+//! Two derived views are exposed:
+//!
+//! * per-line masked text, for word-level checks, and
+//! * a **condensed** stream (all whitespace removed, with a byte → line
+//!   map), for call-chain patterns that may be split across lines, e.g.
+//!
+//!   ```text
+//!   self.current
+//!       .read()
+//!       .unwrap()
+//!   ```
+//!
+//!   which condenses to `self.current.read().unwrap()` and still matches.
+//!   Statement terminators survive condensing, so a pattern can never
+//!   accidentally bridge two statements.
+//!
+//! Comment *text* is kept per line (it is where `dust-lint:` pragmas and
+//! `SAFETY:` justifications live).
+
+/// One parsed source file.
+pub struct SourceFile {
+    /// Workspace-relative path, forward slashes.
+    pub rel: String,
+    /// Raw lines, as read.
+    pub raw: Vec<String>,
+    /// Lines with string/char/comment contents replaced by spaces.
+    pub masked: Vec<String>,
+    /// Per line: concatenated text of its line comments (empty if none).
+    pub comments: Vec<String>,
+    condensed: String,
+    condensed_line: Vec<usize>,
+}
+
+#[derive(PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    Block(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+impl SourceFile {
+    pub fn parse(rel: impl Into<String>, text: &str) -> SourceFile {
+        let chars: Vec<char> = text.chars().collect();
+        let mut masked = String::with_capacity(text.len());
+        let mut comments: Vec<String> = vec![String::new()];
+        let mut line = 0usize;
+        let mut state = State::Normal;
+        let mut prev_ident = false; // was the previous Normal char part of an identifier?
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c == '\n' {
+                masked.push('\n');
+                comments.push(String::new());
+                line += 1;
+                if state == State::LineComment {
+                    state = State::Normal;
+                }
+                prev_ident = false;
+                i += 1;
+                continue;
+            }
+            match state {
+                State::Normal => {
+                    let next = chars.get(i + 1).copied();
+                    if c == '/' && next == Some('/') {
+                        state = State::LineComment;
+                        masked.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        state = State::Block(1);
+                        masked.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    if c == '"' {
+                        state = State::Str;
+                        masked.push('"');
+                        i += 1;
+                        continue;
+                    }
+                    // Raw (byte) strings: r"..." / r#"..."# / br#"..."#.
+                    if !prev_ident && (c == 'r' || (c == 'b' && next == Some('r'))) {
+                        let mut j = i + if c == 'b' { 2 } else { 1 };
+                        let mut hashes = 0u32;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            for _ in i..=j {
+                                masked.push(' ');
+                            }
+                            masked.pop();
+                            masked.push('"');
+                            state = State::RawStr(hashes);
+                            i = j + 1;
+                            prev_ident = false;
+                            continue;
+                        }
+                    }
+                    if c == '\'' {
+                        // Lifetime or char literal? A char literal closes
+                        // within a couple of chars ('x', or '\..' escape).
+                        let is_char = match next {
+                            Some('\\') => true,
+                            Some(n) => n != '\'' && chars.get(i + 2) == Some(&'\''),
+                            None => false,
+                        };
+                        if is_char {
+                            masked.push('\'');
+                            state = State::Char;
+                            i += 1;
+                            prev_ident = false;
+                            continue;
+                        }
+                    }
+                    masked.push(c);
+                    prev_ident = c.is_alphanumeric() || c == '_';
+                    i += 1;
+                }
+                State::LineComment => {
+                    comments[line].push(c);
+                    masked.push(' ');
+                    i += 1;
+                }
+                State::Block(depth) => {
+                    let next = chars.get(i + 1).copied();
+                    if c == '*' && next == Some('/') {
+                        masked.push_str("  ");
+                        i += 2;
+                        state = if depth == 1 {
+                            State::Normal
+                        } else {
+                            State::Block(depth - 1)
+                        };
+                    } else if c == '/' && next == Some('*') {
+                        masked.push_str("  ");
+                        i += 2;
+                        state = State::Block(depth + 1);
+                    } else {
+                        masked.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        masked.push_str("  ");
+                        i += 2;
+                        // A escaped newline still ends the visual line.
+                        if chars.get(i - 1) == Some(&'\n') {
+                            masked.pop();
+                            masked.push('\n');
+                            comments.push(String::new());
+                            line += 1;
+                        }
+                    } else if c == '"' {
+                        masked.push('"');
+                        state = State::Normal;
+                        i += 1;
+                    } else {
+                        masked.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' {
+                        let mut ok = true;
+                        for h in 0..hashes {
+                            if chars.get(i + 1 + h as usize) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            masked.push('"');
+                            for _ in 0..hashes {
+                                masked.push(' ');
+                            }
+                            i += 1 + hashes as usize;
+                            state = State::Normal;
+                            continue;
+                        }
+                    }
+                    masked.push(' ');
+                    i += 1;
+                }
+                State::Char => {
+                    if c == '\\' {
+                        masked.push_str("  ");
+                        i += 2;
+                    } else if c == '\'' {
+                        masked.push('\'');
+                        state = State::Normal;
+                        i += 1;
+                    } else {
+                        masked.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+
+        let raw: Vec<String> = text.lines().map(str::to_string).collect();
+        let mut masked_lines: Vec<String> = masked.lines().map(str::to_string).collect();
+        while masked_lines.len() < raw.len() {
+            masked_lines.push(String::new());
+        }
+        while comments.len() < raw.len() {
+            comments.push(String::new());
+        }
+        comments.truncate(raw.len().max(1));
+
+        let mut condensed = String::new();
+        let mut condensed_line = Vec::new();
+        for (idx, ml) in masked_lines.iter().enumerate() {
+            for ch in ml.chars() {
+                if !ch.is_whitespace() {
+                    condensed.push(ch);
+                    for _ in 0..ch.len_utf8() {
+                        condensed_line.push(idx + 1);
+                    }
+                }
+            }
+        }
+
+        SourceFile {
+            rel: rel.into(),
+            raw,
+            masked: masked_lines,
+            comments,
+            condensed,
+            condensed_line,
+        }
+    }
+
+    pub fn num_lines(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// All occurrences of a whitespace-free pattern in the condensed
+    /// stream, as 1-based line numbers of the match start.
+    pub fn find_pattern(&self, pat: &str) -> Vec<usize> {
+        self.condensed
+            .match_indices(pat)
+            .map(|(i, _)| self.condensed_line[i])
+            .collect()
+    }
+
+    /// Lines whose masked text contains `word` with identifier boundaries
+    /// on both sides.
+    pub fn find_word(&self, word: &str) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (idx, ml) in self.masked.iter().enumerate() {
+            if line_has_word(ml, word) {
+                out.push(idx + 1);
+            }
+        }
+        out
+    }
+}
+
+/// Does `line` contain `word` delimited by non-identifier characters?
+pub fn line_has_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    for (i, _) in line.match_indices(word) {
+        let before_ok = i == 0 || !is_ident_byte(bytes[i - 1]);
+        let after = i + word.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_masked() {
+        let f = SourceFile::parse(
+            "t.rs",
+            "let x = \".lock().unwrap()\"; // .lock().unwrap()\nx.lock().unwrap();\n",
+        );
+        assert_eq!(f.find_pattern(".lock().unwrap()"), vec![2]);
+        assert!(f.comments[0].contains(".lock().unwrap()"));
+    }
+
+    #[test]
+    fn multiline_chains_condense_across_lines() {
+        let f = SourceFile::parse("t.rs", "self.current\n    .read()\n    .unwrap();\n");
+        assert_eq!(f.find_pattern(".read().unwrap()"), vec![2]);
+    }
+
+    #[test]
+    fn statement_boundaries_survive_condensing() {
+        let f = SourceFile::parse("t.rs", "a.lock();\nb.unwrap();\n");
+        assert!(f.find_pattern(".lock().unwrap()").is_empty());
+    }
+
+    #[test]
+    fn raw_strings_are_masked() {
+        let f = SourceFile::parse("t.rs", "let p = r#\"x.partial_cmp(y)\"#;\n");
+        assert!(f.find_pattern(".partial_cmp(").is_empty());
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = SourceFile::parse("t.rs", "fn f<'a>(x: &'a str) { x.partial_cmp(x); }\n");
+        assert_eq!(f.find_pattern(".partial_cmp("), vec![1]);
+    }
+
+    #[test]
+    fn char_literals_are_masked() {
+        let f = SourceFile::parse("t.rs", "let c = 'u'; let d = '\\n'; c.partial_cmp(&d);\n");
+        assert_eq!(f.find_pattern(".partial_cmp("), vec![1]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = SourceFile::parse("t.rs", "/* a /* HashMap */ HashSet */ let x = 1;\n");
+        assert!(f.find_word("HashMap").is_empty());
+        assert!(f.find_word("HashSet").is_empty());
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(line_has_word("use std::collections::HashMap;", "HashMap"));
+        assert!(!line_has_word("type MyHashMapLike = ();", "HashMap"));
+        assert!(!line_has_word("unsafe_code", "unsafe"));
+        assert!(line_has_word("unsafe {", "unsafe"));
+    }
+}

@@ -1,0 +1,279 @@
+//! A minimal TOML subset, hand-rolled (the workspace builds offline; the
+//! linter takes no dependencies).
+//!
+//! Supported — which is exactly what `lint/*.toml` use:
+//!
+//! * `#` comments and blank lines,
+//! * `key = "string"` with `\\`, `\"`, `\n`, `\t` escapes,
+//! * `key = ["a", "b", ...]` string arrays, single- or multi-line,
+//! * `[[name]]` array-of-tables headers.
+//!
+//! Anything else is a hard parse error: the lint config is checked in, so
+//! failing loudly beats guessing.
+
+/// A parsed value: string or array of strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    Str(String),
+    Array(Vec<String>),
+}
+
+impl Value {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Array(_) => None,
+        }
+    }
+}
+
+/// An ordered list of `key = value` pairs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    pub entries: Vec<(String, Value)>,
+}
+
+impl Table {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(Value::as_str)
+    }
+}
+
+/// A parsed document: root-level pairs plus `[[name]]` tables in order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Doc {
+    pub root: Table,
+    pub tables: Vec<(String, Table)>,
+}
+
+impl Doc {
+    /// All `[[name]]` tables with the given name.
+    pub fn tables_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Table> {
+        self.tables
+            .iter()
+            .filter(move |(n, _)| n == name)
+            .map(|(_, t)| t)
+    }
+}
+
+/// Parse a document; errors carry a 1-based line number.
+pub fn parse(text: &str) -> Result<Doc, String> {
+    let mut doc = Doc::default();
+    let mut current: Option<Table> = None;
+    let mut current_name = String::new();
+    let lines: Vec<&str> = text.lines().collect();
+    let mut i = 0usize;
+    while i < lines.len() {
+        let line = lines[i].trim();
+        i += 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("[[").and_then(|r| r.strip_suffix("]]")) {
+            if let Some(t) = current.take() {
+                doc.tables.push((current_name.clone(), t));
+            }
+            current_name = name.trim().to_string();
+            current = Some(Table::default());
+            continue;
+        }
+        let (key, rest) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {i}: expected `key = value`, got `{line}`"))?;
+        let key = key.trim().to_string();
+        let mut rest = strip_comment(rest.trim()).to_string();
+        // Multi-line array: keep consuming lines until brackets balance.
+        if rest.starts_with('[') {
+            while !array_closed(&rest) {
+                if i >= lines.len() {
+                    return Err(format!("line {i}: unterminated array for `{key}`"));
+                }
+                rest.push(' ');
+                rest.push_str(strip_comment(lines[i].trim()));
+                i += 1;
+            }
+        }
+        let value = parse_value(&rest).map_err(|e| format!("line {i}: {e}"))?;
+        match &mut current {
+            Some(t) => t.entries.push((key, value)),
+            None => doc.root.entries.push((key, value)),
+        }
+    }
+    if let Some(t) = current.take() {
+        doc.tables.push((current_name, t));
+    }
+    Ok(doc)
+}
+
+/// Drop a trailing `#` comment (respecting quoted strings).
+fn strip_comment(s: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return s[..i].trim_end(),
+            _ => {}
+        }
+    }
+    s
+}
+
+/// Does this (possibly accumulated) array line close its bracket outside
+/// of any string?
+fn array_closed(s: &str) -> bool {
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            ']' if !in_str => return true,
+            '#' if !in_str => return false, // trailing comment
+            _ => {}
+        }
+    }
+    false
+}
+
+fn parse_value(s: &str) -> Result<Value, String> {
+    let s = s.trim();
+    if let Some(body) = s.strip_prefix('[') {
+        let body = body
+            .rfind(']')
+            .map(|end| &body[..end])
+            .ok_or("unterminated array")?;
+        let mut items = Vec::new();
+        let mut rest = body.trim();
+        while !rest.is_empty() {
+            if rest.starts_with(',') {
+                rest = rest[1..].trim_start();
+                continue;
+            }
+            if rest.starts_with('#') {
+                break;
+            }
+            let (item, len) = parse_string(rest)?;
+            items.push(item);
+            rest = rest[len..].trim_start();
+        }
+        return Ok(Value::Array(items));
+    }
+    let (string, len) = parse_string(s)?;
+    let tail = s[len..].trim();
+    if !tail.is_empty() && !tail.starts_with('#') {
+        return Err(format!("trailing content after string: `{tail}`"));
+    }
+    Ok(Value::Str(string))
+}
+
+/// Parse one quoted string at the start of `s`; returns (unescaped, bytes
+/// consumed including quotes).
+fn parse_string(s: &str) -> Result<(String, usize), String> {
+    let mut chars = s.char_indices();
+    match chars.next() {
+        Some((_, '"')) => {}
+        _ => return Err(format!("expected string, got `{s}`")),
+    }
+    let mut out = String::new();
+    let mut escaped = false;
+    for (i, c) in chars {
+        if escaped {
+            out.push(match c {
+                'n' => '\n',
+                't' => '\t',
+                other => other,
+            });
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' => escaped = true,
+            '"' => return Ok((out, i + c.len_utf8())),
+            other => out.push(other),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+/// Escape a string for writing back into a TOML file.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_root_and_tables() {
+        let doc = parse(
+            "# comment\nlock_order = [\"a\", \"b\"]\n\n[[entry]]\nrule = \"nan-ordering\"\nfile = \"crates/x.rs\"\n\n[[entry]]\nrule = \"lock-hygiene\"\n",
+        )
+        .unwrap();
+        assert_eq!(
+            doc.root.get("lock_order"),
+            Some(&Value::Array(vec!["a".into(), "b".into()]))
+        );
+        let entries: Vec<_> = doc.tables_named("entry").collect();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].get_str("rule"), Some("nan-ordering"));
+    }
+
+    #[test]
+    fn multiline_arrays() {
+        let doc = parse("order = [\n  \"x\",\n  \"y\",\n]\n").unwrap();
+        assert_eq!(
+            doc.root.get("order"),
+            Some(&Value::Array(vec!["x".into(), "y".into()]))
+        );
+    }
+
+    #[test]
+    fn multiline_arrays_with_per_element_comments() {
+        let doc =
+            parse("order = [\n  \"x\", # outermost (held across calls)\n  \"y#z\", # leaf\n]\n")
+                .unwrap();
+        assert_eq!(
+            doc.root.get("order"),
+            Some(&Value::Array(vec!["x".into(), "y#z".into()]))
+        );
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let original = "a \"quoted\" \\ backslash";
+        let text = format!("snippet = \"{}\"\n", escape(original));
+        let doc = parse(&text).unwrap();
+        assert_eq!(doc.root.get_str("snippet"), Some(original));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("not a kv line\n").is_err());
+        assert!(parse("x = unquoted\n").is_err());
+    }
+}

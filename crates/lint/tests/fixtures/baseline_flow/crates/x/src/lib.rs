@@ -1,0 +1,9 @@
+//! Fixture: one baselined hit, one new hit, one stale entry.
+
+pub fn grandfathered(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap()
+}
+
+pub fn fresh(a: f32, b: f32) -> std::cmp::Ordering {
+    b.partial_cmp(&a).unwrap()
+}

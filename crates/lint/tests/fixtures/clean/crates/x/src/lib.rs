@@ -1,0 +1,10 @@
+//! Fixture: nothing to report. Mentions that `.lock().unwrap()` and
+//! `Instant::now()` in comments and strings must not trip the rules.
+
+pub fn describe() -> &'static str {
+    "call .lock().unwrap() and Instant::now() — quoted, not executed"
+}
+
+pub fn rank(scores: &mut [f64]) {
+    scores.sort_by(|a, b| a.total_cmp(b));
+}

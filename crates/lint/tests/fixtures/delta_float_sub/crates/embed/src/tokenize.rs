@@ -1,0 +1,19 @@
+//! Fixture: float subtraction on a delta path.
+
+pub struct Corpus {
+    documents: u64,
+    total_weight: f64,
+}
+
+impl Corpus {
+    pub fn remove_document(&mut self, weight: f64, df: u64) -> u64 {
+        self.documents -= 1;
+        self.total_weight -= weight;
+        df - 1
+    }
+
+    pub fn idf(&self) -> f64 {
+        // read path: float subtraction is fine here
+        (self.documents as f64).ln() - self.total_weight
+    }
+}

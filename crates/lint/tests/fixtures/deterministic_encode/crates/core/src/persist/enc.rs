@@ -1,0 +1,12 @@
+//! Fixture: hash-ordered collections in the persist layer.
+
+use std::collections::HashMap;
+
+pub fn encode(m: &HashMap<String, u32>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (k, v) in m {
+        out.extend_from_slice(k.as_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}

@@ -1,0 +1,28 @@
+//! Fixture: a lock-order cycle across two functions. Neither function
+//! misorders on its own (no declared order here), but together they
+//! deadlock.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct S {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl S {
+    pub fn ab(&self) -> u32 {
+        // dust-lint: lock(alpha)
+        let x = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        // dust-lint: lock(beta)
+        let y = self.b.lock().unwrap_or_else(PoisonError::into_inner);
+        *x + *y
+    }
+
+    pub fn ba(&self) -> u32 {
+        // dust-lint: lock(beta)
+        let y = self.b.lock().unwrap_or_else(PoisonError::into_inner);
+        // dust-lint: lock(alpha)
+        let x = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        *x + *y
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: poison-propagating lock forms.
+
+use std::sync::{Mutex, PoisonError, RwLock};
+
+pub fn bad(m: &Mutex<u32>, rw: &RwLock<u32>) -> u32 {
+    let a = *m.lock().unwrap();
+    let b = *rw.read().expect("poisoned");
+    let c = *rw
+        .write()
+        .unwrap();
+    a + b + c
+}
+
+pub fn good(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(PoisonError::into_inner)
+}

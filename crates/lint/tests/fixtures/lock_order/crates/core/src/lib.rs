@@ -1,0 +1,27 @@
+//! Fixture: inverted and unannotated lock acquisitions.
+
+use std::sync::{Mutex, PoisonError};
+
+pub struct S {
+    outer: Mutex<u32>,
+    inner: Mutex<u32>,
+}
+
+impl S {
+    pub fn inverted(&self) -> u32 {
+        // dust-lint: lock(inner)
+        let a = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        // dust-lint: lock(outer)
+        let b = self.outer.lock().unwrap_or_else(PoisonError::into_inner);
+        *a + *b
+    }
+
+    pub fn unannotated(&self) -> u32 {
+        *self.outer.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn unknown(&self) -> u32 {
+        // dust-lint: lock(mystery)
+        *self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}

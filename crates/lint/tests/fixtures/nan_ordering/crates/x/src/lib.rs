@@ -1,0 +1,6 @@
+//! Fixture: float ranking through partial_cmp.
+
+pub fn rank(scores: &mut Vec<(usize, f64)>) {
+    scores.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+}

@@ -1,0 +1,5 @@
+//! Fixture: the bench crate may read the clock.
+
+pub fn measure() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,9 @@
+//! Fixture: wall-clock reads outside the bench crate.
+
+use std::time::{Instant, SystemTime};
+
+pub fn timed() -> f64 {
+    let start = Instant::now();
+    let _epoch = SystemTime::now();
+    start.elapsed().as_secs_f64()
+}

@@ -1,0 +1,13 @@
+//! Fixture: pragma parsing — good, bare, typo'd, and unknown-rule.
+
+pub fn f(a: f64, b: f64) -> std::cmp::Ordering {
+    // dust-lint: allow(nan-ordering) -- fixture exercises a justified waiver
+    let good = a.partial_cmp(&b).unwrap();
+    // dust-lint: allow(nan-ordering)
+    let bare = a.partial_cmp(&b).unwrap();
+    // dust-lint: allow(made-up-rule) -- no such rule
+    let unknown = a.partial_cmp(&b).unwrap();
+    // dust-lint: allw(nan-ordering) -- typo in the keyword
+    let typo = a.partial_cmp(&b).unwrap();
+    good.then(bare).then(unknown).then(typo)
+}

@@ -1,0 +1,9 @@
+//! Fixture: unledgered and uncommented unsafe.
+
+fn main() {
+    let x = [1u8, 2, 3];
+    let p = x.as_ptr();
+    // SAFETY: p points into x, which outlives this read.
+    let _first = unsafe { p.read() };
+    let _second = unsafe { p.add(1).read() };
+}

@@ -1,0 +1,35 @@
+//! The meta-test: the live workspace itself must be lint-clean. This is
+//! what keeps `cargo test` equivalent to the CI lint gate — a violation
+//! introduced anywhere in the tree fails this test with the same
+//! diagnostics the `dust-lint` binary would print.
+
+use std::path::Path;
+
+#[test]
+fn live_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf();
+    assert!(root.join("Cargo.toml").is_file(), "bad root {root:?}");
+
+    let report = dust_lint::run(&root).expect("lint run");
+    assert!(
+        report.is_clean(),
+        "workspace has {} lint violation(s):\n{}",
+        report.diagnostics.len(),
+        report
+            .diagnostics
+            .iter()
+            .map(|d| format!("  {d}\n"))
+            .collect::<String>()
+    );
+    // The walk actually covered the tree (a wrong root would "pass" by
+    // scanning nothing).
+    assert!(
+        report.files_checked > 100,
+        "only {} files checked — wrong root?",
+        report.files_checked
+    );
+}

@@ -116,12 +116,30 @@ impl Value {
 
     /// A stable ordering key used by deterministic algorithms (medoid tie
     /// breaking, canonical table ordering in tests).
+    ///
+    /// Numeric keys must compare lexicographically in numeric order, which
+    /// plain zero-padded formatting gets wrong for negatives (`-5` would
+    /// sort before `-10`, and `-` < `0` games the digit comparison). Ints
+    /// are offset-encoded into `0..=u64::MAX` so the padded decimal string
+    /// orders exactly like the signed value; floats use the sign-flipped
+    /// IEEE bit trick, whose unsigned order is `total_cmp` order.
     pub fn sort_key(&self) -> (u8, String) {
         match self {
             Value::Null => (0, String::new()),
             Value::Bool(b) => (1, b.to_string()),
-            Value::Int(v) => (2, format!("{v:020}")),
-            Value::Float(v) => (3, format!("{v:020.6}")),
+            Value::Int(v) => {
+                let offset = (*v as i128 - i64::MIN as i128) as u128;
+                (2, format!("{offset:020}"))
+            }
+            Value::Float(v) => {
+                let bits = v.to_bits();
+                let key = if bits >> 63 == 1 {
+                    !bits
+                } else {
+                    bits | (1 << 63)
+                };
+                (3, format!("{key:016x}"))
+            }
             Value::Text(s) => (4, s.clone()),
         }
     }
@@ -312,5 +330,59 @@ mod tests {
         assert!(!Value::text("x").is_numeric());
         assert!(Value::text("x").is_text());
         assert!(!Value::Null.is_text());
+    }
+
+    #[test]
+    fn int_sort_keys_order_like_the_integers() {
+        let ints = [
+            i64::MIN,
+            -1_000_000,
+            -10,
+            -5,
+            -1,
+            0,
+            1,
+            5,
+            10,
+            1_000_000,
+            i64::MAX,
+        ];
+        for pair in ints.windows(2) {
+            assert!(
+                Value::Int(pair[0]) < Value::Int(pair[1]),
+                "{} should sort before {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn float_sort_keys_order_like_total_cmp() {
+        let floats = [
+            f64::NEG_INFINITY,
+            -1.0e300,
+            -10.0,
+            -5.0,
+            -1.5,
+            -0.0,
+            0.0,
+            1.5,
+            5.0,
+            10.0,
+            1.0e300,
+            f64::INFINITY,
+        ];
+        for pair in floats.windows(2) {
+            assert!(
+                Value::Float(pair[0]) <= Value::Float(pair[1]),
+                "{} should not sort after {}",
+                pair[0],
+                pair[1]
+            );
+        }
+        // NaN sorts after every finite value (total_cmp order), so a sort
+        // with a stray NaN stays deterministic instead of shuffling.
+        assert!(Value::Float(f64::NAN) > Value::Float(f64::INFINITY));
     }
 }

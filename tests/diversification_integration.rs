@@ -92,7 +92,7 @@ fn dust_is_faster_than_gmc_on_large_pools() {
     // Fig. 7a's shape: GMC is quadratic in the pool size, DUST (with pruning)
     // is not. Compare on a synthetic pool large enough for the gap to be
     // unambiguous even in debug builds.
-    use std::time::Instant;
+    use dust_core::clock;
     let dim = 16;
     let n = 1200usize;
     let query: Vec<Vector> = (0..10)
@@ -115,11 +115,11 @@ fn dust_is_faster_than_gmc_on_large_pools() {
         prune_to: Some(400),
         ..DustConfig::default()
     });
-    let start = Instant::now();
+    let start = clock::now();
     let dust_selection = dust.select(&input, k);
     let dust_time = start.elapsed();
 
-    let start = Instant::now();
+    let start = clock::now();
     let gmc_selection = GmcDiversifier::new().select(&input, k);
     let gmc_time = start.elapsed();
 

@@ -18,7 +18,7 @@ use dust_core::{DustResult, LakeSession, PipelineConfig, SearchTechnique, Sessio
 use dust_datagen::BenchmarkConfig;
 use dust_table::{DataLake, Table};
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 const TECHNIQUES: [SearchTechnique; 3] = [
     SearchTechnique::Overlap,
@@ -108,7 +108,10 @@ fn concurrent_reads_are_linearizable_at_their_observed_generation() {
         // generation → the lake exactly as that generation served it;
         // recorded by the (single) mutator, which is the only writer
         let lakes: Mutex<BTreeMap<u64, DataLake>> = Mutex::new(BTreeMap::new());
-        lakes.lock().unwrap().insert(0, session.lake().clone());
+        lakes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(0, session.lake().clone());
         let observations: Mutex<Vec<Observation>> = Mutex::new(Vec::new());
 
         std::thread::scope(|scope| {
@@ -120,13 +123,13 @@ fn concurrent_reads_are_linearizable_at_their_observed_generation() {
                     let view = session.view();
                     lakes
                         .lock()
-                        .unwrap()
+                        .unwrap_or_else(PoisonError::into_inner)
                         .insert(view.generation(), view.lake().clone());
                     session.remove_table(table.name()).unwrap();
                     let view = session.view();
                     lakes
                         .lock()
-                        .unwrap()
+                        .unwrap_or_else(PoisonError::into_inner)
                         .insert(view.generation(), view.lake().clone());
                 }
             });
@@ -145,13 +148,16 @@ fn concurrent_reads_are_linearizable_at_their_observed_generation() {
                             .into_iter()
                             .map(|r| (r.table, r.row, r.score.to_bits()))
                             .collect();
-                        observations.lock().unwrap().push(Observation {
-                            generation: view.generation(),
-                            reader,
-                            round,
-                            query,
-                            similar,
-                        });
+                        observations
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .push(Observation {
+                                generation: view.generation(),
+                                reader,
+                                round,
+                                query,
+                                similar,
+                            });
                     }
                 });
             }
