@@ -28,6 +28,7 @@
 //!
 //! [`LakeSession`]: dust_core::LakeSession
 
+use dust_bench::pool::{self, PoolCounters, PoolOptions};
 use dust_bench::report::{fmt3, Report};
 use dust_bench::setup::scale;
 use dust_core::{DustPipeline, LakeSession, PipelineConfig, SearchTechnique, TupleEmbedderKind};
@@ -35,7 +36,9 @@ use dust_embed::{FineTuneConfig, PretrainedModel};
 use dust_table::Table;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::PoisonError;
 use std::time::Instant;
 
@@ -231,6 +234,7 @@ fn main() {
 
     mutation_benchmark(&lake, &queries, &mut json);
     concurrency_benchmark(&lake, &queries, &mut json);
+    connections_benchmark(&lake, &queries, &mut json);
     recovery_benchmark(&lake, &queries, &mut json);
     let _ = writeln!(json, "}}");
 
@@ -559,6 +563,216 @@ fn concurrency_benchmark(full_lake: &dust_table::DataLake, queries: &[Table], js
          \"generations_observed\": [{gen_lo}, {gen_hi}] }}"
     );
     let _ = writeln!(json, "  }},");
+}
+
+/// The connection-multiplexing scenario: the serve worker pool under many
+/// more clients than workers. A serial reference first computes every
+/// response on one thread; then 64 concurrent TCP clients drive the same
+/// requests through the bounded pool and every response line is asserted
+/// **bit-identical** to the reference before any timing is reported.
+/// Finally the same workload at 4 clients runs against both connection
+/// models — the worker pool and the thread-per-connection shape it
+/// replaced — so the multiplexing refactor's low-concurrency cost is a
+/// measured number, not a hope.
+fn connections_benchmark(full_lake: &dust_table::DataLake, queries: &[Table], json: &mut String) {
+    const CLIENTS: usize = 64;
+    const BASELINE_CLIENTS: usize = 4;
+    const REQUESTS: usize = 64;
+    const WORKERS: usize = 4;
+    let config = PipelineConfig {
+        search: SearchTechnique::Overlap,
+        ..PipelineConfig::fast()
+    };
+    let session = LakeSession::new(full_lake.clone(), config);
+
+    // One request line in ("query index"), one deterministic response
+    // line out: index, selected tuples, retrieved tables, and the
+    // diversity scores as raw bits — any divergence anywhere is visible.
+    let handler = |line: &str| -> String {
+        let i: usize = line.trim().parse().expect("request index");
+        let view = session.view();
+        let r = view
+            .query(&queries[i % queries.len()], K)
+            .expect("bench query");
+        format!(
+            "{i}|{:?}|{:?}|{:016x}|{:016x}",
+            r.tuples,
+            r.retrieved_tables,
+            r.diversity.average.to_bits(),
+            r.diversity.minimum.to_bits()
+        )
+    };
+
+    // ---- serial reference: every response, one thread, no sockets --------
+    let serial: Vec<String> = (0..REQUESTS).map(|i| handler(&i.to_string())).collect();
+
+    // ---- worker pool under CLIENTS concurrent connections ----------------
+    let pool_secs = drive_pool(&handler, &serial, CLIENTS, WORKERS);
+    // ---- both models at the low-concurrency baseline ----------------------
+    let pool_baseline_secs = drive_pool(&handler, &serial, BASELINE_CLIENTS, WORKERS);
+    let thread_secs = drive_thread_per_conn(&handler, &serial, BASELINE_CLIENTS);
+    let pool_vs_thread = thread_secs / pool_baseline_secs;
+
+    let mut report = Report::new(format!(
+        "Connection multiplexing: {WORKERS}-worker pool vs thread-per-connection (overlap+pretrained)"
+    ))
+    .headers(["model", "clients", "requests", "wall (s)", "lines/s"]);
+    report.row([
+        "worker pool".to_string(),
+        CLIENTS.to_string(),
+        REQUESTS.to_string(),
+        fmt3(pool_secs),
+        format!("{:.1}", REQUESTS as f64 / pool_secs),
+    ]);
+    report.row([
+        "worker pool".to_string(),
+        BASELINE_CLIENTS.to_string(),
+        REQUESTS.to_string(),
+        fmt3(pool_baseline_secs),
+        format!("{:.1}", REQUESTS as f64 / pool_baseline_secs),
+    ]);
+    report.row([
+        "thread-per-connection".to_string(),
+        BASELINE_CLIENTS.to_string(),
+        REQUESTS.to_string(),
+        fmt3(thread_secs),
+        format!("{:.1}", REQUESTS as f64 / thread_secs),
+    ]);
+    report.note("every response line asserted bit-identical to the serial reference before timing");
+    report.note(format!(
+        "pool wall clock at {BASELINE_CLIENTS} clients is {pool_vs_thread:.2}x thread-per-connection (>1 = pool faster)"
+    ));
+    report.print();
+
+    let _ = writeln!(json, "  \"connections\": {{");
+    let _ = writeln!(
+        json,
+        "    \"note\": \"serve TCP models over loopback, one query request per line: \
+         {CLIENTS} concurrent clients multiplexed by a {WORKERS}-worker bounded pool, then the \
+         same {REQUESTS} requests at {BASELINE_CLIENTS} clients under both the pool and the \
+         thread-per-connection model it replaced; every response asserted bit-identical to a \
+         serial single-thread reference before timing\","
+    );
+    let _ = writeln!(
+        json,
+        "    \"pool\": {{ \"clients\": {CLIENTS}, \"workers\": {WORKERS}, \
+         \"requests\": {REQUESTS}, \"secs\": {pool_secs:.3}, \
+         \"lines_per_sec\": {:.1} }},",
+        REQUESTS as f64 / pool_secs
+    );
+    let _ = writeln!(
+        json,
+        "    \"baseline\": {{ \"clients\": {BASELINE_CLIENTS}, \"requests\": {REQUESTS}, \
+         \"pool_secs\": {pool_baseline_secs:.3}, \"thread_per_connection_secs\": {thread_secs:.3}, \
+         \"pool_speedup_vs_thread\": {pool_vs_thread:.2} }}"
+    );
+    let _ = writeln!(json, "  }},");
+}
+
+/// Drive `REQUESTS` request lines through a live worker pool from
+/// `clients` concurrent blocking sockets, asserting every response
+/// against the serial reference. Returns the client-side wall clock.
+fn drive_pool(
+    handler: &(dyn Fn(&str) -> String + Sync),
+    serial: &[String],
+    clients: usize,
+    workers: usize,
+) -> f64 {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let counters = PoolCounters::default();
+    let shutdown = AtomicBool::new(false);
+    let options = PoolOptions {
+        workers,
+        max_connections: clients + 8,
+        ..PoolOptions::default()
+    };
+    let mut elapsed = 0.0;
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            pool::run(&listener, &options, &counters, &shutdown, handler).expect("pool run");
+        });
+        let start = Instant::now();
+        std::thread::scope(|inner| {
+            for c in 0..clients {
+                inner.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    for i in (c..serial.len()).step_by(clients) {
+                        writeln!(stream, "{i}").expect("send");
+                        let mut line = String::new();
+                        reader.read_line(&mut line).expect("recv");
+                        assert_eq!(
+                            line.trim_end(),
+                            serial[i],
+                            "pool response {i} diverged from the serial reference"
+                        );
+                    }
+                });
+            }
+        });
+        elapsed = start.elapsed().as_secs_f64();
+        shutdown.store(true, Ordering::SeqCst);
+    });
+    assert_eq!(
+        counters.served_lines.load(Ordering::Relaxed),
+        serial.len() as u64,
+        "pool served a different number of lines than were sent"
+    );
+    elapsed
+}
+
+/// The model the pool replaced, reconstructed for the head-to-head: one
+/// OS thread per accepted connection, blocking reads. Returns the
+/// client-side wall clock for the same asserted workload.
+fn drive_thread_per_conn(
+    handler: &(dyn Fn(&str) -> String + Sync),
+    serial: &[String],
+    clients: usize,
+) -> f64 {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let mut elapsed = 0.0;
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            for _ in 0..clients {
+                let (stream, _) = listener.accept().expect("accept");
+                scope.spawn(move || {
+                    let mut writer = stream.try_clone().expect("clone");
+                    let mut reader = BufReader::new(stream);
+                    let mut line = String::new();
+                    while reader.read_line(&mut line).unwrap_or(0) > 0 {
+                        let response = handler(line.trim());
+                        if writeln!(writer, "{response}").is_err() {
+                            break;
+                        }
+                        line.clear();
+                    }
+                });
+            }
+        });
+        let start = Instant::now();
+        std::thread::scope(|inner| {
+            for c in 0..clients {
+                inner.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    for i in (c..serial.len()).step_by(clients) {
+                        writeln!(stream, "{i}").expect("send");
+                        let mut line = String::new();
+                        reader.read_line(&mut line).expect("recv");
+                        assert_eq!(
+                            line.trim_end(),
+                            serial[i],
+                            "thread-per-connection response {i} diverged"
+                        );
+                    }
+                });
+            }
+        });
+        elapsed = start.elapsed().as_secs_f64();
+    });
+    elapsed
 }
 
 /// The durability scenario: restart cost by strategy. A server that dies

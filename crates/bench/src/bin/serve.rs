@@ -39,11 +39,27 @@
 //! error; the session, the batch's other slots, and every other
 //! connection keep serving.
 //!
-//! With `--listen ADDR` the server accepts any number of TCP clients,
-//! one thread per connection, each speaking the same JSONL protocol.
-//! `{"mode":"shutdown"}` (from any client, or stdin) stops the server
-//! gracefully: in-flight requests drain, and a durable session writes a
-//! final checkpoint so the next recovery replays nothing.
+//! The token also works in the other direction: a query/similar/batch
+//! request carrying `{"generation": g}` is served from that **pinned**
+//! generation, as long as it is the current one or among the last
+//! `--history` published ones (default 8; near-free to retain thanks to
+//! structural sharing). Reconnecting clients thus get repeatable reads
+//! across requests and connections. A generation outside the window
+//! answers with a typed `kind:"generation_evicted"` error naming the
+//! retained window.
+//!
+//! With `--listen ADDR` the server speaks the same JSONL protocol over
+//! TCP through a **bounded worker pool**: `--workers K` (default 4)
+//! threads multiplex up to `--max-connections N` (default 256)
+//! nonblocking sockets, each with its own read/write buffers — no
+//! per-connection thread, no unbounded spawn. A connection over the cap
+//! is told so with a typed `kind:"overloaded"` line and closed; a request
+//! line over 1 MiB is dropped with `kind:"line_too_long"` (the connection
+//! survives, input is skipped to the next newline). `{"mode":"shutdown"}`
+//! (from any client, or stdin) stops the server gracefully: workers stop
+//! accepting, every connection's pending responses drain, and a durable
+//! session writes a final checkpoint so the next recovery replays
+//! nothing.
 //!
 //! The lake can be mutated in place — incremental per-shard deltas, no
 //! session rebuild (results stay bit-identical to a rebuild; see
@@ -77,50 +93,58 @@
 //! `{"mode":"stats"}` is the operability probe: it reports the pinned
 //! generation, lake-wide table/tuple/column counts, per-shard
 //! `{tables, live, dead}` rows (dead = tombstoned, awaiting compaction),
-//! and — for a durable session — the WAL epoch, record count, and bytes
-//! accumulated since the last checkpoint (`"wal":null` otherwise).
+//! the generation-history window (`depth`/`retained`/`oldest`/`newest`),
+//! the worker-pool counters for a TCP server (`workers`, live
+//! `connections`, `accepted`, `rejected_overloaded`, `lines_too_long`;
+//! `"server":null` on the stdio path), and — for a durable session — the
+//! WAL epoch, record count, and bytes accumulated since the last
+//! checkpoint (`"wal":null` otherwise).
 //!
 //! Flags: `--benchmark tiny|santos|ugen` (generated lake, default tiny),
 //! `--lake-dir <dir>` (load every `*.csv` file as a lake table),
 //! `--search overlap|d3l|starmie`, `--finetune` (train the DUST model at
 //! startup instead of serving pre-trained embeddings), `--shards N`,
-//! `--listen ADDR` (TCP multi-client mode; takes precedence over
-//! stdin/`--requests`), `--snapshot-dir <dir>` (durable session: recover
-//! on start, WAL on mutation), `--checkpoint-after N`,
-//! `--checkpoint-bytes N`, `--requests
+//! `--listen ADDR` (TCP worker-pool mode; takes precedence over
+//! stdin/`--requests`), `--workers K`, `--max-connections N`,
+//! `--history N` (pinnable generations retained), `--snapshot-dir <dir>`
+//! (durable session: recover on start, WAL on mutation),
+//! `--checkpoint-after N`, `--checkpoint-bytes N`, `--requests
 //! <file>` (read JSONL from a file instead of stdin), `--selftest` (build
 //! a tiny lake, run built-in requests including a save → drop → recover →
-//! re-query cycle and a concurrent TCP round-trip, verify, exit).
+//! re-query cycle and a concurrent worker-pool TCP round-trip with more
+//! clients than workers, verify, exit).
 //!
 //! [`LakeSession`]: dust_core::LakeSession
 
 #![forbid(unsafe_code)]
 
 use dust_bench::json::{self, JsonValue};
+use dust_bench::pool::{self, PoolCounters, PoolOptions};
 use dust_bench::setup::Scale;
 use dust_core::{
-    DustResult, LakeSession, PersistError, PipelineConfig, SearchTechnique, SnapshotStore,
-    StoreOptions, TupleEmbedderKind,
+    DustResult, LakeSession, PersistError, PipelineConfig, SearchTechnique, SessionView,
+    SnapshotStore, StoreOptions, TupleEmbedderKind,
 };
 use dust_datagen::BenchmarkConfig;
 use dust_embed::{FineTuneConfig, PretrainedModel};
 use dust_table::{parse_csv, CsvOptions, DataLake, Table};
 use std::io::{BufRead, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Give up on a broken stdin after this many read failures in a row (a
 /// single bad line must not kill the server; a permanently dead pipe
 /// should not spin forever either).
 const MAX_CONSECUTIVE_READ_ERRORS: usize = 16;
 
-/// Per-connection read timeout; doubles as the shutdown-flag poll
-/// interval, so every connection notices `{"mode":"shutdown"}` within
-/// this window.
-const CONNECTION_POLL: Duration = Duration::from_millis(200);
+/// Per-connection cap on one request line (newline exclusive). A client
+/// streaming bytes without a newline is answered `kind:"line_too_long"`
+/// when its partial line passes this, and the line is dropped — the
+/// server's memory stays bounded no matter how slowly the bytes trickle.
+const MAX_LINE_BYTES: usize = 1 << 20;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -143,6 +167,13 @@ struct ServerState {
     durable: Mutex<Option<SnapshotStore>>,
     /// Set by `{"mode":"shutdown"}`; every serve loop polls it.
     shutdown: AtomicBool,
+    /// Worker-pool observability counters, surfaced by `{"mode":"stats"}`.
+    /// All-zero on the stdio path.
+    pool: PoolCounters,
+    /// `(workers, max_connections)` when serving TCP; `None` on the stdio
+    /// path (stats then reports `"server":null`). Set once before serving
+    /// starts.
+    serving: Option<(usize, usize)>,
 }
 
 impl ServerState {
@@ -151,6 +182,8 @@ impl ServerState {
             session,
             durable: Mutex::new(store),
             shutdown: AtomicBool::new(false),
+            pool: PoolCounters::default(),
+            serving: None,
         }
     }
 }
@@ -171,7 +204,11 @@ fn run(args: &[String]) -> Result<(), String> {
         return selftest(&options);
     }
 
-    let state = Arc::new(build_state(&options)?);
+    let mut state = build_state(&options)?;
+    if options.listen.is_some() {
+        state.serving = Some((options.workers, options.max_connections));
+    }
+    let state = Arc::new(state);
     let stats = state.session.stats();
     eprintln!(
         "serve: session ready in {:.2}s — {} tuples + {} columns resident across {} shards \
@@ -267,114 +304,45 @@ fn serve_stdio(state: &ServerState, options: &CliOptions) -> Result<(), String> 
     Ok(())
 }
 
-/// The TCP accept loop: one thread per connection, all sharing one
-/// [`ServerState`]. Nonblocking accept so the shutdown flag is honored
-/// promptly; scoped threads so every in-flight connection drains before
-/// this returns (that is what makes the post-loop checkpoint safe).
+/// The TCP serve mode: a bounded worker pool multiplexing nonblocking
+/// connections (see [`dust_bench::pool`]), all sharing one
+/// [`ServerState`]. Worker 0 folds `accept` into its poll cycle — no
+/// dedicated accept thread, no fixed accept-retry sleep — and the pool's
+/// adaptive back-off keeps both idle CPU and connect latency low.
+/// Returns only after every worker drained its connections (that is what
+/// makes the post-loop checkpoint safe).
 fn serve_tcp(state: &Arc<ServerState>, listener: TcpListener) -> Result<(), String> {
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
-    listener
-        .set_nonblocking(true)
-        .map_err(|e| format!("cannot set nonblocking accept: {e}"))?;
+    let (workers, max_connections) = state.serving.unwrap_or((4, 256));
     eprintln!(
-        "serve: listening on {addr} — one JSONL request per line, one thread per connection; \
-         send {{\"mode\":\"shutdown\"}} to stop"
+        "serve: listening on {addr} — one JSONL request per line, {workers} worker(s) \
+         multiplexing up to {max_connections} connection(s); send {{\"mode\":\"shutdown\"}} to stop"
     );
-    std::thread::scope(|scope| {
-        while !state.shutdown.load(Ordering::SeqCst) {
-            match listener.accept() {
-                Ok((stream, peer)) => {
-                    let state = Arc::clone(state);
-                    scope.spawn(move || serve_connection(&state, stream, peer));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(25));
-                }
-                Err(e) => {
-                    // One failed accept (e.g. a client that vanished mid
-                    // handshake) must not kill the server.
-                    eprintln!("serve: accept failed ({e}); still listening");
-                    std::thread::sleep(Duration::from_millis(25));
-                }
-            }
-        }
-    });
+    let pool_options = PoolOptions {
+        workers,
+        max_connections,
+        max_line_bytes: MAX_LINE_BYTES,
+        overloaded_line: format!(
+            "{{\"id\":\"\",\"kind\":\"overloaded\",\"error\":\"server at capacity \
+             ({max_connections} connections); retry later\"}}"
+        ),
+        line_too_long_line: format!(
+            "{{\"id\":\"\",\"kind\":\"line_too_long\",\"error\":\"request line exceeded \
+             {MAX_LINE_BYTES} bytes and was dropped\"}}"
+        ),
+        ..PoolOptions::default()
+    };
+    let handler = |line: &str| handle_request(state, line);
+    pool::run(
+        &listener,
+        &pool_options,
+        &state.pool,
+        &state.shutdown,
+        &handler,
+    )
+    .map_err(|e| format!("worker pool failed: {e}"))?;
     eprintln!("serve: listener on {addr} shut down");
     Ok(())
-}
-
-/// One client connection: JSONL request per line, JSONL response per
-/// line. The read timeout doubles as the shutdown poll; partial lines
-/// survive timeouts (bytes accumulate in `buf` until the newline
-/// arrives). Any failure here disconnects this client only — the shared
-/// state is behind `&`, so nothing a connection does can poison another.
-fn serve_connection(state: &ServerState, stream: TcpStream, peer: SocketAddr) {
-    if let Err(e) = stream.set_read_timeout(Some(CONNECTION_POLL)) {
-        eprintln!("serve: {peer}: cannot set read timeout: {e}");
-        return;
-    }
-    let reader = match stream.try_clone() {
-        Ok(clone) => clone,
-        Err(e) => {
-            eprintln!("serve: {peer}: cannot clone stream: {e}");
-            return;
-        }
-    };
-    let mut reader = std::io::BufReader::new(reader);
-    let mut writer = stream;
-    let mut buf: Vec<u8> = Vec::new();
-    loop {
-        if state.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        match reader.read_until(b'\n', &mut buf) {
-            Ok(0) if buf.is_empty() => return, // clean close
-            Ok(0) => {
-                // EOF after a partial line: serve the tail, then close.
-                let line = String::from_utf8_lossy(&buf).into_owned();
-                respond(state, &mut writer, line.trim());
-                return;
-            }
-            Ok(_) => {
-                let complete = buf.last() == Some(&b'\n');
-                let line = String::from_utf8_lossy(&buf).into_owned();
-                buf.clear();
-                if !respond(state, &mut writer, line.trim()) {
-                    return;
-                }
-                if !complete {
-                    // read_until returns without a delimiter only at EOF
-                    return;
-                }
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                // poll tick: re-check the shutdown flag, keep the partial
-                // line (if any) accumulating in `buf`
-                continue;
-            }
-            Err(e) => {
-                eprintln!("serve: {peer}: read failed: {e}");
-                return;
-            }
-        }
-    }
-}
-
-/// Serve one request line over a connection. Returns `false` when the
-/// client is gone (write failed) and the connection should close.
-fn respond(state: &ServerState, writer: &mut TcpStream, trimmed: &str) -> bool {
-    if trimmed.is_empty() {
-        return true;
-    }
-    let response = handle_request(state, trimmed);
-    writeln!(writer, "{response}")
-        .and_then(|_| writer.flush())
-        .is_ok()
 }
 
 /// Graceful-shutdown hook: fold the WAL into a fresh checkpoint so the
@@ -422,6 +390,10 @@ fn build_state(options: &CliOptions) -> Result<ServerState, String> {
                         ""
                     }
                 );
+                // History depth is a serving-time knob, not persisted:
+                // apply the flag to the restored session (its ring starts
+                // empty — pinnable generations accumulate from here).
+                session.set_history_depth(options.history);
                 return Ok(ServerState::new(session, Some(store)));
             }
             Err(e @ PersistError::NoSnapshot { .. }) => {
@@ -460,6 +432,7 @@ fn build_session(options: &CliOptions) -> Result<LakeSession, String> {
         options.pipeline_config(),
         dust_core::SessionOptions {
             num_shards: options.shards,
+            history: options.history,
         },
     ))
 }
@@ -471,6 +444,9 @@ struct CliOptions {
     finetune: bool,
     shards: usize,
     listen: Option<String>,
+    workers: usize,
+    max_connections: usize,
+    history: usize,
     snapshot_dir: Option<String>,
     checkpoint_after: usize,
     checkpoint_bytes: u64,
@@ -487,6 +463,9 @@ impl CliOptions {
             finetune: false,
             shards: 4,
             listen: None,
+            workers: 4,
+            max_connections: 256,
+            history: dust_core::SessionOptions::default().history,
             snapshot_dir: None,
             checkpoint_after: StoreOptions::default().checkpoint_after,
             checkpoint_bytes: StoreOptions::default().checkpoint_after_bytes,
@@ -518,6 +497,23 @@ impl CliOptions {
                         .map_err(|e| format!("--shards: {e}"))?
                 }
                 "--listen" => options.listen = Some(value("--listen")?),
+                "--workers" => {
+                    options.workers = value("--workers")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--workers: {e}"))?
+                        .max(1)
+                }
+                "--max-connections" => {
+                    options.max_connections = value("--max-connections")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--max-connections: {e}"))?
+                        .max(1)
+                }
+                "--history" => {
+                    options.history = value("--history")?
+                        .parse()
+                        .map_err(|e| format!("--history: {e}"))?
+                }
                 "--snapshot-dir" => options.snapshot_dir = Some(value("--snapshot-dir")?),
                 "--checkpoint-after" => {
                     options.checkpoint_after = value("--checkpoint-after")?
@@ -534,7 +530,8 @@ impl CliOptions {
                 "--help" | "-h" => {
                     return Err("see the module docs: serve [--benchmark tiny|santos|ugen] \
                                 [--lake-dir DIR] [--search overlap|d3l|starmie] [--finetune] \
-                                [--shards N] [--listen ADDR] [--snapshot-dir DIR] \
+                                [--shards N] [--listen ADDR] [--workers K] \
+                                [--max-connections N] [--history N] [--snapshot-dir DIR] \
                                 [--checkpoint-after N] [--checkpoint-bytes N] \
                                 [--requests FILE] [--selftest]"
                         .to_string())
@@ -664,7 +661,7 @@ fn serve_line(state: &ServerState, line: &str) -> Result<String, ServeError> {
                 "batched requests only support mode \"diverse\" (got {mode:?})"
             )));
         }
-        let view = state.session.view();
+        let view = pinned_view(state, &request, &id)?;
         let queries: Vec<Table> = names
             .iter()
             .map(|name| {
@@ -839,8 +836,29 @@ fn serve_line(state: &ServerState, line: &str) -> Result<String, ServeError> {
                 None => "null".to_string(),
             }
         };
+        let (oldest, newest, retained) = state.session.history_window();
+        let history = format!(
+            "{{\"depth\":{},\"retained\":{retained},\"oldest\":{oldest},\"newest\":{newest}}}",
+            state.session.history_depth()
+        );
+        let server = match state.serving {
+            Some((workers, max_connections)) => {
+                use std::sync::atomic::Ordering::Relaxed;
+                format!(
+                    "{{\"workers\":{workers},\"max_connections\":{max_connections},\
+                     \"connections\":{},\"accepted\":{},\"rejected_overloaded\":{},\
+                     \"lines_too_long\":{},\"served_lines\":{}}}",
+                    state.pool.active.load(Relaxed),
+                    state.pool.accepted.load(Relaxed),
+                    state.pool.rejected_overloaded.load(Relaxed),
+                    state.pool.lines_too_long.load(Relaxed),
+                    state.pool.served_lines.load(Relaxed),
+                )
+            }
+            None => "null".to_string(),
+        };
         return Ok(format!(
-            "{{\"id\":\"{}\",\"generation\":{},\"result\":{{\"tables\":{},\"tuples\":{},\"columns\":{},\"shards\":[{}],\"wal\":{wal}}}}}",
+            "{{\"id\":\"{}\",\"generation\":{},\"result\":{{\"tables\":{},\"tuples\":{},\"columns\":{},\"shards\":[{}],\"history\":{history},\"server\":{server},\"wal\":{wal}}}}}",
             json::escape(&id),
             view.generation(),
             stats.tables,
@@ -851,8 +869,9 @@ fn serve_line(state: &ServerState, line: &str) -> Result<String, ServeError> {
     }
 
     // single query: by lake name or inline CSV, served from one pinned
-    // generation (the one echoed in the response)
-    let view = state.session.view();
+    // generation (the one echoed in the response — either the current one
+    // or the requested {"generation": g} from the history window)
+    let view = pinned_view(state, &request, &id)?;
     let query = if let Some(name) = request.get("query").and_then(JsonValue::as_str) {
         resolve_query(view.lake(), name).map_err(|m| fail("not_found", m))?
     } else if let Some(csv) = request.get("csv").and_then(JsonValue::as_str) {
@@ -899,6 +918,38 @@ fn serve_line(state: &ServerState, line: &str) -> Result<String, ServeError> {
         view.generation(),
         json::number(secs)
     ))
+}
+
+/// The view a read request runs against: the current generation, or —
+/// when the request carries `{"generation": g}` — that exact pinned
+/// generation from the bounded history window. Past the window the typed
+/// `generation_evicted` error names the retained range, so a reconnecting
+/// client knows precisely why its token no longer serves.
+fn pinned_view<'a>(
+    state: &'a ServerState,
+    request: &JsonValue,
+    id: &str,
+) -> Result<SessionView<'a>, ServeError> {
+    let fail = |kind: &'static str, message: String| ServeError {
+        id: id.to_string(),
+        kind,
+        message,
+    };
+    match request.get("generation") {
+        None => Ok(state.session.view()),
+        Some(value) => {
+            let generation = value.as_usize().ok_or_else(|| {
+                fail(
+                    "bad_request",
+                    "generation must be a non-negative integer".to_string(),
+                )
+            })?;
+            state
+                .session
+                .view_at(generation as u64)
+                .map_err(|e| fail(e.kind(), e.to_string()))
+        }
+    }
 }
 
 fn resolve_query(lake: &DataLake, name: &str) -> Result<Table, String> {
@@ -1029,6 +1080,26 @@ fn selftest(options: &CliOptions) -> Result<(), String> {
                         "selftest: wal must be null without --snapshot-dir: {response}"
                     ));
                 }
+                // history window counters: default depth, nothing retained
+                // yet (no mutation has published a second generation)
+                let history = result
+                    .get("history")
+                    .ok_or_else(|| format!("selftest: stats lack history: {response}"))?;
+                let default_depth = dust_core::SessionOptions::default().history;
+                if history.get("depth").and_then(JsonValue::as_usize) != Some(default_depth)
+                    || history.get("retained").and_then(JsonValue::as_usize) != Some(0)
+                {
+                    return Err(format!(
+                        "selftest: history stats must report depth {default_depth}, retained 0: \
+                         {response}"
+                    ));
+                }
+                // the stdio path serves no pool: server must be null
+                if result.get("server") != Some(&JsonValue::Null) {
+                    return Err(format!(
+                        "selftest: server stats must be null off TCP: {response}"
+                    ));
+                }
             }
             "bad" | "badmode" | "nostore" => {
                 if parsed.get("error").is_none() {
@@ -1070,6 +1141,7 @@ fn selftest(options: &CliOptions) -> Result<(), String> {
         "{\"id\":\"shrink\",\"mode\":\"remove_table\",\"table\":\"selftest_added\"}".to_string(),
     ];
     let generations = [1usize, 2];
+    let mut at_generation_1 = None;
     for (request, expected_gen) in mutations.iter().zip(generations) {
         let response = handle_request(&state, request);
         let result = result_of(&response)?;
@@ -1088,12 +1160,50 @@ fn selftest(options: &CliOptions) -> Result<(), String> {
             if mid.get("tuples").is_none() {
                 return Err(format!("selftest: no tuples after add: {mid:?}"));
             }
+            at_generation_1 = Some(mid);
         }
     }
     let after = result_of(&handle_request(&state, &query_request))?;
     if before != after {
         return Err(format!(
             "selftest: post-remove result differs from pre-add result\n  before: {before:?}\n  after: {after:?}"
+        ));
+    }
+
+    // ---- pinned-generation reads ------------------------------------------
+    // The history ring retains the displaced snapshots: a query carrying
+    // {"generation": g} answers from exactly that lake version, so the
+    // pre-add (generation 0) and mid-mutation (generation 1) results are
+    // reproducible bit for bit even though the current generation is 2.
+    for (generation, expected_pin) in [(0usize, &before), (1, at_generation_1.as_ref().unwrap())] {
+        let pin_request = format!(
+            "{{\"id\":\"pin{generation}\",\"query\":\"{query_name}\",\"k\":5,\
+             \"generation\":{generation}}}"
+        );
+        let response = handle_request(&state, &pin_request);
+        let parsed = json::parse(&response).map_err(|e| format!("selftest: {e}"))?;
+        if parsed.get("generation").and_then(JsonValue::as_usize) != Some(generation) {
+            return Err(format!(
+                "selftest: pinned read did not echo generation {generation}: {response}"
+            ));
+        }
+        let pinned = result_of(&response)?;
+        if &pinned != expected_pin {
+            return Err(format!(
+                "selftest: pinned read at generation {generation} differs from the result \
+                 served when that generation was current"
+            ));
+        }
+    }
+    // past the window (never published): the typed eviction error
+    let evicted = handle_request(
+        &state,
+        &format!("{{\"id\":\"pinx\",\"query\":\"{query_name}\",\"k\":5,\"generation\":99}}"),
+    );
+    let parsed = json::parse(&evicted).map_err(|e| format!("selftest: {e}"))?;
+    if parsed.get("kind").and_then(JsonValue::as_str) != Some("generation_evicted") {
+        return Err(format!(
+            "selftest: out-of-window pin must fail with kind=generation_evicted: {evicted}"
         ));
     }
     // duplicate add and missing remove are rejected without mutating
@@ -1227,11 +1337,15 @@ fn selftest(options: &CliOptions) -> Result<(), String> {
         ));
     }
 
-    // ---- concurrent TCP round-trip ----------------------------------------
-    // Parallel reading clients + a mutating client against one live TCP
-    // server, then a graceful shutdown whose final checkpoint leaves the
-    // WAL empty. Readers assert the generation token: any response at the
-    // starting generation must be bit-identical to the stdin-served one.
+    // ---- concurrent TCP round-trip (worker pool) --------------------------
+    // More parallel reading clients than pool workers + a mutating client
+    // against one live TCP server, then a graceful shutdown whose final
+    // checkpoint leaves the WAL empty. Readers assert the generation
+    // token: any response at the starting generation must be bit-identical
+    // to the stdin-served one.
+    let (pool_workers, pool_cap) = (2usize, 64usize);
+    let mut state = state;
+    state.serving = Some((pool_workers, pool_cap));
     let state = Arc::new(state);
     let listener =
         TcpListener::bind("127.0.0.1:0").map_err(|e| format!("selftest: bind failed: {e}"))?;
@@ -1256,9 +1370,10 @@ fn selftest(options: &CliOptions) -> Result<(), String> {
     };
 
     let base_generation = expected_generation as usize;
+    let reading_clients = 6usize; // deliberately more clients than workers
     std::thread::scope(|scope| -> Result<(), String> {
         let mut clients = Vec::new();
-        for client in 0..2usize {
+        for client in 0..reading_clients {
             let tcp_request = &tcp_request;
             let query_request = &query_request;
             let expected = &expected;
@@ -1337,6 +1452,65 @@ fn selftest(options: &CliOptions) -> Result<(), String> {
         return Err("selftest: post-TCP-mutation result differs".to_string());
     }
 
+    // a pinned read over TCP: the pre-mutation generation still serves,
+    // bit-identical, two generations later
+    let pinned = tcp_request(&format!(
+        "{{\"id\":\"tpin\",\"query\":\"{query_name}\",\"k\":5,\"generation\":{base_generation}}}"
+    ))?;
+    if pinned.get("generation").and_then(JsonValue::as_usize) != Some(base_generation)
+        || pinned.get("result") != Some(&expected)
+    {
+        return Err(format!(
+            "selftest: TCP pinned read at generation {base_generation} differs: {pinned:?}"
+        ));
+    }
+
+    // the stats probe sees the pool: worker/connection/history counters
+    let tcp_stats = tcp_request("{\"id\":\"ts\",\"mode\":\"stats\"}")?;
+    let result = tcp_stats
+        .get("result")
+        .ok_or("selftest: TCP stats lack result")?;
+    let pool_stats = result
+        .get("server")
+        .ok_or("selftest: TCP stats lack server")?;
+    if pool_stats.get("workers").and_then(JsonValue::as_usize) != Some(pool_workers)
+        || pool_stats
+            .get("max_connections")
+            .and_then(JsonValue::as_usize)
+            != Some(pool_cap)
+    {
+        return Err(format!(
+            "selftest: TCP stats must report {pool_workers} workers / cap {pool_cap}: \
+             {tcp_stats:?}"
+        ));
+    }
+    // every tcp_request above opened one connection; all reached the pool
+    let accepted = pool_stats
+        .get("accepted")
+        .and_then(JsonValue::as_usize)
+        .unwrap_or(0);
+    let served = pool_stats
+        .get("served_lines")
+        .and_then(JsonValue::as_usize)
+        .unwrap_or(0);
+    let min_requests = reading_clients * 3 + 2 /* mutator */ + 2 /* settled + pinned */;
+    if accepted < min_requests || served < min_requests {
+        return Err(format!(
+            "selftest: pool counters too low (accepted {accepted}, served {served}, \
+             expected ≥ {min_requests}): {tcp_stats:?}"
+        ));
+    }
+    let history = result
+        .get("history")
+        .ok_or("selftest: TCP stats lack history")?;
+    if history.get("newest").and_then(JsonValue::as_usize) != Some(base_generation + 2)
+        || history.get("retained").and_then(JsonValue::as_usize) != Some(2)
+    {
+        return Err(format!(
+            "selftest: TCP history window must retain the 2 mutation generations: {tcp_stats:?}"
+        ));
+    }
+
     // graceful shutdown: the accept loop and every connection drain
     let bye = tcp_request("{\"id\":\"bye\",\"mode\":\"shutdown\"}")?;
     if bye.get("result").and_then(|r| r.get("shutdown")) != Some(&JsonValue::Bool(true)) {
@@ -1366,8 +1540,9 @@ fn selftest(options: &CliOptions) -> Result<(), String> {
     }
 
     eprintln!(
-        "serve: selftest ok ({} requests + mutation cycle + recovery cycle + concurrent TCP \
-         round-trip verified)",
+        "serve: selftest ok ({} requests + mutation cycle + pinned-generation reads + recovery \
+         cycle + worker-pool TCP round-trip ({reading_clients} clients on {pool_workers} \
+         workers) verified)",
         requests.len()
     );
     Ok(())

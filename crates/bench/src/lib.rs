@@ -10,6 +10,7 @@
 
 pub mod diversity_eval;
 pub mod json;
+pub mod pool;
 pub mod report;
 pub mod setup;
 

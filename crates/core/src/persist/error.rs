@@ -137,6 +137,19 @@ pub enum SessionError {
         /// The panic payload, when it was a string.
         detail: String,
     },
+    /// A pinned-generation read ([`crate::LakeSession::view_at`]) asked
+    /// for a generation outside the bounded history window: either already
+    /// evicted (older than the oldest retained snapshot) or never
+    /// published (newer than the current generation — e.g. the client
+    /// reconnected to a restarted server whose history starts empty).
+    GenerationEvicted {
+        /// The generation the caller asked to pin.
+        requested: u64,
+        /// Oldest generation still retained.
+        oldest: u64,
+        /// Newest (current) generation.
+        newest: u64,
+    },
 }
 
 impl SessionError {
@@ -146,6 +159,7 @@ impl SessionError {
             SessionError::Table(_) => "table",
             SessionError::Persist(e) => e.kind(),
             SessionError::QueryPanicked { .. } => "panic",
+            SessionError::GenerationEvicted { .. } => "generation_evicted",
         }
     }
 }
@@ -158,6 +172,24 @@ impl fmt::Display for SessionError {
             SessionError::QueryPanicked { detail } => {
                 write!(f, "query worker panicked: {detail}")
             }
+            SessionError::GenerationEvicted {
+                requested,
+                oldest,
+                newest,
+            } => {
+                if requested > newest {
+                    write!(
+                        f,
+                        "generation {requested} has not been published (current is {newest})"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "generation {requested} evicted from history \
+                         (retained window is [{oldest}, {newest}])"
+                    )
+                }
+            }
         }
     }
 }
@@ -168,6 +200,7 @@ impl std::error::Error for SessionError {
             SessionError::Table(e) => Some(e),
             SessionError::Persist(e) => Some(e),
             SessionError::QueryPanicked { .. } => None,
+            SessionError::GenerationEvicted { .. } => None,
         }
     }
 }

@@ -961,8 +961,12 @@ pub(crate) fn load_session(dir: &Path, manifest: &Manifest) -> Result<LakeSessio
     Ok(LakeSession::from_restored(
         lake,
         manifest.config.clone(),
+        // History depth is a serving-time knob, not part of the persisted
+        // format: a restored session takes the default (callers re-tune it
+        // with `set_history_depth`) and its ring starts empty.
         SessionOptions {
             num_shards: manifest.num_shards,
+            ..SessionOptions::default()
         },
         aligner_encoder,
         embedder,

@@ -105,8 +105,10 @@ use dust_search::{
 };
 use dust_table::{Column, DataLake, Table, TableError, TableId, Tuple};
 use rayon::prelude::*;
+use std::collections::VecDeque;
 use std::ops::Deref;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 
 /// Construction options for a [`LakeSession`].
@@ -116,11 +118,21 @@ pub struct SessionOptions {
     /// hash). One shard is fine on a single host; more shards keep the
     /// layout ready for a multi-host split without re-embedding.
     pub num_shards: usize,
+    /// Number of *previous* published generations retained for
+    /// [`LakeSession::view_at`] pinned reads (the current generation is
+    /// always servable on top of these). Near-free under structural
+    /// sharing: a retained snapshot holds `Arc`s into its successors, so
+    /// the marginal cost is one changed shard/table per mutation. `0`
+    /// disables history — only the current generation can be pinned.
+    pub history: usize,
 }
 
 impl Default for SessionOptions {
     fn default() -> Self {
-        SessionOptions { num_shards: 4 }
+        SessionOptions {
+            num_shards: 4,
+            history: 8,
+        }
     }
 }
 
@@ -385,6 +397,16 @@ pub struct LakeSession {
     current: RwLock<Arc<SessionSnapshot>>,
     /// Serializes mutations against each other (readers never touch it).
     mutate: Mutex<()>,
+    /// Previously-published snapshots, oldest first, bounded by
+    /// [`Self::history_depth`]. Pushed on every publish (near-free: each
+    /// retained snapshot shares all unchanged structure with its successor
+    /// by `Arc`), served by [`Self::view_at`]. Starts empty on restore —
+    /// history is in-memory only, never persisted.
+    history: Mutex<VecDeque<Arc<SessionSnapshot>>>,
+    /// Retention depth for `history` (0 = current generation only).
+    /// Atomic so a restored session — whose persisted manifest carries no
+    /// history depth — can be re-tuned without `&mut`.
+    history_depth: AtomicUsize,
     pub(crate) build_secs: f64,
 }
 
@@ -514,7 +536,10 @@ impl LakeSession {
 
         LakeSession {
             config,
-            options: SessionOptions { num_shards },
+            options: SessionOptions {
+                num_shards,
+                ..options
+            },
             aligner_encoder,
             model_injected,
             current: RwLock::new(Arc::new(SessionSnapshot {
@@ -527,6 +552,8 @@ impl LakeSession {
                 columns,
             })),
             mutate: Mutex::new(()),
+            history: Mutex::new(VecDeque::new()),
+            history_depth: AtomicUsize::new(options.history),
             build_secs: start.elapsed().as_secs_f64(),
         }
     }
@@ -565,6 +592,8 @@ impl LakeSession {
                 columns,
             })),
             mutate: Mutex::new(()),
+            history: Mutex::new(VecDeque::new()),
+            history_depth: AtomicUsize::new(options.history),
             build_secs,
         }
     }
@@ -581,10 +610,24 @@ impl LakeSession {
             .clone()
     }
 
-    /// Atomically publish the next generation.
+    /// Atomically publish the next generation, retaining the displaced
+    /// snapshot in the bounded history ring (evicting the oldest past the
+    /// configured depth). The pointer lock is released before the history
+    /// lock is taken — readers are never behind both.
     fn publish(&self, next: SessionSnapshot) {
-        // dust-lint: lock(session-current)
-        *self.current.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(next);
+        let next = Arc::new(next);
+        let prev = {
+            // dust-lint: lock(session-current)
+            let mut current = self.current.write().unwrap_or_else(PoisonError::into_inner);
+            std::mem::replace(&mut *current, next)
+        };
+        let depth = self.history_depth.load(Ordering::Relaxed);
+        // dust-lint: lock(session-history)
+        let mut history = self.history.lock().unwrap_or_else(PoisonError::into_inner);
+        history.push_back(prev);
+        while history.len() > depth {
+            history.pop_front();
+        }
     }
 
     /// Pin the current generation and return a read view over it. All
@@ -595,6 +638,72 @@ impl LakeSession {
             session: self,
             snap: self.snapshot(),
         }
+    }
+
+    /// Pin a **specific** generation and return a read view over it — the
+    /// current generation, or any of the last [`Self::history_depth`]
+    /// published ones still in the history ring. Reads through the view
+    /// are bit-identical to a fresh session built over that generation's
+    /// lake (pinned by `tests/session_concurrency.rs`). A generation
+    /// outside the window — evicted, or never published — yields a typed
+    /// [`SessionError::GenerationEvicted`] (`kind() ==
+    /// "generation_evicted"`), never a panic.
+    pub fn view_at(&self, generation: u64) -> Result<SessionView<'_>, SessionError> {
+        let snap = self.snapshot();
+        let newest = snap.generation;
+        if generation == newest {
+            return Ok(SessionView {
+                session: self,
+                snap,
+            });
+        }
+        let oldest = {
+            // dust-lint: lock(session-history)
+            let history = self.history.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(hit) = history.iter().rev().find(|s| s.generation == generation) {
+                return Ok(SessionView {
+                    session: self,
+                    snap: hit.clone(),
+                });
+            }
+            history.front().map(|s| s.generation).unwrap_or(newest)
+        };
+        Err(SessionError::GenerationEvicted {
+            requested: generation,
+            oldest,
+            newest,
+        })
+    }
+
+    /// The configured history retention depth (how many *previous*
+    /// generations [`Self::view_at`] can pin).
+    pub fn history_depth(&self) -> usize {
+        self.history_depth.load(Ordering::Relaxed)
+    }
+
+    /// Re-tune the history retention depth at runtime, trimming the ring
+    /// immediately if shrunk. A restored session starts with the default
+    /// depth and an empty ring (history is never persisted); the serving
+    /// layer calls this to apply its `--history` flag.
+    pub fn set_history_depth(&self, depth: usize) {
+        self.history_depth.store(depth, Ordering::Relaxed);
+        // dust-lint: lock(session-history)
+        let mut history = self.history.lock().unwrap_or_else(PoisonError::into_inner);
+        while history.len() > depth {
+            history.pop_front();
+        }
+    }
+
+    /// The pinnable window right now: `(oldest, newest, retained)` where
+    /// `oldest..=newest` are the generations [`Self::view_at`] can serve
+    /// and `retained` counts the ring entries (excluding the current
+    /// generation, which is always servable).
+    pub fn history_window(&self) -> (u64, u64, usize) {
+        let newest = self.generation();
+        // dust-lint: lock(session-history)
+        let history = self.history.lock().unwrap_or_else(PoisonError::into_inner);
+        let oldest = history.front().map(|s| s.generation).unwrap_or(newest);
+        (oldest, newest, history.len())
     }
 
     /// The resident lake at the current generation. The returned handle
@@ -1304,7 +1413,10 @@ mod tests {
         let session = LakeSession::with_options(
             lake.clone(),
             PipelineConfig::fast(),
-            SessionOptions { num_shards: 3 },
+            SessionOptions {
+                num_shards: 3,
+                ..SessionOptions::default()
+            },
         );
         assert_eq!(session.num_shards(), 3);
         // every lake table lands in exactly one shard, at its hash slot
@@ -1471,7 +1583,10 @@ mod tests {
         let session = LakeSession::with_options(
             lake,
             PipelineConfig::fast(),
-            SessionOptions { num_shards: 1 },
+            SessionOptions {
+                num_shards: 1,
+                ..SessionOptions::default()
+            },
         );
         let result = session.query(&query, 1).unwrap();
         assert_eq!(result.len(), 1);
@@ -1577,7 +1692,10 @@ mod tests {
         let session = LakeSession::with_options(
             lake.clone(),
             PipelineConfig::fast(),
-            SessionOptions { num_shards: 1 },
+            SessionOptions {
+                num_shards: 1,
+                ..SessionOptions::default()
+            },
         );
         let names = lake.table_names();
         let total: usize = lake.tables().map(|t| t.num_rows()).sum();

@@ -97,10 +97,24 @@ fn scan(root: &Path) -> Result<Scan, String> {
     let mut ledger_used: Vec<usize> = Vec::new();
     let mut edges: Vec<lock_order::Edge> = Vec::new();
 
+    // Pre-pass: pragmas for every file, plus the workspace-wide map of
+    // guard-returning helpers. A guard handed out by a helper in one
+    // file is held by callers in *other* files, so lock-order needs the
+    // full map before it can check any single file.
+    let mut pragmas_per_file = Vec::with_capacity(files.len());
+    let mut guard_fns: Vec<(String, String)> = Vec::new();
     for file in &files {
         let (pragmas, pragma_diags) = pragma::collect(file);
         meta_diags.extend(pragma_diags);
+        for pair in lock_order::guard_returning_fns(file, &pragmas) {
+            if !guard_fns.iter().any(|(name, _)| *name == pair.0) {
+                guard_fns.push(pair);
+            }
+        }
+        pragmas_per_file.push(pragmas);
+    }
 
+    for (file, pragmas) in files.iter().zip(&pragmas_per_file) {
         let mut diags = Vec::new();
         diags.extend(nan_ordering::check(file));
         diags.extend(lock_hygiene::check(file));
@@ -110,7 +124,7 @@ fn scan(root: &Path) -> Result<Scan, String> {
         let (unsafe_diags, used) = unsafe_ledger::check(file, &ledg);
         diags.extend(unsafe_diags);
         ledger_used.extend(used);
-        let (lock_diags, file_edges) = lock_order::check(file, &pragmas, &cfg);
+        let (lock_diags, file_edges) = lock_order::check(file, pragmas, &cfg, &guard_fns);
         diags.extend(lock_diags);
         edges.extend(file_edges);
 

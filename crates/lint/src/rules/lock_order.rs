@@ -21,6 +21,16 @@
 //! statement dies at its semicolon. Both approximations are documented
 //! limitations of a token-level scanner; `allow(lock-order)` with a
 //! reason is the escape hatch.
+//!
+//! PR 10 closes the guard-escape hole: a helper whose return type names
+//! a `Guard` and whose body contains an annotated acquisition hands its
+//! caller a held lock that no `ACQUIRE_PATTERNS` match would reveal.
+//! [`guard_returning_fns`] collects such helpers across the workspace
+//! (engine pre-pass); [`check`] then treats every call site of one as an
+//! acquisition of the mapped lock, so `let g = self.lock_inner();` holds
+//! `inner` to scope end exactly like a direct annotated acquisition —
+//! feeding the same inversion, re-acquisition, and cross-function cycle
+//! machinery.
 
 use crate::config::Config;
 use crate::diag::{Diagnostic, Rule};
@@ -55,21 +65,106 @@ pub struct Edge {
     pub line: usize,
 }
 
-pub fn check(
-    file: &SourceFile,
-    pragmas: &Pragmas,
-    config: &Config,
-) -> (Vec<Diagnostic>, Vec<Edge>) {
+/// Guard-returning helpers found in one file: `(fn name, lock name)`.
+/// A helper qualifies when its signature's return type names a `Guard`
+/// and its body owns an annotated acquisition — calling it hands the
+/// caller that lock, held for as long as the returned guard lives.
+pub fn guard_returning_fns(file: &SourceFile, pragmas: &Pragmas) -> Vec<(String, String)> {
     if !SCOPE_PREFIXES.iter().any(|p| file.rel.starts_with(p)) {
-        return (Vec::new(), Vec::new());
+        return Vec::new();
     }
+    let acquisitions = direct_acquisitions(file);
+    if acquisitions.is_empty() {
+        return Vec::new();
+    }
+    let (spans, _) = scan_scopes(file);
+    let mut out = Vec::new();
+    for span in &spans {
+        // The signature runs from the `fn` keyword line to the body
+        // brace; truncate at the brace so a one-line body can't leak
+        // `Guard` mentions into the return-type test.
+        let sig = file.masked[span.start - 1..span.body_start]
+            .iter()
+            .map(|l| l.trim())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let sig = &sig[..sig.find('{').unwrap_or(sig.len())];
+        let returns_guard = sig
+            .rfind("->")
+            .is_some_and(|pos| sig[pos..].contains("Guard"));
+        if !returns_guard {
+            continue;
+        }
+        let lock = acquisitions
+            .iter()
+            .filter(|&&l| span.contains(l) && !claimed_by_inner_span(&spans, span, l))
+            .find_map(|&l| pragmas.lock_name(l, ANNOTATION_WINDOW));
+        if let Some(lock) = lock {
+            out.push((span.name.clone(), lock.to_string()));
+        }
+    }
+    out
+}
+
+/// Lines matching a direct `ACQUIRE_PATTERNS` hit, sorted and deduped.
+fn direct_acquisitions(file: &SourceFile) -> Vec<usize> {
     let mut acquisitions: Vec<usize> = ACQUIRE_PATTERNS
         .iter()
         .flat_map(|p| file.find_pattern(p))
         .collect();
     acquisitions.sort_unstable();
     acquisitions.dedup();
-    if acquisitions.is_empty() {
+    acquisitions
+}
+
+/// Inner fns own their acquisitions; a line a more deeply nested span
+/// claims is not `span`'s.
+fn claimed_by_inner_span(
+    spans: &[crate::rules::FnSpan],
+    span: &crate::rules::FnSpan,
+    line: usize,
+) -> bool {
+    spans
+        .iter()
+        .any(|s| s != span && s.contains(line) && s.body_start > span.body_start)
+}
+
+/// Lines calling `helper(` (word-bounded, not its `fn` definition).
+fn call_sites(file: &SourceFile, helper: &str) -> Vec<usize> {
+    let needle = format!("{helper}(");
+    file.find_word(helper)
+        .into_iter()
+        .filter(|&l| {
+            let line = &file.masked[l - 1];
+            line.contains(&needle) && !line.contains("fn ")
+        })
+        .collect()
+}
+
+pub fn check(
+    file: &SourceFile,
+    pragmas: &Pragmas,
+    config: &Config,
+    guard_fns: &[(String, String)],
+) -> (Vec<Diagnostic>, Vec<Edge>) {
+    if !SCOPE_PREFIXES.iter().any(|p| file.rel.starts_with(p)) {
+        return (Vec::new(), Vec::new());
+    }
+    // Acquisition events in line order: direct pattern hits, plus call
+    // sites of guard-returning helpers (`Some(index into guard_fns)`).
+    // A direct hit wins on a shared line: `(l, None)` sorts first.
+    let mut events: Vec<(usize, Option<usize>)> = direct_acquisitions(file)
+        .into_iter()
+        .map(|l| (l, None))
+        .collect();
+    for (idx, (helper, _)) in guard_fns.iter().enumerate() {
+        for line in call_sites(file, helper) {
+            events.push((line, Some(idx)));
+        }
+    }
+    events.sort_unstable();
+    events.dedup_by_key(|e| e.0);
+    if events.is_empty() {
         return (Vec::new(), Vec::new());
     }
 
@@ -78,44 +173,65 @@ pub fn check(
     let mut edges = Vec::new();
 
     for span in &spans {
-        // Held let-bound guards: (name, scope-end line).
-        let mut held: Vec<(String, usize)> = Vec::new();
-        for &line in acquisitions.iter().filter(|&&l| span.contains(l)) {
-            // Inner fns own their acquisitions; skip lines that a more
-            // deeply nested span claims.
-            if spans
-                .iter()
-                .any(|s| s != span && s.contains(line) && s.body_start > span.body_start)
-            {
+        // Held let-bound guards: (name, scope-end line, via-helper).
+        let mut held: Vec<(String, usize, Option<String>)> = Vec::new();
+        for &(line, via) in events.iter().filter(|(l, _)| span.contains(*l)) {
+            if claimed_by_inner_span(&spans, span, line) {
                 continue;
             }
-            held.retain(|(_, end)| *end > line);
-            let Some(name) = pragmas.lock_name(line, ANNOTATION_WINDOW) else {
-                diags.push(Diagnostic::new(
-                    Rule::LockOrder,
-                    &file.rel,
-                    line,
-                    "unannotated lock acquisition — name it with `// dust-lint: lock(<name>)` \
-                     so the acquisition order stays checkable",
-                ));
-                continue;
+            held.retain(|(_, end, _)| *end > line);
+            let (name, via_helper): (&str, Option<&str>) = match via {
+                None => {
+                    let Some(name) = pragmas.lock_name(line, ANNOTATION_WINDOW) else {
+                        diags.push(Diagnostic::new(
+                            Rule::LockOrder,
+                            &file.rel,
+                            line,
+                            "unannotated lock acquisition — name it with `// dust-lint: lock(<name>)` \
+                             so the acquisition order stays checkable",
+                        ));
+                        continue;
+                    };
+                    if !config.lock_order.is_empty() && config.rank(name).is_none() {
+                        diags.push(Diagnostic::new(
+                            Rule::LockOrder,
+                            &file.rel,
+                            line,
+                            format!("lock `{name}` is not in lock_order (lint/dust_lint.toml) — declare its place in the hierarchy"),
+                        ));
+                        continue;
+                    }
+                    (name, None)
+                }
+                Some(idx) => {
+                    let (helper, lock) = &guard_fns[idx];
+                    // A helper's own span already owns the direct,
+                    // annotated acquisition — don't double-count a
+                    // recursive or shadowed mention inside it. The
+                    // helper's lock name was rank-checked at that
+                    // direct site, so no unknown-name repeat here.
+                    if span.name == *helper {
+                        continue;
+                    }
+                    (lock.as_str(), Some(helper.as_str()))
+                }
             };
-            if !config.lock_order.is_empty() && config.rank(name).is_none() {
-                diags.push(Diagnostic::new(
-                    Rule::LockOrder,
-                    &file.rel,
-                    line,
-                    format!("lock `{name}` is not in lock_order (lint/dust_lint.toml) — declare its place in the hierarchy"),
-                ));
-                continue;
-            }
-            for (held_name, _) in &held {
+            let acq_via = via_helper
+                .map(|h| format!(" via `{h}()`"))
+                .unwrap_or_default();
+            for (held_name, _, held_via) in &held {
+                let held_note = held_via
+                    .as_deref()
+                    .map(|h| format!(" (returned by `{h}()`)"))
+                    .unwrap_or_default();
                 if held_name.as_str() == name {
                     diags.push(Diagnostic::new(
                         Rule::LockOrder,
                         &file.rel,
                         line,
-                        format!("`{name}` re-acquired while already held — self-deadlock"),
+                        format!(
+                            "`{name}` re-acquired{acq_via} while already held{held_note} — self-deadlock"
+                        ),
                     ));
                     continue;
                 }
@@ -132,8 +248,9 @@ pub fn check(
                             &file.rel,
                             line,
                             format!(
-                                "`{name}` acquired while holding `{held_name}` — declared order \
-                                 requires `{name}` to be taken first (outermost-first in lock_order)"
+                                "`{name}` acquired{acq_via} while holding `{held_name}`{held_note} — \
+                                 declared order requires `{name}` to be taken first \
+                                 (outermost-first in lock_order)"
                             ),
                         ));
                     }
@@ -144,7 +261,7 @@ pub fn check(
                 let scope_end = (line + 1..=span.end)
                     .find(|&l| line_depth.get(l - 1).copied().unwrap_or(0) < depth)
                     .unwrap_or(span.end);
-                held.push((name.to_string(), scope_end));
+                held.push((name.to_string(), scope_end, via_helper.map(str::to_string)));
             }
         }
     }
@@ -258,7 +375,24 @@ mod tests {
         let config = Config {
             lock_order: order.iter().map(|s| s.to_string()).collect(),
         };
-        check(&f, &pragmas, &config)
+        check(&f, &pragmas, &config, &[])
+    }
+
+    /// Like `setup`, but with the guard-returning-helper pre-pass wired
+    /// in the way the engine does it.
+    fn setup_with_guards(
+        text: &str,
+        order: &[&str],
+    ) -> (Vec<(String, String)>, Vec<Diagnostic>, Vec<Edge>) {
+        let f = SourceFile::parse("crates/core/src/session.rs", text);
+        let (pragmas, pd) = pragma::collect(&f);
+        assert!(pd.is_empty(), "{pd:?}");
+        let config = Config {
+            lock_order: order.iter().map(|s| s.to_string()).collect(),
+        };
+        let guards = guard_returning_fns(&f, &pragmas);
+        let (d, e) = check(&f, &pragmas, &config, &guards);
+        (guards, d, e)
     }
 
     #[test]
@@ -349,6 +483,73 @@ mod tests {
         let edges: Vec<Edge> = e1.into_iter().chain(e2).collect();
         let cycles = check_cycles(&edges);
         assert_eq!(cycles.len(), 1);
+        assert!(cycles[0].message.contains("cycle"));
+    }
+
+    #[test]
+    fn guard_escaping_helper_is_seen_at_call_sites() {
+        let (guards, d, e) = setup_with_guards(
+            "impl S {\n    fn lock_inner(&self) -> MutexGuard<'_, u32> {\n        // dust-lint: lock(inner)\n        self.inner.lock().unwrap_or_else(PoisonError::into_inner)\n    }\n\n    fn bad(&self) {\n        let g = self.lock_inner();\n        // dust-lint: lock(outer)\n        let h = self.outer.lock().unwrap_or_else(PoisonError::into_inner);\n        let _ = (*g, *h);\n    }\n}\n",
+            &["outer", "inner"],
+        );
+        assert_eq!(
+            guards,
+            vec![("lock_inner".to_string(), "inner".to_string())]
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("declared order"), "{}", d[0].message);
+        assert!(
+            d[0].message.contains("returned by `lock_inner()`"),
+            "{}",
+            d[0].message
+        );
+        // The held→acquired edge is recorded for cycle detection too.
+        assert!(e.iter().any(|e| e.from == "inner" && e.to == "outer"));
+    }
+
+    #[test]
+    fn guard_call_while_held_reports_acquisition_via_helper() {
+        // Acquiring *through* the helper while holding a leaf lock: the
+        // diagnostic points at the call line, which shows no lock at all.
+        let (guards, d, _) = setup_with_guards(
+            "impl S {\n    fn lock_outer(&self) -> MutexGuard<'_, u32> {\n        // dust-lint: lock(outer)\n        self.outer.lock().unwrap_or_else(PoisonError::into_inner)\n    }\n\n    fn bad(&self) {\n        // dust-lint: lock(inner)\n        let g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);\n        let h = self.lock_outer();\n        let _ = (*g, *h);\n    }\n}\n",
+            &["outer", "inner"],
+        );
+        assert_eq!(guards.len(), 1);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(
+            d[0].message.contains("via `lock_outer()`"),
+            "{}",
+            d[0].message
+        );
+    }
+
+    #[test]
+    fn non_guard_helper_is_not_treated_as_acquisition() {
+        // Returns a value copied out under the lock — the guard dies
+        // inside the helper, so call sites hold nothing.
+        let (guards, d, e) = setup_with_guards(
+            "impl S {\n    fn read_inner(&self) -> u32 {\n        // dust-lint: lock(inner)\n        *self.inner.lock().unwrap_or_else(PoisonError::into_inner)\n    }\n\n    fn fine(&self) {\n        let v = self.read_inner();\n        // dust-lint: lock(outer)\n        let h = self.outer.lock().unwrap_or_else(PoisonError::into_inner);\n        let _ = (v, *h);\n    }\n}\n",
+            &["outer", "inner"],
+        );
+        assert!(guards.is_empty(), "{guards:?}");
+        assert!(d.is_empty(), "{d:?}");
+        assert!(e.is_empty(), "{e:?}");
+    }
+
+    #[test]
+    fn guard_helper_edges_feed_cross_function_cycles() {
+        // One fn calls the helper then takes `outer`; another takes
+        // `outer` then calls the helper. No declared order, but the
+        // observed edges form a cycle the DFS must catch.
+        let (guards, d, e) = setup_with_guards(
+            "impl S {\n    fn lock_inner(&self) -> MutexGuard<'_, u32> {\n        // dust-lint: lock(inner)\n        self.inner.lock().unwrap_or_else(PoisonError::into_inner)\n    }\n\n    fn a(&self) {\n        let g = self.lock_inner();\n        // dust-lint: lock(outer)\n        let h = self.outer.lock().unwrap_or_else(PoisonError::into_inner);\n        let _ = (*g, *h);\n    }\n\n    fn b(&self) {\n        // dust-lint: lock(outer)\n        let h = self.outer.lock().unwrap_or_else(PoisonError::into_inner);\n        let g = self.lock_inner();\n        let _ = (*g, *h);\n    }\n}\n",
+            &[],
+        );
+        assert_eq!(guards.len(), 1);
+        assert!(d.is_empty(), "{d:?}");
+        let cycles = check_cycles(&e);
+        assert_eq!(cycles.len(), 1, "{cycles:?}");
         assert!(cycles[0].message.contains("cycle"));
     }
 

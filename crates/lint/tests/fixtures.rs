@@ -64,6 +64,15 @@ fn no_wall_clock_fixture() {
 }
 
 #[test]
+fn lock_guard_escape_fixture() {
+    let report = assert_golden("lock_guard_escape");
+    // Exactly the inversion at the caller's second acquisition; the
+    // helper itself and the value-returning `read_inner` are clean.
+    assert_eq!(report.diagnostics.len(), 1);
+    assert_eq!(report.diagnostics[0].line, 26);
+}
+
+#[test]
 fn delta_float_sub_fixture() {
     let report = assert_golden("delta_float_sub");
     // Only the float `-=` inside remove_document; the integer delta and

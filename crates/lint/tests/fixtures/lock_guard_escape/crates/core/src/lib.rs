@@ -1,0 +1,35 @@
+//! Fixture: a guard returned from a helper escapes into the caller,
+//! where a second acquisition inverts the declared order. Before the
+//! call-site tracking landed, `escaped` looked lock-free to the linter.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+pub struct S {
+    outer: Mutex<u32>,
+    inner: Mutex<u32>,
+}
+
+impl S {
+    fn lock_inner(&self) -> MutexGuard<'_, u32> {
+        // dust-lint: lock(inner)
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn read_inner(&self) -> u32 {
+        // dust-lint: lock(inner)
+        *self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn escaped(&self) -> u32 {
+        let g = self.lock_inner();
+        // dust-lint: lock(outer)
+        let h = self.outer.lock().unwrap_or_else(PoisonError::into_inner);
+        *g + *h
+    }
+
+    pub fn fine(&self) -> u32 {
+        // dust-lint: lock(outer)
+        let h = self.outer.lock().unwrap_or_else(PoisonError::into_inner);
+        self.read_inner() + *h
+    }
+}

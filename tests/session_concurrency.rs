@@ -102,7 +102,10 @@ fn concurrent_reads_are_linearizable_at_their_observed_generation() {
             let name = lake.query_names()[0].clone();
             lake.query(&name).unwrap().clone()
         };
-        let options = SessionOptions { num_shards: 4 };
+        let options = SessionOptions {
+            num_shards: 4,
+            ..SessionOptions::default()
+        };
         let session = LakeSession::with_options(lake, config.clone(), options);
 
         // generation → the lake exactly as that generation served it;
@@ -201,6 +204,90 @@ fn concurrent_reads_are_linearizable_at_their_observed_generation() {
                 "{context}: similar_tuples differ"
             );
         }
+    }
+}
+
+/// Generation-pinned reads: with a bounded history ring, `view_at(g)`
+/// serves any retained generation **bit-identically** to a fresh session
+/// built over the lake exactly as generation `g` held it — across all
+/// three search techniques — and answers requests outside the window
+/// with the typed `generation_evicted` error instead of silently serving
+/// the wrong snapshot.
+#[test]
+fn pinned_generation_reads_are_bit_identical_to_fresh_rebuilds() {
+    for technique in TECHNIQUES {
+        let config = PipelineConfig {
+            search: technique,
+            ..PipelineConfig::fast()
+        };
+        let lake = tiny_lake();
+        let probe = {
+            let name = lake.query_names()[0].clone();
+            lake.query(&name).unwrap().clone()
+        };
+        let options = SessionOptions {
+            num_shards: 4,
+            history: 3,
+        };
+        let session = LakeSession::with_options(lake, config.clone(), options);
+
+        // Publish 4 generations (two extras toggled in and out),
+        // recording the lake content at each.
+        let mut lakes: BTreeMap<u64, DataLake> = BTreeMap::new();
+        lakes.insert(0, session.lake().clone());
+        for table in extra_tables() {
+            session.add_table(table.clone()).unwrap();
+            lakes.insert(session.generation(), session.lake().clone());
+            session.remove_table(table.name()).unwrap();
+            lakes.insert(session.generation(), session.lake().clone());
+        }
+        assert_eq!(session.generation(), 4, "{technique:?}: mutator fell short");
+
+        // history: 3 retains generations 1..=3 behind the current 4.
+        let (oldest, newest, retained) = session.history_window();
+        assert_eq!((oldest, newest, retained), (1, 4, 3), "{technique:?}");
+
+        for g in 1..=4u64 {
+            let view = session
+                .view_at(g)
+                .unwrap_or_else(|e| panic!("{technique:?}: generation {g}: {e}"));
+            assert_eq!(view.generation(), g);
+            let fresh = LakeSession::with_options(lakes[&g].clone(), config.clone(), options);
+            let context = format!("{technique:?}: pinned generation {g}");
+            let expected = fresh.query(&probe, 4).unwrap();
+            let served = view.query(&probe, 4).unwrap();
+            assert_same_result(&served, &expected, &context);
+            let expected_similar: Vec<(String, usize, u64)> = fresh
+                .similar_tuples(&probe, 6)
+                .into_iter()
+                .map(|r| (r.table, r.row, r.score.to_bits()))
+                .collect();
+            let served_similar: Vec<(String, usize, u64)> = view
+                .similar_tuples(&probe, 6)
+                .into_iter()
+                .map(|r| (r.table, r.row, r.score.to_bits()))
+                .collect();
+            assert_eq!(
+                served_similar, expected_similar,
+                "{context}: similar_tuples differ"
+            );
+        }
+
+        // Generation 0 fell out of the 3-deep window: typed eviction.
+        let err = session.view_at(0).unwrap_err();
+        assert_eq!(err.kind(), "generation_evicted", "{technique:?}: {err}");
+        assert!(
+            err.to_string().contains("retained window"),
+            "{technique:?}: {err}"
+        );
+        // A generation that never existed is the same typed error with a
+        // future-facing message.
+        let err = session.view_at(99).unwrap_err();
+        assert_eq!(err.kind(), "generation_evicted", "{technique:?}: {err}");
+        assert!(
+            err.to_string().contains("not been published"),
+            "{technique:?}: {err}"
+        );
     }
 }
 

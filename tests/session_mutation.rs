@@ -118,6 +118,7 @@ fn assert_session_matches_rebuild(mutated: &LakeSession, probes: &[Table], conte
         mutated.config().clone(),
         SessionOptions {
             num_shards: mutated.num_shards(),
+            ..SessionOptions::default()
         },
     );
 
@@ -208,7 +209,7 @@ proptest! {
             let session = LakeSession::with_options(
                 lake.clone(),
                 config,
-                SessionOptions { num_shards: shards },
+                SessionOptions { num_shards: shards, ..SessionOptions::default() },
             );
             let applied = apply_ops(&session, &pool, &ops);
             prop_assert_eq!(session.generation(), applied);
@@ -293,7 +294,10 @@ fn remove_last_table_in_a_shard() {
     let session = LakeSession::with_options(
         lake,
         PipelineConfig::fast(),
-        SessionOptions { num_shards: 8 },
+        SessionOptions {
+            num_shards: 8,
+            ..SessionOptions::default()
+        },
     );
     let lone = (0..session.num_shards())
         .find_map(|i| {

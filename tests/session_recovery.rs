@@ -183,6 +183,7 @@ fn fresh_rebuild(of: &LakeSession) -> LakeSession {
         of.config().clone(),
         SessionOptions {
             num_shards: of.num_shards(),
+            ..SessionOptions::default()
         },
     )
 }
@@ -206,7 +207,7 @@ proptest! {
             let session = LakeSession::with_options(
                 tiny_lake(),
                 config,
-                SessionOptions { num_shards: shards },
+                SessionOptions { num_shards: shards, ..SessionOptions::default() },
             );
             let pool = table_pool(&session.lake());
             let mut store = SnapshotStore::create(&tmp.0, &session).unwrap();
@@ -302,7 +303,7 @@ proptest! {
         let session = LakeSession::with_options(
             tiny_lake(),
             PipelineConfig::fast(),
-            SessionOptions { num_shards: 2 },
+            SessionOptions { num_shards: 2, ..SessionOptions::default() },
         );
         let pool = table_pool(&session.lake());
         let mut store = SnapshotStore::create(&tmp.0, &session).unwrap();
@@ -363,7 +364,7 @@ proptest! {
                 let reference = LakeSession::with_options(
                     lake_states[generation as usize].clone(),
                     session.config().clone(),
-                    SessionOptions { num_shards: session.num_shards() },
+                    SessionOptions { num_shards: session.num_shards(), ..SessionOptions::default() },
                 );
                 // generations agree by construction only when no rewind
                 // happened; align them for the comparison helper

@@ -79,8 +79,14 @@ fn add_table_shares_every_untouched_component_across_techniques() {
             search: technique,
             ..PipelineConfig::fast()
         };
-        let session =
-            LakeSession::with_options(tiny_lake(), config, SessionOptions { num_shards: 4 });
+        let session = LakeSession::with_options(
+            tiny_lake(),
+            config,
+            SessionOptions {
+                num_shards: 4,
+                ..SessionOptions::default()
+            },
+        );
         let before_view = session.view();
         let before = before_view.sharing_fingerprint();
 
@@ -136,8 +142,14 @@ fn remove_table_shares_every_untouched_component_across_techniques() {
             search: technique,
             ..PipelineConfig::fast()
         };
-        let session =
-            LakeSession::with_options(tiny_lake(), config, SessionOptions { num_shards: 4 });
+        let session = LakeSession::with_options(
+            tiny_lake(),
+            config,
+            SessionOptions {
+                num_shards: 4,
+                ..SessionOptions::default()
+            },
+        );
         let victim = session.lake().table_names()[0].clone();
         let touched_values = value_set(session.lake().table(&victim).unwrap());
         let owner = session.shard_of(&victim);
@@ -211,7 +223,10 @@ fn sharing_survives_a_mutation_chain() {
     let session = LakeSession::with_options(
         tiny_lake(),
         PipelineConfig::fast(),
-        SessionOptions { num_shards: 4 },
+        SessionOptions {
+            num_shards: 4,
+            ..SessionOptions::default()
+        },
     );
     let g0 = session.view();
     let fingerprint0 = g0.sharing_fingerprint();
